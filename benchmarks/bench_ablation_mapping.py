@@ -1,0 +1,153 @@
+"""Ablations on the design choices DESIGN.md calls out.
+
+1. **MapID choice** — GEMV latency with the selector's MapID vs forcing
+   other MapIDs for the same matrix (wrong MapIDs split rows across more
+   PUs, adding SoC reduction traffic, or waste the global buffer).
+2. **PU-bit order under partitioning** — channel-first (FACIL) keeps one
+   input segment per rank-group; bank-first violates lock-step sharing.
+3. **Output-register pressure** — GB reload count vs accumulator count.
+4. **Rank-serialized vs idealized rank-parallel MAC execution** — the
+   LPDDR5 calibration's impact on GEMV latency.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.mapping import Field, pim_optimized_mapping
+from repro.core.pimalloc import PimSystem
+from repro.core.selector import MatrixConfig, select_mapping
+from repro.dram.config import DramConfig, DramOrganization, LPDDR5_6400_TIMINGS
+from repro.pim.chunk import enumerate_placements, verify_placement_invariants
+from repro.pim.config import AIM_LPDDR5
+from repro.pim.gemv import gemv_latency
+from repro.platforms.specs import JETSON_ORIN
+
+from report import emit, format_table
+
+MEDIUM_ORG = DramOrganization(
+    n_channels=4, ranks_per_channel=2, banks_per_rank=16,
+    rows_per_bank=512, row_bytes=2048, transfer_bytes=32,
+)
+
+
+def test_ablation_map_id_choice(benchmark):
+    """Selector MapID vs alternatives for Llama3 q_proj on Jetson."""
+    matrix = MatrixConfig(4096, 4096)
+    org = JETSON_ORIN.dram.org
+    selection = select_mapping(matrix, org, AIM_LPDDR5)
+
+    def run():
+        rows = []
+        for map_id in range(0, 2):
+            from dataclasses import replace
+
+            forced = replace(
+                selection,
+                map_id=map_id,
+                partitions_per_row=max(
+                    1, selection.padded_row_bytes // (2048 << map_id)
+                ),
+            )
+            lat = gemv_latency(
+                matrix, JETSON_ORIN.dram, AIM_LPDDR5, selection=forced
+            )
+            marker = " <- selector" if map_id == selection.map_id else ""
+            rows.append(
+                (map_id, forced.partitions_per_row,
+                 f"{lat.total_ns/1e3:.1f}",
+                 lat.soc_reduce_bytes, marker)
+            )
+        return rows
+
+    rows = benchmark(run)
+    text = format_table(
+        ["MapID", "partitions/row", "GEMV us", "SoC reduce bytes", ""], rows
+    )
+    emit("ablation_map_id", text)
+    selector_row = next(r for r in rows if r[4])
+    # the selector's choice minimizes SoC reduction traffic
+    assert selector_row[3] == min(r[3] for r in rows)
+
+
+def test_ablation_pu_order_partitioned(benchmark):
+    """Bank-first PU bits under partitioning break the lock-step
+    invariant; FACIL's channel-first order preserves it."""
+    system = PimSystem.build(MEDIUM_ORG, AIM_LPDDR5)
+    matrix = MatrixConfig(rows=16, cols=16384)  # partitioned on this org
+
+    tensor = system.pimalloc(matrix)
+    tensor.store(np.zeros((16, 16384), dtype=np.float16))
+
+    def check_good():
+        segments = enumerate_placements(tensor)
+        verify_placement_invariants(segments, tensor)
+        return len(segments)
+
+    n_segments = benchmark(check_good)
+    assert n_segments == 16 * (16384 // 1024)
+
+    # Forge the bank-first variant and show the invariant fails.
+    bad_mapping = pim_optimized_mapping(
+        MEDIUM_ORG, 1, 1024, 2, tensor.selection.map_id, 21,
+        pu_order=(Field.BANK, Field.RANK, Field.CHANNEL),
+    )
+    system.controller.table._entries[tensor.map_id] = bad_mapping
+    with pytest.raises(AssertionError, match="lock-step"):
+        verify_placement_invariants(enumerate_placements(tensor), tensor)
+    emit(
+        "ablation_pu_order",
+        "channel-first PU bits under partitioning: lock-step invariant holds\n"
+        "bank-first PU bits under partitioning: lock-step VIOLATION "
+        "(banks of one rank would need different global-buffer segments)",
+    )
+
+
+def test_ablation_out_registers(benchmark):
+    """Fewer MAC accumulators force more global-buffer reload passes."""
+    matrix = MatrixConfig(14336, 4096)
+
+    def run():
+        return [
+            (regs, gemv_latency(
+                matrix, JETSON_ORIN.dram, AIM_LPDDR5, out_regs_per_pu=regs
+            ))
+            for regs in (1, 4, 16, 64)
+        ]
+
+    results = benchmark(run)
+    rows = [
+        (regs, lat.gb_loads_per_rank, f"{lat.gb_load_ns/1e3:.2f}",
+         f"{lat.total_ns/1e3:.1f}")
+        for regs, lat in results
+    ]
+    text = format_table(
+        ["out regs/PU", "GB loads/rank", "GB time us", "GEMV us"], rows
+    )
+    emit("ablation_out_registers", text)
+    loads = [lat.gb_loads_per_rank for _, lat in results]
+    assert loads == sorted(loads, reverse=True)
+
+
+def test_ablation_rank_serialization(benchmark):
+    """The LPDDR5 calibration: rank-serialized all-bank MACs roughly
+    double GEMV latency vs an idealized rank-parallel device."""
+    matrix = MatrixConfig(4096, 4096)
+    serialized = gemv_latency(matrix, JETSON_ORIN.dram, AIM_LPDDR5)
+
+    single_rank_org = DramOrganization(
+        n_channels=JETSON_ORIN.dram.org.n_channels,
+        ranks_per_channel=1,
+        banks_per_rank=32,  # same PU count, no rank sharing
+        rows_per_bank=JETSON_ORIN.dram.org.rows_per_bank,
+    )
+    ideal = benchmark(
+        gemv_latency, matrix,
+        DramConfig(single_rank_org, LPDDR5_6400_TIMINGS), AIM_LPDDR5,
+    )
+    rows = [
+        ("2 ranks/channel (serialized)", f"{serialized.mac_ns/1e3:.1f}"),
+        ("1 rank/channel (same PU count)", f"{ideal.mac_ns/1e3:.1f}"),
+    ]
+    text = format_table(["configuration", "MAC time us"], rows)
+    emit("ablation_rank_serialization", text)
+    assert serialized.mac_ns > 1.5 * ideal.mac_ns

@@ -1,0 +1,68 @@
+"""Ablation — huge-page size vs mapping quality.
+
+FACIL assumes 2 MB huge pages.  The page size bounds the per-bank share
+(``page / total banks``) and therefore how large a matrix row can stay in
+one bank: smaller pages force column-wise partitioning (more SoC
+reductions), bigger pages buy headroom.  This sweep shows the mechanism
+on the Jetson configuration and why 2 MB is a sensible floor for a
+512-bank system.
+"""
+
+import pytest
+
+from repro.core.mapping import max_map_id
+from repro.core.selector import MatrixConfig, select_mapping
+from repro.pim.gemv import gemv_latency
+from repro.platforms.specs import JETSON_ORIN
+
+from report import emit, format_table
+
+PAGE_SIZES = (256 << 10, 1 << 20, 2 << 20, 4 << 20, 8 << 20)
+MATRIX = MatrixConfig(4096, 4096)  # Llama3 q_proj
+
+
+def test_ablation_page_size(benchmark):
+    org = JETSON_ORIN.dram.org
+
+    def run():
+        rows = []
+        for page in PAGE_SIZES:
+            label = f"{page >> 10} KB" if page < (1 << 20) else f"{page >> 20} MB"
+            try:
+                selection = select_mapping(MATRIX, org, JETSON_ORIN.pim, page)
+            except ValueError:
+                rows.append((label, "-", "infeasible: page smaller than one "
+                             "chunk row per bank", "-", "-"))
+                continue
+            latency = gemv_latency(
+                MATRIX, JETSON_ORIN.dram, JETSON_ORIN.pim, page,
+                selection=selection,
+            )
+            rows.append(
+                (
+                    label,
+                    max_map_id(org, page),
+                    selection.partitions_per_row,
+                    f"{latency.total_ns / 1e3:.1f}",
+                    latency.soc_reduce_bytes,
+                )
+            )
+        return rows
+
+    rows = benchmark(run)
+    text = format_table(
+        ["huge page", "max MapID", "partitions/row (q_proj)",
+         "GEMV us", "SoC reduce bytes"],
+        rows,
+    )
+    text += (
+        "\nsmaller pages shrink the per-bank share and force partitioning; "
+        "512-bank systems need >= 1 MB pages, and 4 MB would keep q_proj "
+        "rows whole"
+    )
+    emit("ablation_page_size", text)
+
+    feasible = [r for r in rows if r[1] != "-"]
+    partitions = [r[2] for r in feasible]
+    assert partitions == sorted(partitions, reverse=True)  # monotone relief
+    assert feasible[-1][2] == 1  # big pages keep rows whole

@@ -1,0 +1,62 @@
+"""Ablation — PIM device classes on the same memory geometry.
+
+Compares the GEMV latency and effective internal bandwidth of three
+near-bank PIM designs for the Llama3 q_proj matrix:
+
+* LPDDR5 AiM-style, the paper's configuration (MAC at half the column
+  cadence, rank-serialized passes);
+* GDDR6 AiM-style, the taped-out prototype's regime (full column
+  cadence, much faster interface clock);
+* HBM-PIM-style chunk (8, 128) on the LPDDR5 timings.
+
+This isolates how much of PIM's advantage is architecture (near-bank
+parallelism) vs technology (interface speed).
+"""
+
+from repro.core.selector import MatrixConfig
+from repro.dram.config import DramConfig, GDDR6_16000_TIMINGS, lpddr5_organization
+from repro.pim.config import AIM_GDDR6, AIM_LPDDR5, HBM_PIM
+from repro.pim.gemv import gemv_latency
+from repro.platforms.specs import JETSON_ORIN
+
+from report import emit, format_table
+
+MATRIX = MatrixConfig(4096, 4096)
+
+
+def test_ablation_pim_device_class(benchmark):
+    org = JETSON_ORIN.dram.org
+    gddr6 = DramConfig(org, GDDR6_16000_TIMINGS).with_data_rate(16000)
+
+    def run():
+        return {
+            "AiM / LPDDR5 (paper)": gemv_latency(
+                MATRIX, JETSON_ORIN.dram, AIM_LPDDR5
+            ),
+            "AiM / GDDR6 (prototype)": gemv_latency(MATRIX, gddr6, AIM_GDDR6),
+            "HBM-PIM chunk / LPDDR5": gemv_latency(
+                MATRIX, JETSON_ORIN.dram, HBM_PIM
+            ),
+        }
+
+    results = benchmark(run)
+    rows = [
+        (
+            name,
+            f"{lat.total_ns / 1e3:.1f}",
+            f"{lat.effective_internal_gbps:.0f}",
+            f"{lat.effective_internal_gbps / org.peak_bandwidth_gbps:.1f}x",
+        )
+        for name, lat in results.items()
+    ]
+    text = format_table(
+        ["device", "q_proj GEMV us", "internal GB/s", "vs external peak"], rows
+    )
+    emit("ablation_pim_device", text)
+
+    lpddr5 = results["AiM / LPDDR5 (paper)"]
+    gddr6_lat = results["AiM / GDDR6 (prototype)"]
+    # technology: the GDDR6 prototype regime is several times faster
+    assert gddr6_lat.total_ns < lpddr5.total_ns / 2
+    # architecture: even the slow LPDDR5 device beats the external bus
+    assert lpddr5.effective_internal_gbps > 2 * org.peak_bandwidth_gbps

@@ -1,0 +1,30 @@
+"""Fig. 3 — potential speedup of offloading decode GEMV to AiM-style PIM
+(Jetson, Llama3-8B, input = output = 64).
+
+Comparators: the SoC GPU, SoC+PIM, and the hypothetical ideal NPU
+(infinite FLOPS, 100 % of peak memory bandwidth).  Paper: PIM achieves
+3.32x over the ideal NPU.
+"""
+
+from repro.engine.profiling import pim_offload_speedup
+from repro.platforms.specs import JETSON_ORIN
+
+from report import emit, format_table
+
+
+def test_fig03_pim_offload_speedup(benchmark):
+    result = benchmark(pim_offload_speedup, JETSON_ORIN, None, 64)
+    rows = [
+        ("SoC GPU", f"{result.soc_step_ns/1e6:.2f}", "1.00x"),
+        ("ideal NPU", f"{result.ideal_npu_step_ns/1e6:.2f}",
+         f"{result.npu_vs_soc:.2f}x"),
+        ("SoC + PIM", f"{result.pim_step_ns/1e6:.2f}",
+         f"{result.pim_vs_soc:.2f}x"),
+    ]
+    text = format_table(["decode executor", "step latency (ms)", "speedup vs SoC"], rows)
+    text += (
+        f"\nPIM over ideal NPU: {result.pim_vs_ideal_npu:.2f}x"
+        "   (paper: 3.32x)"
+    )
+    emit("fig03_pim_potential", text)
+    assert result.pim_vs_ideal_npu > 2.0

@@ -1,0 +1,40 @@
+"""Fig. 6 — TTFT inflation caused by on-demand re-layout (Jetson,
+Llama3-8B, varying input sequence length).
+
+Paper: TTFT rises from ~100 ms to ~300 ms (~3x) once the hybrid baseline
+must re-layout every weight matrix before its prefill GEMMs.  Our
+conservative full-peak-bandwidth re-layout gives ~2.4x (EXPERIMENTS.md).
+"""
+
+from report import emit, format_table
+
+PREFILL_LENGTHS = (4, 8, 16, 32, 64)
+
+
+def _sweep(engine):
+    rows = []
+    for prefill in PREFILL_LENGTHS:
+        facil = engine.run_query("facil", prefill, 8, dynamic_offload=False)
+        static = engine.run_query("hybrid-static", prefill, 8)
+        rows.append(
+            (
+                prefill,
+                f"{facil.ttft_ns/1e6:.1f}",
+                f"{static.ttft_ns/1e6:.1f}",
+                f"{static.ttft_ns/facil.ttft_ns:.2f}x",
+            )
+        )
+    return rows
+
+
+def test_fig06_relayout_ttft_inflation(benchmark, engines):
+    engine = engines["jetson-agx-orin"]
+    rows = benchmark(_sweep, engine)
+    text = format_table(
+        ["prefill len", "TTFT no re-layout (ms)", "TTFT with re-layout (ms)", "inflation"],
+        rows,
+    )
+    text += "\npaper: ~100 ms -> ~300 ms (~3x) across these lengths"
+    emit("fig06_relayout_ttft", text)
+    for row in rows:
+        assert float(row[3][:-1]) > 2.0

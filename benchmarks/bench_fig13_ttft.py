@@ -1,0 +1,59 @@
+"""Fig. 13 — TTFT speedup of FACIL over the SoC-PIM hybrid (static)
+baseline, per platform, across prefill lengths {8, 16, 32, 64, 128}.
+
+Paper geomeans: Jetson 2.89x, MacBook 2.19x, IdeaPad 1.55x, iPhone 2.36x;
+the speedup shrinks with prefill length, faster on platforms with a low
+roofline ridge point (MacBook, iPhone).
+"""
+
+import pytest
+
+from repro.engine.metrics import geomean
+from repro.engine.runner import ttft_speedup_sweep
+
+from report import ascii_chart, emit, format_table
+
+PAPER_GEOMEANS = {
+    "jetson-agx-orin": 2.89,
+    "macbook-pro-m3-max": 2.19,
+    "ideapad-slim-5": 1.55,
+    "iphone-15-pro": 2.36,
+}
+PREFILL_LENGTHS = (8, 16, 32, 64, 128)
+
+
+def test_fig13_ttft_speedup(benchmark, engines):
+    def run():
+        return {
+            name: ttft_speedup_sweep(engine, PREFILL_LENGTHS)
+            for name, engine in engines.items()
+        }
+
+    results = benchmark(run)
+    rows = []
+    for name, points in results.items():
+        gm = geomean([p.ttft_speedup for p in points])
+        rows.append(
+            [name]
+            + [f"{p.ttft_speedup:.2f}x" for p in points]
+            + [f"{gm:.2f}x", f"{PAPER_GEOMEANS[name]:.2f}x"]
+        )
+    text = format_table(
+        ["platform", *(f"P{p}" for p in PREFILL_LENGTHS), "geomean", "paper"],
+        rows,
+    )
+    text += "\n\n" + ascii_chart(
+        {
+            name.split("-")[0]: [p.ttft_speedup for p in points]
+            for name, points in results.items()
+        },
+        [f"P{p}" for p in PREFILL_LENGTHS],
+        y_label="TTFT speedup over hybrid-static (x)",
+    )
+    emit("fig13_ttft_speedup", text)
+
+    for name, points in results.items():
+        gm = geomean([p.ttft_speedup for p in points])
+        assert PAPER_GEOMEANS[name] * 0.65 < gm < PAPER_GEOMEANS[name] * 1.35
+        speedups = [p.ttft_speedup for p in points]
+        assert speedups[0] >= speedups[-1]  # diminishing with prefill

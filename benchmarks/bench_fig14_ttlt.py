@@ -1,0 +1,56 @@
+"""Fig. 14 — TTLT speedup of FACIL over the hybrid-static baseline across
+prefill:decode combinations.
+
+Paper: the gain amortizes with decode length but remains ~10 % at decode
+lengths up to 64.
+"""
+
+from repro.engine.runner import ttlt_speedup_grid
+
+from report import ascii_chart, emit, format_table
+
+PREFILLS = (16, 32, 64, 128)
+DECODES = (16, 32, 64, 128, 256)
+
+
+def test_fig14_ttlt_speedup(benchmark, engines):
+    def run():
+        return {
+            name: ttlt_speedup_grid(engine, PREFILLS, DECODES)
+            for name, engine in engines.items()
+        }
+
+    results = benchmark(run)
+    sections = []
+    for name, grid in results.items():
+        by_prefill = {}
+        for point in grid:
+            by_prefill.setdefault(point.prefill, []).append(point)
+        rows = [
+            [f"P{prefill}"] + [f"{p.ttlt_speedup:.3f}x" for p in points]
+            for prefill, points in sorted(by_prefill.items())
+        ]
+        sections.append(
+            f"[{name}]\n"
+            + format_table(["", *(f"D{d}" for d in DECODES)], rows)
+        )
+    text = "\n\n".join(sections)
+    text += "\n\n" + ascii_chart(
+        {
+            name.split("-")[0]: [
+                p.ttlt_speedup for p in grid if p.prefill == 64
+            ]
+            for name, grid in results.items()
+        },
+        [f"D{d}" for d in DECODES],
+        y_label="TTLT speedup at prefill 64 (x)",
+    )
+    text += "\npaper: ~10% improvement still present at decode length 64"
+    emit("fig14_ttlt_speedup", text)
+
+    for name, grid in results.items():
+        at_64_64 = next(p for p in grid if p.prefill == 64 and p.decode == 64)
+        assert 1.03 < at_64_64.ttlt_speedup < 1.35
+        # amortization: fixing prefill, the speedup decays with decode
+        series = [p.ttlt_speedup for p in grid if p.prefill == 64]
+        assert series[0] > series[-1] > 1.0

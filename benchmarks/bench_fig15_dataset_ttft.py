@@ -1,0 +1,58 @@
+"""Fig. 15 — normalized TTFT speedup on real-world-like datasets
+(conversation / code autocompletion traces), per platform, with all four
+policies: SoC-only, hybrid-static, hybrid-dynamic, FACIL (with dynamic
+offload).
+
+Paper: geomean TTFT speedup over the static baseline of 2.37x (Alpaca)
+and 2.63x (code autocompletion); FACIL also beats the optimized dynamic
+baseline by a large margin and slightly beats SoC-only TTFT.
+"""
+
+import pytest
+
+from repro.engine.metrics import geomean
+from repro.engine.runner import dataset_eval
+from repro.llm.datasets import ALPACA_LIKE, HUMANEVAL_AUTOCOMPLETE_LIKE
+
+from report import emit, format_table
+
+PAPER_GEOMEAN = {"alpaca-like": 2.37, "humaneval-autocomplete-like": 2.63}
+N_QUERIES = 100
+
+
+@pytest.mark.parametrize("dataset", [ALPACA_LIKE, HUMANEVAL_AUTOCOMPLETE_LIKE],
+                         ids=lambda d: d.name)
+def test_fig15_dataset_ttft(benchmark, engines, dataset):
+    def run():
+        return {
+            name: dataset_eval(engine, dataset, n_queries=N_QUERIES)
+            for name, engine in engines.items()
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = []
+    for name, result in results.items():
+        rows.append(
+            (
+                name,
+                f"{result.ttft_speedup_over('soc-only'):.2f}x",
+                f"{result.ttft_speedup_over('hybrid-static'):.2f}x",
+                f"{result.ttft_speedup_over('hybrid-dynamic'):.2f}x",
+            )
+        )
+    gm = geomean(
+        [r.ttft_speedup_over("hybrid-static") for r in results.values()]
+    )
+    text = format_table(
+        ["platform", "vs soc-only", "vs hybrid-static", "vs hybrid-dynamic"], rows
+    )
+    text += (
+        f"\ngeomean vs hybrid-static: {gm:.2f}x"
+        f"   (paper: {PAPER_GEOMEAN[dataset.name]:.2f}x)"
+    )
+    emit(f"fig15_dataset_ttft_{dataset.name}", text)
+
+    assert PAPER_GEOMEAN[dataset.name] * 0.6 < gm < PAPER_GEOMEAN[dataset.name] * 1.4
+    for result in results.values():
+        assert result.ttft_speedup_over("hybrid-dynamic") > 1.1
+        assert result.ttft_speedup_over("soc-only") > 0.85

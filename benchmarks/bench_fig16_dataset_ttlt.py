@@ -1,0 +1,55 @@
+"""Fig. 16 — normalized TTLT speedup on the dataset traces.
+
+Paper: ~1.20x TTLT over the static baseline on both datasets, and
+3.55x / 3.58x over SoC-only inference (which collapses during the
+memory-bound decode phase).
+"""
+
+import pytest
+
+from repro.engine.metrics import geomean
+from repro.engine.runner import dataset_eval
+from repro.llm.datasets import ALPACA_LIKE, HUMANEVAL_AUTOCOMPLETE_LIKE
+
+from report import emit, format_table
+
+PAPER_VS_SOC = {"alpaca-like": 3.55, "humaneval-autocomplete-like": 3.58}
+N_QUERIES = 100
+
+
+@pytest.mark.parametrize("dataset", [ALPACA_LIKE, HUMANEVAL_AUTOCOMPLETE_LIKE],
+                         ids=lambda d: d.name)
+def test_fig16_dataset_ttlt(benchmark, engines, dataset):
+    def run():
+        return {
+            name: dataset_eval(engine, dataset, n_queries=N_QUERIES)
+            for name, engine in engines.items()
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = []
+    for name, result in results.items():
+        rows.append(
+            (
+                name,
+                f"{result.ttlt_speedup_over('soc-only'):.2f}x",
+                f"{result.ttlt_speedup_over('hybrid-static'):.2f}x",
+                f"{result.ttlt_speedup_over('hybrid-dynamic'):.2f}x",
+            )
+        )
+    gm_static = geomean(
+        [r.ttlt_speedup_over("hybrid-static") for r in results.values()]
+    )
+    gm_soc = geomean([r.ttlt_speedup_over("soc-only") for r in results.values()])
+    text = format_table(
+        ["platform", "vs soc-only", "vs hybrid-static", "vs hybrid-dynamic"], rows
+    )
+    text += (
+        f"\ngeomean vs static: {gm_static:.2f}x (paper ~1.20x)"
+        f"\ngeomean vs soc-only: {gm_soc:.2f}x"
+        f" (paper {PAPER_VS_SOC[dataset.name]:.2f}x)"
+    )
+    emit(f"fig16_dataset_ttlt_{dataset.name}", text)
+
+    assert 1.02 < gm_static < 1.8
+    assert gm_soc > 2.0

@@ -1,0 +1,82 @@
+"""§IV-B / §V-B — the mapping design space and its hardware cost.
+
+* max(MapID) per platform and the paper's worst case (13, for a single
+  channel/rank 8-bank LPDDR5 system with 2 MB pages);
+* the mux-array realization: fan-in per DRAM address bit when every
+  usable AiM MapID is registered (the "simple combinational logic"
+  claim of Fig. 12);
+* translation throughput of the software model (microbenchmark).
+"""
+
+import numpy as np
+
+from repro.core.controller import MemoryController
+from repro.core.hardware import mux_gate_estimate
+from repro.core.mapping import max_map_id, pim_optimized_mapping
+from repro.dram.config import DramOrganization
+from repro.platforms.specs import ALL_PLATFORMS
+
+from report import emit, format_table
+
+
+def test_map_id_space(benchmark):
+    worst = DramOrganization(
+        n_channels=1, ranks_per_channel=1, banks_per_rank=8,
+        rows_per_bank=1 << 16, row_bytes=2048, transfer_bytes=32,
+    )
+
+    def run():
+        rows = [
+            (p.name, p.dram.org.total_banks, max_map_id(p.dram.org, 2 << 20))
+            for p in ALL_PLATFORMS
+        ]
+        rows.append(("worst-case 1ch/1rk/8bk", 8, max_map_id(worst, 2 << 20)))
+        return rows
+
+    rows = benchmark(run)
+    text = format_table(["system", "total banks", "max MapID"], rows)
+    text += "\npaper: worst-case max MapID is 13 -> 4 PTE bits always suffice"
+    emit("mapping_space", text)
+    assert rows[-1][2] == 13
+    assert all(r[2] <= 13 for r in rows)
+
+
+def test_mux_array_cost(benchmark):
+    platform = ALL_PLATFORMS[0]
+    org = platform.dram.org
+
+    def build():
+        controller = MemoryController(org)
+        ceiling = 21 - org.offset_bits - org.interleave_bits() - org.col_bits
+        for map_id in range(ceiling + 1):
+            controller.table.register(
+                pim_optimized_mapping(org, 1, 1024, 2, map_id, 21)
+            )
+        return controller
+
+    controller = benchmark(build)
+    muxes = controller.mux_array()
+    fan_ins = [m.fan_in for m in muxes]
+    rows = [
+        ("DRAM address bits (muxes)", len(muxes)),
+        ("registered mappings", len(controller.table)),
+        ("max mux fan-in", max(fan_ins)),
+        ("pass-through bits (fan-in 1)", sum(1 for f in fan_ins if f == 1)),
+        ("estimated gate count", mux_gate_estimate(controller)),
+    ]
+    text = format_table(["metric", "value"], rows)
+    text += "\npaper: an array of N-to-1 muxes, no memory elements (Fig. 12)"
+    emit("mux_array_cost", text)
+    assert max(fan_ins) <= len(controller.table)
+
+
+def test_translation_throughput(benchmark):
+    """Software-model microbenchmark: vectorised PA-to-DA translation."""
+    platform = ALL_PLATFORMS[0]
+    controller = MemoryController(platform.dram.org)
+    map_id = controller.table.register(
+        pim_optimized_mapping(platform.dram.org, 1, 1024, 2, 1, 21)
+    )
+    pas = np.arange(0, 1 << 20, 32, dtype=np.int64)
+    result = benchmark(controller.translate_array, pas, map_id)
+    assert len(result["channel"]) == len(pas)

@@ -1,0 +1,66 @@
+"""Table I — weight load time with huge pages under memory utilization
+and fragmentation (Llama3-8B, 16.2 GB).
+
+Rows: FMFI bands {0.0-0.1, 0.4-0.5, 0.7-0.8}; columns: free memory
+relative to model size {2.5x, 2.0x, 1.5x, 1.1x}.  Cells report load time
+and (normalized-to-baseline) factor; paper baselines: 1.16x-1.20x flat at
+low FMFI up to 1.90x in the worst corner.
+"""
+
+import pytest
+
+from repro.os.loadsim import simulate_weight_load
+
+from report import emit, format_table
+
+MODEL_BYTES = int(16.2e9)
+FMFI_BANDS = ((0.05, "0.0-0.1"), (0.45, "0.4-0.5"), (0.75, "0.7-0.8"))
+FREE_RATIOS = (2.5, 2.0, 1.5, 1.1)
+PAPER = {
+    "0.0-0.1": (1.17, 1.16, 1.16, 1.20),
+    "0.4-0.5": (1.16, 1.16, 1.29, 1.41),
+    "0.7-0.8": (1.65, 1.72, 1.79, 1.90),
+}
+SIM_MODEL = 32 << 20
+
+
+def _sweep():
+    table = {}
+    for fmfi, label in FMFI_BANDS:
+        table[label] = [
+            simulate_weight_load(
+                MODEL_BYTES, ratio, fmfi, sim_model_bytes=SIM_MODEL
+            )
+            for ratio in FREE_RATIOS
+        ]
+    return table
+
+
+def test_table1_hugepage_load(benchmark):
+    table = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    rows = []
+    for fmfi, label in FMFI_BANDS:
+        cells = [
+            f"{o.seconds:.2f}s ({o.normalized:.2f}x)" for o in table[label]
+        ]
+        rows.append([f"FMFI {label}"] + cells)
+        rows.append(
+            ["  paper"]
+            + [f"         ({p:.2f}x)" for p in PAPER[label]]
+        )
+    text = format_table(
+        ["", *(f"free {r}x" for r in FREE_RATIOS)], rows
+    )
+    baseline = simulate_weight_load(MODEL_BYTES, 2.5, 0.05, use_huge_pages=False)
+    text += f"\n4KB-page baseline: {baseline.seconds:.2f}s (paper ~8.8s implied)"
+    emit("table1_hugepage_load", text)
+
+    # shape assertions
+    low = table["0.0-0.1"]
+    worst = table["0.7-0.8"][-1]
+    assert all(1.05 < o.normalized < 1.35 for o in low)
+    assert 1.5 < worst.normalized < 2.4
+    # monotone along both axes
+    for label in ("0.4-0.5", "0.7-0.8"):
+        norms = [o.normalized for o in table[label]]
+        assert norms == sorted(norms)

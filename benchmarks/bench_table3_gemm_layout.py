@@ -1,0 +1,88 @@
+"""Table III — GEMM slowdown when weights sit in the PIM-optimized layout,
+per platform, per layer shape, per prefill length.
+
+The paper measures 0-2.1 % with GPGPU-Sim/ONNXim (cache hierarchies in
+front of DRAM).  Our cache-less DRAM-level replay reproduces the
+*mechanism* and the ordering (partitioned FFN layouts are the worst case)
+but overestimates the magnitude; see EXPERIMENTS.md.  The inference
+engine therefore uses the paper's conservative constants, exactly as the
+paper does.
+"""
+
+import pytest
+
+from repro.core.selector import MatrixConfig
+from repro.llm.layers import linear_specs
+from repro.llm.model_config import model_by_name
+from repro.soc.layout_effects import gemm_layout_slowdown
+
+from report import emit, format_table
+
+PREFILL_LENGTHS = (4, 16, 64)
+SAMPLE = 16384
+
+
+def _distinct_shapes(model):
+    seen = {}
+    for spec in linear_specs(model, include_head=False):
+        seen.setdefault((spec.out_features, spec.in_features), spec.name)
+    return [(name, m, k) for (m, k), name in seen.items()]
+
+
+def _slowdown_at(soc, matrix, prefill, read_slowdown):
+    """Roofline re-weighting: the read-bandwidth delta is prefill-
+    independent; the end-to-end slowdown follows memory-boundedness."""
+    flops = 2.0 * matrix.rows * prefill * matrix.cols
+    bytes_moved = matrix.dtype_bytes * (
+        matrix.rows * matrix.cols + matrix.cols * prefill + matrix.rows * prefill
+    )
+    compute_ns = flops / (soc.peak_tflops_fp16 * 1e3 * soc.compute_efficiency)
+    memory_ns = bytes_moved / (soc.peak_bw_gbps * soc.bw_utilization)
+    base = max(compute_ns, memory_ns)
+    slow = max(compute_ns, memory_ns * (1.0 + read_slowdown))
+    return (slow - base) / base
+
+
+@pytest.mark.parametrize("platform_name", ["jetson-agx-orin", "ideapad-slim-5"])
+def test_table3_gemm_layout_slowdown(benchmark, platforms, platform_name):
+    platform = platforms[platform_name]
+    model = model_by_name(platform.model_name)
+    shapes = _distinct_shapes(model)
+
+    def run():
+        rows = []
+        for name, m, k in shapes:
+            matrix = MatrixConfig(m, k)
+            effect = gemm_layout_slowdown(
+                matrix, platform.dram, platform.pim, platform.soc,
+                PREFILL_LENGTHS[0], sample_transfers=SAMPLE,
+            )
+            for prefill in PREFILL_LENGTHS:
+                slow = _slowdown_at(
+                    platform.soc, matrix, prefill, effect.read_slowdown
+                )
+                rows.append(
+                    (name, f"{m}x{k}", prefill,
+                     f"{effect.conv_read_gbps:.0f}",
+                     f"{effect.pim_read_gbps:.0f}",
+                     f"{slow*100:.2f}%")
+                )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = format_table(
+        ["op", "dims", "prefill", "conv read GB/s", "pim read GB/s", "slowdown"],
+        rows,
+    )
+    text += (
+        f"\npaper Table III worst case on {platform_name}: "
+        f"{platform.gemm_layout_slowdown*100:.1f}% (engine uses that constant; "
+        "our cache-less replay overestimates, see EXPERIMENTS.md)"
+    )
+    emit(f"table3_gemm_layout_{platform_name}", text)
+
+    slowdowns = [float(r[5][:-1]) for r in rows]
+    assert all(s >= 0 for s in slowdowns)
+    # the PIM layout must remain *usable* by GEMM — nothing like the
+    # multi-x cost that motivates re-layout in the baseline
+    assert min(slowdowns) < 150.0

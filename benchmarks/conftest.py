@@ -1,0 +1,22 @@
+"""Shared fixtures for the benchmark harness."""
+
+import sys
+import os
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+import pytest
+
+from repro.engine.policies import InferenceEngine
+from repro.platforms.specs import ALL_PLATFORMS
+
+
+@pytest.fixture(scope="session")
+def engines():
+    """One calibrated inference engine per evaluated platform."""
+    return {platform.name: InferenceEngine(platform) for platform in ALL_PLATFORMS}
+
+
+@pytest.fixture(scope="session")
+def platforms():
+    return {platform.name: platform for platform in ALL_PLATFORMS}

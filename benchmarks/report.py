@@ -1,0 +1,84 @@
+"""Reporting helper for the benchmark harness.
+
+Every bench regenerates one of the paper's tables/figures and emits the
+rows through :func:`emit`: the text is printed (visible with ``pytest -s``
+or in captured output on failure) and written to
+``benchmarks/results/<name>.txt`` so the regenerated experiment artifacts
+persist across runs.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, List, Sequence
+
+_RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+__all__ = ["emit", "format_table", "ascii_chart"]
+
+
+def emit(name: str, text: str) -> str:
+    """Print *text* and persist it under ``benchmarks/results``."""
+    os.makedirs(_RESULTS_DIR, exist_ok=True)
+    path = os.path.join(_RESULTS_DIR, f"{name}.txt")
+    with open(path, "w") as handle:
+        handle.write(text.rstrip() + "\n")
+    print(f"\n=== {name} ===\n{text}")
+    return path
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Fixed-width text table."""
+    rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def ascii_chart(
+    series: dict,
+    x_labels: Sequence[object],
+    height: int = 12,
+    y_label: str = "",
+) -> str:
+    """Plot one or more named series as an ASCII line chart.
+
+    ``series`` maps a name to a list of y values (same length as
+    *x_labels*).  Each series draws with its own marker character.
+    """
+    markers = "ox*+#@%&"
+    all_values = [v for values in series.values() for v in values]
+    lo, hi = min(all_values), max(all_values)
+    if hi == lo:
+        hi = lo + 1.0
+    n_cols = len(x_labels)
+    col_width = max(6, max(len(str(x)) for x in x_labels) + 2)
+    grid = [[" "] * (n_cols * col_width) for _ in range(height)]
+    for (name, values), marker in zip(series.items(), markers):
+        for i, value in enumerate(values):
+            row = height - 1 - int((value - lo) / (hi - lo) * (height - 1))
+            col = i * col_width + col_width // 2
+            grid[row][col] = marker
+    lines = []
+    for r, row in enumerate(grid):
+        y_value = hi - (hi - lo) * r / (height - 1)
+        lines.append(f"{y_value:8.2f} |" + "".join(row))
+    lines.append(" " * 9 + "+" + "-" * (n_cols * col_width))
+    lines.append(
+        " " * 10
+        + "".join(str(x).center(col_width) for x in x_labels)
+    )
+    legend = "   ".join(
+        f"{marker}={name}" for (name, _), marker in zip(series.items(), markers)
+    )
+    lines.append(" " * 10 + legend)
+    if y_label:
+        lines.insert(0, f"          [{y_label}]")
+    return "\n".join(lines)

@@ -1,0 +1,62 @@
+"""Scenario: code autocompletion on a laptop NPU (IdeaPad, OPT-6.7B).
+
+Autocomplete fires on every typing pause: prefill lengths are small, the
+completion is a line or two, and the latency budget is brutal — the
+suggestion must land before the programmer types the next character.
+This script replays a RealHumanEval-style trace and also shows the
+dynamic SoC/PIM prefill offload decision FACIL applies per request.
+
+Run with::
+
+    python examples/code_autocomplete.py
+"""
+
+from repro.engine.policies import InferenceEngine
+from repro.engine.runner import dataset_eval
+from repro.llm.datasets import HUMANEVAL_AUTOCOMPLETE_LIKE
+from repro.platforms.specs import IDEAPAD, IPHONE_15_PRO
+
+
+def main() -> None:
+    for platform in (IDEAPAD, IPHONE_15_PRO):
+        engine = InferenceEngine(platform)
+        print(f"=== {platform.name} ({engine.model.name}) ===")
+
+        # -- the per-request offload decision ---------------------------
+        hybrid_threshold = engine.prefill_crossover()
+        facil_threshold = engine.facil_crossover()
+        print(f"profiled prefill crossover (SoC beats PIM at):")
+        print(f"  hybrid baseline: >= {hybrid_threshold} tokens "
+              "(SoC path pays full re-layout)")
+        print(f"  FACIL          : >= {facil_threshold} tokens "
+              "(SoC path is re-layout-free)")
+
+        # -- latency vs context size ------------------------------------
+        print(f"\n  {'prefill':>8s} {'static TTFT':>12s} {'FACIL TTFT':>11s} "
+              f"{'speedup':>8s}  FACIL prefill ran on")
+        for prefill in (4, 16, 64, 256):
+            static = engine.run_query("hybrid-static", prefill, 8)
+            facil = engine.run_query("facil", prefill, 8)
+            where = "PIM" if "prefill_pim" in facil.breakdown else "SoC"
+            print(
+                f"  {prefill:>8d} {static.ttft_ms:>10.1f}ms "
+                f"{facil.ttft_ms:>9.1f}ms "
+                f"{static.ttft_ns/facil.ttft_ns:>7.2f}x  {where}"
+            )
+
+        # -- full autocomplete trace ------------------------------------
+        result = dataset_eval(engine, HUMANEVAL_AUTOCOMPLETE_LIKE, n_queries=80)
+        print(
+            f"\n  80-request autocomplete trace: FACIL gives "
+            f"{result.ttft_speedup_over('hybrid-static'):.2f}x TTFT and "
+            f"{result.ttlt_speedup_over('hybrid-static'):.2f}x TTLT over the "
+            "static baseline"
+        )
+        print(
+            f"  (and {result.ttft_speedup_over('hybrid-dynamic'):.2f}x TTFT "
+            "over the optimized dynamic baseline)\n"
+        )
+
+
+if __name__ == "__main__":
+    main()

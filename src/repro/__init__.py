@@ -1,0 +1,13 @@
+"""FACIL reproduction: flexible DRAM address mapping for SoC-PIM
+cooperative on-device LLM inference (HPCA 2025).
+
+Public API highlights:
+
+* :class:`repro.core.pimalloc.PimSystem` — one-line setup of DRAM +
+  controller + OS + allocator.
+* :func:`repro.core.selector.select_mapping` — the FACIL mapping selector.
+* :mod:`repro.pim` — AiM-style near-bank PIM (functional + timing).
+* :mod:`repro.engine` — SoC-only / hybrid / FACIL inference policies.
+"""
+
+__version__ = "1.0.0"

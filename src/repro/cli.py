@@ -1,0 +1,180 @@
+"""Command-line interface for the FACIL reproduction.
+
+Subcommands::
+
+    repro-facil platforms                         # Table II catalog
+    repro-facil mapping  --rows 4096 --cols 4096  # selector decision
+    repro-facil query    --policy facil --prefill 24 --decode 64
+    repro-facil sweep                             # Fig. 13 TTFT series
+    repro-facil dataset  --dataset alpaca-like    # Figs. 15/16 trace
+
+All commands take ``--platform`` (default ``jetson-agx-orin``).  Install
+exposes the ``repro-facil`` script; the module also runs directly as
+``python -m repro.cli``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.selector import MatrixConfig, build_selected_mapping, select_mapping
+from repro.engine.metrics import geomean
+from repro.engine.policies import POLICIES, InferenceEngine
+from repro.engine.runner import dataset_eval, ttft_speedup_sweep
+from repro.llm.datasets import ALPACA_LIKE, HUMANEVAL_AUTOCOMPLETE_LIKE
+from repro.llm.model_config import model_by_name
+from repro.platforms.specs import ALL_PLATFORMS, PlatformSpec
+
+_DATASETS = {
+    ALPACA_LIKE.name: ALPACA_LIKE,
+    HUMANEVAL_AUTOCOMPLETE_LIKE.name: HUMANEVAL_AUTOCOMPLETE_LIKE,
+}
+
+
+def _platform_by_name(name: str) -> PlatformSpec:
+    for platform in ALL_PLATFORMS:
+        if platform.name == name:
+            return platform
+    known = ", ".join(p.name for p in ALL_PLATFORMS)
+    raise SystemExit(f"unknown platform {name!r}; known: {known}")
+
+
+def _cmd_platforms(args: argparse.Namespace) -> None:
+    print(f"{'platform':22s} {'processor':28s} {'TFLOPS':>7s} {'BW GB/s':>8s} "
+          f"{'mem':>6s}  model")
+    for p in ALL_PLATFORMS:
+        org = p.dram.org
+        print(
+            f"{p.name:22s} {p.soc.name:28s} {p.soc.peak_tflops_fp16:>7.1f} "
+            f"{p.peak_bw_gbps:>8.1f} {org.capacity_bytes >> 30:>4d}GB  "
+            f"{p.model_name}"
+        )
+
+
+def _cmd_mapping(args: argparse.Namespace) -> None:
+    platform = _platform_by_name(args.platform)
+    matrix = MatrixConfig(rows=args.rows, cols=args.cols, dtype_bytes=args.dtype_bytes)
+    selection = select_mapping(matrix, platform.dram.org, platform.pim)
+    mapping = build_selected_mapping(matrix, platform.dram.org, platform.pim)
+    print(f"matrix          : {matrix.rows} x {matrix.cols} "
+          f"({matrix.dtype_bytes} B elements)")
+    print(f"platform        : {platform.name} "
+          f"({platform.dram.org.total_banks} PIM PUs)")
+    print(f"selected MapID  : {selection.map_id}")
+    print(f"partitioned     : {selection.needs_partition} "
+          f"({selection.partitions_per_row} PUs per row)")
+    print(f"leading dim     : {selection.padded_row_bytes // matrix.dtype_bytes} "
+          "elements")
+    print(f"bit layout      : {mapping.describe()}  (MSB..LSB)")
+
+
+def _cmd_query(args: argparse.Namespace) -> None:
+    platform = _platform_by_name(args.platform)
+    engine = InferenceEngine(platform)
+    print(f"{platform.name} / {engine.model.name}, prefill={args.prefill}, "
+          f"decode={args.decode}\n")
+    policies = [args.policy] if args.policy else list(POLICIES)
+    print(f"{'policy':16s} {'TTFT':>10s} {'TTLT':>10s}  breakdown")
+    for policy in policies:
+        q = engine.run_query(policy, args.prefill, args.decode)
+        parts = ", ".join(
+            f"{k}={v / 1e6:.1f}ms" for k, v in q.breakdown.items()
+        )
+        print(f"{policy:16s} {q.ttft_ms:>8.1f}ms {q.ttlt_ms:>8.1f}ms  {parts}")
+
+
+def _cmd_sweep(args: argparse.Namespace) -> None:
+    platform = _platform_by_name(args.platform)
+    engine = InferenceEngine(platform)
+    lengths = tuple(args.prefill_lengths)
+    points = ttft_speedup_sweep(engine, lengths, decode_len=args.decode)
+    print(f"TTFT speedup of FACIL over hybrid-static on {platform.name}:")
+    for point in points:
+        print(f"  prefill {point.prefill:>4d}: {point.ttft_speedup:.2f}x "
+              f"(facil {point.facil.ttft_ms:.1f}ms, "
+              f"baseline {point.baseline.ttft_ms:.1f}ms)")
+    print(f"  geomean: {geomean([p.ttft_speedup for p in points]):.2f}x")
+
+
+def _cmd_dataset(args: argparse.Namespace) -> None:
+    platform = _platform_by_name(args.platform)
+    engine = InferenceEngine(platform)
+    spec = _DATASETS.get(args.dataset)
+    if spec is None:
+        raise SystemExit(
+            f"unknown dataset {args.dataset!r}; known: {sorted(_DATASETS)}"
+        )
+    result = dataset_eval(engine, spec, n_queries=args.queries, seed=args.seed)
+    print(f"{spec.name} x {result.n_queries} queries on {platform.name}:")
+    print(f"{'policy':16s} {'mean TTFT':>10s} {'mean TTLT':>10s}")
+    for policy in POLICIES:
+        print(f"{policy:16s} {result.mean_ttft_ns(policy)/1e6:>8.1f}ms "
+              f"{result.mean_ttlt_ns(policy)/1e6:>8.1f}ms")
+    print(
+        f"\nFACIL vs hybrid-static : "
+        f"{result.ttft_speedup_over('hybrid-static'):.2f}x TTFT, "
+        f"{result.ttlt_speedup_over('hybrid-static'):.2f}x TTLT"
+    )
+    print(
+        f"FACIL vs hybrid-dynamic: "
+        f"{result.ttft_speedup_over('hybrid-dynamic'):.2f}x TTFT"
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-facil",
+        description="FACIL (HPCA 2025) reproduction: SoC-PIM cooperative "
+        "on-device LLM inference with flexible DRAM address mapping.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("platforms", help="list the Table II platform catalog")
+
+    mapping = sub.add_parser("mapping", help="show the selector's decision")
+    mapping.add_argument("--rows", type=int, required=True)
+    mapping.add_argument("--cols", type=int, required=True)
+    mapping.add_argument("--dtype-bytes", type=int, default=2)
+
+    query = sub.add_parser("query", help="price one query under the policies")
+    query.add_argument("--prefill", type=int, default=24)
+    query.add_argument("--decode", type=int, default=64)
+    query.add_argument("--policy", choices=POLICIES, default=None)
+
+    sweep = sub.add_parser("sweep", help="Fig. 13 TTFT speedup series")
+    sweep.add_argument(
+        "--prefill-lengths", type=int, nargs="+", default=[8, 16, 32, 64, 128]
+    )
+    sweep.add_argument("--decode", type=int, default=64)
+
+    dataset = sub.add_parser("dataset", help="Figs. 15/16 dataset trace")
+    dataset.add_argument(
+        "--dataset", default=ALPACA_LIKE.name, help=f"one of {sorted(_DATASETS)}"
+    )
+    dataset.add_argument("--queries", type=int, default=100)
+    dataset.add_argument("--seed", type=int, default=0)
+
+    for sub_parser in (mapping, query, sweep, dataset):
+        sub_parser.add_argument("--platform", default="jetson-agx-orin")
+    return parser
+
+
+_COMMANDS = {
+    "platforms": _cmd_platforms,
+    "mapping": _cmd_mapping,
+    "query": _cmd_query,
+    "sweep": _cmd_sweep,
+    "dataset": _cmd_dataset,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    _COMMANDS[args.command](args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,73 @@
+"""FACIL core: flexible DRAM address mapping (the paper's contribution).
+
+Attributes load lazily (PEP 562): :mod:`repro.core.bitfield` is imported
+by the DRAM substrate, which the rest of this package depends on, so an
+eager package init would cycle.
+"""
+
+__all__ = [
+    "AddressMapping",
+    "CONVENTIONAL_MAP_ID",
+    "CONVENTIONAL_SPEC",
+    "Field",
+    "MappingSelection",
+    "MappingTable",
+    "MatrixConfig",
+    "MemoryController",
+    "MuxSpec",
+    "PimAllocator",
+    "PimSystem",
+    "PimTensor",
+    "RelayoutCost",
+    "build_selected_mapping",
+    "conventional_mapping",
+    "max_map_id",
+    "pim_optimized_mapping",
+    "pu_order_for",
+    "relayout_cost_ns",
+    "relayout_functional",
+    "select_mapping",
+    "MappingCandidate",
+    "enumerate_candidates",
+    "optimize_mapping",
+    "emit_verilog",
+    "mux_gate_estimate",
+]
+
+_LAZY = {
+    "CONVENTIONAL_MAP_ID": "repro.core.controller",
+    "MappingTable": "repro.core.controller",
+    "MemoryController": "repro.core.controller",
+    "MuxSpec": "repro.core.controller",
+    "AddressMapping": "repro.core.mapping",
+    "CONVENTIONAL_SPEC": "repro.core.mapping",
+    "Field": "repro.core.mapping",
+    "conventional_mapping": "repro.core.mapping",
+    "max_map_id": "repro.core.mapping",
+    "pim_optimized_mapping": "repro.core.mapping",
+    "PimAllocator": "repro.core.pimalloc",
+    "PimSystem": "repro.core.pimalloc",
+    "PimTensor": "repro.core.pimalloc",
+    "RelayoutCost": "repro.core.relayout",
+    "relayout_cost_ns": "repro.core.relayout",
+    "relayout_functional": "repro.core.relayout",
+    "MappingSelection": "repro.core.selector",
+    "MatrixConfig": "repro.core.selector",
+    "build_selected_mapping": "repro.core.selector",
+    "pu_order_for": "repro.core.selector",
+    "select_mapping": "repro.core.selector",
+    "MappingCandidate": "repro.core.optimizer",
+    "enumerate_candidates": "repro.core.optimizer",
+    "optimize_mapping": "repro.core.optimizer",
+    "emit_verilog": "repro.core.hardware",
+    "mux_gate_estimate": "repro.core.hardware",
+}
+
+
+def __getattr__(name):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)

@@ -1,0 +1,108 @@
+"""Bit-level utilities for address manipulation.
+
+Every DRAM address mapping in this library is expressed as a *bit
+permutation*: each bit of a physical address feeds exactly one bit of one
+DRAM coordinate field (channel, rank, bank, row, column, offset).  This
+module provides the primitives for gathering and scattering bits according
+to such permutations, plus small helpers shared across the code base.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "is_pow2",
+    "ilog2",
+    "ceil_log2",
+    "ceil_div",
+    "bit",
+    "bits_of",
+    "extract_bits",
+    "deposit_bits",
+    "extract_bits_array",
+    "deposit_bits_array",
+]
+
+
+def is_pow2(value: int) -> bool:
+    """Return True iff *value* is a positive power of two."""
+    return value > 0 and (value & (value - 1)) == 0
+
+
+def ilog2(value: int) -> int:
+    """Exact integer log2 of a power of two.
+
+    Raises:
+        ValueError: if *value* is not a positive power of two.
+    """
+    if not is_pow2(value):
+        raise ValueError(f"{value} is not a positive power of two")
+    return value.bit_length() - 1
+
+
+def ceil_log2(value: int) -> int:
+    """Smallest ``k`` such that ``2**k >= value`` (for positive *value*)."""
+    if value <= 0:
+        raise ValueError(f"ceil_log2 requires a positive value, got {value}")
+    return (value - 1).bit_length()
+
+
+def ceil_div(numerator: int, denominator: int) -> int:
+    """Integer ceiling division."""
+    if denominator <= 0:
+        raise ValueError(f"denominator must be positive, got {denominator}")
+    return -(-numerator // denominator)
+
+
+def bit(value: int, position: int) -> int:
+    """Return bit *position* (0 = LSB) of *value* as 0 or 1."""
+    return (value >> position) & 1
+
+
+def bits_of(value: int, width: int) -> Tuple[int, ...]:
+    """Return the *width* least-significant bits of *value*, LSB first."""
+    return tuple((value >> i) & 1 for i in range(width))
+
+
+def extract_bits(value: int, positions: Sequence[int]) -> int:
+    """Gather the bits of *value* at *positions* into a packed integer.
+
+    ``positions[0]`` supplies the LSB of the result, ``positions[1]`` the
+    next bit, and so on.  This is the software analogue of the mux array in
+    FACIL's memory-controller frontend (paper Fig. 12): each output bit
+    selects one input bit.
+    """
+    result = 0
+    for out_pos, in_pos in enumerate(positions):
+        result |= ((value >> in_pos) & 1) << out_pos
+    return result
+
+
+def deposit_bits(field_value: int, positions: Sequence[int]) -> int:
+    """Scatter the low bits of *field_value* to *positions* (inverse of
+    :func:`extract_bits`)."""
+    result = 0
+    for out_pos, in_pos in enumerate(positions):
+        result |= ((field_value >> out_pos) & 1) << in_pos
+    return result
+
+
+def extract_bits_array(values: np.ndarray, positions: Sequence[int]) -> np.ndarray:
+    """Vectorised :func:`extract_bits` over a numpy integer array."""
+    values = np.asarray(values, dtype=np.int64)
+    result = np.zeros_like(values)
+    for out_pos, in_pos in enumerate(positions):
+        result |= ((values >> np.int64(in_pos)) & np.int64(1)) << np.int64(out_pos)
+    return result
+
+
+def deposit_bits_array(values: np.ndarray, positions: Sequence[int]) -> np.ndarray:
+    """Vectorised :func:`deposit_bits` over a numpy integer array."""
+    values = np.asarray(values, dtype=np.int64)
+    result = np.zeros_like(values)
+    for out_pos, in_pos in enumerate(positions):
+        result |= ((values >> np.int64(out_pos)) & np.int64(1)) << np.int64(in_pos)
+    return result

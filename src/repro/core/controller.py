@@ -1,0 +1,264 @@
+"""FACIL's augmented memory-controller frontend (paper §V-B, Fig. 12).
+
+A conventional controller frontend applies one fixed PA-to-DA mapping.
+FACIL replaces it with a small *mapping table*: MapID 0 is the SoC's
+default mapping and each additional entry is one PIM-optimized mapping.
+Because every mapping is a bit permutation with identical field widths,
+the hardware realization is an array of N-to-1 multiplexers — one per DRAM
+address bit — selecting which physical-address bit feeds it.
+:meth:`MemoryController.mux_array` exposes exactly that view.
+
+The controller also owns the functional data path: reads and writes take a
+``(physical address, MapID)`` pair — as delivered by the page-table walk —
+and move bytes to/from the per-bank arrays of a :class:`PhysicalMemory`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.bitfield import ilog2
+from repro.core.mapping import (
+    AddressMapping,
+    CONVENTIONAL_SPEC,
+    Field,
+    conventional_mapping,
+)
+from repro.dram.address import DramCoord
+from repro.dram.config import DramOrganization
+from repro.dram.memory import PhysicalMemory
+
+__all__ = ["MappingTable", "MemoryController", "MuxSpec"]
+
+CONVENTIONAL_MAP_ID = 0
+
+#: Chunk size for vectorised byte moves, bounding temporary memory.
+_MOVE_CHUNK = 1 << 22
+
+
+@dataclass(frozen=True)
+class MuxSpec:
+    """Hardware view of one DRAM-address bit: which PA bit each MapID
+    selects (paper Fig. 12)."""
+
+    field: str
+    bit: int
+    source_by_map_id: Tuple[int, ...]
+
+    @property
+    def fan_in(self) -> int:
+        """Distinct PA sources — the N of this bit's N-to-1 mux."""
+        return len(set(self.source_by_map_id))
+
+
+class MappingTable:
+    """The controller's table of PA-to-DA mappings, indexed by MapID.
+
+    Entry 0 is always the conventional mapping.  Registering an equal
+    mapping twice returns the existing MapID, so the table stays as small
+    as the number of *distinct* mappings in use (the paper bounds this at
+    ``max(MapID)+1``, 14 in the LPDDR5 worst case).
+    """
+
+    def __init__(self, conventional: AddressMapping, max_entries: int = 16):
+        self._entries: List[AddressMapping] = [conventional]
+        self._max_entries = max_entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __getitem__(self, map_id: int) -> AddressMapping:
+        try:
+            return self._entries[map_id]
+        except IndexError:
+            raise KeyError(f"MapID {map_id} not registered") from None
+
+    @property
+    def conventional(self) -> AddressMapping:
+        return self._entries[CONVENTIONAL_MAP_ID]
+
+    def entries(self) -> Sequence[AddressMapping]:
+        return tuple(self._entries)
+
+    def register(self, mapping: AddressMapping) -> int:
+        """Add *mapping* (if new) and return its MapID."""
+        if mapping.n_bits != self.conventional.n_bits:
+            raise ValueError(
+                f"mapping covers {mapping.n_bits} bits; table expects "
+                f"{self.conventional.n_bits}"
+            )
+        for map_id, existing in enumerate(self._entries):
+            if existing.fields == mapping.fields:
+                return map_id
+        if len(self._entries) >= self._max_entries:
+            raise ValueError(
+                f"mapping table full ({self._max_entries} entries); FACIL "
+                "bounds the table by the MapID formulation"
+            )
+        self._entries.append(mapping)
+        return len(self._entries) - 1
+
+
+class MemoryController:
+    """Frontend translation plus the functional data path.
+
+    Args:
+        org: DRAM organization being controlled.
+        page_bytes: huge-page size; mappings cover its offset bits, and
+            the page frame number supplies the DRAM row MSBs.
+        table: mapping table (created with the default conventional
+            mapping when omitted).
+        memory: functional byte store; omit for translation-only use.
+    """
+
+    def __init__(
+        self,
+        org: DramOrganization,
+        page_bytes: int = 2 << 20,
+        table: Optional[MappingTable] = None,
+        memory: Optional[PhysicalMemory] = None,
+    ):
+        self.org = org
+        self.page_bytes = page_bytes
+        self.page_bits = ilog2(page_bytes)
+        if table is None:
+            table = MappingTable(
+                conventional_mapping(org, self.page_bits, CONVENTIONAL_SPEC)
+            )
+        if table.conventional.n_bits != self.page_bits:
+            raise ValueError("mapping table bit width does not match page size")
+        self.table = table
+        self.memory = memory
+        self._row_bits_in_page = table.conventional.row_bits
+        for mapping in table.entries():
+            if mapping.row_bits != self._row_bits_in_page:
+                raise ValueError(
+                    "all mappings over one organization must agree on the "
+                    "in-page row width"
+                )
+
+    # -- translation -----------------------------------------------------
+
+    @property
+    def rows_per_page(self) -> int:
+        return 1 << self._row_bits_in_page
+
+    def translate(self, pa: int, map_id: int = CONVENTIONAL_MAP_ID) -> DramCoord:
+        """Full PA-to-DA translation: in-page mapping per MapID, page frame
+        number as the row MSBs."""
+        mapping = self.table[map_id]
+        page_index, page_offset = divmod(pa, self.page_bytes)
+        coord = mapping.decode(page_offset)
+        row = (page_index << self._row_bits_in_page) | coord.row
+        if row >= self.org.rows_per_bank:
+            raise ValueError(
+                f"pa {pa:#x} maps to row {row}, beyond the organization's "
+                f"{self.org.rows_per_bank} rows per bank"
+            )
+        return DramCoord(
+            channel=coord.channel,
+            rank=coord.rank,
+            bank=coord.bank,
+            row=row,
+            col=coord.col,
+            offset=coord.offset,
+        )
+
+    def translate_array(
+        self, pas: np.ndarray, map_id: int = CONVENTIONAL_MAP_ID
+    ) -> Dict[str, np.ndarray]:
+        """Vectorised :meth:`translate`; returns field arrays, with ``row``
+        already including the page-frame MSBs."""
+        pas = np.asarray(pas, dtype=np.int64)
+        mapping = self.table[map_id]
+        page_index = pas >> np.int64(self.page_bits)
+        fields = mapping.decode_array(pas & np.int64(self.page_bytes - 1))
+        fields[Field.ROW] = fields[Field.ROW] | (
+            page_index << np.int64(self._row_bits_in_page)
+        )
+        return fields
+
+    # -- hardware view ------------------------------------------------------
+
+    def mux_array(self) -> List[MuxSpec]:
+        """The Fig. 12 multiplexer array: for each DRAM address bit, the PA
+        bit each registered MapID routes into it."""
+        specs: List[MuxSpec] = []
+        entries = self.table.entries()
+        reference = entries[0]
+        for fname in (
+            Field.CHANNEL,
+            Field.RANK,
+            Field.BANK,
+            Field.ROW,
+            Field.COL,
+            Field.OFFSET,
+        ):
+            for bit_index in range(reference.field_width(fname)):
+                sources = tuple(
+                    mapping.positions(fname)[bit_index] for mapping in entries
+                )
+                specs.append(
+                    MuxSpec(field=fname, bit=bit_index, source_by_map_id=sources)
+                )
+        return specs
+
+    # -- functional data path ---------------------------------------------------
+
+    def _require_memory(self) -> PhysicalMemory:
+        if self.memory is None:
+            raise RuntimeError(
+                "controller has no functional memory attached (timing-only)"
+            )
+        return self.memory
+
+    def write(self, pa: int, data: np.ndarray, map_id: int = CONVENTIONAL_MAP_ID) -> None:
+        """Store *data* (a byte array) starting at physical address *pa*,
+        routed through the MapID's PA-to-DA mapping."""
+        memory = self._require_memory()
+        data = np.frombuffer(bytes(data), dtype=np.uint8) if isinstance(
+            data, (bytes, bytearray)
+        ) else np.ascontiguousarray(data).view(np.uint8).reshape(-1)
+        for start in range(0, len(data), _MOVE_CHUNK):
+            stop = min(start + _MOVE_CHUNK, len(data))
+            pas = np.arange(pa + start, pa + stop, dtype=np.int64)
+            fields = self.translate_array(pas, map_id)
+            byte_index = (
+                fields[Field.ROW] * self.org.row_bytes
+                + fields[Field.COL] * self.org.transfer_bytes
+                + fields[Field.OFFSET]
+            )
+            memory.scatter(
+                fields[Field.CHANNEL],
+                fields[Field.RANK],
+                fields[Field.BANK],
+                byte_index,
+                data[start:stop],
+            )
+
+    def read(
+        self, pa: int, nbytes: int, map_id: int = CONVENTIONAL_MAP_ID
+    ) -> np.ndarray:
+        """Load *nbytes* starting at physical address *pa* through the
+        MapID's mapping; returns a byte array."""
+        memory = self._require_memory()
+        out = np.empty(nbytes, dtype=np.uint8)
+        for start in range(0, nbytes, _MOVE_CHUNK):
+            stop = min(start + _MOVE_CHUNK, nbytes)
+            pas = np.arange(pa + start, pa + stop, dtype=np.int64)
+            fields = self.translate_array(pas, map_id)
+            byte_index = (
+                fields[Field.ROW] * self.org.row_bytes
+                + fields[Field.COL] * self.org.transfer_bytes
+                + fields[Field.OFFSET]
+            )
+            out[start:stop] = memory.gather(
+                fields[Field.CHANNEL],
+                fields[Field.RANK],
+                fields[Field.BANK],
+                byte_index,
+            )
+        return out

@@ -1,0 +1,149 @@
+"""Exhaustive mapping-space search (validation of the Fig. 9 selector).
+
+FACIL's selector picks the MapID with a closed-form rule.  This module
+enumerates *every* feasible PIM mapping for a matrix — all MapIDs, both
+PU-bit orders — prices each with the GEMV timing model plus the SoC-side
+reduction cost, and returns the optimum.  The headline result (see
+``bench_ablation_optimizer``) is that the paper's one-line formula picks
+the search optimum for every layer of every evaluated model: the rule is
+not a heuristic approximation but the exact argmin under the cost model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Optional, Tuple
+
+from repro.core.bitfield import ilog2
+from repro.core.mapping import AddressMapping, Field, pim_optimized_mapping
+from repro.core.selector import MappingSelection, MatrixConfig, select_mapping
+from repro.dram.config import DramConfig
+from repro.pim.config import PimConfig
+from repro.pim.gemv import gemv_latency
+from repro.soc.processor import SocProcessor
+
+__all__ = ["MappingCandidate", "enumerate_candidates", "optimize_mapping"]
+
+_PU_ORDERS = (
+    (Field.BANK, Field.RANK, Field.CHANNEL),
+    (Field.CHANNEL, Field.RANK, Field.BANK),
+)
+
+
+@dataclass(frozen=True)
+class MappingCandidate:
+    """One feasible mapping with its priced cost."""
+
+    map_id: int
+    pu_order: Tuple[str, str, str]
+    partitions_per_row: int
+    mapping: AddressMapping
+    gemv_ns: float
+    reduce_ns: float
+
+    @property
+    def total_ns(self) -> float:
+        return self.gemv_ns + self.reduce_ns
+
+
+def _selection_for(
+    matrix: MatrixConfig,
+    dram: DramConfig,
+    pim: PimConfig,
+    map_id: int,
+    huge_page_bytes: int,
+) -> Optional[MappingSelection]:
+    """Build the selection a forced *map_id* implies, or None if it is
+    infeasible for this matrix."""
+    org = dram.org
+    base = select_mapping(matrix, org, pim, huge_page_bytes)
+    per_bank_row_share = pim.chunk_row_bytes << map_id
+    row_bytes = base.padded_row_bytes
+    if per_bank_row_share >= row_bytes:
+        partitions = 1
+        if map_id > ilog2(row_bytes) - ilog2(pim.chunk_row_bytes):
+            # More row bits below the PU bits than the matrix row fills:
+            # rows would leave holes inside banks (wasted placement).
+            return None
+    else:
+        partitions = row_bytes // per_bank_row_share
+        # lock-step feasibility: partitions must fit in PU groups that
+        # own private global buffers (channels x ranks)
+        if partitions > org.n_channels * org.ranks_per_channel:
+            return None
+    return replace(
+        base,
+        map_id=map_id,
+        needs_partition=partitions > 1,
+        partitions_per_row=partitions,
+    )
+
+
+def enumerate_candidates(
+    matrix: MatrixConfig,
+    dram: DramConfig,
+    pim: PimConfig,
+    soc: SocProcessor,
+    huge_page_bytes: int = 2 << 20,
+) -> List[MappingCandidate]:
+    """Every feasible (MapID, PU order) mapping with its priced cost."""
+    org = dram.org
+    page_bits = ilog2(huge_page_bytes)
+    max_bits = (
+        page_bits
+        - org.offset_bits
+        - org.interleave_bits()
+        - ilog2(pim.chunk_bytes // org.transfer_bytes)
+    )
+    candidates: List[MappingCandidate] = []
+    for map_id in range(max_bits + 1):
+        selection = _selection_for(matrix, dram, pim, map_id, huge_page_bytes)
+        if selection is None:
+            continue
+        for pu_order in _PU_ORDERS:
+            if selection.partitions_per_row > 1 and pu_order[0] != Field.CHANNEL:
+                continue  # bank-first breaks lock-step under partitioning
+            try:
+                mapping = pim_optimized_mapping(
+                    org,
+                    pim.chunk_rows,
+                    pim.chunk_cols,
+                    pim.dtype_bytes,
+                    map_id,
+                    page_bits,
+                    pu_order=pu_order,
+                )
+            except ValueError:
+                continue
+            latency = gemv_latency(
+                matrix, dram, pim, huge_page_bytes, selection=selection
+            )
+            reduce_ns = soc.stream_time_ns(latency.soc_reduce_bytes)
+            candidates.append(
+                MappingCandidate(
+                    map_id=map_id,
+                    pu_order=pu_order,
+                    partitions_per_row=selection.partitions_per_row,
+                    mapping=mapping,
+                    gemv_ns=latency.total_ns,
+                    reduce_ns=reduce_ns,
+                )
+            )
+    return candidates
+
+
+def optimize_mapping(
+    matrix: MatrixConfig,
+    dram: DramConfig,
+    pim: PimConfig,
+    soc: SocProcessor,
+    huge_page_bytes: int = 2 << 20,
+) -> MappingCandidate:
+    """Brute-force argmin over the mapping space (GEMV + reduction time;
+    partition count breaks ties toward fewer cross-PU rows)."""
+    candidates = enumerate_candidates(matrix, dram, pim, soc, huge_page_bytes)
+    if not candidates:
+        raise ValueError("no feasible PIM mapping for this configuration")
+    return min(
+        candidates, key=lambda c: (c.total_ns, c.partitions_per_row, c.map_id)
+    )

@@ -1,0 +1,229 @@
+"""pimalloc: FACIL's user-level allocation library (paper Fig. 7a).
+
+``pimalloc`` is the programmer-facing entry point.  Given a weight
+matrix's dimensions and datatype it
+
+1. runs the **mapping selector** to pick the optimal PIM mapping (MapID),
+2. registers that mapping with the memory controller's mapping table,
+3. allocates huge pages through the extended ``mmap`` with the MapID
+   recorded in the page-table entries, and
+4. returns a tensor handle whose loads/stores go through ordinary
+   contiguous virtual addresses — the controller transparently applies the
+   PIM-optimized PA-to-DA mapping.
+
+The same physical bytes are then directly operable by the PIM processing
+units (see :mod:`repro.pim.functional`) with no re-layout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.bitfield import ceil_div, ilog2
+from repro.core.controller import MemoryController
+from repro.core.mapping import AddressMapping, pim_optimized_mapping
+from repro.core.selector import (
+    MappingSelection,
+    MatrixConfig,
+    pu_order_for,
+    select_mapping,
+)
+from repro.dram.config import DramOrganization
+from repro.dram.memory import PhysicalMemory
+from repro.os.buddy import BuddyAllocator
+from repro.os.page_table import PAGE_SHIFT
+from repro.os.vm import AddressSpace
+from repro.pim.config import PimConfig
+
+__all__ = ["PimTensor", "PimAllocator", "PimSystem"]
+
+
+@dataclass
+class PimTensor:
+    """Handle to a matrix stored with a PIM-optimized mapping.
+
+    The virtual-address view is a plain row-major matrix with a
+    power-of-two leading dimension (``lda``) — exactly what BLAS kernels
+    consume — while the physical placement satisfies the PIM constraints.
+    """
+
+    va: int
+    matrix: MatrixConfig
+    selection: MappingSelection
+    mapping: AddressMapping
+    map_id: int
+    allocator: "PimAllocator"
+
+    @property
+    def lda(self) -> int:
+        """Leading dimension: columns padded to a power of two and to at
+        least one chunk row (the selector's padded row)."""
+        return self.selection.padded_row_bytes // self.matrix.dtype_bytes
+
+    @property
+    def nbytes_padded(self) -> int:
+        return self.matrix.rows * self.selection.padded_row_bytes
+
+    def element_va(self, row: int, col: int) -> int:
+        """Virtual address of element (row, col)."""
+        if not (0 <= row < self.matrix.rows and 0 <= col < self.matrix.cols):
+            raise IndexError(f"({row}, {col}) outside matrix")
+        return self.va + (row * self.lda + col) * self.matrix.dtype_bytes
+
+    # -- data movement (the SoC's view) -----------------------------------
+
+    def store(self, array: np.ndarray) -> None:
+        """Write *array* (shape ``rows x cols``) through virtual addresses."""
+        array = np.asarray(array)
+        if array.shape != (self.matrix.rows, self.matrix.cols):
+            raise ValueError(
+                f"expected {(self.matrix.rows, self.matrix.cols)}, "
+                f"got {array.shape}"
+            )
+        if array.dtype.itemsize != self.matrix.dtype_bytes:
+            raise ValueError(
+                f"dtype {array.dtype} has {array.dtype.itemsize} B elements; "
+                f"tensor expects {self.matrix.dtype_bytes} B"
+            )
+        padded = np.zeros((self.matrix.rows, self.lda), dtype=array.dtype)
+        padded[:, : self.matrix.cols] = array
+        self.allocator.write_virtual(self.va, padded.reshape(-1).view(np.uint8))
+
+    def load(self, dtype: np.dtype) -> np.ndarray:
+        """Read the matrix back through virtual addresses."""
+        dtype = np.dtype(dtype)
+        if dtype.itemsize != self.matrix.dtype_bytes:
+            raise ValueError(f"dtype {dtype} does not match element size")
+        raw = self.allocator.read_virtual(self.va, self.nbytes_padded)
+        padded = raw.view(dtype).reshape(self.matrix.rows, self.lda)
+        return padded[:, : self.matrix.cols].copy()
+
+    def free(self) -> None:
+        self.allocator.space.munmap(self.va)
+
+
+class PimAllocator:
+    """Implements pimalloc over an address space and a memory controller."""
+
+    def __init__(
+        self,
+        org: DramOrganization,
+        pim: PimConfig,
+        controller: MemoryController,
+        space: AddressSpace,
+        huge_page_bytes: int = 2 << 20,
+    ):
+        if controller.page_bytes != huge_page_bytes:
+            raise ValueError("controller page size must equal the huge page size")
+        self.org = org
+        self.pim = pim
+        self.controller = controller
+        self.space = space
+        self.huge_page_bytes = huge_page_bytes
+
+    # -- the pimalloc interface ----------------------------------------------
+
+    def pimalloc(self, matrix: MatrixConfig) -> PimTensor:
+        """Allocate *matrix* with the selector-chosen PIM mapping."""
+        selection = select_mapping(matrix, self.org, self.pim, self.huge_page_bytes)
+        mapping = pim_optimized_mapping(
+            org=self.org,
+            chunk_rows=self.pim.chunk_rows,
+            chunk_cols=self.pim.chunk_cols,
+            dtype_bytes=self.pim.dtype_bytes,
+            map_id=selection.map_id,
+            n_bits=ilog2(self.huge_page_bytes),
+            pu_order=pu_order_for(selection),
+        )
+        map_id = self.controller.table.register(mapping)
+        nbytes = matrix.rows * selection.padded_row_bytes
+        va = self.space.mmap(nbytes, huge=True, map_id=map_id)
+        return PimTensor(
+            va=va,
+            matrix=matrix,
+            selection=selection,
+            mapping=mapping,
+            map_id=map_id,
+            allocator=self,
+        )
+
+    def malloc(self, nbytes: int, huge: bool = False) -> int:
+        """Plain allocation with the conventional mapping (MapID 0)."""
+        return self.space.mmap(nbytes, huge=huge, map_id=0)
+
+    # -- virtual-address data path ----------------------------------------------
+
+    def write_virtual(self, va: int, data: np.ndarray) -> None:
+        """Store bytes at a virtual address: MMU translation, then the
+        controller applies each page's MapID (paper Fig. 7b)."""
+        data = np.ascontiguousarray(data).view(np.uint8).reshape(-1)
+        offset = 0
+        for pa, length, map_id in self.space.mmu.translate_range(va, len(data)):
+            self.controller.write(pa, data[offset : offset + length], map_id)
+            offset += length
+
+    def read_virtual(self, va: int, nbytes: int) -> np.ndarray:
+        """Load bytes from a virtual address (paper Fig. 7c)."""
+        out = np.empty(nbytes, dtype=np.uint8)
+        offset = 0
+        for pa, length, map_id in self.space.mmu.translate_range(va, nbytes):
+            out[offset : offset + length] = self.controller.read(pa, length, map_id)
+            offset += length
+        return out
+
+
+class PimSystem:
+    """Convenience bundle: DRAM + controller + OS + allocator.
+
+    This is the one-line setup used by the examples and tests::
+
+        system = PimSystem.build(org, pim)
+        tensor = system.pimalloc(MatrixConfig(rows=64, cols=2048))
+    """
+
+    def __init__(
+        self,
+        org: DramOrganization,
+        pim: PimConfig,
+        huge_page_bytes: int = 2 << 20,
+        functional: bool = True,
+    ):
+        from repro.os.page_table import HUGE_SHIFT
+
+        if huge_page_bytes != 1 << HUGE_SHIFT:
+            raise ValueError(
+                f"PimSystem's OS substrate uses {1 << HUGE_SHIFT}-byte huge "
+                "pages; for other page sizes use MemoryController/"
+                "select_mapping directly (they are fully parametric)"
+            )
+        self.org = org
+        self.pim = pim
+        self.huge_page_bytes = huge_page_bytes
+        memory = PhysicalMemory(org) if functional else None
+        self.memory = memory
+        self.controller = MemoryController(
+            org, page_bytes=huge_page_bytes, memory=memory
+        )
+        total_pages = org.capacity_bytes >> PAGE_SHIFT
+        huge_order = ilog2(huge_page_bytes) - PAGE_SHIFT
+        self.buddy = BuddyAllocator(total_pages, max_order=max(huge_order, 9))
+        self.space = AddressSpace(self.buddy)
+        self.allocator = PimAllocator(
+            org, pim, self.controller, self.space, huge_page_bytes
+        )
+
+    @classmethod
+    def build(
+        cls,
+        org: DramOrganization,
+        pim: PimConfig,
+        huge_page_bytes: int = 2 << 20,
+        functional: bool = True,
+    ) -> "PimSystem":
+        return cls(org, pim, huge_page_bytes, functional)
+
+    def pimalloc(self, matrix: MatrixConfig) -> PimTensor:
+        return self.allocator.pimalloc(matrix)

@@ -1,0 +1,98 @@
+"""Re-layout: the cost FACIL eliminates (paper Fig. 5b, Fig. 6).
+
+The SoC-PIM hybrid baseline keeps a single copy of each weight matrix in
+the PIM-optimized layout.  Before every GEMM it must copy the matrix into
+a conventionally-mapped scratch buffer (on-demand re-layout), then run the
+GEMM there.  This module provides
+
+* :func:`relayout_functional` — actually performs the copy in the
+  functional system (read through the PIM MapID, write through MapID 0),
+  used to validate that the baseline is numerically equivalent;
+* :func:`relayout_cost_ns` — the latency model.  ``peak-bw`` mode matches
+  the paper's conservative DRAMSim estimate (pure memory-copy time at full
+  bandwidth, no CPU rearrangement cost, no bandwidth contention);
+  ``simulated`` mode replays the actual read/write streams through our
+  DRAM timing simulator, which typically reports a *higher* cost because
+  reading a PIM layout sequentially is bank-serial.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.controller import CONVENTIONAL_MAP_ID, MemoryController
+from repro.core.pimalloc import PimAllocator, PimTensor
+from repro.dram.config import DramConfig
+from repro.dram.system import DramTimingSimulator
+
+__all__ = ["RelayoutCost", "relayout_cost_ns", "relayout_functional"]
+
+
+@dataclass(frozen=True)
+class RelayoutCost:
+    """Latency and traffic of one matrix re-layout."""
+
+    total_ns: float
+    bytes_read: int
+    bytes_written: int
+    mode: str
+
+
+def relayout_cost_ns(
+    nbytes: int,
+    dram: DramConfig,
+    mode: str = "peak-bw",
+    controller: Optional[MemoryController] = None,
+    pim_map_id: Optional[int] = None,
+    sample_transfers: int = 32768,
+) -> RelayoutCost:
+    """Cost of copying *nbytes* from the PIM layout to the conventional one.
+
+    Args:
+        mode: ``"peak-bw"`` (paper-conservative: read+write at full peak
+            bandwidth) or ``"simulated"`` (replay the streams through the
+            DRAM timing simulator; needs *controller* and *pim_map_id*).
+    """
+    org = dram.org
+    if mode == "peak-bw":
+        total_ns = 2.0 * nbytes / org.peak_bandwidth_gbps
+        return RelayoutCost(total_ns, nbytes, nbytes, mode)
+    if mode != "simulated":
+        raise ValueError(f"unknown re-layout mode {mode!r}")
+    if controller is None or pim_map_id is None:
+        raise ValueError("simulated mode needs a controller and the PIM MapID")
+    simulator = DramTimingSimulator(dram)
+    pas = np.arange(0, nbytes, org.transfer_bytes, dtype=np.int64)
+    read_bw = simulator.measure_bandwidth(
+        controller.translate_array(pas, pim_map_id),
+        is_write=False,
+        sample_transfers=sample_transfers,
+    )
+    write_bw = simulator.measure_bandwidth(
+        controller.translate_array(pas, CONVENTIONAL_MAP_ID),
+        is_write=True,
+        sample_transfers=sample_transfers,
+    )
+    total_ns = nbytes / read_bw + nbytes / write_bw
+    return RelayoutCost(total_ns, nbytes, nbytes, mode)
+
+
+def relayout_functional(tensor: PimTensor) -> np.ndarray:
+    """Perform the baseline's on-demand re-layout in the functional system.
+
+    Allocates a conventional (MapID 0) scratch region of the padded matrix
+    size, copies the tensor into it through virtual addresses, and returns
+    the scratch VA's contents as bytes.  Callers free the scratch by
+    munmap'ing the returned region (see :class:`ScratchRegion`).
+    """
+    allocator: PimAllocator = tensor.allocator
+    nbytes = tensor.nbytes_padded
+    scratch_va = allocator.malloc(nbytes, huge=True)
+    data = allocator.read_virtual(tensor.va, nbytes)
+    allocator.write_virtual(scratch_va, data)
+    out = allocator.read_virtual(scratch_va, nbytes)
+    allocator.space.munmap(scratch_va)
+    return out

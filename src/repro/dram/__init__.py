@@ -1,0 +1,61 @@
+"""DRAM substrate: geometry, functional storage, and timing simulation."""
+
+from repro.dram.address import DramCoord, Field, FIELDS
+from repro.dram.config import (
+    DramConfig,
+    GDDR6_16000_TIMINGS,
+    DramOrganization,
+    DramTimings,
+    LPDDR5_6400_TIMINGS,
+    LPDDR5X_7467_TIMINGS,
+    TINY_ORG,
+    lpddr5_organization,
+)
+from repro.dram.command import Request
+from repro.dram.memory import PhysicalMemory
+from repro.dram.scheduler import ChannelScheduler, ChannelStats
+from repro.dram.system import DramTimingSimulator, SimResult, requests_from_fields
+
+__all__ = [
+    "ChannelScheduler",
+    "ChannelStats",
+    "DramConfig",
+    "DramCoord",
+    "DramOrganization",
+    "DramTimingSimulator",
+    "DramTimings",
+    "LPDDR5_6400_TIMINGS",
+    "LPDDR5X_7467_TIMINGS",
+    "PhysicalMemory",
+    "ContentionResult",
+    "Request",
+    "SimResult",
+    "TINY_ORG",
+    "cosched_experiment",
+    "lpddr5_organization",
+    "requests_from_fields",
+]
+
+
+# Lazy (PEP 562): the contention experiment depends on repro.core, which
+# itself imports this package's modules.
+_LAZY = {
+    "ContentionResult": "repro.dram.contention",
+    "cosched_experiment": "repro.dram.contention",
+    "DramEnergyModel": "repro.dram.energy",
+    "LPDDR5_ENERGY": "repro.dram.energy",
+    "gemv_energy_pj": "repro.dram.energy",
+    "sim_energy_pj": "repro.dram.energy",
+    "load_trace": "repro.dram.trace",
+    "save_trace": "repro.dram.trace",
+    "trace_from_fields": "repro.dram.trace",
+}
+
+
+def __getattr__(name):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)

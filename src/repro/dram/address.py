@@ -1,0 +1,81 @@
+"""DRAM coordinates: the target of PA-to-DA translation.
+
+A :class:`DramCoord` identifies one transfer-sized slot in the memory
+system: which channel, rank, bank, row, column, and byte offset within the
+transfer.  Address mappings translate physical addresses into these
+coordinates and back.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dram.config import DramOrganization
+
+__all__ = ["DramCoord", "Field", "FIELDS"]
+
+
+class Field:
+    """DRAM coordinate field names (string constants, not an enum, so
+    they read cleanly in mapping specs and reprs)."""
+
+    CHANNEL = "channel"
+    RANK = "rank"
+    BANK = "bank"
+    ROW = "row"
+    COL = "col"
+    OFFSET = "offset"
+
+
+FIELDS = (
+    Field.CHANNEL,
+    Field.RANK,
+    Field.BANK,
+    Field.ROW,
+    Field.COL,
+    Field.OFFSET,
+)
+
+
+@dataclass(frozen=True, order=True)
+class DramCoord:
+    """One position in the DRAM system, down to a byte within a transfer."""
+
+    channel: int
+    rank: int
+    bank: int
+    row: int
+    col: int
+    offset: int = 0
+
+    def validate(self, org: DramOrganization) -> "DramCoord":
+        """Raise ValueError if the coordinate lies outside *org*."""
+        limits = (
+            ("channel", self.channel, org.n_channels),
+            ("rank", self.rank, org.ranks_per_channel),
+            ("bank", self.bank, org.banks_per_rank),
+            ("row", self.row, org.rows_per_bank),
+            ("col", self.col, org.cols_per_row),
+            ("offset", self.offset, org.transfer_bytes),
+        )
+        for name, value, limit in limits:
+            if not 0 <= value < limit:
+                raise ValueError(f"{name}={value} out of range [0, {limit})")
+        return self
+
+    def pu_index(self, org: DramOrganization) -> int:
+        """Global processing-unit index of the bank holding this coordinate.
+
+        FACIL's formulation treats (bank, rank, channel) as the
+        "PU-changing" bits, with bank varying fastest, matching the bit
+        order used by the PIM mapping builders.
+        """
+        return (
+            self.bank
+            + self.rank * org.banks_per_rank
+            + self.channel * org.banks_per_rank * org.ranks_per_channel
+        )
+
+    def byte_index(self, org: DramOrganization) -> int:
+        """Linear byte index inside the bank's (rows x row_bytes) array."""
+        return self.row * org.row_bytes + self.col * org.transfer_bytes + self.offset

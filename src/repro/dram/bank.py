@@ -1,0 +1,104 @@
+"""Per-bank timing state machine for the DRAM simulator.
+
+Tracks open rows and the earliest times each command class may issue,
+enforcing the intra-bank JEDEC constraints (tRCD, tRP, tRAS, tRC, tWR,
+tRTP).  Inter-bank constraints (tRRD, tFAW) and bus occupancy live in the
+channel scheduler.
+
+Supports **dual (N-way) row buffers** — the NeuPIMs-style mitigation the
+paper's §V-C "Remaining Challenges" points to for SoC-PIM co-scheduling:
+with two row buffers per bank, a PIM MAC stream and a concurrent SoC
+stream each keep their own row open instead of ping-ponging the single
+buffer with conflicts.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.dram.config import DramTimings
+
+__all__ = ["BankState"]
+
+
+@dataclass
+class BankState:
+    """Timing state of one DRAM bank.
+
+    Attributes:
+        n_row_buffers: rows that can be held open simultaneously (1 for
+            commodity DRAM; 2 models the dual-row-buffer proposal).
+    """
+
+    n_row_buffers: int = 1
+    next_act_ns: float = 0.0  # earliest ACT issue
+    next_pre_ns: float = 0.0  # earliest PRE issue
+    next_col_ns: float = 0.0  # earliest RD/WR issue
+    last_act_ns: float = -1e18
+    row_hits: int = 0
+    row_misses: int = 0
+    row_conflicts: int = 0
+    #: open rows, LRU-ordered (last = most recently used)
+    _open: "OrderedDict[int, None]" = field(default_factory=OrderedDict)
+
+    # -- open-row queries ---------------------------------------------------
+
+    @property
+    def open_row(self) -> Optional[int]:
+        """Most-recently-used open row (None when all buffers are idle)."""
+        if not self._open:
+            return None
+        return next(reversed(self._open))
+
+    def is_open(self, row: int) -> bool:
+        return row in self._open
+
+    def open_rows(self):
+        return tuple(self._open)
+
+    # -- state transitions -------------------------------------------------------
+
+    def prepare_column(
+        self, row: int, now_ns: float, timings: DramTimings, is_write: bool
+    ) -> float:
+        """Advance the bank state so *row* is open; returns the earliest
+        time a column command for it may issue (bank-local constraints
+        only — the caller still applies bus and rank constraints).
+        """
+        if row in self._open:
+            self._open.move_to_end(row)
+            self.row_hits += 1
+            return max(now_ns, self.next_col_ns)
+
+        if len(self._open) < self.n_row_buffers:
+            # a free row buffer: plain activation
+            self.row_misses += 1
+            act = max(now_ns, self.next_act_ns)
+        else:
+            # evict the LRU open row: precharge, then activate
+            self.row_conflicts += 1
+            victim = next(iter(self._open))
+            del self._open[victim]
+            pre = max(now_ns, self.next_pre_ns, self.last_act_ns + timings.tRAS)
+            act = max(pre + timings.tRP, self.next_act_ns)
+        self._open[row] = None
+        self.last_act_ns = act
+        self.next_act_ns = act + timings.tRC
+        self.next_col_ns = act + timings.tRCD
+        # PRE may not issue until tRAS after ACT; column commands push it
+        # further (applied in note_column).
+        self.next_pre_ns = act + timings.tRAS
+        return self.next_col_ns
+
+    def note_column(
+        self, issue_ns: float, timings: DramTimings, is_write: bool, burst_ns: float
+    ) -> None:
+        """Record a column command issued at *issue_ns*."""
+        self.next_col_ns = issue_ns + timings.tCCD
+        if is_write:
+            recovery = issue_ns + timings.tCWL + burst_ns + timings.tWR
+        else:
+            recovery = issue_ns + timings.tRTP
+        self.next_pre_ns = max(self.next_pre_ns, recovery)

@@ -1,0 +1,35 @@
+"""DRAM request and command types for the timing simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dram.address import DramCoord
+
+__all__ = ["Request", "READ", "WRITE"]
+
+READ = "read"
+WRITE = "write"
+
+
+@dataclass(frozen=True)
+class Request:
+    """One transfer-sized memory request presented to a channel.
+
+    ``tag`` labels the originating stream (e.g. ``"soc"`` / ``"pim"``)
+    for per-stream accounting in co-scheduling experiments.
+
+    ``uses_bus`` is False for PIM MAC column commands: they occupy the
+    bank (tCCD, row buffer) but move data bank-internally, leaving the
+    external data bus to the SoC.
+    """
+
+    coord: DramCoord
+    is_write: bool = False
+    arrival_ns: float = 0.0
+    tag: str = ""
+    uses_bus: bool = True
+
+    @property
+    def kind(self) -> str:
+        return WRITE if self.is_write else READ

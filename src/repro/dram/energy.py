@@ -1,0 +1,86 @@
+"""DRAM and PIM energy model (extension; the paper evaluates latency
+only, but FACIL's eliminations — re-layout traffic and weight movement
+over the external bus — are first-order *energy* wins on battery-powered
+devices, so the reproduction prices them).
+
+Constants are LPDDR5-class ballparks expressed per the usual breakdown:
+
+* row activation+precharge energy per ACT;
+* array access energy per byte (column read/write inside the die);
+* I/O energy per byte crossing the external bus (the term PIM avoids
+  for weight traffic);
+* PIM MAC energy per byte of weights processed (near-bank FP16 MAC).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dram.system import SimResult
+from repro.pim.gemv import GemvLatency
+
+__all__ = ["DramEnergyModel", "LPDDR5_ENERGY", "sim_energy_pj", "gemv_energy_pj"]
+
+
+@dataclass(frozen=True)
+class DramEnergyModel:
+    """Per-operation energy constants (picojoules)."""
+
+    act_pj: float = 2_000.0  # one ACT+PRE pair (whole-row charge)
+    array_rd_pj_per_byte: float = 1.5  # column read, inside the die
+    array_wr_pj_per_byte: float = 1.7
+    io_pj_per_byte: float = 4.0  # external bus transfer (LPDDR5 ~0.5 pJ/bit x8)
+    mac_pj_per_byte: float = 1.0  # near-bank FP16 MAC per weight byte
+
+    def read_pj(self, nbytes: float, external: bool = True) -> float:
+        energy = self.array_rd_pj_per_byte * nbytes
+        if external:
+            energy += self.io_pj_per_byte * nbytes
+        return energy
+
+    def write_pj(self, nbytes: float, external: bool = True) -> float:
+        energy = self.array_wr_pj_per_byte * nbytes
+        if external:
+            energy += self.io_pj_per_byte * nbytes
+        return energy
+
+
+LPDDR5_ENERGY = DramEnergyModel()
+
+
+def sim_energy_pj(
+    result: SimResult, transfer_bytes: int, model: DramEnergyModel = LPDDR5_ENERGY
+) -> float:
+    """Energy of a simulated request stream: activations (misses and
+    conflicts each cost one ACT+PRE) plus array and I/O per transfer."""
+    activations = result.row_misses + result.row_conflicts
+    reads = sum(s.reads for s in result.per_channel.values())
+    writes = sum(s.writes for s in result.per_channel.values())
+    return (
+        activations * model.act_pj
+        + model.read_pj(reads * transfer_bytes)
+        + model.write_pj(writes * transfer_bytes)
+    )
+
+
+def gemv_energy_pj(
+    latency: GemvLatency,
+    total_banks: int,
+    input_bytes: int,
+    output_bytes: int,
+    model: DramEnergyModel = LPDDR5_ENERGY,
+) -> float:
+    """Energy of one PIM GEMV.
+
+    Weight bytes stream from the arrays into the near-bank MACs — array
+    read plus MAC energy, *no* external I/O.  Only the input vector
+    (global-buffer loads) and the outputs cross the bus.
+    """
+    weight_bytes = latency.weight_bytes_streamed
+    activations = latency.activates_per_bank * total_banks
+    return (
+        activations * model.act_pj
+        + weight_bytes * (model.array_rd_pj_per_byte + model.mac_pj_per_byte)
+        + model.write_pj(input_bytes)  # GB loads over the bus
+        + model.read_pj(output_bytes)  # MAC-register drains
+    )

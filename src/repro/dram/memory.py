@@ -1,0 +1,133 @@
+"""Functional DRAM contents: per-bank byte arrays.
+
+This is the *data* half of the DRAM simulator (the timing half lives in
+:mod:`repro.dram.system`).  Each bank is a ``rows x row_bytes`` byte array,
+allocated lazily, so end-to-end tests can store a matrix through one
+address mapping and read it back through another — the core correctness
+claim of FACIL.
+
+Intended for the small/medium test geometries; a guard refuses to
+instantiate functional storage for multi-GB organizations, where only the
+timing models are meaningful.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Tuple
+
+import numpy as np
+
+from repro.dram.address import DramCoord
+from repro.dram.config import DramOrganization
+
+__all__ = ["PhysicalMemory"]
+
+_BankKey = Tuple[int, int, int]
+
+#: Functional storage guard: organizations larger than this are timing-only.
+_MAX_FUNCTIONAL_BYTES = 1 << 32  # 4 GiB
+
+
+class PhysicalMemory:
+    """Byte-accurate storage for every bank of an organization."""
+
+    def __init__(self, org: DramOrganization):
+        if org.capacity_bytes > _MAX_FUNCTIONAL_BYTES:
+            raise ValueError(
+                f"organization capacity {org.capacity_bytes} B exceeds the "
+                f"functional-memory guard ({_MAX_FUNCTIONAL_BYTES} B); use a "
+                "smaller geometry for functional simulation"
+            )
+        self.org = org
+        self._banks: Dict[_BankKey, np.ndarray] = {}
+
+    # -- bank access -----------------------------------------------------
+
+    def bank(self, channel: int, rank: int, bank: int) -> np.ndarray:
+        """The ``(rows, row_bytes)`` byte array of one bank (lazily zeroed)."""
+        key = (channel, rank, bank)
+        array = self._banks.get(key)
+        if array is None:
+            if not (
+                0 <= channel < self.org.n_channels
+                and 0 <= rank < self.org.ranks_per_channel
+                and 0 <= bank < self.org.banks_per_rank
+            ):
+                raise ValueError(f"bank key {key} out of range for {self.org}")
+            array = np.zeros(
+                (self.org.rows_per_bank, self.org.row_bytes), dtype=np.uint8
+            )
+            self._banks[key] = array
+        return array
+
+    def row(self, channel: int, rank: int, bank: int, row: int) -> np.ndarray:
+        """One DRAM row (what an activate brings into the row buffer)."""
+        return self.bank(channel, rank, bank)[row]
+
+    def touched_banks(self) -> Iterator[_BankKey]:
+        """Keys of banks that have been materialized."""
+        return iter(sorted(self._banks))
+
+    # -- scalar access ------------------------------------------------------
+
+    def read_byte(self, coord: DramCoord) -> int:
+        coord.validate(self.org)
+        row = self.row(coord.channel, coord.rank, coord.bank, coord.row)
+        return int(row[coord.col * self.org.transfer_bytes + coord.offset])
+
+    def write_byte(self, coord: DramCoord, value: int) -> None:
+        coord.validate(self.org)
+        row = self.row(coord.channel, coord.rank, coord.bank, coord.row)
+        row[coord.col * self.org.transfer_bytes + coord.offset] = value
+
+    # -- vectorised access ----------------------------------------------------
+
+    def gather(
+        self,
+        channel: np.ndarray,
+        rank: np.ndarray,
+        bank: np.ndarray,
+        byte_index: np.ndarray,
+    ) -> np.ndarray:
+        """Read one byte per element of the coordinate arrays."""
+        out = np.empty(len(byte_index), dtype=np.uint8)
+        bank_id = self._bank_ids(channel, rank, bank)
+        for key_id in np.unique(bank_id):
+            mask = bank_id == key_id
+            key = self._key_from_id(int(key_id))
+            flat = self.bank(*key).reshape(-1)
+            out[mask] = flat[byte_index[mask]]
+        return out
+
+    def scatter(
+        self,
+        channel: np.ndarray,
+        rank: np.ndarray,
+        bank: np.ndarray,
+        byte_index: np.ndarray,
+        values: np.ndarray,
+    ) -> None:
+        """Write one byte per element of the coordinate arrays."""
+        bank_id = self._bank_ids(channel, rank, bank)
+        values = np.asarray(values, dtype=np.uint8)
+        for key_id in np.unique(bank_id):
+            mask = bank_id == key_id
+            key = self._key_from_id(int(key_id))
+            flat = self.bank(*key).reshape(-1)
+            flat[byte_index[mask]] = values[mask]
+
+    def _bank_ids(
+        self, channel: np.ndarray, rank: np.ndarray, bank: np.ndarray
+    ) -> np.ndarray:
+        org = self.org
+        return (
+            channel * (org.ranks_per_channel * org.banks_per_rank)
+            + rank * org.banks_per_rank
+            + bank
+        )
+
+    def _key_from_id(self, key_id: int) -> _BankKey:
+        org = self.org
+        channel, rem = divmod(key_id, org.ranks_per_channel * org.banks_per_rank)
+        rank, bank = divmod(rem, org.banks_per_rank)
+        return (channel, rank, bank)

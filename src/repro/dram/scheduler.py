@@ -1,0 +1,264 @@
+"""FR-FCFS channel scheduler with background row activation.
+
+Per channel: a lookahead window over the pending request queue.  Row-buffer
+hits are served before older misses (First-Ready, First-Come-First-Served),
+and — as in real controllers, where ACT/PRE travel on the command bus while
+another bank's data streams — rows for pending misses are opened *in the
+background* so bank preparation overlaps column traffic.  Without that
+overlap a mapping that interleaves banks coarsely (like the PIM-optimized
+layouts) would appear pathologically serial, which hardware is not.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional, Set, Tuple
+
+from repro.dram.bank import BankState
+from repro.dram.command import Request
+from repro.dram.config import DramConfig
+
+__all__ = ["ChannelScheduler", "ChannelStats"]
+
+
+@dataclass
+class ChannelStats:
+    reads: int = 0
+    writes: int = 0
+    row_hits: int = 0
+    row_misses: int = 0
+    row_conflicts: int = 0
+    busy_until_ns: float = 0.0
+    bus_busy_ns: float = 0.0
+
+
+class _Entry:
+    """Queue slot: the request plus its hit/miss classification, decided
+    when its row is (pre-)activated so stats count each request once."""
+
+    __slots__ = ("request", "prepared")
+
+    def __init__(self, request: Request):
+        self.request = request
+        self.prepared = False
+
+
+class ChannelScheduler:
+    """Schedules one channel's requests against its banks and data bus."""
+
+    def __init__(
+        self,
+        config: DramConfig,
+        channel: int,
+        window: int = 64,
+        n_row_buffers: int = 1,
+        priority_tag: Optional[str] = None,
+        model_refresh: bool = False,
+    ):
+        self.config = config
+        self.channel = channel
+        self.window = window
+        #: requests with this tag win ties against other row hits —
+        #: "SoC-priority" scheduling that shields normal processes from
+        #: PIM interference (paper §V-C remaining challenges)
+        self.priority_tag = priority_tag
+        org = config.org
+        self.banks: Dict[Tuple[int, int], BankState] = {
+            (rank, bank): BankState(n_row_buffers=n_row_buffers)
+            for rank in range(org.ranks_per_channel)
+            for bank in range(org.banks_per_rank)
+        }
+        self._queue: Deque[_Entry] = deque()
+        self._bus_free_ns = 0.0
+        self._last_kind_is_write: Optional[bool] = None
+        self._act_history: Deque[float] = deque(maxlen=4)  # for tFAW
+        self._last_act_ns = -1e18  # for tRRD
+        self.stats = ChannelStats()
+        #: per-tag (requests served, last data-end time, summed
+        #: arrival->completion latency) for co-scheduling experiments
+        self.completions: Dict[str, Tuple[int, float, float]] = {}
+        self._burst_ns = config.timings.burst_time_ns(org)
+        #: refresh modeling (all-bank refresh every tREFI costing tRFC);
+        #: off by default so calibrated results stay put — enabling it
+        #: shaves the ~tRFC/tREFI duty cycle (~4-5 %) off bandwidth
+        self.model_refresh = model_refresh
+        self._next_refresh_ns = config.timings.tREFI
+
+    # -- public API ---------------------------------------------------------
+
+    def enqueue(self, request: Request) -> None:
+        if request.coord.channel != self.channel:
+            raise ValueError(
+                f"request for channel {request.coord.channel} sent to "
+                f"scheduler of channel {self.channel}"
+            )
+        self._queue.append(_Entry(request))
+
+    def drain(self) -> float:
+        """Serve every queued request; returns the channel-busy end time."""
+        while self._queue:
+            self._prepare_window()
+            index = self._pick()
+            entry = self._queue[index]
+            del self._queue[index]
+            self._issue(entry)
+        return self.stats.busy_until_ns
+
+    # -- internals -------------------------------------------------------------
+
+    def _bank_of(self, request: Request) -> BankState:
+        return self.banks[(request.coord.rank, request.coord.bank)]
+
+    def _apply_act_constraints(self, bank: BankState) -> None:
+        """Shift a just-recorded ACT to respect tRRD/tFAW across banks."""
+        timings = self.config.timings
+        act = bank.last_act_ns
+        shift = 0.0
+        if act - self._last_act_ns < timings.tRRD:
+            shift = max(shift, self._last_act_ns + timings.tRRD - act)
+        if len(self._act_history) == 4:
+            oldest = self._act_history[0]
+            if act - oldest < timings.tFAW:
+                shift = max(shift, oldest + timings.tFAW - act)
+        if shift > 0.0:
+            bank.last_act_ns += shift
+            bank.next_act_ns += shift
+            bank.next_col_ns += shift
+            bank.next_pre_ns += shift
+        self._last_act_ns = bank.last_act_ns
+        self._act_history.append(bank.last_act_ns)
+
+    def _prepare_window(self) -> None:
+        """Open rows for the first pending request of each bank in the
+        window (background ACT/PRE on the command bus).
+
+        A bank's open row is *not* precharged while the window still holds
+        a request hitting it — closing under pending hits would waste the
+        row buffer, and real FR-FCFS drains hits first.
+        """
+        timings = self.config.timings
+        limit = min(self.window, len(self._queue))
+        pending_rows: Set[Tuple[int, int, int]] = set()
+        for index in range(limit):
+            coord = self._queue[index].request.coord
+            pending_rows.add((coord.rank, coord.bank, coord.row))
+        touched: Set[Tuple[int, int]] = set()
+        for index in range(limit):
+            entry = self._queue[index]
+            coord = entry.request.coord
+            key = (coord.rank, coord.bank)
+            if key in touched:
+                continue
+            touched.add(key)
+            if entry.prepared:
+                continue
+            bank = self.banks[key]
+            if not bank.is_open(coord.row) and len(bank.open_rows()) >= bank.n_row_buffers:
+                victim = bank.open_rows()[0]  # LRU row the ACT would evict
+                if (coord.rank, coord.bank, victim) in pending_rows:
+                    continue  # drain the victim row's hits first
+            opening = not bank.is_open(coord.row)
+            bank.prepare_column(
+                coord.row, self._bus_free_ns, timings, entry.request.is_write
+            )
+            if opening:
+                self._apply_act_constraints(bank)
+            entry.prepared = True
+
+    def _pick(self) -> int:
+        """Among prepared requests in the window, serve the one whose bank
+        accepts a column command soonest (interleaves banks instead of
+        serializing on tCCD); with a priority tag set, that tag's row
+        hits are considered first.  Falls back to the oldest request."""
+        limit = min(self.window, len(self._queue))
+        best_index = -1
+        best_key = (2, float("inf"))
+        for index in range(limit):
+            entry = self._queue[index]
+            coord = entry.request.coord
+            bank = self.banks[(coord.rank, coord.bank)]
+            if not bank.is_open(coord.row):
+                continue
+            tier = 0 if (
+                self.priority_tag is not None
+                and entry.request.tag == self.priority_tag
+            ) else 1
+            key = (tier if self.priority_tag is not None else 1, bank.next_col_ns)
+            if key < best_key:
+                best_index = index
+                best_key = key
+        return best_index if best_index >= 0 else 0
+
+    def _issue(self, entry: _Entry) -> None:
+        timings = self.config.timings
+        request = entry.request
+        coord = request.coord
+        bank = self._bank_of(request)
+
+        if self.model_refresh and self._bus_free_ns >= self._next_refresh_ns:
+            # all-bank refresh: every bank stalls for tRFC
+            stall_end = self._next_refresh_ns + timings.tRFC
+            for state in self.banks.values():
+                state.next_act_ns = max(state.next_act_ns, stall_end)
+                state.next_col_ns = max(state.next_col_ns, stall_end)
+            self._bus_free_ns = max(self._bus_free_ns, stall_end)
+            self._next_refresh_ns += timings.tREFI
+
+        if not entry.prepared:
+            # Unprepared entries reach here either as row hits (counted by
+            # prepare_column) or after a background prepare closed their
+            # row (counted as the conflict they now are).
+            opening = not bank.is_open(coord.row)
+            bank.prepare_column(
+                coord.row, self._bus_free_ns, timings, request.is_write
+            )
+            if opening:
+                self._apply_act_constraints(bank)
+        elif not bank.is_open(coord.row):
+            # Defensive: a prepared entry whose row was closed anyway.
+            bank.prepare_column(
+                coord.row, self._bus_free_ns, timings, request.is_write
+            )
+            self._apply_act_constraints(bank)
+
+        ready = max(bank.next_col_ns, request.arrival_ns)
+        if request.uses_bus:
+            issue = max(ready, self._bus_free_ns)
+            # Read/write turnaround on the shared data bus.
+            if self._last_kind_is_write is not None:
+                if self._last_kind_is_write and not request.is_write:
+                    issue = max(issue, self._bus_free_ns + timings.tWTR)
+        else:
+            # PIM MAC: bank-internal data movement, no bus arbitration.
+            issue = ready
+        bank.note_column(issue, timings, request.is_write, self._burst_ns)
+
+        latency = timings.tCWL if request.is_write else timings.tCL
+        data_end = issue + latency + self._burst_ns
+        if request.uses_bus:
+            self._bus_free_ns = issue + self._burst_ns
+            self._last_kind_is_write = request.is_write
+
+        stats = self.stats
+        if request.uses_bus:
+            stats.bus_busy_ns += self._burst_ns
+        stats.busy_until_ns = max(stats.busy_until_ns, data_end)
+        if request.is_write:
+            stats.writes += 1
+        else:
+            stats.reads += 1
+        tag = request.tag
+        count, last, latency = self.completions.get(tag, (0, 0.0, 0.0))
+        self.completions[tag] = (
+            count + 1,
+            max(last, data_end),
+            latency + (data_end - request.arrival_ns),
+        )
+
+    def collect_bank_stats(self) -> None:
+        """Fold per-bank hit/miss counters into the channel stats."""
+        stats = self.stats
+        stats.row_hits = sum(b.row_hits for b in self.banks.values())
+        stats.row_misses = sum(b.row_misses for b in self.banks.values())
+        stats.row_conflicts = sum(b.row_conflicts for b in self.banks.values())

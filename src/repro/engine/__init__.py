@@ -1,0 +1,46 @@
+"""Inference engine: execution policies, metrics, and sweep runners."""
+
+from repro.engine.energy import EnergyModel, QueryEnergy, query_energy
+from repro.engine.metrics import QueryLatency, geomean, speedup
+from repro.engine.policies import PIM_DISPATCH_NS, POLICIES, InferenceEngine
+from repro.engine.profiling import (
+    DecodeBreakdown,
+    OffloadSpeedup,
+    UtilizationPoint,
+    decode_time_breakdown,
+    gemv_utilization,
+    pim_offload_speedup,
+)
+from repro.engine.session import ChatSession, TurnLatency
+from repro.engine.runner import (
+    DatasetResult,
+    SweepPoint,
+    dataset_eval,
+    ttft_speedup_sweep,
+    ttlt_speedup_grid,
+)
+
+__all__ = [
+    "DatasetResult",
+    "EnergyModel",
+    "QueryEnergy",
+    "query_energy",
+    "DecodeBreakdown",
+    "OffloadSpeedup",
+    "UtilizationPoint",
+    "decode_time_breakdown",
+    "gemv_utilization",
+    "pim_offload_speedup",
+    "InferenceEngine",
+    "PIM_DISPATCH_NS",
+    "POLICIES",
+    "ChatSession",
+    "QueryLatency",
+    "TurnLatency",
+    "SweepPoint",
+    "dataset_eval",
+    "geomean",
+    "speedup",
+    "ttft_speedup_sweep",
+    "ttlt_speedup_grid",
+]

@@ -1,0 +1,55 @@
+"""Latency metrics: TTFT, TTLT, and aggregation helpers."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence
+
+__all__ = ["QueryLatency", "geomean", "speedup"]
+
+
+@dataclass(frozen=True)
+class QueryLatency:
+    """Latency of one query under one execution policy.
+
+    ``ttft_ns`` — time to first token (prefill, plus any re-layout).
+    ``ttlt_ns`` — time to last token (TTFT + all decode steps).
+    ``breakdown`` — named components (ns); keys depend on the policy.
+    """
+
+    policy: str
+    prefill_tokens: int
+    decode_tokens: int
+    ttft_ns: float
+    ttlt_ns: float
+    breakdown: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def ttft_ms(self) -> float:
+        return self.ttft_ns / 1e6
+
+    @property
+    def ttlt_ms(self) -> float:
+        return self.ttlt_ns / 1e6
+
+    @property
+    def decode_ns(self) -> float:
+        return self.ttlt_ns - self.ttft_ns
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean (the paper's aggregation for speedups)."""
+    values = list(values)
+    if not values:
+        raise ValueError("geomean of empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("geomean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def speedup(baseline_ns: float, improved_ns: float) -> float:
+    """How many times faster *improved* is than *baseline*."""
+    if improved_ns <= 0:
+        raise ValueError("improved latency must be positive")
+    return baseline_ns / improved_ns

@@ -1,0 +1,276 @@
+"""Execution policies for SoC-PIM cooperative inference (paper §VI).
+
+Four policies are modeled:
+
+* ``soc-only`` — everything on the SoC processor (no PIM).
+* ``hybrid-static`` — the paper's baseline: weights live in the PIM
+  layout; every prefill re-layouts each matrix on demand to run GEMM on
+  the SoC; decode GEMVs run on PIM.
+* ``hybrid-dynamic`` — the paper's optimized baseline: prefill GEMMs go
+  to SoC *or* PIM depending on a profiled prefill-length threshold
+  (tall-and-skinny GEMMs are faster on PIM than SoC-plus-re-layout).
+* ``facil`` — the proposal: the SoC runs GEMM directly on the
+  PIM-optimized layout through FACIL's flexible mapping (no re-layout; a
+  conservative Table III slowdown is applied), decode runs on PIM.  The
+  dataset experiments additionally enable the same dynamic offload.
+
+All latencies come from the substrate models: the SoC roofline, the PIM
+command-level GEMV model, and the re-layout cost model.
+"""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.relayout import relayout_cost_ns
+from repro.core.selector import MatrixConfig, select_mapping
+from repro.engine.metrics import QueryLatency
+from repro.llm.inference import AttentionCost, decode_step_plan, prefill_plan
+from repro.llm.layers import LinearSpec, linear_specs
+from repro.llm.model_config import LlmConfig, model_by_name
+from repro.pim.gemv import GemvLatency, gemv_latency
+from repro.platforms.specs import PlatformSpec
+from repro.soc.processor import SocProcessor
+
+__all__ = ["InferenceEngine", "POLICIES"]
+
+POLICIES = ("soc-only", "hybrid-static", "hybrid-dynamic", "facil")
+
+#: Per-offloaded-op dispatch overhead for PIM command streams.
+PIM_DISPATCH_NS = 2_000.0
+
+
+@dataclass(frozen=True)
+class _SpecCosts:
+    """Precomputed per-instance costs of one linear spec."""
+
+    spec: LinearSpec
+    pim_gemv: GemvLatency
+    relayout_ns: float
+
+
+class InferenceEngine:
+    """Prices queries on one platform + model under each policy."""
+
+    def __init__(
+        self,
+        platform: PlatformSpec,
+        model: Optional[LlmConfig] = None,
+        huge_page_bytes: int = 2 << 20,
+        relayout_mode: str = "peak-bw",
+        soc_override: Optional[SocProcessor] = None,
+    ):
+        self.platform = platform
+        self.model = model if model is not None else model_by_name(platform.model_name)
+        self.soc = soc_override if soc_override is not None else platform.soc
+        self.huge_page_bytes = huge_page_bytes
+        self._costs: Dict[str, _SpecCosts] = {}
+        for spec in linear_specs(self.model):
+            matrix = spec.matrix_config()
+            selection = select_mapping(
+                matrix, platform.dram.org, platform.pim, huge_page_bytes
+            )
+            pim = gemv_latency(
+                matrix,
+                platform.dram,
+                platform.pim,
+                huge_page_bytes,
+                selection=selection,
+            )
+            relayout = relayout_cost_ns(
+                spec.bytes_per_instance, platform.dram, mode=relayout_mode
+            )
+            self._costs[spec.name] = _SpecCosts(
+                spec=spec, pim_gemv=pim, relayout_ns=relayout.total_ns
+            )
+        # Decode steps repeat the same context lengths across queries and
+        # sweeps; memoize the pure pricing functions per engine instance.
+        self.soc_prefill_ns = functools.lru_cache(maxsize=None)(self.soc_prefill_ns)
+        self.pim_prefill_ns = functools.lru_cache(maxsize=None)(self.pim_prefill_ns)
+        self.soc_decode_step_ns = functools.lru_cache(maxsize=None)(
+            self.soc_decode_step_ns
+        )
+        self.pim_decode_step_ns = functools.lru_cache(maxsize=None)(
+            self.pim_decode_step_ns
+        )
+
+    # ------------------------------------------------------------------
+    # phase primitives
+    # ------------------------------------------------------------------
+
+    def _attention_ns(self, attention: AttentionCost) -> float:
+        base = self.soc.op_time_ns(attention.flops, attention.bytes_moved)
+        return base + (attention.n_kernels - 1) * self.soc.kernel_launch_ns
+
+    def _gemm_batch(self, spec: LinearSpec, batch_tokens: int) -> int:
+        """Prefill batch size for a spec (the LM head only needs logits
+        for the final position)."""
+        return 1 if spec.name == "lm_head" else batch_tokens
+
+    def soc_prefill_ns(self, prefill_len: int, pim_layout: bool = False) -> float:
+        """Prefill entirely on the SoC.  With ``pim_layout`` the GEMMs run
+        on the PIM-optimized layout (FACIL) and are scaled by the
+        platform's conservative Table III slowdown."""
+        plan = prefill_plan(self.model, prefill_len)
+        gemm_ns = 0.0
+        for spec in plan.linears:
+            n = self._gemm_batch(spec, plan.batch_tokens)
+            gemm_ns += spec.count * self.soc.gemm_time_ns(
+                spec.out_features, n, spec.in_features, spec.dtype_bytes
+            )
+        if pim_layout:
+            gemm_ns *= 1.0 + self.platform.gemm_layout_slowdown
+        return gemm_ns + self._attention_ns(plan.attention)
+
+    def relayout_total_ns(self) -> float:
+        """On-demand re-layout of every weight matrix, paid once per
+        prefill by the hybrid baseline."""
+        return sum(c.spec.count * c.relayout_ns for c in self._costs.values())
+
+    def pim_prefill_ns(self, prefill_len: int) -> float:
+        """Prefill on PIM: the tall-and-skinny GEMM as L back-to-back
+        GEMV passes (AiM holds one input vector at a time), attention and
+        glue on the SoC."""
+        plan = prefill_plan(self.model, prefill_len)
+        gemv_ns = 0.0
+        reduce_bytes = 0.0
+        for spec in plan.linears:
+            cost = self._costs[spec.name]
+            n = self._gemm_batch(spec, plan.batch_tokens)
+            gemv_ns += spec.count * (n * cost.pim_gemv.total_ns + PIM_DISPATCH_NS)
+            reduce_bytes += spec.count * n * cost.pim_gemv.soc_reduce_bytes
+        reduce_ns = self.soc.stream_time_ns(reduce_bytes)
+        return gemv_ns + reduce_ns + self._attention_ns(plan.attention)
+
+    def soc_decode_step_ns(self, context_len: int) -> float:
+        plan = decode_step_plan(self.model, context_len)
+        gemv_ns = 0.0
+        for spec in plan.linears:
+            gemv_ns += spec.count * self.soc.gemv_time_ns(
+                spec.out_features, spec.in_features, spec.dtype_bytes
+            )
+        return gemv_ns + self._attention_ns(plan.attention)
+
+    def pim_decode_step_ns(self, context_len: int) -> float:
+        """One decode step with linear GEMVs on PIM; attention, glue, and
+        partial-sum reduction on the SoC."""
+        plan = decode_step_plan(self.model, context_len)
+        gemv_ns = 0.0
+        reduce_bytes = 0.0
+        for spec in plan.linears:
+            cost = self._costs[spec.name]
+            gemv_ns += spec.count * (cost.pim_gemv.total_ns + PIM_DISPATCH_NS)
+            reduce_bytes += spec.count * cost.pim_gemv.soc_reduce_bytes
+        reduce_ns = self.soc.stream_time_ns(reduce_bytes)
+        return gemv_ns + reduce_ns + self._attention_ns(plan.attention)
+
+    def _decode_total_ns(self, prefill_len: int, decode_len: int, on_pim: bool) -> float:
+        """Decode steps 2..D (the first token comes from prefill)."""
+        step = self.pim_decode_step_ns if on_pim else self.soc_decode_step_ns
+        return sum(
+            step(prefill_len + t) for t in range(1, decode_len)
+        )
+
+    # ------------------------------------------------------------------
+    # dynamic-offload profiling (paper §VI-C)
+    # ------------------------------------------------------------------
+
+    def prefill_crossover(self, max_len: int = 1024) -> int:
+        """Profiled threshold: smallest prefill length at which the SoC
+        path (re-layout + GEMM) beats PIM-executed prefill.  Queries
+        shorter than this run their prefill on PIM under the
+        hybrid-dynamic baseline."""
+        length = 1
+        while length <= max_len:
+            soc = self.relayout_total_ns() + self.soc_prefill_ns(length)
+            pim = self.pim_prefill_ns(length)
+            if soc <= pim:
+                return length
+            length *= 2
+        return max_len + 1
+
+    def facil_crossover(self, max_len: int = 1024) -> int:
+        """Same profiling for FACIL (no re-layout on the SoC path)."""
+        length = 1
+        while length <= max_len:
+            soc = self.soc_prefill_ns(length, pim_layout=True)
+            if soc <= self.pim_prefill_ns(length):
+                return length
+            length *= 2
+        return max_len + 1
+
+    # ------------------------------------------------------------------
+    # policies
+    # ------------------------------------------------------------------
+
+    def run_query(
+        self,
+        policy: str,
+        prefill_len: int,
+        decode_len: int,
+        dynamic_offload: Optional[bool] = None,
+    ) -> QueryLatency:
+        """Price one query under *policy*.
+
+        ``dynamic_offload`` controls whether FACIL also applies the
+        prefill-length-based SoC/PIM choice (defaults to True, matching
+        the paper's dataset experiments).
+        """
+        if policy not in POLICIES:
+            raise ValueError(f"unknown policy {policy!r}; known: {POLICIES}")
+        if prefill_len <= 0 or decode_len <= 0:
+            raise ValueError("prefill and decode lengths must be positive")
+
+        breakdown: Dict[str, float] = {}
+        if policy == "soc-only":
+            ttft = self.soc_prefill_ns(prefill_len)
+            breakdown["prefill_soc"] = ttft
+            decode = self._decode_total_ns(prefill_len, decode_len, on_pim=False)
+            breakdown["decode_soc"] = decode
+        elif policy == "hybrid-static":
+            relayout = self.relayout_total_ns()
+            gemm = self.soc_prefill_ns(prefill_len)
+            ttft = relayout + gemm
+            breakdown["relayout"] = relayout
+            breakdown["prefill_soc"] = gemm
+            decode = self._decode_total_ns(prefill_len, decode_len, on_pim=True)
+            breakdown["decode_pim"] = decode
+        elif policy == "hybrid-dynamic":
+            soc_path = self.relayout_total_ns() + self.soc_prefill_ns(prefill_len)
+            pim_path = self.pim_prefill_ns(prefill_len)
+            if pim_path < soc_path:
+                ttft = pim_path
+                breakdown["prefill_pim"] = pim_path
+            else:
+                ttft = soc_path
+                breakdown["relayout"] = self.relayout_total_ns()
+                breakdown["prefill_soc"] = ttft - breakdown["relayout"]
+            decode = self._decode_total_ns(prefill_len, decode_len, on_pim=True)
+            breakdown["decode_pim"] = decode
+        else:  # facil
+            use_dynamic = True if dynamic_offload is None else dynamic_offload
+            soc_path = self.soc_prefill_ns(prefill_len, pim_layout=True)
+            if use_dynamic:
+                pim_path = self.pim_prefill_ns(prefill_len)
+                if pim_path < soc_path:
+                    ttft = pim_path
+                    breakdown["prefill_pim"] = pim_path
+                else:
+                    ttft = soc_path
+                    breakdown["prefill_soc"] = soc_path
+            else:
+                ttft = soc_path
+                breakdown["prefill_soc"] = soc_path
+            decode = self._decode_total_ns(prefill_len, decode_len, on_pim=True)
+            breakdown["decode_pim"] = decode
+
+        return QueryLatency(
+            policy=policy,
+            prefill_tokens=prefill_len,
+            decode_tokens=decode_len,
+            ttft_ns=ttft,
+            ttlt_ns=ttft + decode,
+            breakdown=breakdown,
+        )

@@ -1,0 +1,128 @@
+"""Multi-turn chat sessions (extension).
+
+The paper evaluates single queries; real assistants hold conversations
+where the KV cache persists across turns.  The consequence for the
+baselines is stark: the hybrid-static baseline pays the **full re-layout
+on every turn** (each turn has a prefill), while FACIL pays it never —
+the gap grows linearly with conversation length.
+
+:class:`ChatSession` prices successive turns with cumulative context:
+turn *k*'s prefill GEMMs cover only the new user tokens, but attention
+spans the whole conversation so far.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.engine.metrics import QueryLatency
+from repro.engine.policies import InferenceEngine
+from repro.llm.inference import attention_cost
+from repro.llm.layers import linear_specs
+
+__all__ = ["ChatSession", "TurnLatency"]
+
+
+@dataclass(frozen=True)
+class TurnLatency:
+    """Latency of one conversation turn."""
+
+    turn: int
+    context_before: int
+    user_tokens: int
+    response_tokens: int
+    ttft_ns: float
+    ttlt_ns: float
+
+    @property
+    def ttft_ms(self) -> float:
+        return self.ttft_ns / 1e6
+
+    @property
+    def ttlt_ms(self) -> float:
+        return self.ttlt_ns / 1e6
+
+
+class ChatSession:
+    """Prices a conversation under one policy, with persistent KV cache."""
+
+    def __init__(self, engine: InferenceEngine, policy: str):
+        if policy not in ("soc-only", "hybrid-static", "hybrid-dynamic", "facil"):
+            raise ValueError(f"unknown policy {policy!r}")
+        self.engine = engine
+        self.policy = policy
+        self.context = 0
+        self.turns: List[TurnLatency] = []
+
+    # -- pricing helpers ------------------------------------------------------
+
+    def _incremental_prefill_ns(self, n_new: int, pim_layout: bool) -> float:
+        """Prefill over *n_new* tokens attending to the whole context."""
+        engine = self.engine
+        gemm_ns = 0.0
+        for spec in linear_specs(engine.model):
+            n = engine._gemm_batch(spec, n_new)
+            gemm_ns += spec.count * engine.soc.gemm_time_ns(
+                spec.out_features, n, spec.in_features, spec.dtype_bytes
+            )
+        if pim_layout:
+            gemm_ns *= 1.0 + engine.platform.gemm_layout_slowdown
+        attention = attention_cost(
+            engine.model, n_new, self.context + n_new
+        )
+        return gemm_ns + engine._attention_ns(attention)
+
+    def _prefill_ns(self, n_new: int) -> float:
+        engine = self.engine
+        if self.policy == "soc-only":
+            return self._incremental_prefill_ns(n_new, pim_layout=False)
+        if self.policy == "hybrid-static":
+            return engine.relayout_total_ns() + self._incremental_prefill_ns(
+                n_new, pim_layout=False
+            )
+        if self.policy == "hybrid-dynamic":
+            soc_path = engine.relayout_total_ns() + self._incremental_prefill_ns(
+                n_new, pim_layout=False
+            )
+            return min(soc_path, engine.pim_prefill_ns(n_new))
+        # facil (dynamic offload on, as in the dataset experiments)
+        soc_path = self._incremental_prefill_ns(n_new, pim_layout=True)
+        return min(soc_path, engine.pim_prefill_ns(n_new))
+
+    # -- public API ------------------------------------------------------------
+
+    def turn(self, user_tokens: int, response_tokens: int) -> TurnLatency:
+        """Process one turn; the KV context persists into the next."""
+        if user_tokens <= 0 or response_tokens <= 0:
+            raise ValueError("token counts must be positive")
+        engine = self.engine
+        ttft = self._prefill_ns(user_tokens)
+        on_pim = self.policy != "soc-only"
+        step = engine.pim_decode_step_ns if on_pim else engine.soc_decode_step_ns
+        decode = 0.0
+        base = self.context + user_tokens
+        for t in range(1, response_tokens):
+            decode += step(base + t)
+        result = TurnLatency(
+            turn=len(self.turns) + 1,
+            context_before=self.context,
+            user_tokens=user_tokens,
+            response_tokens=response_tokens,
+            ttft_ns=ttft,
+            ttlt_ns=ttft + decode,
+        )
+        self.turns.append(result)
+        self.context += user_tokens + response_tokens
+        return result
+
+    @property
+    def total_ns(self) -> float:
+        return sum(t.ttlt_ns for t in self.turns)
+
+    @property
+    def total_relayout_ns(self) -> float:
+        """Cumulative re-layout cost paid so far (static baseline only)."""
+        if self.policy != "hybrid-static":
+            return 0.0
+        return len(self.turns) * self.engine.relayout_total_ns()

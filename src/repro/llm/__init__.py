@@ -1,0 +1,45 @@
+"""LLM workload substrate: model configs, op traces, dataset samplers."""
+
+from repro.llm.datasets import (
+    ALPACA_LIKE,
+    HUMANEVAL_AUTOCOMPLETE_LIKE,
+    DatasetSpec,
+    QueryTrace,
+    sample_trace,
+)
+from repro.llm.inference import AttentionCost, PhasePlan, decode_step_plan, prefill_plan
+from repro.llm.layers import LinearSpec, linear_specs, total_linear_bytes
+from repro.llm.ops import gqa_attention, rms_norm, softmax, swiglu
+from repro.llm.model_config import (
+    LLAMA3_8B,
+    MODELS,
+    OPT_6_7B,
+    PHI_1_5,
+    LlmConfig,
+    model_by_name,
+)
+
+__all__ = [
+    "ALPACA_LIKE",
+    "AttentionCost",
+    "DatasetSpec",
+    "HUMANEVAL_AUTOCOMPLETE_LIKE",
+    "LLAMA3_8B",
+    "LinearSpec",
+    "LlmConfig",
+    "MODELS",
+    "OPT_6_7B",
+    "PHI_1_5",
+    "PhasePlan",
+    "QueryTrace",
+    "decode_step_plan",
+    "gqa_attention",
+    "rms_norm",
+    "softmax",
+    "swiglu",
+    "linear_specs",
+    "model_by_name",
+    "prefill_plan",
+    "sample_trace",
+    "total_linear_bytes",
+]

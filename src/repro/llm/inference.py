@@ -1,0 +1,82 @@
+"""Phase-level inference cost accounting.
+
+Builds the op lists the engine prices: prefill (GEMM over L tokens, run
+once per query) and decode (GEMV per generated token, auto-regressive).
+Attention over the KV cache and the non-linear glue (norms, rotary,
+softmax, residuals) are accounted as flop/byte budgets priced on the SoC;
+per the paper's profiling (Fig. 2a) they are a small slice next to the
+linear ops, but they bound the achievable PIM speedup so they must be
+present.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.llm.layers import LinearSpec, linear_specs
+from repro.llm.model_config import LlmConfig
+
+__all__ = ["AttentionCost", "PhasePlan", "attention_cost", "prefill_plan", "decode_step_plan"]
+
+
+@dataclass(frozen=True)
+class AttentionCost:
+    """Flops and memory traffic of attention + non-linear glue for one
+    phase sweep through the model."""
+
+    flops: float
+    bytes_moved: float
+    n_kernels: int
+
+
+@dataclass(frozen=True)
+class PhasePlan:
+    """Everything the engine needs to price one phase invocation."""
+
+    linears: List[LinearSpec]  # each priced at the phase's batch size
+    batch_tokens: int  # n of the GEMM (1 for decode)
+    attention: AttentionCost
+
+
+def attention_cost(cfg: LlmConfig, q_tokens: int, context: int) -> AttentionCost:
+    """Score + context matmuls over the KV cache, plus glue.
+
+    For *q_tokens* query positions attending to *context* keys:
+    ``2 * q * ctx * head_dim`` MACs per head for scores, the same for the
+    value mix, across all heads and layers.  Memory traffic is dominated
+    by the KV cache read (GQA shrinks it) and activation round trips.
+    """
+    per_layer_flops = 2.0 * 2.0 * q_tokens * context * cfg.d_model
+    kv_read = 2.0 * context * cfg.kv_dim * cfg.dtype_bytes
+    activations = 6.0 * q_tokens * cfg.d_model * cfg.dtype_bytes
+    glue_flops = 10.0 * q_tokens * cfg.d_model  # norms, rotary, residual
+    per_layer_bytes = kv_read + activations
+    return AttentionCost(
+        flops=(per_layer_flops + glue_flops) * cfg.n_layers,
+        bytes_moved=per_layer_bytes * cfg.n_layers,
+        # score, softmax, mix, two norms per layer
+        n_kernels=5 * cfg.n_layers,
+    )
+
+
+def prefill_plan(cfg: LlmConfig, prefill_len: int) -> PhasePlan:
+    """The prefill phase: every linear as a GEMM over *prefill_len* tokens."""
+    if prefill_len <= 0:
+        raise ValueError("prefill length must be positive")
+    return PhasePlan(
+        linears=linear_specs(cfg),
+        batch_tokens=prefill_len,
+        attention=attention_cost(cfg, prefill_len, prefill_len),
+    )
+
+
+def decode_step_plan(cfg: LlmConfig, context_len: int) -> PhasePlan:
+    """One decode step with *context_len* tokens already in the KV cache."""
+    if context_len <= 0:
+        raise ValueError("context length must be positive")
+    return PhasePlan(
+        linears=linear_specs(cfg),
+        batch_tokens=1,
+        attention=attention_cost(cfg, 1, context_len),
+    )

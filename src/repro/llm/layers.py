@@ -1,0 +1,74 @@
+"""Op-level decomposition: the linear layers of each model.
+
+A :class:`LinearSpec` is one weight matrix (``out_features x
+in_features``); :func:`linear_specs` enumerates the distinct matrices of a
+model together with how many instances exist, which is all the inference
+engine needs — every instance of a spec has identical GEMM/GEMV/re-layout
+cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.core.selector import MatrixConfig
+from repro.llm.model_config import LlmConfig
+
+__all__ = ["LinearSpec", "linear_specs", "total_linear_bytes"]
+
+
+@dataclass(frozen=True)
+class LinearSpec:
+    """One distinct weight matrix of the model."""
+
+    name: str
+    out_features: int  # M: output rows (GEMV output length)
+    in_features: int  # K: reduction dimension
+    count: int  # instances across the whole model
+    dtype_bytes: int = 2
+
+    @property
+    def bytes_per_instance(self) -> int:
+        return self.out_features * self.in_features * self.dtype_bytes
+
+    @property
+    def total_bytes(self) -> int:
+        return self.bytes_per_instance * self.count
+
+    def matrix_config(self) -> MatrixConfig:
+        return MatrixConfig(
+            rows=self.out_features,
+            cols=self.in_features,
+            dtype_bytes=self.dtype_bytes,
+        )
+
+
+def linear_specs(cfg: LlmConfig, include_head: bool = True) -> List[LinearSpec]:
+    """The distinct linear layers of *cfg*, per-layer ops multiplied by
+    layer count (they are identical in shape and cost)."""
+    d, kv, ff, n = cfg.d_model, cfg.kv_dim, cfg.d_ff, cfg.n_layers
+    specs = [
+        LinearSpec("q_proj", d, d, n, cfg.dtype_bytes),
+        LinearSpec("k_proj", kv, d, n, cfg.dtype_bytes),
+        LinearSpec("v_proj", kv, d, n, cfg.dtype_bytes),
+        LinearSpec("o_proj", d, d, n, cfg.dtype_bytes),
+    ]
+    if cfg.ffn_kind == "gated":
+        specs += [
+            LinearSpec("gate_proj", ff, d, n, cfg.dtype_bytes),
+            LinearSpec("up_proj", ff, d, n, cfg.dtype_bytes),
+            LinearSpec("down_proj", d, ff, n, cfg.dtype_bytes),
+        ]
+    else:
+        specs += [
+            LinearSpec("fc1", ff, d, n, cfg.dtype_bytes),
+            LinearSpec("fc2", d, ff, n, cfg.dtype_bytes),
+        ]
+    if include_head:
+        specs.append(LinearSpec("lm_head", cfg.vocab_size, d, 1, cfg.dtype_bytes))
+    return specs
+
+
+def total_linear_bytes(cfg: LlmConfig, include_head: bool = True) -> int:
+    return sum(spec.total_bytes for spec in linear_specs(cfg, include_head))

@@ -1,0 +1,125 @@
+"""LLM architecture configurations for the three evaluated models.
+
+Only the op-level structure matters for the reproduction: which linear
+layers exist (their M x K shapes), how attention scales with context, and
+the total weight footprint that drives both re-layout cost and
+memory-bound GEMM/GEMV time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+__all__ = ["LlmConfig", "LLAMA3_8B", "OPT_6_7B", "PHI_1_5", "MODELS", "model_by_name"]
+
+
+@dataclass(frozen=True)
+class LlmConfig:
+    """Transformer decoder architecture description.
+
+    Attributes:
+        ffn_kind: ``"gated"`` (SwiGLU: gate/up/down) or ``"mlp"``
+            (fc1/fc2 with an activation between).
+        tied_embeddings: whether the LM head shares the embedding matrix.
+    """
+
+    name: str
+    n_layers: int
+    d_model: int
+    n_heads: int
+    n_kv_heads: int
+    d_ff: int
+    vocab_size: int
+    ffn_kind: str = "gated"
+    dtype_bytes: int = 2
+    tied_embeddings: bool = False
+
+    def __post_init__(self) -> None:
+        if self.ffn_kind not in ("gated", "mlp"):
+            raise ValueError(f"unknown ffn_kind {self.ffn_kind!r}")
+        if self.d_model % self.n_heads:
+            raise ValueError("d_model must divide evenly into heads")
+        if self.n_heads % self.n_kv_heads:
+            raise ValueError("n_kv_heads must divide n_heads (GQA)")
+
+    @property
+    def head_dim(self) -> int:
+        return self.d_model // self.n_heads
+
+    @property
+    def kv_dim(self) -> int:
+        """Width of the K/V projections (grouped-query attention)."""
+        return self.head_dim * self.n_kv_heads
+
+    @property
+    def kv_cache_bytes_per_token(self) -> int:
+        """K and V cache traffic per token per layer-sweep."""
+        return 2 * self.kv_dim * self.dtype_bytes * self.n_layers
+
+    def weight_bytes(self) -> int:
+        """Total linear-weight footprint (the paper's 16.2 GB for
+        Llama3-8B at FP16), including embeddings and LM head."""
+        per_layer = 0
+        # attention projections
+        per_layer += self.d_model * self.d_model  # Q
+        per_layer += self.kv_dim * self.d_model  # K
+        per_layer += self.kv_dim * self.d_model  # V
+        per_layer += self.d_model * self.d_model  # O
+        if self.ffn_kind == "gated":
+            per_layer += 3 * self.d_ff * self.d_model  # gate, up, down
+        else:
+            per_layer += 2 * self.d_ff * self.d_model  # fc1, fc2
+        total = per_layer * self.n_layers
+        total += self.vocab_size * self.d_model  # embeddings
+        if not self.tied_embeddings:
+            total += self.vocab_size * self.d_model  # LM head
+        return total * self.dtype_bytes
+
+
+LLAMA3_8B = LlmConfig(
+    name="llama3-8b",
+    n_layers=32,
+    d_model=4096,
+    n_heads=32,
+    n_kv_heads=8,
+    d_ff=14336,
+    vocab_size=128256,
+    ffn_kind="gated",
+)
+
+OPT_6_7B = LlmConfig(
+    name="opt-6.7b",
+    n_layers=32,
+    d_model=4096,
+    n_heads=32,
+    n_kv_heads=32,
+    d_ff=16384,
+    vocab_size=50272,
+    ffn_kind="mlp",
+    tied_embeddings=True,
+)
+
+PHI_1_5 = LlmConfig(
+    name="phi-1.5",
+    n_layers=24,
+    d_model=2048,
+    n_heads=32,
+    n_kv_heads=32,
+    d_ff=8192,
+    vocab_size=51200,
+    ffn_kind="mlp",
+)
+
+MODELS: Dict[str, LlmConfig] = {
+    cfg.name: cfg for cfg in (LLAMA3_8B, OPT_6_7B, PHI_1_5)
+}
+
+
+def model_by_name(name: str) -> LlmConfig:
+    try:
+        return MODELS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown model {name!r}; known: {sorted(MODELS)}"
+        ) from None

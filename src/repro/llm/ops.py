@@ -1,0 +1,60 @@
+"""Numeric building blocks shared by the functional transformer.
+
+These are the non-linear operations that stay on the SoC in FACIL
+(attention over the KV cache, normalization, activations); the linear
+layers run through the PIM/SoC data paths.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["softmax", "rms_norm", "swiglu", "gqa_attention"]
+
+
+def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax."""
+    shifted = x - x.max(axis=axis, keepdims=True)
+    e = np.exp(shifted)
+    return e / e.sum(axis=axis, keepdims=True)
+
+
+def rms_norm(x: np.ndarray, eps: float = 1e-5) -> np.ndarray:
+    """Root-mean-square normalization (Llama-style, no learned gain)."""
+    return x / np.sqrt((x * x).mean(axis=-1, keepdims=True) + eps)
+
+
+def swiglu(gate: np.ndarray, up: np.ndarray) -> np.ndarray:
+    """The gated-FFN activation: ``up * SiLU(gate)``."""
+    return up * (gate / (1.0 + np.exp(-gate)))
+
+
+def gqa_attention(
+    q: np.ndarray,  # (tokens, heads * head_dim)
+    k_ctx: np.ndarray,  # (ctx, kv_heads * head_dim)
+    v_ctx: np.ndarray,
+    n_heads: int,
+    n_kv_heads: int,
+    causal_offset: int = 0,
+) -> np.ndarray:
+    """Grouped-query causal attention over a cached context.
+
+    Query position ``i`` (absolute position ``causal_offset + i``) attends
+    to keys up to and including its own position.
+    """
+    if n_heads % n_kv_heads:
+        raise ValueError("n_kv_heads must divide n_heads")
+    tokens, width = q.shape
+    head_dim = width // n_heads
+    group = n_heads // n_kv_heads
+    q_h = q.reshape(tokens, n_heads, head_dim)
+    k_h = k_ctx.reshape(-1, n_kv_heads, head_dim)
+    v_h = v_ctx.reshape(-1, n_kv_heads, head_dim)
+    out = np.empty_like(q_h)
+    for h in range(n_heads):
+        kv_h = h // group
+        scores = q_h[:, h, :] @ k_h[:, kv_h, :].T / np.sqrt(head_dim)
+        for i in range(tokens):
+            scores[i, causal_offset + i + 1 :] = -1e30
+        out[:, h, :] = softmax(scores, axis=-1) @ v_h[:, kv_h, :]
+    return out.reshape(tokens, n_heads * head_dim)

@@ -1,0 +1,46 @@
+"""OS substrate: buddy allocator, paging with MapID PTEs, TLB, MMU, mmap."""
+
+from repro.os.buddy import BuddyAllocator, CompactionResult, OutOfMemoryError
+from repro.os.loadsim import (
+    LoadCostModel,
+    LoadOutcome,
+    build_fragmented_arena,
+    simulate_weight_load,
+)
+from repro.os.mmu import Mmu, Translation
+from repro.os.page_table import (
+    HUGE_SHIFT,
+    PAGE_SHIFT,
+    PageFaultError,
+    PageTable,
+    PteFlags,
+    WalkResult,
+    pack_pte,
+    unpack_pte,
+)
+from repro.os.tlb import Tlb, TlbStats
+from repro.os.vm import AddressSpace, VmArea
+
+__all__ = [
+    "AddressSpace",
+    "BuddyAllocator",
+    "CompactionResult",
+    "HUGE_SHIFT",
+    "LoadCostModel",
+    "LoadOutcome",
+    "Mmu",
+    "OutOfMemoryError",
+    "PAGE_SHIFT",
+    "PageFaultError",
+    "PageTable",
+    "PteFlags",
+    "Tlb",
+    "TlbStats",
+    "Translation",
+    "VmArea",
+    "WalkResult",
+    "build_fragmented_arena",
+    "pack_pte",
+    "simulate_weight_load",
+    "unpack_pte",
+]

@@ -1,0 +1,214 @@
+"""Radix page table with FACIL's MapID-augmented page-table entries.
+
+The paper (Fig. 11) repurposes *unused* bits of a huge-page PTE to carry
+the MapID: a 2 MB page needs 9 fewer physical-frame-number bits than a
+4 KB page (21 - 12 = 9 unused bits), and at most 14 extra mappings need
+only 4 bits.  This module packs/unpacks 64-bit PTEs with exactly that
+layout and implements a 4-level x86-style radix walk supporting both 4 KB
+leaves (level 1) and 2 MB huge leaves (level 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+__all__ = [
+    "PAGE_SHIFT",
+    "HUGE_SHIFT",
+    "PteFlags",
+    "pack_pte",
+    "unpack_pte",
+    "PageTable",
+    "PageFaultError",
+    "WalkResult",
+]
+
+PAGE_SHIFT = 12  # 4 KB base pages
+HUGE_SHIFT = 21  # 2 MB huge pages
+LEVEL_BITS = 9  # 512 entries per level
+N_LEVELS = 4  # 48-bit virtual addresses
+
+#: Number of PTE bits freed when the leaf is a huge page (paper: 21-12=9).
+UNUSED_HUGE_BITS = HUGE_SHIFT - PAGE_SHIFT
+#: Width of the MapID field FACIL stores in those unused bits.
+MAP_ID_BITS = 4
+MAP_ID_SHIFT = PAGE_SHIFT  # MapID occupies PTE bits [12, 12+4)
+
+_PFN_SHIFT = PAGE_SHIFT
+_PFN_MASK = (1 << 40) - 1  # 40-bit physical frame numbers
+
+
+class PageFaultError(Exception):
+    """Translation attempted on an unmapped virtual address."""
+
+
+class PteFlags:
+    """PTE flag bits (subset of the x86-64 layout)."""
+
+    PRESENT = 1 << 0
+    WRITABLE = 1 << 1
+    USER = 1 << 2
+    HUGE = 1 << 7  # page-size bit: leaf at the PMD level
+    PIM = 1 << 9  # software bit: region allocated via pimalloc
+
+    LOW_MASK = PRESENT | WRITABLE | USER | HUGE | PIM
+
+
+def pack_pte(pfn: int, flags: int, map_id: int = 0) -> int:
+    """Pack a 64-bit PTE.
+
+    For huge pages, the physical address bits [12, 21) are necessarily
+    zero, so FACIL stores the MapID there — no PTE widening, no extra
+    memory (paper Fig. 11).  For 4 KB pages ``map_id`` must be 0: regular
+    pages always use the conventional mapping.
+    """
+    if pfn < 0 or pfn > _PFN_MASK:
+        raise ValueError(f"pfn {pfn:#x} out of range")
+    if not 0 <= map_id < (1 << MAP_ID_BITS):
+        raise ValueError(
+            f"map_id {map_id} needs more than {MAP_ID_BITS} bits; the paper "
+            "bounds the mapping count so 4 bits always suffice"
+        )
+    huge = bool(flags & PteFlags.HUGE)
+    if not huge and map_id != 0:
+        raise ValueError("MapID can only be stored in huge-page PTEs")
+    if huge and pfn & ((1 << UNUSED_HUGE_BITS) - 1):
+        raise ValueError(
+            f"huge-page pfn {pfn:#x} must be 2 MB aligned "
+            f"({UNUSED_HUGE_BITS} low bits clear)"
+        )
+    pte = (pfn << _PFN_SHIFT) | (flags & PteFlags.LOW_MASK)
+    if huge:
+        pte |= map_id << MAP_ID_SHIFT
+    return pte
+
+
+def unpack_pte(pte: int) -> "WalkResult":
+    """Inverse of :func:`pack_pte` (virtual address left as 0)."""
+    flags = pte & PteFlags.LOW_MASK
+    huge = bool(flags & PteFlags.HUGE)
+    if huge:
+        map_id = (pte >> MAP_ID_SHIFT) & ((1 << MAP_ID_BITS) - 1)
+        pfn = (pte >> _PFN_SHIFT) & _PFN_MASK & ~((1 << UNUSED_HUGE_BITS) - 1)
+    else:
+        map_id = 0
+        pfn = (pte >> _PFN_SHIFT) & _PFN_MASK
+    return WalkResult(
+        pa=pfn << PAGE_SHIFT,
+        page_shift=HUGE_SHIFT if huge else PAGE_SHIFT,
+        map_id=map_id,
+        flags=flags,
+    )
+
+
+@dataclass(frozen=True)
+class WalkResult:
+    """Outcome of a page-table walk for one leaf."""
+
+    pa: int  # physical base address of the page
+    page_shift: int  # 12 or 21
+    map_id: int
+    flags: int
+
+    @property
+    def page_bytes(self) -> int:
+        return 1 << self.page_shift
+
+    @property
+    def is_huge(self) -> bool:
+        return self.page_shift == HUGE_SHIFT
+
+
+class PageTable:
+    """4-level radix page table keyed by 48-bit virtual addresses."""
+
+    def __init__(self) -> None:
+        self._root: Dict[int, object] = {}
+        self.walks = 0
+
+    @staticmethod
+    def _indices(va: int) -> tuple:
+        indices = []
+        shift = PAGE_SHIFT + LEVEL_BITS * (N_LEVELS - 1)
+        for _ in range(N_LEVELS):
+            indices.append((va >> shift) & ((1 << LEVEL_BITS) - 1))
+            shift -= LEVEL_BITS
+        return tuple(indices)
+
+    def map_page(
+        self,
+        va: int,
+        pa: int,
+        huge: bool = False,
+        map_id: int = 0,
+        flags: int = PteFlags.PRESENT | PteFlags.WRITABLE,
+    ) -> None:
+        """Install one leaf mapping va -> pa.
+
+        Raises:
+            ValueError: on misalignment or an already-mapped address.
+        """
+        shift = HUGE_SHIFT if huge else PAGE_SHIFT
+        if va & ((1 << shift) - 1) or pa & ((1 << shift) - 1):
+            raise ValueError(
+                f"va {va:#x} / pa {pa:#x} not aligned to {1 << shift} bytes"
+            )
+        full_flags = flags | PteFlags.PRESENT | (PteFlags.HUGE if huge else 0)
+        pte = pack_pte(pa >> PAGE_SHIFT, full_flags, map_id)
+        indices = self._indices(va)
+        depth = N_LEVELS - 2 if huge else N_LEVELS - 1
+        node = self._root
+        for level in range(depth):
+            child = node.get(indices[level])
+            if child is None:
+                child = {}
+                node[indices[level]] = child
+            if not isinstance(child, dict):
+                raise ValueError(f"va {va:#x} overlaps an existing huge mapping")
+            node = child
+        if indices[depth] in node:
+            raise ValueError(f"va {va:#x} is already mapped")
+        node[indices[depth]] = pte
+
+    def unmap_page(self, va: int, huge: bool = False) -> None:
+        indices = self._indices(va)
+        depth = N_LEVELS - 2 if huge else N_LEVELS - 1
+        node = self._root
+        for level in range(depth):
+            child = node.get(indices[level])
+            if not isinstance(child, dict):
+                raise PageFaultError(f"va {va:#x} not mapped")
+            node = child
+        if indices[depth] not in node:
+            raise PageFaultError(f"va {va:#x} not mapped")
+        del node[indices[depth]]
+
+    def walk(self, va: int) -> WalkResult:
+        """Walk the tree; returns the leaf for *va*.
+
+        Raises:
+            PageFaultError: when no leaf covers *va*.
+        """
+        self.walks += 1
+        indices = self._indices(va)
+        node = self._root
+        for level in range(N_LEVELS):
+            entry = node.get(indices[level])
+            if entry is None:
+                raise PageFaultError(f"va {va:#x} not mapped (level {level})")
+            if isinstance(entry, dict):
+                node = entry
+                continue
+            result = unpack_pte(entry)
+            expected_level = N_LEVELS - 2 if result.is_huge else N_LEVELS - 1
+            if level != expected_level:
+                raise PageFaultError(
+                    f"malformed table: leaf at level {level} for va {va:#x}"
+                )
+            return result
+        raise PageFaultError(f"va {va:#x}: walk reached depth without a leaf")
+
+    def translate(self, va: int) -> WalkResult:
+        """Alias of :meth:`walk` (kept for API symmetry with the MMU)."""
+        return self.walk(va)

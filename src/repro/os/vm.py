@@ -1,0 +1,159 @@
+"""Virtual-memory front door: an ``mmap``-style interface with FACIL's
+optional MapID argument (paper §V-A).
+
+``AddressSpace.mmap`` allocates physical frames from the buddy allocator,
+installs leaf PTEs (huge or base pages), and — when a MapID is supplied —
+records it in the huge-page PTEs so every later access through the MMU
+carries the mapping choice to the memory controller.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.os.buddy import BuddyAllocator
+from repro.os.mmu import Mmu
+from repro.os.page_table import (
+    HUGE_SHIFT,
+    PAGE_SHIFT,
+    PageTable,
+    PteFlags,
+)
+from repro.os.tlb import Tlb
+
+__all__ = ["AddressSpace", "VmArea"]
+
+_HUGE_ORDER = HUGE_SHIFT - PAGE_SHIFT  # order-9 buddy blocks back huge pages
+_VA_BASE = 0x0000_1000_0000  # leave low VA unmapped, like a real process
+
+
+@dataclass
+class VmArea:
+    """One mmap'ed region (a simplified Linux VMA)."""
+
+    va: int
+    length: int
+    page_shift: int
+    map_id: int
+    flags: int
+    frames: List[int] = field(default_factory=list)
+
+    @property
+    def page_bytes(self) -> int:
+        return 1 << self.page_shift
+
+    @property
+    def n_pages(self) -> int:
+        return self.length // self.page_bytes
+
+    @property
+    def end(self) -> int:
+        return self.va + self.length
+
+
+class AddressSpace:
+    """A process address space: VA allocator + page table + TLB + frames."""
+
+    def __init__(
+        self,
+        buddy: BuddyAllocator,
+        page_table: Optional[PageTable] = None,
+        tlb: Optional[Tlb] = None,
+    ):
+        self.buddy = buddy
+        self.page_table = page_table if page_table is not None else PageTable()
+        self.mmu = Mmu(self.page_table, tlb)
+        self.areas: Dict[int, VmArea] = {}
+        self._va_cursor = _VA_BASE
+        #: pages copied by compaction while minting huge pages (cost model)
+        self.compaction_moves = 0
+
+    # -- mmap / munmap -----------------------------------------------------
+
+    def mmap(
+        self,
+        length: int,
+        huge: bool = False,
+        map_id: int = 0,
+        writable: bool = True,
+        compact: bool = True,
+    ) -> int:
+        """Allocate and map *length* bytes; returns the virtual address.
+
+        This is the paper's extended ``mmap()``: the extra *map_id*
+        argument is legal only with huge pages, and lands in the PTEs.
+        With ``compact=True`` huge-page allocation falls back to buddy
+        compaction (counting moved pages in :attr:`compaction_moves`)
+        instead of failing when free memory is fragmented.
+        """
+        if length <= 0:
+            raise ValueError("length must be positive")
+        if map_id != 0 and not huge:
+            raise ValueError("MapID requires huge pages (paper §V-A)")
+        page_shift = HUGE_SHIFT if huge else PAGE_SHIFT
+        page_bytes = 1 << page_shift
+        length = (length + page_bytes - 1) & ~(page_bytes - 1)
+
+        va = (self._va_cursor + page_bytes - 1) & ~(page_bytes - 1)
+        self._va_cursor = va + length
+
+        flags = PteFlags.PRESENT | (PteFlags.WRITABLE if writable else 0)
+        if map_id != 0:
+            flags |= PteFlags.PIM
+        area = VmArea(
+            va=va, length=length, page_shift=page_shift, map_id=map_id, flags=flags
+        )
+        order = _HUGE_ORDER if huge else 0
+        try:
+            for index in range(area.n_pages):
+                if huge and compact:
+                    result = self.buddy.alloc_with_compaction(order)
+                    frame = result.frame
+                    self.compaction_moves += result.pages_moved
+                else:
+                    frame = self.buddy.alloc(order)
+                try:
+                    self.page_table.map_page(
+                        va + index * page_bytes,
+                        frame << PAGE_SHIFT,
+                        huge=huge,
+                        map_id=map_id,
+                        flags=flags,
+                    )
+                except Exception:
+                    self.buddy.free(frame)
+                    raise
+                area.frames.append(frame)
+        except Exception:
+            self._rollback(area)
+            raise
+        self.areas[va] = area
+        return va
+
+    def _rollback(self, area: VmArea) -> None:
+        for index, frame in enumerate(area.frames):
+            self.page_table.unmap_page(
+                area.va + index * area.page_bytes,
+                huge=area.page_shift == HUGE_SHIFT,
+            )
+            self.buddy.free(frame)
+
+    def munmap(self, va: int) -> None:
+        """Tear down the region starting at *va* and free its frames."""
+        area = self.areas.pop(va, None)
+        if area is None:
+            raise ValueError(f"va {va:#x} is not the start of a mapped area")
+        for index, frame in enumerate(area.frames):
+            page_va = va + index * area.page_bytes
+            self.page_table.unmap_page(page_va, huge=area.page_shift == HUGE_SHIFT)
+            self.mmu.tlb.invalidate(page_va, area.page_shift)
+            self.buddy.free(frame)
+
+    # -- queries ---------------------------------------------------------------
+
+    def area_of(self, va: int) -> VmArea:
+        for area in self.areas.values():
+            if area.va <= va < area.end:
+                return area
+        raise KeyError(f"va {va:#x} not inside any mapped area")

@@ -1,0 +1,64 @@
+"""Near-bank PIM substrate: chunk model, functional executor, timing.
+
+Only :mod:`repro.pim.config` is imported eagerly; the executor and timing
+modules depend on :mod:`repro.core` (which itself needs the PIM config),
+so they load lazily on first attribute access (PEP 562).
+"""
+
+from repro.pim.config import (
+    AIM_GDDR6,
+    AIM_LPDDR5,
+    AIM_LPDDR5_INT8,
+    HBM_PIM,
+    PimConfig,
+    aim_config_for,
+)
+
+__all__ = [
+    "CommandStream",
+    "GbLoad",
+    "MacPass",
+    "OutputDrain",
+    "generate_gemv_commands",
+    "replay_latency",
+    "AIM_GDDR6",
+    "AIM_LPDDR5",
+    "AIM_LPDDR5_INT8",
+    "ChunkSegment",
+    "GemvLatency",
+    "GemvStats",
+    "HBM_PIM",
+    "OUT_REGS_PER_PU",
+    "PimConfig",
+    "aim_config_for",
+    "enumerate_placements",
+    "gemv_latency",
+    "pim_gemv",
+    "verify_placement_invariants",
+]
+
+_LAZY = {
+    "CommandStream": "repro.pim.commands",
+    "GbLoad": "repro.pim.commands",
+    "MacPass": "repro.pim.commands",
+    "OutputDrain": "repro.pim.commands",
+    "generate_gemv_commands": "repro.pim.commands",
+    "replay_latency": "repro.pim.commands",
+    "ChunkSegment": "repro.pim.chunk",
+    "enumerate_placements": "repro.pim.chunk",
+    "verify_placement_invariants": "repro.pim.chunk",
+    "GemvStats": "repro.pim.functional",
+    "pim_gemv": "repro.pim.functional",
+    "GemvLatency": "repro.pim.gemv",
+    "OUT_REGS_PER_PU": "repro.pim.gemv",
+    "gemv_latency": "repro.pim.gemv",
+}
+
+
+def __getattr__(name):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)

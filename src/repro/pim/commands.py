@@ -1,0 +1,168 @@
+"""Explicit PIM command streams.
+
+:func:`generate_gemv_commands` lowers a pimalloc'ed tensor's GEMV into
+the device's actual command vocabulary:
+
+* ``GbLoad`` — write one input-vector segment into a rank's shared
+  global buffer (external bus traffic);
+* ``MacPass`` — one all-bank row sweep: every bank of the rank activates
+  its row and streams ``n_cols`` MAC column reads in lock step;
+* ``OutputDrain`` — read the PUs' accumulator registers back.
+
+The stream is derived from the *measured placements* (reverse-mapped from
+the tensor, not from analytic formulas), so replaying it through
+:func:`replay_latency` cross-validates the closed-form timing model in
+:mod:`repro.pim.gemv` — the counts and the latency must agree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Tuple
+
+from repro.core.bitfield import ceil_div
+from repro.dram.config import DramConfig
+from repro.pim.chunk import enumerate_placements
+
+if TYPE_CHECKING:  # circular at runtime: pimalloc imports repro.pim
+    from repro.core.pimalloc import PimTensor
+
+__all__ = ["GbLoad", "MacPass", "OutputDrain", "CommandStream",
+           "generate_gemv_commands", "replay_latency"]
+
+
+@dataclass(frozen=True)
+class GbLoad:
+    """Fill one rank's global buffer with input segment *segment*."""
+
+    channel: int
+    rank: int
+    segment: int
+
+
+@dataclass(frozen=True)
+class MacPass:
+    """All-bank lock-step sweep of one DRAM row per bank."""
+
+    channel: int
+    rank: int
+    row: int
+    segment: int
+    n_banks: int
+    n_cols: int  # MAC column commands per bank
+
+
+@dataclass(frozen=True)
+class OutputDrain:
+    """Read the accumulators of one rank's PUs over the bus."""
+
+    channel: int
+    rank: int
+    n_outputs: int
+
+
+@dataclass
+class CommandStream:
+    """Per-(channel, rank) ordered command lists."""
+
+    loads: List[GbLoad]
+    mac_passes: List[MacPass]
+    drains: List[OutputDrain]
+
+    @property
+    def n_activations(self) -> int:
+        return sum(p.n_banks for p in self.mac_passes)
+
+    @property
+    def n_mac_columns(self) -> int:
+        return sum(p.n_banks * p.n_cols for p in self.mac_passes)
+
+
+def generate_gemv_commands(tensor: "PimTensor") -> CommandStream:
+    """Lower one GEMV over *tensor* into the PIM command vocabulary.
+
+    Schedule: for each rank, loop over the input segments its banks
+    need; per segment, one GB load then the all-bank row sweeps covering
+    every chunk placed under that segment; finally one output drain per
+    rank.  This is the single-pass (enough accumulators) schedule the
+    functional executor uses.
+    """
+    pim = tensor.allocator.pim
+    elems_per_segment = pim.chunk_row_bytes // tensor.matrix.dtype_bytes
+
+    # (channel, rank, segment) -> {row -> set(banks), cols per row}
+    sweeps: Dict[Tuple[int, int, int], Dict[int, Dict[int, int]]] = {}
+    outputs: Dict[Tuple[int, int], set] = {}
+    for seg in enumerate_placements(tensor):
+        sid = seg.segment_id(elems_per_segment)
+        rows = sweeps.setdefault((seg.channel, seg.rank, sid), {})
+        banks = rows.setdefault(seg.row, {})
+        banks[seg.bank] = banks.get(seg.bank, 0) + seg.n_transfers
+        outputs.setdefault((seg.channel, seg.rank), set()).add((seg.bank, seg.m))
+
+    loads: List[GbLoad] = []
+    mac_passes: List[MacPass] = []
+    for (channel, rank, sid), rows in sorted(sweeps.items()):
+        loads.append(GbLoad(channel=channel, rank=rank, segment=sid))
+        for row, banks in sorted(rows.items()):
+            mac_passes.append(
+                MacPass(
+                    channel=channel,
+                    rank=rank,
+                    row=row,
+                    segment=sid,
+                    n_banks=len(banks),
+                    n_cols=max(banks.values()),
+                )
+            )
+    drains = [
+        OutputDrain(channel=channel, rank=rank, n_outputs=len(outs))
+        for (channel, rank), outs in sorted(outputs.items())
+    ]
+    return CommandStream(loads=loads, mac_passes=mac_passes, drains=drains)
+
+
+def replay_latency(stream: CommandStream, dram: DramConfig, pim) -> float:
+    """Walk the command stream against the timing parameters.
+
+    Ranks of a channel serialize (shared command/data bus; the same
+    assumption as the analytic model); channels run in parallel.  GB
+    loads and drains occupy the bus; MAC sweeps occupy the banks.
+    *pim* supplies the MAC cadence multiplier and global-buffer size.
+    Returns nanoseconds.
+    """
+    org = dram.org
+    timings = dram.timings
+    mac_mult = pim.mac_ccd_multiplier
+    burst = timings.burst_time_ns(org)
+
+    per_channel: Dict[int, float] = {}
+    # group commands per (channel, rank)
+    for channel in {c.channel for c in stream.mac_passes} | {
+        l.channel for l in stream.loads
+    }:
+        total = 0.0
+        ranks = {p.rank for p in stream.mac_passes if p.channel == channel} | {
+            l.rank for l in stream.loads if l.channel == channel
+        }
+        for rank in sorted(ranks):
+            for load in stream.loads:
+                if load.channel == channel and load.rank == rank:
+                    n_transfers = ceil_div(
+                        pim.global_buffer_bytes, org.transfer_bytes
+                    )
+                    total += timings.tCWL + n_transfers * burst
+            for sweep in stream.mac_passes:
+                if sweep.channel == channel and sweep.rank == rank:
+                    total += max(
+                        timings.tRC,
+                        timings.tRCD
+                        + sweep.n_cols * timings.tCCD * mac_mult
+                        + timings.tRP,
+                    )
+            for drain in stream.drains:
+                if drain.channel == channel and drain.rank == rank:
+                    transfers = ceil_div(drain.n_outputs * 4, org.transfer_bytes)
+                    total += timings.tCL + transfers * burst
+        per_channel[channel] = total
+    return max(per_channel.values()) if per_channel else 0.0

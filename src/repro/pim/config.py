@@ -1,0 +1,135 @@
+"""Near-bank PIM configurations (paper §II-C).
+
+A *chunk* is the unit of work one processing unit (PU) executes, fixed by
+the PU architecture as ``(output register size, input register size)``:
+
+* SK hynix AiM-style: chunk ``(1, 1024)`` for FP16 — the input register
+  (global buffer) holds one DRAM row (2 KB) of the input vector, the output
+  register holds one output element.
+* Samsung HBM-PIM-style: chunk ``(8, 128)`` — two sets of 8 general
+  registers; each register holds partial sums for one output element.
+
+A *tile* is the set of chunks processed by all banks of all channels in
+lock-step (all-bank operation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.bitfield import is_pow2
+from repro.dram.config import DramOrganization
+
+__all__ = ["PimConfig", "AIM_LPDDR5", "AIM_LPDDR5_INT8", "AIM_GDDR6", "HBM_PIM", "aim_config_for"]
+
+
+@dataclass(frozen=True)
+class PimConfig:
+    """Architecture parameters of a near-bank PIM device.
+
+    Attributes:
+        name: identifier (e.g. ``"aim-lpddr5"``).
+        chunk_rows: output-register dimension of a chunk.
+        chunk_cols: input-register dimension of a chunk, in elements.
+        dtype_bytes: element size the PU computes on (2 for FP16/BF16).
+        banks_per_global_buffer: banks sharing one input global buffer
+            (16 for the paper's AiM-style configuration).
+        global_buffer_bytes: capacity of the shared input buffer (one DRAM
+            row, 2 KB, for AiM).
+        mac_ccd_multiplier: MAC issue interval in units of tCCD_L.  1 means
+            the PU keeps up with the array's column bandwidth (GDDR6-class
+            AiM); 2 models an LPDDR5-class PU whose 16-lane FP16 datapath
+            runs at half the column-command rate (the paper's end-to-end
+            numbers imply this regime; see EXPERIMENTS.md calibration).
+    """
+
+    name: str
+    chunk_rows: int
+    chunk_cols: int
+    dtype_bytes: int = 2
+    banks_per_global_buffer: int = 16
+    global_buffer_bytes: int = 2048
+    mac_ccd_multiplier: int = 1
+
+    def __post_init__(self) -> None:
+        if not is_pow2(self.chunk_rows) or not is_pow2(self.chunk_cols):
+            raise ValueError("chunk dimensions must be powers of two")
+        if self.dtype_bytes <= 0:
+            raise ValueError("dtype_bytes must be positive")
+
+    @property
+    def chunk_row_bytes(self) -> int:
+        """Bytes of one row of a chunk (one matrix-row segment)."""
+        return self.chunk_cols * self.dtype_bytes
+
+    @property
+    def chunk_bytes(self) -> int:
+        return self.chunk_rows * self.chunk_row_bytes
+
+    def pus(self, org: DramOrganization) -> int:
+        """Total processing units: one per bank."""
+        return org.total_banks
+
+    def elems_per_transfer(self, org: DramOrganization) -> int:
+        return org.transfer_bytes // self.dtype_bytes
+
+
+#: AiM-style PIM on LPDDR5: chunk (1, 1024) at FP16, 2 KB global buffer
+#: shared by the 16 banks of a rank (paper §VI-A).
+AIM_LPDDR5 = PimConfig(
+    name="aim-lpddr5",
+    chunk_rows=1,
+    chunk_cols=1024,
+    dtype_bytes=2,
+    banks_per_global_buffer=16,
+    global_buffer_bytes=2048,
+    mac_ccd_multiplier=2,
+)
+
+#: AiM-style PIM computing on INT8 weights (AWQ-style quantized
+#: deployment): one 2 KB DRAM row holds 2048 INT8 elements.
+AIM_LPDDR5_INT8 = PimConfig(
+    name="aim-lpddr5-int8",
+    chunk_rows=1,
+    chunk_cols=2048,
+    dtype_bytes=1,
+    banks_per_global_buffer=16,
+    global_buffer_bytes=2048,
+    mac_ccd_multiplier=2,
+)
+
+#: GDDR6-based AiM (the taped-out prototype): the PU's MAC datapath keeps
+#: up with the full column cadence of the fast GDDR6 interface.
+AIM_GDDR6 = PimConfig(
+    name="aim-gddr6",
+    chunk_rows=1,
+    chunk_cols=1024,
+    dtype_bytes=2,
+    banks_per_global_buffer=16,
+    global_buffer_bytes=2048,
+    mac_ccd_multiplier=1,
+)
+
+#: HBM-PIM-style chunk (8, 128): 8 output registers, 32 B register size,
+#: no in-PU reduction (footnote 1 of the paper).
+HBM_PIM = PimConfig(
+    name="hbm-pim",
+    chunk_rows=8,
+    chunk_cols=128,
+    dtype_bytes=2,
+    banks_per_global_buffer=16,
+    global_buffer_bytes=2048,
+)
+
+
+def aim_config_for(org: DramOrganization, dtype_bytes: int = 2) -> PimConfig:
+    """AiM-style config whose chunk row spans exactly one DRAM row of
+    *org* — useful for the small test geometries."""
+    return PimConfig(
+        name=f"aim-{org.row_bytes}B",
+        chunk_rows=1,
+        chunk_cols=org.row_bytes // dtype_bytes,
+        dtype_bytes=dtype_bytes,
+        banks_per_global_buffer=org.banks_per_rank,
+        global_buffer_bytes=org.row_bytes,
+    )

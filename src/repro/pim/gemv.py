@@ -1,0 +1,167 @@
+"""Analytic command-level timing model for GEMV on near-bank PIM.
+
+The model prices the same command stream the functional executor
+(:mod:`repro.pim.functional`) replays:
+
+* **GB loads** — input-vector segments written into each rank's shared
+  global buffer over the channel data bus (ranks on one channel
+  serialize);
+* **MAC passes** — all-bank lock-step column reads; each DRAM row costs
+  ``max(tRC, tRCD + transfers*tCCD + tRP)`` in steady state, with every
+  column access feeding the PU at the array's internal bandwidth;
+* **output drains** — MAC-register reads over the channel bus;
+* **SoC reduction** — byte counts reported for partitioned matrices
+  (Fig. 10), to be priced by the caller's SoC model.
+
+Output-register pressure is modeled: when a bank holds more matrix rows
+than the PU has accumulators, the input segments must be streamed once per
+row group, multiplying the GB-load count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.bitfield import ceil_div
+from repro.core.selector import MappingSelection, MatrixConfig, select_mapping
+from repro.dram.config import DramConfig
+from repro.pim.config import PimConfig
+
+__all__ = ["GemvLatency", "gemv_latency", "OUT_REGS_PER_PU"]
+
+#: MAC accumulator registers per PU (16 for AiM-style devices).
+OUT_REGS_PER_PU = 16
+
+
+@dataclass(frozen=True)
+class GemvLatency:
+    """Latency breakdown of one PIM GEMV, plus its operation counts."""
+
+    total_ns: float
+    gb_load_ns: float
+    mac_ns: float
+    output_ns: float
+    # operation counts (cross-checked against the functional executor)
+    segments_per_row: int
+    partitions_per_row: int
+    rows_per_bank: int
+    chunk_segments_per_bank: int
+    activates_per_bank: int
+    gb_loads_per_rank: int
+    soc_reduce_bytes: int
+    weight_bytes_streamed: int
+
+    @property
+    def effective_internal_gbps(self) -> float:
+        """Weight bytes consumed per second by the PUs."""
+        if self.total_ns <= 0:
+            return 0.0
+        return self.weight_bytes_streamed / self.total_ns
+
+
+def gemv_latency(
+    matrix: MatrixConfig,
+    dram: DramConfig,
+    pim: PimConfig,
+    huge_page_bytes: int = 2 << 20,
+    selection: Optional[MappingSelection] = None,
+    out_regs_per_pu: int = OUT_REGS_PER_PU,
+    overlap_gb_loads: bool = True,
+) -> GemvLatency:
+    """Latency of ``y = W @ x`` for a pimalloc'ed ``W`` of shape *matrix*.
+
+    Args:
+        matrix: weight matrix configuration.
+        dram: DRAM organization + timings.
+        pim: PIM architecture.
+        selection: mapping selection (re-derived when omitted).
+        out_regs_per_pu: accumulator registers per PU.
+        overlap_gb_loads: allow a rank's next GB load to overlap the other
+            rank's MAC pass (they share only the data bus); when False the
+            model is fully serialized (conservative).
+    """
+    org = dram.org
+    timings = dram.timings
+    if selection is None:
+        selection = select_mapping(matrix, org, pim, huge_page_bytes)
+
+    p = selection.partitions_per_row
+    total_banks = org.total_banks
+    group_banks = max(1, total_banks // p)
+
+    segments_per_row = max(1, selection.padded_row_bytes // pim.chunk_row_bytes)
+    segments_per_row_per_bank = max(1, segments_per_row // p)
+
+    # Matrix rows resident in each bank (chunk_rows rows interleave at a
+    # finer grain for HBM-PIM-style chunks).
+    rows_per_bank = ceil_div(matrix.rows, group_banks * pim.chunk_rows) * pim.chunk_rows
+    chunk_segments_per_bank = rows_per_bank * segments_per_row_per_bank
+
+    bytes_per_bank = chunk_segments_per_bank * pim.chunk_row_bytes
+    activates_per_bank = ceil_div(bytes_per_bank, org.row_bytes)
+
+    # --- MAC time ----------------------------------------------------------
+    # Banks of one rank run in lock step (all-bank MAC); consecutive MACs
+    # to the open row are tCCD_L apart.  The ranks of a channel *serialize*:
+    # their all-bank command streams share the channel's command/data bus,
+    # so only one rank's MAC pass progresses at a time (this matches the
+    # NeuPIMs-style per-channel simulation the paper uses, and is what
+    # brings PIM's effective internal bandwidth to the few-x-over-external
+    # regime the paper's end-to-end numbers imply).
+    transfers_per_dram_row = org.cols_per_row
+    mac_interval = timings.tCCD * pim.mac_ccd_multiplier
+    per_row_ns = max(
+        timings.tRC,
+        timings.tRCD + transfers_per_dram_row * mac_interval + timings.tRP,
+    )
+    mac_ns = activates_per_bank * per_row_ns * org.ranks_per_channel
+
+    # --- GB loads: one per needed segment per rank, repeated per output
+    # register group. ------------------------------------------------------
+    passes = ceil_div(rows_per_bank, out_regs_per_pu * pim.chunk_rows)
+    gb_loads_per_rank = segments_per_row_per_bank * passes
+    burst_ns = timings.burst_time_ns(org)
+    gb_transfers = ceil_div(pim.global_buffer_bytes, org.transfer_bytes)
+    # Ranks of one channel share the data bus: their loads serialize.
+    one_load_ns = timings.tCWL + gb_transfers * burst_ns
+    gb_load_ns = gb_loads_per_rank * org.ranks_per_channel * one_load_ns
+
+    # --- Output drain: each PU's accumulators stream out over the bus. ----
+    acc_bytes = 4  # FP32 partial sums
+    outputs_per_bank = rows_per_bank
+    drain_transfers_per_bank = ceil_div(outputs_per_bank * acc_bytes, org.transfer_bytes)
+    banks_per_channel = org.ranks_per_channel * org.banks_per_rank
+    output_ns = (
+        timings.tCL + drain_transfers_per_bank * banks_per_channel * burst_ns
+    )
+
+    if overlap_gb_loads and org.ranks_per_channel > 1:
+        # With rank-serialized MAC passes, one rank's GB load proceeds
+        # while the other rank computes; only the pipeline-fill load of
+        # each pass stays exposed.
+        passes_total = gb_loads_per_rank
+        exposed = min(gb_load_ns, passes_total * one_load_ns)
+        total_ns = exposed + mac_ns + output_ns
+    else:
+        total_ns = gb_load_ns + mac_ns + output_ns
+
+    soc_reduce_bytes = 0
+    if p > 1:
+        # SoC reads p partials per output row (FP32) and writes the result.
+        soc_reduce_bytes = matrix.rows * (p * acc_bytes + matrix.dtype_bytes)
+
+    return GemvLatency(
+        total_ns=total_ns,
+        gb_load_ns=gb_load_ns,
+        mac_ns=mac_ns,
+        output_ns=output_ns,
+        segments_per_row=segments_per_row,
+        partitions_per_row=p,
+        rows_per_bank=rows_per_bank,
+        chunk_segments_per_bank=chunk_segments_per_bank,
+        activates_per_bank=activates_per_bank,
+        gb_loads_per_rank=gb_loads_per_rank,
+        soc_reduce_bytes=soc_reduce_bytes,
+        weight_bytes_streamed=bytes_per_bank * total_banks,
+    )

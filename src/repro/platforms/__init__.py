@@ -1,0 +1,19 @@
+"""Evaluated platform catalog (paper Table II)."""
+
+from repro.platforms.specs import (
+    ALL_PLATFORMS,
+    IDEAPAD,
+    IPHONE_15_PRO,
+    JETSON_ORIN,
+    MACBOOK_PRO,
+    PlatformSpec,
+)
+
+__all__ = [
+    "ALL_PLATFORMS",
+    "IDEAPAD",
+    "IPHONE_15_PRO",
+    "JETSON_ORIN",
+    "MACBOOK_PRO",
+    "PlatformSpec",
+]

@@ -1,0 +1,23 @@
+"""SoC processor substrate: roofline model, kernels, layout effects."""
+
+from repro.soc.kernels import gemm_reference, gemv_reference, soc_gemm, soc_gemv
+from repro.soc.layout_effects import (
+    GPU_CLASS_WINDOW,
+    LayoutEffect,
+    gemm_layout_slowdown,
+    gemm_weight_stream,
+)
+from repro.soc.processor import SocProcessor, ideal_npu
+
+__all__ = [
+    "GPU_CLASS_WINDOW",
+    "LayoutEffect",
+    "SocProcessor",
+    "gemm_layout_slowdown",
+    "gemm_reference",
+    "gemm_weight_stream",
+    "gemv_reference",
+    "ideal_npu",
+    "soc_gemm",
+    "soc_gemv",
+]

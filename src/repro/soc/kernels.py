@@ -1,0 +1,46 @@
+"""Functional reference kernels (the SoC's numerical view).
+
+These are the numpy equivalents of the BLAS kernels the SoC runs.  They
+exist so integration tests can prove the headline claim end-to-end: a
+matrix stored once through pimalloc is consumed *bit-identically* by
+
+* the SoC's GEMM (reading the padded row-major virtual view), and
+* the PIM's GEMV (reading raw bank contents),
+
+with no re-layout in between.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.pimalloc import PimTensor
+
+__all__ = ["gemm_reference", "gemv_reference", "soc_gemm", "soc_gemv"]
+
+
+def gemm_reference(weights: np.ndarray, activations: np.ndarray) -> np.ndarray:
+    """``(m x k) @ (k x n)`` in FP32 accumulation."""
+    return weights.astype(np.float32) @ activations.astype(np.float32)
+
+
+def gemv_reference(weights: np.ndarray, x: np.ndarray) -> np.ndarray:
+    return weights.astype(np.float32) @ x.astype(np.float32)
+
+
+def soc_gemm(tensor: PimTensor, activations: np.ndarray, dtype=np.float16) -> np.ndarray:
+    """Run GEMM the way a BLAS library would on a pimalloc'ed tensor:
+    read the contiguous virtual view (leading dimension ``lda``) and
+    multiply.  No re-layout happens — this is FACIL's point."""
+    weights = tensor.load(dtype)
+    activations = np.asarray(activations)
+    if activations.shape[0] != tensor.matrix.cols:
+        raise ValueError(
+            f"activations rows {activations.shape[0]} != matrix cols "
+            f"{tensor.matrix.cols}"
+        )
+    return gemm_reference(weights, activations)
+
+
+def soc_gemv(tensor: PimTensor, x: np.ndarray, dtype=np.float16) -> np.ndarray:
+    return soc_gemm(tensor, np.asarray(x).reshape(-1, 1), dtype).reshape(-1)

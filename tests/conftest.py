@@ -1,0 +1,42 @@
+"""Shared fixtures: small functional systems used across test modules."""
+
+import numpy as np
+import pytest
+
+from repro.core.pimalloc import PimSystem
+from repro.dram.config import TINY_ORG, DramConfig, DramOrganization, LPDDR5_6400_TIMINGS
+from repro.pim.config import AIM_LPDDR5, aim_config_for
+
+
+@pytest.fixture
+def tiny_system():
+    """8-bank, 256 B-row, 8 MiB functional system (fast)."""
+    return PimSystem.build(TINY_ORG, aim_config_for(TINY_ORG))
+
+
+@pytest.fixture
+def medium_org():
+    """128-bank organization with real 2 KB rows (128 MiB)."""
+    return DramOrganization(
+        n_channels=4,
+        ranks_per_channel=2,
+        banks_per_rank=16,
+        rows_per_bank=512,
+        row_bytes=2048,
+        transfer_bytes=32,
+    )
+
+
+@pytest.fixture
+def medium_system(medium_org):
+    return PimSystem.build(medium_org, AIM_LPDDR5)
+
+
+@pytest.fixture
+def medium_config(medium_org):
+    return DramConfig(medium_org, LPDDR5_6400_TIMINGS)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)

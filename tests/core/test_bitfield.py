@@ -1,0 +1,113 @@
+"""Unit and property tests for the bit-permutation primitives."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.bitfield import (
+    bit,
+    bits_of,
+    ceil_div,
+    ceil_log2,
+    deposit_bits,
+    deposit_bits_array,
+    extract_bits,
+    extract_bits_array,
+    ilog2,
+    is_pow2,
+)
+
+
+class TestIsPow2:
+    def test_powers(self):
+        for k in range(20):
+            assert is_pow2(1 << k)
+
+    def test_non_powers(self):
+        for value in (0, 3, 5, 6, 7, 9, 12, 100, -1, -4):
+            assert not is_pow2(value)
+
+
+class TestIlog2:
+    def test_exact(self):
+        for k in range(32):
+            assert ilog2(1 << k) == k
+
+    @pytest.mark.parametrize("bad", [0, 3, -8, 6])
+    def test_rejects_non_powers(self, bad):
+        with pytest.raises(ValueError):
+            ilog2(bad)
+
+
+class TestCeilLog2:
+    def test_values(self):
+        assert ceil_log2(1) == 0
+        assert ceil_log2(2) == 1
+        assert ceil_log2(3) == 2
+        assert ceil_log2(4) == 2
+        assert ceil_log2(5) == 3
+        assert ceil_log2(14336) == 14  # Llama3 FFN dim pads to 16384
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            ceil_log2(0)
+
+
+class TestCeilDiv:
+    def test_values(self):
+        assert ceil_div(10, 3) == 4
+        assert ceil_div(9, 3) == 3
+        assert ceil_div(1, 512) == 1
+        assert ceil_div(0, 5) == 0
+
+    def test_rejects_bad_denominator(self):
+        with pytest.raises(ValueError):
+            ceil_div(4, 0)
+
+
+class TestBitHelpers:
+    def test_bit(self):
+        assert bit(0b1010, 1) == 1
+        assert bit(0b1010, 0) == 0
+
+    def test_bits_of(self):
+        assert bits_of(0b1011, 4) == (1, 1, 0, 1)
+
+
+class TestExtractDeposit:
+    def test_extract_simple(self):
+        # gather bits 4,0 -> result bit0 = input bit4, bit1 = input bit0
+        assert extract_bits(0b10001, (4, 0)) == 0b11
+        assert extract_bits(0b10000, (4, 0)) == 0b01
+
+    def test_deposit_inverse_of_extract(self):
+        positions = (3, 1, 7, 0)
+        for value in range(16):
+            scattered = deposit_bits(value, positions)
+            assert extract_bits(scattered, positions) == value
+
+    def test_empty_positions(self):
+        assert extract_bits(0xFF, ()) == 0
+        assert deposit_bits(0, ()) == 0
+
+    @given(
+        value=st.integers(min_value=0, max_value=(1 << 21) - 1),
+        perm=st.permutations(list(range(21))),
+    )
+    def test_permutation_is_bijective(self, value, perm):
+        scattered = deposit_bits(value, perm)
+        assert extract_bits(scattered, perm) == value
+
+    def test_array_matches_scalar(self):
+        positions = (5, 2, 9, 0, 14)
+        values = np.arange(0, 1 << 15, 37, dtype=np.int64)
+        vec = extract_bits_array(values, positions)
+        for v, out in zip(values[:64], vec[:64]):
+            assert out == extract_bits(int(v), positions)
+
+    def test_deposit_array_matches_scalar(self):
+        positions = (5, 2, 9, 0)
+        values = np.arange(16, dtype=np.int64)
+        vec = deposit_bits_array(values, positions)
+        for v, out in zip(values, vec):
+            assert out == deposit_bits(int(v), positions)

@@ -1,0 +1,165 @@
+"""Tests for the augmented memory-controller frontend (paper Fig. 12)."""
+
+import numpy as np
+import pytest
+
+from repro.core.controller import CONVENTIONAL_MAP_ID, MappingTable, MemoryController
+from repro.core.mapping import Field, conventional_mapping, pim_optimized_mapping
+from repro.dram.config import TINY_ORG, lpddr5_organization
+from repro.dram.memory import PhysicalMemory
+
+JETSON_ORG = lpddr5_organization(bus_width_bits=256, capacity_gb=64)
+PAGE = 2 << 20
+
+
+def _pim_mapping(org, map_id=1):
+    return pim_optimized_mapping(
+        org, 1, org.row_bytes // 2, 2, map_id, 21
+    )
+
+
+class TestMappingTable:
+    def test_entry_zero_is_conventional(self):
+        table = MappingTable(conventional_mapping(TINY_ORG, 21))
+        assert table[CONVENTIONAL_MAP_ID].name == "conventional"
+        assert len(table) == 1
+
+    def test_register_returns_new_id(self):
+        table = MappingTable(conventional_mapping(TINY_ORG, 21))
+        map_id = table.register(_pim_mapping(TINY_ORG))
+        assert map_id == 1
+        assert table[1].name.startswith("aim")
+
+    def test_register_dedupes(self):
+        table = MappingTable(conventional_mapping(TINY_ORG, 21))
+        first = table.register(_pim_mapping(TINY_ORG))
+        second = table.register(_pim_mapping(TINY_ORG))
+        assert first == second
+        assert len(table) == 2
+
+    def test_register_conventional_returns_zero(self):
+        table = MappingTable(conventional_mapping(TINY_ORG, 21))
+        assert table.register(conventional_mapping(TINY_ORG, 21)) == 0
+
+    def test_table_capacity_bounded(self):
+        """The paper bounds the table size via the MapID formulation."""
+        table = MappingTable(conventional_mapping(TINY_ORG, 21), max_entries=2)
+        table.register(_pim_mapping(TINY_ORG, map_id=1))
+        with pytest.raises(ValueError, match="full"):
+            table.register(_pim_mapping(TINY_ORG, map_id=2))
+
+    def test_mismatched_width_rejected(self):
+        table = MappingTable(conventional_mapping(TINY_ORG, 21))
+        with pytest.raises(ValueError):
+            table.register(conventional_mapping(TINY_ORG, 20))
+
+    def test_unknown_map_id(self):
+        table = MappingTable(conventional_mapping(TINY_ORG, 21))
+        with pytest.raises(KeyError):
+            table[7]
+
+
+class TestTranslate:
+    def test_page_frame_becomes_row_msbs(self):
+        controller = MemoryController(TINY_ORG, page_bytes=PAGE)
+        rows_per_page = controller.rows_per_page
+        coord0 = controller.translate(0)
+        coord1 = controller.translate(PAGE)  # next page, same offset
+        assert coord1.row == coord0.row + rows_per_page
+        assert (coord1.channel, coord1.bank, coord1.col) == (
+            coord0.channel, coord0.bank, coord0.col,
+        )
+
+    def test_row_overflow_rejected(self):
+        controller = MemoryController(TINY_ORG, page_bytes=PAGE)
+        with pytest.raises(ValueError, match="beyond"):
+            controller.translate(TINY_ORG.capacity_bytes)
+
+    def test_translate_array_matches_scalar(self):
+        controller = MemoryController(JETSON_ORG, page_bytes=PAGE)
+        map_id = controller.table.register(_pim_mapping(JETSON_ORG))
+        pas = np.arange(0, 4 * PAGE, 4099, dtype=np.int64)
+        fields = controller.translate_array(pas, map_id)
+        for i in range(0, len(pas), 97):
+            coord = controller.translate(int(pas[i]), map_id)
+            assert fields[Field.CHANNEL][i] == coord.channel
+            assert fields[Field.RANK][i] == coord.rank
+            assert fields[Field.BANK][i] == coord.bank
+            assert fields[Field.ROW][i] == coord.row
+            assert fields[Field.COL][i] == coord.col
+            assert fields[Field.OFFSET][i] == coord.offset
+
+    def test_same_pa_differs_across_map_ids(self):
+        controller = MemoryController(JETSON_ORG, page_bytes=PAGE)
+        map_id = controller.table.register(_pim_mapping(JETSON_ORG))
+        pa = 0x12340
+        assert controller.translate(pa, 0) != controller.translate(pa, map_id)
+
+
+class TestMuxArray:
+    def test_one_mux_per_dram_bit(self):
+        controller = MemoryController(JETSON_ORG, page_bytes=PAGE)
+        controller.table.register(_pim_mapping(JETSON_ORG))
+        muxes = controller.mux_array()
+        assert len(muxes) == 21  # one per page-offset bit
+
+    def test_fan_in_bounded_by_table_size(self):
+        controller = MemoryController(JETSON_ORG, page_bytes=PAGE)
+        controller.table.register(_pim_mapping(JETSON_ORG, map_id=0))
+        controller.table.register(_pim_mapping(JETSON_ORG, map_id=1))
+        for mux in controller.mux_array():
+            assert 1 <= mux.fan_in <= 3
+
+    def test_offset_bits_never_muxed(self):
+        """Transfer-offset bits are identical in every mapping: their
+        muxes degenerate to wires (fan-in 1) — the cheap-hardware claim."""
+        controller = MemoryController(JETSON_ORG, page_bytes=PAGE)
+        controller.table.register(_pim_mapping(JETSON_ORG))
+        for mux in controller.mux_array():
+            if mux.field == Field.OFFSET:
+                assert mux.fan_in == 1
+
+
+class TestFunctionalDataPath:
+    def test_roundtrip_conventional(self):
+        memory = PhysicalMemory(TINY_ORG)
+        controller = MemoryController(TINY_ORG, page_bytes=PAGE, memory=memory)
+        data = np.arange(4096, dtype=np.uint8)
+        controller.write(0, data)
+        assert np.array_equal(controller.read(0, 4096), data)
+
+    def test_roundtrip_pim_mapping(self):
+        memory = PhysicalMemory(TINY_ORG)
+        controller = MemoryController(TINY_ORG, page_bytes=PAGE, memory=memory)
+        map_id = controller.table.register(_pim_mapping(TINY_ORG))
+        data = np.arange(8192, dtype=np.uint8)
+        controller.write(100, data, map_id)
+        assert np.array_equal(controller.read(100, 8192, map_id), data)
+
+    def test_bytes_input_accepted(self):
+        memory = PhysicalMemory(TINY_ORG)
+        controller = MemoryController(TINY_ORG, page_bytes=PAGE, memory=memory)
+        controller.write(0, b"hello world")
+        assert bytes(controller.read(0, 11)) == b"hello world"
+
+    def test_cross_mapping_read_scrambles(self):
+        """Reading with the wrong MapID returns permuted bytes — the very
+        problem FACIL's per-page MapID solves."""
+        memory = PhysicalMemory(TINY_ORG)
+        controller = MemoryController(TINY_ORG, page_bytes=PAGE, memory=memory)
+        map_id = controller.table.register(_pim_mapping(TINY_ORG))
+        data = np.arange(8192, dtype=np.int16).view(np.uint8)
+        controller.write(0, data, map_id)
+        wrong = controller.read(0, len(data), CONVENTIONAL_MAP_ID)
+        right = controller.read(0, len(data), map_id)
+        assert np.array_equal(right, data)
+        assert not np.array_equal(wrong, data)
+        # ... but it is a permutation: same multiset of bytes.
+        assert np.array_equal(np.sort(wrong), np.sort(data))
+
+    def test_no_memory_attached_raises(self):
+        controller = MemoryController(TINY_ORG, page_bytes=PAGE)
+        with pytest.raises(RuntimeError, match="timing-only"):
+            controller.read(0, 16)
+        with pytest.raises(RuntimeError, match="timing-only"):
+            controller.write(0, b"x")

@@ -1,0 +1,140 @@
+"""Tests for pimalloc and the PimSystem facade (paper Fig. 7)."""
+
+import numpy as np
+import pytest
+
+from repro.core.pimalloc import PimSystem
+from repro.core.selector import MatrixConfig
+from repro.dram.config import TINY_ORG
+from repro.os.page_table import PteFlags
+from repro.pim.config import aim_config_for
+
+
+@pytest.fixture
+def system():
+    return PimSystem.build(TINY_ORG, aim_config_for(TINY_ORG))
+
+
+class TestPimallocFlow:
+    def test_returns_tensor_with_selection(self, system):
+        tensor = system.pimalloc(MatrixConfig(rows=16, cols=300))
+        assert tensor.matrix.cols == 300
+        assert tensor.lda == 512
+        assert tensor.map_id >= 1  # a PIM mapping, not the conventional one
+
+    def test_mapping_registered_in_controller_table(self, system):
+        tensor = system.pimalloc(MatrixConfig(rows=16, cols=300))
+        assert system.controller.table[tensor.map_id].fields == tensor.mapping.fields
+
+    def test_same_shape_reuses_map_id(self, system):
+        a = system.pimalloc(MatrixConfig(rows=16, cols=300))
+        b = system.pimalloc(MatrixConfig(rows=8, cols=300))
+        assert a.map_id == b.map_id
+
+    def test_map_id_recorded_in_page_table(self, system):
+        """The walk result must carry the MapID to the controller
+        (paper Fig. 7b/c)."""
+        tensor = system.pimalloc(MatrixConfig(rows=16, cols=300))
+        leaf = system.space.page_table.walk(tensor.va)
+        assert leaf.map_id == tensor.map_id
+        assert leaf.is_huge
+        assert leaf.flags & PteFlags.PIM
+
+    def test_malloc_uses_conventional(self, system):
+        va = system.allocator.malloc(4096)
+        leaf = system.space.page_table.walk(va)
+        assert leaf.map_id == 0
+
+
+class TestStoreLoad:
+    def test_roundtrip_exact(self, system, rng):
+        tensor = system.pimalloc(MatrixConfig(rows=32, cols=200))
+        data = rng.standard_normal((32, 200)).astype(np.float16)
+        tensor.store(data)
+        assert np.array_equal(tensor.load(np.float16), data)
+
+    def test_roundtrip_int16(self, system, rng):
+        tensor = system.pimalloc(MatrixConfig(rows=8, cols=128))
+        data = rng.integers(-1000, 1000, (8, 128)).astype(np.int16)
+        tensor.store(data)
+        assert np.array_equal(tensor.load(np.int16), data)
+
+    def test_wrong_shape_rejected(self, system):
+        tensor = system.pimalloc(MatrixConfig(rows=8, cols=128))
+        with pytest.raises(ValueError, match="expected"):
+            tensor.store(np.zeros((8, 129), dtype=np.float16))
+
+    def test_wrong_dtype_rejected(self, system):
+        tensor = system.pimalloc(MatrixConfig(rows=8, cols=128))
+        with pytest.raises(ValueError, match="dtype"):
+            tensor.store(np.zeros((8, 128), dtype=np.float32))
+        with pytest.raises(ValueError, match="dtype"):
+            tensor.load(np.float64)
+
+    def test_padding_stays_zero(self, system, rng):
+        tensor = system.pimalloc(MatrixConfig(rows=4, cols=100))
+        tensor.store(rng.standard_normal((4, 100)).astype(np.float16))
+        raw = system.allocator.read_virtual(tensor.va, tensor.nbytes_padded)
+        padded = raw.view(np.float16).reshape(4, tensor.lda)
+        assert np.all(padded[:, 100:] == 0)
+
+
+class TestElementVa:
+    def test_element_addressing(self, system, rng):
+        tensor = system.pimalloc(MatrixConfig(rows=8, cols=100))
+        data = rng.standard_normal((8, 100)).astype(np.float16)
+        tensor.store(data)
+        va = tensor.element_va(3, 77)
+        raw = system.allocator.read_virtual(va, 2)
+        assert raw.view(np.float16)[0] == data[3, 77]
+
+    def test_out_of_range_rejected(self, system):
+        tensor = system.pimalloc(MatrixConfig(rows=8, cols=100))
+        with pytest.raises(IndexError):
+            tensor.element_va(8, 0)
+        with pytest.raises(IndexError):
+            tensor.element_va(0, 100)
+
+
+class TestLifecycle:
+    def test_free_releases_pages(self, system):
+        before = system.buddy.free_pages
+        tensor = system.pimalloc(MatrixConfig(rows=16, cols=512))
+        assert system.buddy.free_pages < before
+        tensor.free()
+        assert system.buddy.free_pages == before
+
+    def test_many_tensors_coexist(self, system, rng):
+        tensors = []
+        for i in range(3):
+            t = system.pimalloc(MatrixConfig(rows=4, cols=128 * (i + 1)))
+            data = rng.standard_normal((4, 128 * (i + 1))).astype(np.float16)
+            t.store(data)
+            tensors.append((t, data))
+        for t, data in tensors:
+            assert np.array_equal(t.load(np.float16), data)
+
+
+class TestSystemConstruction:
+    def test_page_size_mismatch_rejected(self):
+        from repro.core.controller import MemoryController
+        from repro.core.pimalloc import PimAllocator
+        from repro.os.buddy import BuddyAllocator
+        from repro.os.vm import AddressSpace
+
+        controller = MemoryController(TINY_ORG, page_bytes=2 << 20)
+        space = AddressSpace(BuddyAllocator(2048))
+        with pytest.raises(ValueError, match="page size"):
+            PimAllocator(
+                TINY_ORG, aim_config_for(TINY_ORG), controller, space,
+                huge_page_bytes=1 << 20,
+            )
+
+    def test_timing_only_system(self):
+        from repro.dram.config import lpddr5_organization
+
+        org = lpddr5_organization(bus_width_bits=256, capacity_gb=64)
+        system = PimSystem.build(org, aim_config_for(org), functional=False)
+        assert system.memory is None
+        # translation still works
+        assert system.controller.translate(0x1234).validate(org)

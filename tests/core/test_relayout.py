@@ -1,0 +1,83 @@
+"""Tests for the re-layout cost model and functional re-layout."""
+
+import numpy as np
+import pytest
+
+from repro.core.pimalloc import PimSystem
+from repro.core.relayout import relayout_cost_ns, relayout_functional
+from repro.core.selector import MatrixConfig
+from repro.dram.config import (
+    TINY_ORG,
+    DramConfig,
+    LPDDR5_6400_TIMINGS,
+    lpddr5_organization,
+)
+from repro.pim.config import aim_config_for
+
+JETSON = DramConfig(
+    lpddr5_organization(bus_width_bits=256, capacity_gb=64), LPDDR5_6400_TIMINGS
+)
+
+
+class TestPeakBwMode:
+    def test_cost_is_read_plus_write_at_peak(self):
+        nbytes = 1 << 30
+        cost = relayout_cost_ns(nbytes, JETSON, mode="peak-bw")
+        expected = 2 * nbytes / JETSON.org.peak_bandwidth_gbps
+        assert cost.total_ns == pytest.approx(expected)
+        assert cost.bytes_read == cost.bytes_written == nbytes
+
+    def test_llama_scale_matches_paper_ballpark(self):
+        """16 GB of weights over 204.8 GB/s, read+write: ~160 ms — the
+        magnitude behind Fig. 6's TTFT inflation."""
+        cost = relayout_cost_ns(int(16.1e9), JETSON, mode="peak-bw")
+        assert 0.10 < cost.total_ns / 1e9 < 0.20
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="unknown"):
+            relayout_cost_ns(1024, JETSON, mode="nope")
+
+
+class TestSimulatedMode:
+    def test_simulated_exceeds_peak_bw_estimate(self):
+        """Replaying the streams through the DRAM simulator reports a
+        higher cost than the paper's conservative full-bandwidth model:
+        reading a PIM layout sequentially is bank-serial."""
+        from repro.core.controller import MemoryController
+        from repro.core.mapping import pim_optimized_mapping
+
+        controller = MemoryController(JETSON.org)
+        map_id = controller.table.register(
+            pim_optimized_mapping(JETSON.org, 1, 1024, 2, 1, 21)
+        )
+        nbytes = 4 << 20
+        conservative = relayout_cost_ns(nbytes, JETSON, mode="peak-bw")
+        simulated = relayout_cost_ns(
+            nbytes, JETSON, mode="simulated",
+            controller=controller, pim_map_id=map_id,
+            sample_transfers=8192,
+        )
+        assert simulated.total_ns > conservative.total_ns
+
+    def test_simulated_requires_controller(self):
+        with pytest.raises(ValueError, match="controller"):
+            relayout_cost_ns(1024, JETSON, mode="simulated")
+
+
+class TestFunctionalRelayout:
+    def test_scratch_copy_preserves_bytes(self, rng):
+        system = PimSystem.build(TINY_ORG, aim_config_for(TINY_ORG))
+        tensor = system.pimalloc(MatrixConfig(rows=16, cols=256))
+        data = rng.standard_normal((16, 256)).astype(np.float16)
+        tensor.store(data)
+        out = relayout_functional(tensor)
+        relaid = out.view(np.float16).reshape(16, tensor.lda)[:, :256]
+        assert np.array_equal(relaid, data)
+
+    def test_scratch_is_freed(self, rng):
+        system = PimSystem.build(TINY_ORG, aim_config_for(TINY_ORG))
+        tensor = system.pimalloc(MatrixConfig(rows=16, cols=256))
+        tensor.store(np.zeros((16, 256), dtype=np.float16))
+        free_before = system.buddy.free_pages
+        relayout_functional(tensor)
+        assert system.buddy.free_pages == free_before

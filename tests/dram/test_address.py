@@ -1,0 +1,63 @@
+"""Tests for DRAM coordinates."""
+
+import pytest
+
+from repro.dram.address import DramCoord, Field, FIELDS
+from repro.dram.config import TINY_ORG
+
+
+class TestValidate:
+    def test_valid_coord(self):
+        coord = DramCoord(channel=1, rank=0, bank=3, row=15, col=7, offset=31)
+        assert coord.validate(TINY_ORG) is coord
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(channel=2, rank=0, bank=0, row=0, col=0),
+            dict(channel=0, rank=1, bank=0, row=0, col=0),
+            dict(channel=0, rank=0, bank=4, row=0, col=0),
+            dict(channel=0, rank=0, bank=0, row=4096, col=0),
+            dict(channel=0, rank=0, bank=0, row=0, col=8),
+            dict(channel=0, rank=0, bank=0, row=0, col=0, offset=32),
+            dict(channel=-1, rank=0, bank=0, row=0, col=0),
+        ],
+    )
+    def test_out_of_range(self, kwargs):
+        with pytest.raises(ValueError, match="out of range"):
+            DramCoord(**kwargs).validate(TINY_ORG)
+
+
+class TestPuIndex:
+    def test_bank_varies_fastest(self):
+        a = DramCoord(channel=0, rank=0, bank=0, row=0, col=0)
+        b = DramCoord(channel=0, rank=0, bank=1, row=0, col=0)
+        c = DramCoord(channel=1, rank=0, bank=0, row=0, col=0)
+        assert b.pu_index(TINY_ORG) == a.pu_index(TINY_ORG) + 1
+        assert c.pu_index(TINY_ORG) == TINY_ORG.banks_per_rank
+
+    def test_covers_all_banks(self):
+        indices = {
+            DramCoord(channel=ch, rank=0, bank=bk, row=0, col=0).pu_index(TINY_ORG)
+            for ch in range(TINY_ORG.n_channels)
+            for bk in range(TINY_ORG.banks_per_rank)
+        }
+        assert indices == set(range(TINY_ORG.total_banks))
+
+
+class TestByteIndex:
+    def test_linear_layout(self):
+        coord = DramCoord(channel=0, rank=0, bank=0, row=2, col=3, offset=5)
+        assert coord.byte_index(TINY_ORG) == 2 * 256 + 3 * 32 + 5
+
+
+class TestFieldConstants:
+    def test_fields_tuple_complete(self):
+        assert set(FIELDS) == {
+            Field.CHANNEL, Field.RANK, Field.BANK, Field.ROW, Field.COL, Field.OFFSET
+        }
+
+    def test_ordering_of_coords(self):
+        a = DramCoord(channel=0, rank=0, bank=0, row=0, col=0)
+        b = DramCoord(channel=0, rank=0, bank=0, row=0, col=1)
+        assert a < b  # dataclass ordering: useful for deterministic sorts

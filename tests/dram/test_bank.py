@@ -1,0 +1,67 @@
+"""Tests for the per-bank timing state machine."""
+
+import pytest
+
+from repro.dram.bank import BankState
+from repro.dram.config import LPDDR5_6400_TIMINGS as T
+
+
+class TestFirstAccess:
+    def test_miss_pays_trcd(self):
+        bank = BankState()
+        ready = bank.prepare_column(5, 100.0, T, is_write=False)
+        assert ready == pytest.approx(100.0 + T.tRCD)
+        assert bank.open_row == 5
+        assert bank.row_misses == 1
+
+
+class TestRowHit:
+    def test_hit_is_cheap(self):
+        bank = BankState()
+        bank.prepare_column(5, 0.0, T, False)
+        bank.note_column(T.tRCD, T, False, 2.5)
+        ready = bank.prepare_column(5, T.tRCD, T, False)
+        assert ready == pytest.approx(T.tRCD + T.tCCD)
+        assert bank.row_hits == 1
+
+
+class TestConflict:
+    def test_conflict_pays_full_cycle(self):
+        bank = BankState()
+        first = bank.prepare_column(5, 0.0, T, False)
+        second = bank.prepare_column(9, first, T, False)
+        # must wait tRAS after ACT, then tRP, then tRCD
+        assert second >= T.tRAS + T.tRP + T.tRCD
+        assert bank.row_conflicts == 1
+        assert bank.open_row == 9
+
+    def test_back_to_back_rows_respect_trc(self):
+        bank = BankState()
+        bank.prepare_column(1, 0.0, T, False)
+        bank.prepare_column(2, 0.0, T, False)
+        assert bank.last_act_ns >= T.tRC  # second ACT at least tRC after first
+
+
+class TestWriteRecovery:
+    def test_write_pushes_precharge(self):
+        bank = BankState()
+        bank.prepare_column(5, 0.0, T, True)
+        bank.note_column(T.tRCD, T, is_write=True, burst_ns=2.5)
+        write_recovery = T.tRCD + T.tCWL + 2.5 + T.tWR
+        assert bank.next_pre_ns >= write_recovery
+
+    def test_read_uses_rtp(self):
+        bank = BankState()
+        bank.prepare_column(5, 0.0, T, False)
+        pre_before = bank.next_pre_ns
+        bank.note_column(T.tRCD, T, is_write=False, burst_ns=2.5)
+        assert bank.next_pre_ns >= max(pre_before, T.tRCD + T.tRTP)
+
+
+class TestStatsAccounting:
+    def test_counts_partition_requests(self):
+        bank = BankState()
+        bank.prepare_column(1, 0.0, T, False)  # miss
+        bank.prepare_column(1, 100.0, T, False)  # hit
+        bank.prepare_column(2, 200.0, T, False)  # conflict
+        assert (bank.row_misses, bank.row_hits, bank.row_conflicts) == (1, 1, 1)

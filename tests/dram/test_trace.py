@@ -1,0 +1,69 @@
+"""Tests for trace save/load/replay."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.core.controller import MemoryController
+from repro.dram.config import TINY_ORG, DramConfig, LPDDR5_6400_TIMINGS
+from repro.dram.system import DramTimingSimulator
+from repro.dram.trace import load_trace, save_trace, trace_from_fields
+
+
+def _sample_requests(n=64, tag=""):
+    controller = MemoryController(TINY_ORG)
+    pas = np.arange(0, n * 32, 32, dtype=np.int64)
+    return trace_from_fields(controller.translate_array(pas, 0), tag=tag)
+
+
+class TestRoundtrip:
+    def test_save_load_identity(self, tmp_path):
+        requests = _sample_requests(tag="soc")
+        path = str(tmp_path / "trace.txt")
+        assert save_trace(requests, path) == len(requests)
+        loaded = load_trace(path)
+        assert loaded == [
+            r.__class__(coord=r.coord, is_write=r.is_write, tag=r.tag)
+            for r in requests
+        ]
+
+    def test_file_object_io(self):
+        requests = _sample_requests(8)
+        buffer = io.StringIO()
+        save_trace(requests, buffer)
+        buffer.seek(0)
+        assert len(load_trace(buffer)) == 8
+
+    def test_comments_and_blanks_skipped(self):
+        text = "# header\n\n0 0 1 2 3 R\n0 0 1 2 4 W  # inline comment\n"
+        loaded = load_trace(io.StringIO(text))
+        assert len(loaded) == 2
+        assert loaded[1].is_write
+
+
+class TestValidation:
+    def test_malformed_line(self):
+        with pytest.raises(ValueError, match="line 1"):
+            load_trace(io.StringIO("0 0 1 R\n"))
+
+    def test_bad_kind(self):
+        with pytest.raises(ValueError, match="kind"):
+            load_trace(io.StringIO("0 0 1 2 3 X\n"))
+
+    def test_non_integer(self):
+        with pytest.raises(ValueError, match="non-integer"):
+            load_trace(io.StringIO("0 0 a 2 3 R\n"))
+
+
+class TestReplay:
+    def test_replayed_trace_matches_original(self, tmp_path):
+        requests = _sample_requests(256)
+        sim = DramTimingSimulator(DramConfig(TINY_ORG, LPDDR5_6400_TIMINGS))
+        original = sim.run(requests)
+
+        path = str(tmp_path / "t.txt")
+        save_trace(requests, path)
+        replayed = sim.run(load_trace(path))
+        assert replayed.total_ns == pytest.approx(original.total_ns)
+        assert replayed.row_hits == original.row_hits

@@ -1,0 +1,76 @@
+"""Tests for the per-query energy accounting extension."""
+
+import pytest
+
+from repro.dram.energy import LPDDR5_ENERGY, gemv_energy_pj, sim_energy_pj
+from repro.engine.energy import EnergyModel, query_energy
+from repro.engine.policies import InferenceEngine
+from repro.platforms.specs import JETSON_ORIN
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return InferenceEngine(JETSON_ORIN)
+
+
+class TestDramEnergyModel:
+    def test_io_energy_dominates_external_reads(self):
+        internal = LPDDR5_ENERGY.read_pj(1024, external=False)
+        external = LPDDR5_ENERGY.read_pj(1024, external=True)
+        assert external > 2 * internal
+
+    def test_gemv_energy_scales_with_matrix(self, engine):
+        small = engine._costs["k_proj"].pim_gemv
+        large = engine._costs["gate_proj"].pim_gemv
+        banks = JETSON_ORIN.dram.org.total_banks
+        assert gemv_energy_pj(large, banks, 8192, 4096) > gemv_energy_pj(
+            small, banks, 8192, 4096
+        )
+
+    def test_sim_energy_counts_activations(self):
+        import numpy as np
+        from repro.core.controller import MemoryController
+        from repro.dram.system import DramTimingSimulator, requests_from_fields
+
+        controller = MemoryController(JETSON_ORIN.dram.org)
+        sim = DramTimingSimulator(JETSON_ORIN.dram)
+        pas = np.arange(0, 1 << 20, 32, dtype=np.int64)
+        result = sim.run(requests_from_fields(controller.translate_array(pas, 0)))
+        energy = sim_energy_pj(result, 32)
+        # lower bound: pure array+IO read energy of the bytes moved
+        assert energy >= LPDDR5_ENERGY.read_pj(result.bytes_moved)
+
+
+class TestQueryEnergy:
+    def test_policy_ordering(self, engine):
+        """FACIL <= static < SoC-only: re-layout wastes energy, SoC decode
+        pays external I/O for every weight byte."""
+        soc = query_energy(engine, "soc-only", 24, 64)
+        static = query_energy(engine, "hybrid-static", 24, 64)
+        facil = query_energy(engine, "facil", 24, 64)
+        assert facil.total_mj < static.total_mj < soc.total_mj
+
+    def test_relayout_energy_only_in_hybrid_baselines(self, engine):
+        assert query_energy(engine, "hybrid-static", 8, 8).relayout_mj > 0
+        assert query_energy(engine, "hybrid-dynamic", 8, 8).relayout_mj > 0
+        assert query_energy(engine, "facil", 8, 8).relayout_mj == 0
+        assert query_energy(engine, "soc-only", 8, 8).relayout_mj == 0
+
+    def test_decode_energy_scales_with_length(self, engine):
+        short = query_energy(engine, "facil", 16, 8)
+        long = query_energy(engine, "facil", 16, 64)
+        assert long.decode_mj > 5 * short.decode_mj
+
+    def test_pim_decode_cheaper_than_soc_decode(self, engine):
+        """The I/O-free weight streaming is the decode energy win."""
+        pim = query_energy(engine, "facil", 16, 64)
+        soc = query_energy(engine, "soc-only", 16, 64)
+        assert pim.decode_mj < 0.8 * soc.decode_mj
+
+    def test_custom_model(self, engine):
+        expensive_io = EnergyModel(
+            dram=LPDDR5_ENERGY.__class__(io_pj_per_byte=20.0)
+        )
+        base = query_energy(engine, "soc-only", 8, 8)
+        costly = query_energy(engine, "soc-only", 8, 8, model=expensive_io)
+        assert costly.total_mj > base.total_mj

@@ -1,0 +1,39 @@
+"""Tests for latency metrics and aggregation."""
+
+import pytest
+
+from repro.engine.metrics import QueryLatency, geomean, speedup
+
+
+class TestQueryLatency:
+    def test_derived_fields(self):
+        q = QueryLatency(
+            policy="facil", prefill_tokens=64, decode_tokens=32,
+            ttft_ns=1e8, ttlt_ns=5e8,
+        )
+        assert q.ttft_ms == pytest.approx(100.0)
+        assert q.ttlt_ms == pytest.approx(500.0)
+        assert q.decode_ns == pytest.approx(4e8)
+
+
+class TestGeomean:
+    def test_known_value(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+        assert geomean([2.0, 2.0, 2.0]) == pytest.approx(2.0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            geomean([])
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            geomean([1.0, 0.0])
+
+
+class TestSpeedup:
+    def test_basic(self):
+        assert speedup(300.0, 100.0) == pytest.approx(3.0)
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            speedup(1.0, 0.0)

@@ -1,0 +1,64 @@
+"""Tests for the experiment sweep runners."""
+
+import pytest
+
+from repro.engine.policies import InferenceEngine
+from repro.engine.runner import dataset_eval, ttft_speedup_sweep, ttlt_speedup_grid
+from repro.llm.datasets import ALPACA_LIKE
+from repro.platforms.specs import JETSON_ORIN
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return InferenceEngine(JETSON_ORIN)
+
+
+class TestTtftSweep:
+    def test_points_cover_lengths(self, engine):
+        points = ttft_speedup_sweep(engine, prefill_lengths=(8, 32))
+        assert [p.prefill for p in points] == [8, 32]
+        for p in points:
+            assert p.ttft_speedup > 1.0
+
+    def test_speedup_definition(self, engine):
+        p = ttft_speedup_sweep(engine, prefill_lengths=(16,))[0]
+        assert p.ttft_speedup == pytest.approx(
+            p.baseline.ttft_ns / p.facil.ttft_ns
+        )
+
+
+class TestTtltGrid:
+    def test_grid_shape(self, engine):
+        grid = ttlt_speedup_grid(
+            engine, prefill_lengths=(16, 64), decode_lengths=(8, 32)
+        )
+        assert len(grid) == 4
+
+    def test_speedup_amortizes_with_decode(self, engine):
+        """Fig. 14: longer decode amortizes the prefill advantage."""
+        grid = ttlt_speedup_grid(
+            engine, prefill_lengths=(64,), decode_lengths=(8, 256)
+        )
+        assert grid[0].ttlt_speedup > grid[1].ttlt_speedup
+
+
+class TestDatasetEval:
+    @pytest.fixture(scope="class")
+    def result(self, engine):
+        return dataset_eval(engine, ALPACA_LIKE, n_queries=20, seed=3)
+
+    def test_per_query_records(self, result):
+        assert result.n_queries == 20
+        for policy in ("soc-only", "hybrid-static", "hybrid-dynamic", "facil"):
+            assert len(result.ttft_ns[policy]) == 20
+
+    def test_geomean_speedup_positive(self, result):
+        assert result.ttft_speedup_over("hybrid-static") > 1.0
+        assert result.ttlt_speedup_over("hybrid-static") > 1.0
+
+    def test_mean_accessors(self, result):
+        assert result.mean_ttft_ns("facil") < result.mean_ttft_ns("hybrid-static")
+
+    def test_dataset_metadata(self, result):
+        assert result.dataset == "alpaca-like"
+        assert result.platform == "jetson-agx-orin"

@@ -1,0 +1,88 @@
+"""Tests for multi-turn chat sessions."""
+
+import pytest
+
+from repro.engine.policies import InferenceEngine
+from repro.engine.session import ChatSession
+from repro.platforms.specs import JETSON_ORIN
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return InferenceEngine(JETSON_ORIN)
+
+
+class TestSessionMechanics:
+    def test_context_accumulates(self, engine):
+        session = ChatSession(engine, "facil")
+        session.turn(10, 20)
+        assert session.context == 30
+        session.turn(5, 5)
+        assert session.context == 40
+        assert len(session.turns) == 2
+
+    def test_turn_metadata(self, engine):
+        session = ChatSession(engine, "facil")
+        first = session.turn(10, 20)
+        second = session.turn(8, 16)
+        assert first.turn == 1 and second.turn == 2
+        assert second.context_before == 30
+
+    def test_bad_policy_rejected(self, engine):
+        with pytest.raises(ValueError):
+            ChatSession(engine, "quantum")
+
+    def test_bad_tokens_rejected(self, engine):
+        session = ChatSession(engine, "facil")
+        with pytest.raises(ValueError):
+            session.turn(0, 5)
+
+
+class TestSessionCosts:
+    def test_later_turns_cost_more_decode(self, engine):
+        """Attention over the growing KV cache makes per-turn TTLT creep
+        upward even at fixed turn sizes."""
+        session = ChatSession(engine, "facil")
+        first = session.turn(16, 32)
+        for _ in range(4):
+            last = session.turn(16, 32)
+        assert last.ttlt_ns > first.ttlt_ns
+
+    def test_static_baseline_pays_relayout_every_turn(self, engine):
+        static = ChatSession(engine, "hybrid-static")
+        facil = ChatSession(engine, "facil")
+        for _ in range(4):
+            static.turn(16, 32)
+            facil.turn(16, 32)
+        gap = static.total_ns - facil.total_ns
+        assert gap > 3 * engine.relayout_total_ns()
+        assert static.total_relayout_ns == 4 * engine.relayout_total_ns()
+        assert facil.total_relayout_ns == 0.0
+
+    def test_facil_ttft_stable_across_turns(self, engine):
+        """The user-facing point: FACIL's TTFT stays ~flat across a
+        conversation; the static baseline's stays inflated every turn."""
+        facil = ChatSession(engine, "facil")
+        static = ChatSession(engine, "hybrid-static")
+        for _ in range(5):
+            f = facil.turn(24, 48)
+            s = static.turn(24, 48)
+        assert s.ttft_ns > 2 * f.ttft_ns
+
+    def test_incremental_prefill_cheaper_than_full(self, engine):
+        """Turn 2's prefill covers only the new tokens (the KV cache
+        already holds the conversation)."""
+        session = ChatSession(engine, "soc-only")
+        session.turn(64, 64)
+        second = session.turn(8, 8)
+        fresh = ChatSession(engine, "soc-only")
+        fresh_big = fresh.turn(136, 8)
+        assert second.ttft_ns <= fresh_big.ttft_ns
+
+    def test_dynamic_policy_at_least_as_good_as_static(self, engine):
+        static = ChatSession(engine, "hybrid-static")
+        dynamic = ChatSession(engine, "hybrid-dynamic")
+        for _ in range(3):
+            s = static.turn(4, 16)
+            d = dynamic.turn(4, 16)
+            assert d.ttft_ns <= s.ttft_ns + 1e-6

@@ -1,0 +1,119 @@
+"""Fault injection: corrupt each layer of the stack and verify the
+failure surfaces where it should.
+
+These tests double as proof that the functional paths really flow through
+the modeled hardware — a bit flipped in a DRAM bank *must* reach the PIM
+result; a wrong MapID in a PTE *must* scramble the SoC's view.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.pimalloc import PimSystem
+from repro.core.selector import MatrixConfig
+from repro.dram.config import TINY_ORG
+from repro.os.page_table import PageFaultError
+from repro.pim.config import aim_config_for
+from repro.pim.functional import pim_gemv
+
+
+@pytest.fixture
+def system():
+    return PimSystem.build(TINY_ORG, aim_config_for(TINY_ORG))
+
+
+class TestBankBitFlips:
+    def test_flipped_weight_bit_reaches_pim_result(self, system, rng):
+        """PIM GEMV reads raw bank rows: a single corrupted byte in a
+        bank must change the output (no hidden numpy shortcut)."""
+        matrix = MatrixConfig(rows=16, cols=256)
+        tensor = system.pimalloc(matrix)
+        weights = rng.standard_normal((16, 256)).astype(np.float16)
+        x = np.ones(256, dtype=np.float16)
+        tensor.store(weights)
+        clean, _ = pim_gemv(tensor, x)
+
+        # flip the top bit of one byte in some bank holding tensor data
+        memory = system.memory
+        key = next(iter(memory.touched_banks()))
+        bank = memory.bank(*key)
+        nz = np.argwhere(bank != 0)
+        r, c = nz[len(nz) // 2]
+        bank[r, c] ^= 0x80
+
+        dirty, _ = pim_gemv(tensor, x)
+        assert not np.array_equal(clean, dirty)
+
+    def test_flip_reaches_soc_view_too(self, system, rng):
+        """The SoC's virtual view reads the same physical bytes."""
+        matrix = MatrixConfig(rows=16, cols=256)
+        tensor = system.pimalloc(matrix)
+        weights = rng.standard_normal((16, 256)).astype(np.float16)
+        tensor.store(weights)
+        key = next(iter(system.memory.touched_banks()))
+        bank = system.memory.bank(*key)
+        nz = np.argwhere(bank != 0)
+        r, c = nz[0]
+        bank[r, c] ^= 0xFF
+        assert not np.array_equal(tensor.load(np.float16), weights)
+
+
+class TestMapIdCorruption:
+    def test_wrong_pte_map_id_scrambles_reads(self, system, rng):
+        """If the PTE's MapID were lost (the failure FACIL's PTE encoding
+        prevents), the controller would apply the wrong permutation and
+        the SoC would read garbage — exactly the paper's motivation for
+        carrying the MapID through translation."""
+        from repro.os.page_table import PAGE_SHIFT, PteFlags
+
+        matrix = MatrixConfig(rows=16, cols=256)
+        tensor = system.pimalloc(matrix)
+        weights = rng.standard_normal((16, 256)).astype(np.float16)
+        tensor.store(weights)
+
+        # remap the page with MapID 0 (conventional), same frame
+        area = system.space.areas[tensor.va]
+        table = system.space.page_table
+        table.unmap_page(tensor.va, huge=True)
+        system.space.mmu.tlb.flush()
+        table.map_page(
+            tensor.va,
+            area.frames[0] << PAGE_SHIFT,
+            huge=True,
+            map_id=0,
+            flags=PteFlags.PRESENT | PteFlags.WRITABLE,
+        )
+        scrambled = tensor.load(np.float16)
+        assert not np.array_equal(scrambled, weights)
+
+    def test_stale_tlb_would_serve_old_map_id(self, system, rng):
+        """Without invalidation the TLB keeps serving the old MapID —
+        the reason munmap shoots down entries."""
+        matrix = MatrixConfig(rows=8, cols=128)
+        tensor = system.pimalloc(matrix)
+        tensor.store(rng.standard_normal((8, 128)).astype(np.float16))
+        translation = system.space.mmu.translate(tensor.va)
+        assert translation.map_id == tensor.map_id
+        # cached entry survives page-table mutation until invalidated
+        system.space.page_table.unmap_page(tensor.va, huge=True)
+        still_cached = system.space.mmu.translate(tensor.va)
+        assert still_cached.map_id == tensor.map_id
+        system.space.mmu.tlb.invalidate(tensor.va, 21)
+        with pytest.raises(PageFaultError):
+            system.space.mmu.translate(tensor.va)
+
+
+class TestUseAfterFree:
+    def test_freed_tensor_faults(self, system, rng):
+        matrix = MatrixConfig(rows=8, cols=128)
+        tensor = system.pimalloc(matrix)
+        tensor.store(rng.standard_normal((8, 128)).astype(np.float16))
+        tensor.free()
+        with pytest.raises(PageFaultError):
+            tensor.load(np.float16)
+
+    def test_double_free_rejected(self, system):
+        tensor = system.pimalloc(MatrixConfig(rows=8, cols=128))
+        tensor.free()
+        with pytest.raises(ValueError):
+            tensor.free()

@@ -1,0 +1,81 @@
+"""End-to-end transformer parity: a complete decoder forward pass with
+every linear weight in pimalloc'ed tensors, checked against pure numpy.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.pimalloc import PimSystem
+from repro.dram.config import DramOrganization
+from repro.llm.model_config import LlmConfig
+from repro.llm.tiny_runtime import TINY_LLM, FunctionalLlm, reference_forward
+from repro.pim.config import aim_config_for
+
+ORG = DramOrganization(
+    n_channels=2, ranks_per_channel=1, banks_per_rank=8,
+    rows_per_bank=4096, row_bytes=512, transfer_bytes=32,
+)
+
+
+@pytest.fixture(scope="module")
+def model():
+    system = PimSystem.build(ORG, aim_config_for(ORG))
+    return FunctionalLlm(TINY_LLM, system, seed=3)
+
+
+PROMPT = [3, 141, 59, 265, 35, 897]
+
+
+class TestPrefillParity:
+    def test_soc_gemm_prefill_matches_reference(self, model):
+        logits, _ = model.forward(PROMPT, on_pim=False)
+        reference, _ = reference_forward(model, PROMPT)
+        np.testing.assert_allclose(logits, reference, rtol=1e-2, atol=5e-3)
+
+    def test_single_token_prefill(self, model):
+        logits, _ = model.forward([7], on_pim=False)
+        reference, _ = reference_forward(model, [7])
+        np.testing.assert_allclose(logits, reference, rtol=1e-2, atol=5e-3)
+
+
+class TestDecodeParity:
+    def test_pim_gemv_decode_matches_reference(self, model):
+        _, cache = model.forward(PROMPT, on_pim=False)
+        _, ref_cache = reference_forward(model, PROMPT)
+        logits, _ = model.forward([42], cache, on_pim=True)
+        reference, _ = reference_forward(model, [42], ref_cache)
+        np.testing.assert_allclose(logits, reference, rtol=1e-2, atol=5e-3)
+
+    def test_kv_cache_grows(self, model):
+        _, cache = model.forward(PROMPT, on_pim=False)
+        assert cache.keys[0].shape[0] == len(PROMPT)
+        _, cache = model.forward([1], cache, on_pim=True)
+        assert cache.keys[0].shape[0] == len(PROMPT) + 1
+
+
+class TestGeneration:
+    def test_greedy_tokens_identical(self, model):
+        """Prefill on the SoC path, decode on the PIM path, and the
+        token stream is identical to the numpy-only transformer — the
+        repository's strongest end-to-end claim."""
+        out, reference = model.generate(PROMPT, n_tokens=8)
+        assert out == reference
+        assert len(out) == 8
+
+    def test_generation_deterministic(self, model):
+        a, _ = model.generate(PROMPT, n_tokens=4)
+        b, _ = model.generate(PROMPT, n_tokens=4)
+        assert a == b
+
+
+class TestMlpVariant:
+    def test_mlp_ffn_model(self):
+        cfg = LlmConfig(
+            name="tiny-mlp", n_layers=1, d_model=128, n_heads=4,
+            n_kv_heads=4, d_ff=256, vocab_size=512, ffn_kind="mlp",
+        )
+        system = PimSystem.build(ORG, aim_config_for(ORG))
+        model = FunctionalLlm(cfg, system, seed=1)
+        logits, _ = model.forward([5, 9, 2], on_pim=False)
+        reference, _ = reference_forward(model, [5, 9, 2])
+        np.testing.assert_allclose(logits, reference, rtol=1e-2, atol=5e-3)

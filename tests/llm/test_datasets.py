@@ -1,0 +1,65 @@
+"""Tests for the dataset length-trace samplers."""
+
+import numpy as np
+
+from repro.llm.datasets import (
+    ALPACA_LIKE,
+    HUMANEVAL_AUTOCOMPLETE_LIKE,
+    DatasetSpec,
+    sample_trace,
+)
+
+
+class TestDeterminism:
+    def test_same_seed_same_trace(self):
+        a = sample_trace(ALPACA_LIKE, 50, seed=7)
+        b = sample_trace(ALPACA_LIKE, 50, seed=7)
+        assert a == b
+
+    def test_different_seed_differs(self):
+        a = sample_trace(ALPACA_LIKE, 50, seed=7)
+        b = sample_trace(ALPACA_LIKE, 50, seed=8)
+        assert a != b
+
+
+class TestBounds:
+    def test_lengths_clipped(self):
+        for spec in (ALPACA_LIKE, HUMANEVAL_AUTOCOMPLETE_LIKE):
+            trace = sample_trace(spec, 500, seed=0)
+            for query in trace:
+                assert spec.prefill_min <= query.prefill_tokens <= spec.prefill_max
+                assert spec.decode_min <= query.decode_tokens <= spec.decode_max
+
+
+class TestDistributionShape:
+    def test_alpaca_is_decode_dominated(self):
+        """Conversation queries: answers longer than prompts on average."""
+        trace = sample_trace(ALPACA_LIKE, 500, seed=1)
+        mean_prefill = np.mean([q.prefill_tokens for q in trace])
+        mean_decode = np.mean([q.decode_tokens for q in trace])
+        assert mean_decode > mean_prefill
+
+    def test_autocomplete_queries_are_short(self):
+        """Autocomplete fires per keystroke burst: small prefill, small
+        decode (see module docstring for why the paper pins this down)."""
+        trace = sample_trace(HUMANEVAL_AUTOCOMPLETE_LIKE, 500, seed=1)
+        median_prefill = np.median([q.prefill_tokens for q in trace])
+        assert median_prefill < np.median(
+            [q.decode_tokens for q in sample_trace(ALPACA_LIKE, 500, seed=1)]
+        )
+
+    def test_heavy_tail_exists(self):
+        trace = sample_trace(ALPACA_LIKE, 1000, seed=2)
+        decodes = [q.decode_tokens for q in trace]
+        assert max(decodes) > 4 * np.median(decodes)
+
+
+class TestCustomSpec:
+    def test_fixed_lengths(self):
+        spec = DatasetSpec(
+            name="fixed",
+            prefill_mu=np.log(32), prefill_sigma=1e-9, prefill_min=32, prefill_max=32,
+            decode_mu=np.log(8), decode_sigma=1e-9, decode_min=8, decode_max=8,
+        )
+        trace = sample_trace(spec, 10)
+        assert all(q.prefill_tokens == 32 and q.decode_tokens == 8 for q in trace)

@@ -1,0 +1,49 @@
+"""Tests for phase plans (prefill / decode cost accounting)."""
+
+import pytest
+
+from repro.llm.inference import decode_step_plan, prefill_plan
+from repro.llm.model_config import LLAMA3_8B
+
+
+class TestPrefillPlan:
+    def test_batch_tokens(self):
+        plan = prefill_plan(LLAMA3_8B, 64)
+        assert plan.batch_tokens == 64
+        assert len(plan.linears) == 8
+
+    def test_attention_scales_quadratically(self):
+        short = prefill_plan(LLAMA3_8B, 16).attention
+        long = prefill_plan(LLAMA3_8B, 64).attention
+        assert long.flops > 10 * short.flops  # ~16x for 4x tokens
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            prefill_plan(LLAMA3_8B, 0)
+
+
+class TestDecodePlan:
+    def test_single_token(self):
+        plan = decode_step_plan(LLAMA3_8B, 128)
+        assert plan.batch_tokens == 1
+
+    def test_attention_scales_with_context(self):
+        early = decode_step_plan(LLAMA3_8B, 64).attention
+        late = decode_step_plan(LLAMA3_8B, 512).attention
+        assert late.flops > early.flops
+        assert late.bytes_moved > early.bytes_moved
+
+    def test_kv_cache_dominates_attention_bytes(self):
+        plan = decode_step_plan(LLAMA3_8B, 1024)
+        kv_bytes = 2 * 1024 * LLAMA3_8B.kv_dim * 2 * LLAMA3_8B.n_layers
+        assert plan.attention.bytes_moved >= kv_bytes
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            decode_step_plan(LLAMA3_8B, 0)
+
+
+class TestKernelCounts:
+    def test_attention_kernels_scale_with_layers(self):
+        plan = decode_step_plan(LLAMA3_8B, 64)
+        assert plan.attention.n_kernels == 5 * 32

@@ -1,0 +1,57 @@
+"""Tests for the op-level model decomposition."""
+
+from repro.llm.layers import linear_specs, total_linear_bytes
+from repro.llm.model_config import LLAMA3_8B, OPT_6_7B, PHI_1_5
+
+
+class TestLlamaSpecs:
+    def test_spec_names(self):
+        names = {spec.name for spec in linear_specs(LLAMA3_8B)}
+        assert names == {
+            "q_proj", "k_proj", "v_proj", "o_proj",
+            "gate_proj", "up_proj", "down_proj", "lm_head",
+        }
+
+    def test_shapes(self):
+        specs = {s.name: s for s in linear_specs(LLAMA3_8B)}
+        assert (specs["q_proj"].out_features, specs["q_proj"].in_features) == (4096, 4096)
+        assert (specs["k_proj"].out_features, specs["k_proj"].in_features) == (1024, 4096)
+        assert (specs["gate_proj"].out_features, specs["gate_proj"].in_features) == (14336, 4096)
+        assert (specs["down_proj"].out_features, specs["down_proj"].in_features) == (4096, 14336)
+        assert specs["lm_head"].out_features == 128256
+
+    def test_counts(self):
+        specs = {s.name: s for s in linear_specs(LLAMA3_8B)}
+        assert specs["q_proj"].count == 32
+        assert specs["lm_head"].count == 1
+
+
+class TestMlpModels:
+    def test_opt_fc_shapes(self):
+        specs = {s.name: s for s in linear_specs(OPT_6_7B)}
+        assert specs["fc1"].out_features == 16384
+        assert specs["fc2"].in_features == 16384
+        assert "gate_proj" not in specs
+
+    def test_phi_head(self):
+        specs = {s.name: s for s in linear_specs(PHI_1_5)}
+        assert specs["fc1"].out_features == 8192
+
+
+class TestBytes:
+    def test_total_matches_model_linears(self):
+        total = total_linear_bytes(LLAMA3_8B)
+        # embeddings are not a linear op; weight_bytes() counts them
+        assert total < LLAMA3_8B.weight_bytes()
+        assert total > 0.9 * LLAMA3_8B.weight_bytes() - LLAMA3_8B.vocab_size * LLAMA3_8B.d_model * 2
+
+    def test_exclude_head(self):
+        with_head = total_linear_bytes(LLAMA3_8B, include_head=True)
+        without = total_linear_bytes(LLAMA3_8B, include_head=False)
+        assert with_head - without == 128256 * 4096 * 2
+
+    def test_matrix_config_conversion(self):
+        spec = linear_specs(LLAMA3_8B)[0]
+        cfg = spec.matrix_config()
+        assert cfg.rows == spec.out_features
+        assert cfg.cols == spec.in_features

@@ -1,0 +1,59 @@
+"""Tests for the LLM architecture catalog."""
+
+import pytest
+
+from repro.llm.model_config import (
+    LLAMA3_8B,
+    OPT_6_7B,
+    PHI_1_5,
+    LlmConfig,
+    model_by_name,
+)
+
+
+class TestWeightFootprints:
+    def test_llama3_matches_paper(self):
+        """The paper cites 16.2 GB for Llama3-8B at FP16 (§V-C)."""
+        gb = LLAMA3_8B.weight_bytes() / 1e9
+        assert 15.5 < gb < 17.0
+
+    def test_opt_6_7b(self):
+        gb = OPT_6_7B.weight_bytes() / 1e9
+        assert 12.0 < gb < 14.5
+
+    def test_phi_1_5(self):
+        gb = PHI_1_5.weight_bytes() / 1e9
+        assert 2.2 < gb < 3.4
+
+
+class TestArchitecture:
+    def test_llama_gqa(self):
+        assert LLAMA3_8B.kv_dim == 1024  # 8 KV heads x 128 head dim
+        assert LLAMA3_8B.head_dim == 128
+        assert LLAMA3_8B.ffn_kind == "gated"
+
+    def test_opt_mha(self):
+        assert OPT_6_7B.kv_dim == OPT_6_7B.d_model
+        assert OPT_6_7B.ffn_kind == "mlp"
+        assert OPT_6_7B.tied_embeddings
+
+    def test_kv_cache_traffic(self):
+        per_token = LLAMA3_8B.kv_cache_bytes_per_token
+        assert per_token == 2 * 1024 * 2 * 32
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="ffn_kind"):
+            LlmConfig("x", 2, 128, 4, 4, 512, 1000, ffn_kind="weird")
+        with pytest.raises(ValueError, match="heads"):
+            LlmConfig("x", 2, 100, 3, 3, 512, 1000, ffn_kind="mlp")
+        with pytest.raises(ValueError, match="GQA"):
+            LlmConfig("x", 2, 128, 4, 3, 512, 1000, ffn_kind="mlp")
+
+
+class TestLookup:
+    def test_by_name(self):
+        assert model_by_name("llama3-8b") is LLAMA3_8B
+
+    def test_unknown(self):
+        with pytest.raises(KeyError, match="unknown model"):
+            model_by_name("gpt-17")

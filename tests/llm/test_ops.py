@@ -1,0 +1,95 @@
+"""Unit tests for the transformer numeric building blocks."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.llm.ops import gqa_attention, rms_norm, softmax, swiglu
+
+
+class TestSoftmax:
+    def test_sums_to_one(self, rng):
+        x = rng.standard_normal((4, 7))
+        out = softmax(x)
+        np.testing.assert_allclose(out.sum(axis=-1), 1.0, rtol=1e-6)
+
+    def test_stable_for_large_inputs(self):
+        out = softmax(np.array([1000.0, 1000.0, -1000.0]))
+        assert np.isfinite(out).all()
+        np.testing.assert_allclose(out[:2], 0.5, rtol=1e-6)
+
+    @given(st.integers(min_value=2, max_value=16), st.integers(0, 1000))
+    @settings(max_examples=20, deadline=None)
+    def test_shift_invariance(self, n, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal(n)
+        np.testing.assert_allclose(softmax(x), softmax(x + 42.0), rtol=1e-6)
+
+
+class TestRmsNorm:
+    def test_unit_rms(self, rng):
+        x = rng.standard_normal((3, 64)) * 10
+        out = rms_norm(x)
+        rms = np.sqrt((out * out).mean(axis=-1))
+        np.testing.assert_allclose(rms, 1.0, rtol=1e-3)
+
+    def test_scale_invariant_direction(self, rng):
+        x = rng.standard_normal(32)
+        np.testing.assert_allclose(rms_norm(x), rms_norm(5 * x), rtol=1e-4)
+
+
+class TestSwiglu:
+    def test_zero_gate_zeroes_output(self):
+        up = np.ones(8)
+        out = swiglu(np.full(8, -100.0), up)
+        np.testing.assert_allclose(out, 0.0, atol=1e-8)
+
+    def test_large_gate_passes_up(self):
+        up = np.arange(8, dtype=float)
+        out = swiglu(np.full(8, 100.0), up)
+        np.testing.assert_allclose(out, up * 100.0, rtol=1e-6)
+
+
+class TestGqaAttention:
+    def test_single_head_matches_manual(self, rng):
+        q = rng.standard_normal((2, 8)).astype(np.float32)
+        k = rng.standard_normal((2, 8)).astype(np.float32)
+        v = rng.standard_normal((2, 8)).astype(np.float32)
+        out = gqa_attention(q, k, v, n_heads=1, n_kv_heads=1)
+        scores = q @ k.T / np.sqrt(8)
+        scores[0, 1] = -1e30  # causal
+        expected = softmax(scores) @ v
+        np.testing.assert_allclose(out, expected, rtol=1e-5)
+
+    def test_causality(self, rng):
+        """Changing a future key/value must not affect earlier outputs."""
+        q = rng.standard_normal((3, 16)).astype(np.float32)
+        k = rng.standard_normal((3, 16)).astype(np.float32)
+        v = rng.standard_normal((3, 16)).astype(np.float32)
+        base = gqa_attention(q, k, v, 2, 2)
+        k2, v2 = k.copy(), v.copy()
+        k2[2] += 1.0
+        v2[2] -= 1.0
+        changed = gqa_attention(q, k2, v2, 2, 2)
+        np.testing.assert_allclose(base[:2], changed[:2], rtol=1e-6)
+        assert not np.allclose(base[2], changed[2])
+
+    def test_gqa_groups_share_kv(self, rng):
+        """With one KV head, all query heads attend to the same K/V."""
+        q = rng.standard_normal((1, 32)).astype(np.float32)
+        k = rng.standard_normal((1, 8)).astype(np.float32)
+        v = rng.standard_normal((1, 8)).astype(np.float32)
+        out = gqa_attention(q, k, v, n_heads=4, n_kv_heads=1)
+        # single context position: attention output == v for every head
+        np.testing.assert_allclose(out.reshape(4, 8), np.tile(v, (4, 1)), rtol=1e-6)
+
+    def test_offset_decode_step(self, rng):
+        q = rng.standard_normal((1, 16)).astype(np.float32)
+        k = rng.standard_normal((5, 16)).astype(np.float32)
+        v = rng.standard_normal((5, 16)).astype(np.float32)
+        out = gqa_attention(q, k, v, 2, 2, causal_offset=4)
+        assert out.shape == (1, 16)
+
+    def test_bad_head_grouping(self):
+        with pytest.raises(ValueError):
+            gqa_attention(np.zeros((1, 12)), np.zeros((1, 8)), np.zeros((1, 8)), 3, 2)

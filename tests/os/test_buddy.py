@@ -1,0 +1,182 @@
+"""Tests for the buddy allocator, FMFI, and compaction."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.os.buddy import BuddyAllocator, OutOfMemoryError
+
+
+class TestInitialState:
+    def test_all_memory_in_max_order_blocks(self):
+        buddy = BuddyAllocator(2048, max_order=9)
+        assert buddy.free_blocks(9) == 4
+        assert buddy.free_pages == 2048
+        assert buddy.used_pages == 0
+
+    def test_tail_pages_split(self):
+        buddy = BuddyAllocator(512 + 96, max_order=9)
+        assert buddy.free_pages == 608
+        assert buddy.free_blocks(9) == 1
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            BuddyAllocator(0)
+
+
+class TestAllocFree:
+    def test_alloc_splits(self):
+        buddy = BuddyAllocator(512, max_order=9)
+        frame = buddy.alloc(0)
+        assert frame == 0
+        assert buddy.free_pages == 511
+        # one free block at every order below max
+        for order in range(9):
+            assert buddy.free_blocks(order) == 1
+
+    def test_alignment(self):
+        buddy = BuddyAllocator(2048, max_order=9)
+        for order in (0, 3, 5, 9):
+            frame = buddy.alloc(order)
+            assert frame % (1 << order) == 0
+
+    def test_free_merges_back(self):
+        buddy = BuddyAllocator(512, max_order=9)
+        frames = [buddy.alloc(0) for _ in range(8)]
+        for frame in frames:
+            buddy.free(frame)
+        assert buddy.free_blocks(9) == 1
+        assert buddy.free_pages == 512
+
+    def test_double_free_rejected(self):
+        buddy = BuddyAllocator(64, max_order=4)
+        frame = buddy.alloc(0)
+        buddy.free(frame)
+        with pytest.raises(ValueError):
+            buddy.free(frame)
+
+    def test_oom(self):
+        buddy = BuddyAllocator(16, max_order=4)
+        buddy.alloc(4)
+        with pytest.raises(OutOfMemoryError):
+            buddy.alloc(0)
+
+    def test_bad_order(self):
+        buddy = BuddyAllocator(16, max_order=4)
+        with pytest.raises(ValueError):
+            buddy.alloc(5)
+
+    @given(st.lists(st.integers(min_value=0, max_value=4), max_size=30))
+    @settings(max_examples=50, deadline=None)
+    def test_alloc_free_all_restores_state(self, orders):
+        """Property: allocating any feasible sequence then freeing it all
+        restores a fully-coalesced arena."""
+        buddy = BuddyAllocator(1024, max_order=9)
+        frames = []
+        for order in orders:
+            try:
+                frames.append(buddy.alloc(order))
+            except OutOfMemoryError:
+                break
+        for frame in frames:
+            buddy.free(frame)
+        assert buddy.free_pages == 1024
+        assert buddy.free_blocks(9) == 2
+
+
+class TestFmfi:
+    def test_pristine_arena_is_zero(self):
+        buddy = BuddyAllocator(2048, max_order=9)
+        assert buddy.fmfi(9) == 0.0
+
+    def test_fully_shattered_is_near_one(self):
+        buddy = BuddyAllocator(1024, max_order=9)
+        # pin one page in every 512-page window
+        buddy.fragment_to(0.99, order=9, rng=random.Random(1))
+        assert buddy.fmfi(9) > 0.9
+
+    def test_fragment_to_mid_band(self):
+        buddy = BuddyAllocator(4096, max_order=9)
+        achieved = buddy.fragment_to(0.5, order=9, rng=random.Random(2))
+        assert 0.3 <= achieved <= 0.7
+
+    def test_exhausted_arena(self):
+        buddy = BuddyAllocator(16, max_order=4)
+        buddy.alloc(4)
+        assert buddy.fmfi(4) == 1.0
+
+
+class TestReserveRange:
+    def test_reserves_exact_pages(self):
+        buddy = BuddyAllocator(64, max_order=4)
+        buddy._reserve_range(10, 6)
+        assert buddy.free_pages == 58
+        # pages 10..15 are gone: allocating everything never returns them
+        taken = set()
+        while True:
+            try:
+                taken.add(buddy.alloc(0))
+            except OutOfMemoryError:
+                break
+        assert taken.isdisjoint(range(10, 16))
+
+    def test_rejects_overlap_with_allocated(self):
+        buddy = BuddyAllocator(64, max_order=4)
+        frame = buddy.alloc(0)
+        with pytest.raises(OutOfMemoryError):
+            buddy._reserve_range(frame, 4)
+
+
+class TestCompaction:
+    def test_no_compaction_when_block_free(self):
+        buddy = BuddyAllocator(1024, max_order=9)
+        result = buddy.alloc_with_compaction(9)
+        assert result.pages_moved == 0
+
+    def test_compaction_mints_block(self):
+        buddy = BuddyAllocator(1024, max_order=9)
+        # shatter both windows with movable singles
+        buddy.fragment_to(0.99, order=9, rng=random.Random(3))
+        assert buddy.free_blocks(9) == 0
+        result = buddy.alloc_with_compaction(9)
+        assert result.pages_moved > 0
+        assert result.frame % 512 == 0
+        assert buddy.allocated[result.frame] == 9
+
+    def test_compaction_moves_cheapest_window(self):
+        buddy = BuddyAllocator(1024, max_order=9)
+        # window 0: 100 singles, window 1: 1 single
+        for page in range(100):
+            buddy._reserve_range(page * 2, 1)
+            buddy.allocated[page * 2] = 0
+        buddy._reserve_range(512, 1)
+        buddy.allocated[512] = 0
+        result = buddy.alloc_with_compaction(9)
+        assert result.frame == 512
+        assert result.pages_moved == 1
+
+    def test_raises_when_not_enough_free(self):
+        buddy = BuddyAllocator(512, max_order=9)
+        buddy.alloc(8)  # half the arena used
+        buddy.alloc(8)
+        with pytest.raises(OutOfMemoryError):
+            buddy.alloc_with_compaction(9)
+
+
+class TestFromAllocated:
+    def test_complement_coalesces(self):
+        buddy = BuddyAllocator.from_allocated(1024, {0}, max_order=9)
+        assert buddy.free_pages == 1023
+        assert buddy.free_blocks(9) == 1  # the untouched window
+
+    def test_empty_allocation_fully_free(self):
+        buddy = BuddyAllocator.from_allocated(1024, set(), max_order=9)
+        assert buddy.free_blocks(9) == 2
+
+    def test_matches_incremental_construction(self):
+        incremental = BuddyAllocator(256, max_order=4)
+        taken = {incremental.alloc(0) for _ in range(5)}
+        direct = BuddyAllocator.from_allocated(256, taken, max_order=4)
+        for order in range(5):
+            assert direct.free_blocks(order) == incremental.free_blocks(order)

@@ -1,0 +1,86 @@
+"""Tests for the Table I model-load simulation."""
+
+import pytest
+
+from repro.os.loadsim import (
+    LoadCostModel,
+    build_fragmented_arena,
+    simulate_weight_load,
+)
+
+MODEL = int(16.2e9)  # Llama3-8B FP16, as in the paper
+SIM = 32 << 20  # small scaled model for fast tests
+
+
+class TestArenaBuilder:
+    @pytest.mark.parametrize("target", [0.1, 0.45, 0.75])
+    def test_hits_fmfi_band(self, target):
+        arena, fmfi = build_fragmented_arena(
+            total_pages=16384, used_pages=8192, target_fmfi=target
+        )
+        assert abs(fmfi - target) < 0.12
+        assert arena.used_pages == 8192
+
+    def test_rejects_full_arena(self):
+        with pytest.raises(ValueError):
+            build_fragmented_arena(1024, 1024, 0.5)
+
+    def test_low_fmfi_leaves_free_blocks(self):
+        arena, _ = build_fragmented_arena(16384, 8192, 0.05)
+        assert arena.free_blocks(9) >= 10
+
+
+class TestBaseline:
+    def test_baseline_matches_paper_scale(self):
+        """The paper's implied 4 KB baseline is ~8.8 s for 16.2 GB."""
+        out = simulate_weight_load(MODEL, 2.5, 0.1, use_huge_pages=False)
+        assert 8.0 < out.seconds < 9.5
+        assert out.normalized == 1.0
+        assert out.pages_moved == 0
+
+    def test_free_ratio_must_exceed_one(self):
+        with pytest.raises(ValueError):
+            simulate_weight_load(MODEL, 0.9, 0.1)
+
+
+class TestHugePageOverheads:
+    def test_low_fmfi_fixed_overhead(self):
+        """Table I row 1: ~1.16x regardless of free memory."""
+        out = simulate_weight_load(MODEL, 2.5, 0.05, sim_model_bytes=SIM)
+        assert 1.05 < out.normalized < 1.30
+        assert out.pages_moved == 0
+
+    def test_high_fmfi_tight_memory_worst_case(self):
+        """Table I corner: FMFI 0.7-0.8 at 1.1x free -> ~1.9x."""
+        out = simulate_weight_load(MODEL, 1.1, 0.75, sim_model_bytes=SIM)
+        assert 1.6 < out.normalized < 2.3
+        assert out.pages_moved > 0
+
+    def test_monotone_in_fmfi(self):
+        times = [
+            simulate_weight_load(MODEL, 1.5, fmfi, sim_model_bytes=SIM).seconds
+            for fmfi in (0.05, 0.45, 0.75)
+        ]
+        assert times[0] <= times[1] <= times[2]
+
+    def test_monotone_in_memory_pressure(self):
+        times = [
+            simulate_weight_load(MODEL, ratio, 0.75, sim_model_bytes=SIM).seconds
+            for ratio in (2.5, 1.5, 1.1)
+        ]
+        assert times[0] <= times[1] <= times[2]
+
+    def test_one_time_cost_amortizes(self):
+        """§V-C: the worst-case overhead stays within ~2x of baseline —
+        a one-time cost amortized over many inferences."""
+        out = simulate_weight_load(MODEL, 1.1, 0.78, sim_model_bytes=SIM)
+        assert out.normalized < 2.5
+
+
+class TestCostModel:
+    def test_custom_costs_scale(self):
+        slow_ssd = LoadCostModel(ssd_gbps=0.5)
+        out = simulate_weight_load(
+            MODEL, 2.0, 0.05, costs=slow_ssd, sim_model_bytes=SIM
+        )
+        assert out.baseline_seconds > 30

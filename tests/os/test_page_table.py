@@ -1,0 +1,126 @@
+"""Tests for the radix page table and the MapID-bearing PTE (Fig. 11)."""
+
+import pytest
+
+from repro.os.page_table import (
+    HUGE_SHIFT,
+    MAP_ID_BITS,
+    PAGE_SHIFT,
+    PageFaultError,
+    PageTable,
+    PteFlags,
+    pack_pte,
+    unpack_pte,
+)
+
+
+class TestPtePacking:
+    def test_roundtrip_base_page(self):
+        pte = pack_pte(0x1234, PteFlags.PRESENT | PteFlags.WRITABLE)
+        leaf = unpack_pte(pte)
+        assert leaf.pa == 0x1234 << PAGE_SHIFT
+        assert leaf.page_shift == PAGE_SHIFT
+        assert leaf.map_id == 0
+
+    def test_roundtrip_huge_page_with_map_id(self):
+        pfn = 0x200  # 2 MB aligned (low 9 bits clear)
+        pte = pack_pte(pfn, PteFlags.PRESENT | PteFlags.HUGE, map_id=11)
+        leaf = unpack_pte(pte)
+        assert leaf.pa == pfn << PAGE_SHIFT
+        assert leaf.is_huge
+        assert leaf.map_id == 11
+
+    def test_map_id_lives_in_unused_bits(self):
+        """The MapID occupies PTE bits [12,16) — inside the PFN field but
+        necessarily zero for a 2 MB page, so no extra storage is used."""
+        pfn = 0x200
+        base = pack_pte(pfn, PteFlags.PRESENT | PteFlags.HUGE, map_id=0)
+        tagged = pack_pte(pfn, PteFlags.PRESENT | PteFlags.HUGE, map_id=0xF)
+        assert tagged ^ base == 0xF << PAGE_SHIFT
+
+    def test_map_id_width_bounded(self):
+        """The paper: even 14 extra mappings need only 4 bits."""
+        assert MAP_ID_BITS == 4
+        with pytest.raises(ValueError, match="bits"):
+            pack_pte(0x200, PteFlags.HUGE, map_id=16)
+
+    def test_map_id_on_base_page_rejected(self):
+        with pytest.raises(ValueError, match="huge"):
+            pack_pte(0x1234, PteFlags.PRESENT, map_id=1)
+
+    def test_unaligned_huge_pfn_rejected(self):
+        with pytest.raises(ValueError, match="aligned"):
+            pack_pte(0x201, PteFlags.HUGE, map_id=0)
+
+    def test_pfn_range_check(self):
+        with pytest.raises(ValueError):
+            pack_pte(-1, PteFlags.PRESENT)
+        with pytest.raises(ValueError):
+            pack_pte(1 << 41, PteFlags.PRESENT)
+
+
+class TestPageTableBasePages:
+    def test_map_walk(self):
+        table = PageTable()
+        table.map_page(0x7000_0000_0000, 0x4000, huge=False)
+        leaf = table.walk(0x7000_0000_0123)
+        assert leaf.pa == 0x4000
+        assert leaf.page_shift == PAGE_SHIFT
+
+    def test_unmapped_faults(self):
+        table = PageTable()
+        with pytest.raises(PageFaultError):
+            table.walk(0x1234_5000)
+
+    def test_double_map_rejected(self):
+        table = PageTable()
+        table.map_page(0x1000, 0x2000)
+        with pytest.raises(ValueError, match="already mapped"):
+            table.map_page(0x1000, 0x3000)
+
+    def test_unmap(self):
+        table = PageTable()
+        table.map_page(0x1000, 0x2000)
+        table.unmap_page(0x1000)
+        with pytest.raises(PageFaultError):
+            table.walk(0x1000)
+
+    def test_unmap_missing_faults(self):
+        table = PageTable()
+        with pytest.raises(PageFaultError):
+            table.unmap_page(0x1000)
+
+
+class TestPageTableHugePages:
+    def test_huge_leaf_covers_2mb(self):
+        table = PageTable()
+        table.map_page(0x4000_0000, 0x20_0000, huge=True, map_id=3)
+        for offset in (0, 0x1000, 0x1F_FFFF):
+            leaf = table.walk(0x4000_0000 + offset)
+            assert leaf.pa == 0x20_0000
+            assert leaf.map_id == 3
+
+    def test_misaligned_huge_rejected(self):
+        table = PageTable()
+        with pytest.raises(ValueError, match="aligned"):
+            table.map_page(0x4000_1000, 0x20_0000, huge=True)
+
+    def test_huge_and_base_coexist(self):
+        table = PageTable()
+        table.map_page(0x4000_0000, 0x20_0000, huge=True, map_id=1)
+        table.map_page(0x5000_0000, 0x1000, huge=False)
+        assert table.walk(0x4000_0000).is_huge
+        assert not table.walk(0x5000_0000).is_huge
+
+    def test_base_page_under_huge_mapping_rejected(self):
+        table = PageTable()
+        table.map_page(0x4000_0000, 0x20_0000, huge=True)
+        with pytest.raises(ValueError, match="overlaps"):
+            table.map_page(0x4000_1000, 0x9000, huge=False)
+
+    def test_walk_counter(self):
+        table = PageTable()
+        table.map_page(0x1000, 0x2000)
+        table.walk(0x1000)
+        table.walk(0x1000)
+        assert table.walks == 2

@@ -1,0 +1,95 @@
+"""Tests for the set-associative TLB."""
+
+import pytest
+
+from repro.os.page_table import HUGE_SHIFT, PAGE_SHIFT, WalkResult
+from repro.os.tlb import Tlb
+
+
+def _leaf(pa, huge=False, map_id=0):
+    return WalkResult(
+        pa=pa,
+        page_shift=HUGE_SHIFT if huge else PAGE_SHIFT,
+        map_id=map_id,
+        flags=1,
+    )
+
+
+class TestBasics:
+    def test_miss_then_hit(self):
+        tlb = Tlb()
+        assert tlb.lookup(0x1234) is None
+        tlb.fill(0x1234, _leaf(0x8000))
+        assert tlb.lookup(0x1234).pa == 0x8000
+        assert tlb.stats.misses == 1
+        assert tlb.stats.hits == 1
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ValueError):
+            Tlb(n_sets=0)
+
+    def test_map_id_travels_with_entry(self):
+        tlb = Tlb()
+        tlb.fill(0x40_0000, _leaf(0x20_0000, huge=True, map_id=5))
+        assert tlb.lookup(0x40_0000).map_id == 5
+
+
+class TestHugePageReach:
+    def test_one_entry_covers_whole_huge_page(self):
+        tlb = Tlb()
+        tlb.fill(0x40_0000, _leaf(0x20_0000, huge=True))
+        for offset in (0, 0x1000, 0x10_0000, 0x1F_F000):
+            assert tlb.lookup(0x40_0000 + offset) is not None
+
+    def test_base_entry_does_not_cover_neighbours(self):
+        tlb = Tlb()
+        tlb.fill(0x1000, _leaf(0x8000))
+        assert tlb.lookup(0x2000) is None
+
+
+class TestEviction:
+    def test_lru_eviction_within_set(self):
+        tlb = Tlb(n_sets=1, ways=2)
+        tlb.fill(0x1000, _leaf(0x1000))
+        tlb.fill(0x2000, _leaf(0x2000))
+        tlb.lookup(0x1000)  # touch first -> second becomes LRU
+        tlb.fill(0x3000, _leaf(0x3000))  # evicts 0x2000
+        assert tlb.lookup(0x1000) is not None
+        assert tlb.lookup(0x2000) is None
+        assert tlb.stats.evictions == 1
+
+    def test_refill_updates_in_place(self):
+        tlb = Tlb(n_sets=1, ways=1)
+        tlb.fill(0x1000, _leaf(0x1000))
+        tlb.fill(0x1000, _leaf(0x9000))
+        assert tlb.lookup(0x1000).pa == 0x9000
+        assert tlb.stats.evictions == 0
+
+
+class TestInvalidate:
+    def test_invalidate_specific(self):
+        tlb = Tlb()
+        tlb.fill(0x1000, _leaf(0x1000))
+        tlb.invalidate(0x1000, PAGE_SHIFT)
+        assert tlb.lookup(0x1000) is None
+
+    def test_flush(self):
+        tlb = Tlb()
+        tlb.fill(0x1000, _leaf(0x1000))
+        tlb.fill(0x40_0000, _leaf(0x20_0000, huge=True))
+        tlb.flush()
+        assert tlb.lookup(0x1000) is None
+        assert tlb.lookup(0x40_0000) is None
+
+
+class TestStats:
+    def test_hit_rate(self):
+        tlb = Tlb()
+        tlb.fill(0x1000, _leaf(0x1000))
+        tlb.lookup(0x1000)
+        tlb.lookup(0x1000)
+        tlb.lookup(0x9_9000)
+        assert tlb.stats.hit_rate == pytest.approx(2 / 3)
+
+    def test_empty_stats(self):
+        assert Tlb().stats.hit_rate == 0.0

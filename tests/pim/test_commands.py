@@ -1,0 +1,92 @@
+"""Tests for PIM command-stream generation and the replay cross-check."""
+
+import numpy as np
+import pytest
+
+from repro.core.pimalloc import PimSystem
+from repro.core.selector import MatrixConfig
+from repro.dram.config import DramConfig, DramOrganization, LPDDR5_6400_TIMINGS
+from repro.pim.commands import generate_gemv_commands, replay_latency
+from repro.pim.config import AIM_LPDDR5
+from repro.pim.functional import pim_gemv
+from repro.pim.gemv import gemv_latency
+
+ORG = DramOrganization(
+    n_channels=4, ranks_per_channel=2, banks_per_rank=16,
+    rows_per_bank=512, row_bytes=2048, transfer_bytes=32,
+)
+CFG = DramConfig(ORG, LPDDR5_6400_TIMINGS)
+
+
+@pytest.fixture(scope="module")
+def system():
+    return PimSystem.build(ORG, AIM_LPDDR5)
+
+
+def _tensor(system, rows, cols):
+    tensor = system.pimalloc(MatrixConfig(rows, cols))
+    tensor.store(np.zeros((rows, cols), dtype=np.float16))
+    return tensor
+
+
+class TestGeneration:
+    def test_one_gb_load_per_rank_segment(self, system):
+        tensor = _tensor(system, 256, 4096)
+        stream = generate_gemv_commands(tensor)
+        # unpartitioned on this org: every rank streams all 4 segments
+        # (4096 cols / 1024-element global buffer)
+        assert tensor.selection.partitions_per_row == 1
+        assert len(stream.loads) == 4 * ORG.n_channels * ORG.ranks_per_channel
+        tensor.free()
+
+    def test_mac_passes_are_all_bank(self, system):
+        tensor = _tensor(system, 256, 4096)
+        stream = generate_gemv_commands(tensor)
+        for sweep in stream.mac_passes:
+            assert sweep.n_banks == ORG.banks_per_rank
+            assert sweep.n_cols == ORG.cols_per_row
+        tensor.free()
+
+    def test_drains_cover_all_outputs(self, system):
+        tensor = _tensor(system, 256, 4096)
+        stream = generate_gemv_commands(tensor)
+        total_outputs = sum(d.n_outputs for d in stream.drains)
+        # partitioned rows produce one partial per partition
+        selection = tensor.selection
+        assert total_outputs == 256 * selection.partitions_per_row
+        tensor.free()
+
+
+class TestCrossValidation:
+    @pytest.mark.parametrize("rows,cols", [(256, 4096), (128, 2048), (64, 14336)])
+    def test_counts_match_analytic_model(self, system, rows, cols):
+        tensor = _tensor(system, rows, cols)
+        stream = generate_gemv_commands(tensor)
+        analytic = gemv_latency(
+            tensor.matrix, CFG, AIM_LPDDR5, selection=tensor.selection
+        )
+        assert stream.n_activations == analytic.activates_per_bank * ORG.total_banks
+        tensor.free()
+
+    @pytest.mark.parametrize("rows,cols", [(256, 4096), (128, 2048), (64, 14336)])
+    def test_replay_matches_analytic_latency(self, system, rows, cols):
+        """The placement-derived command stream prices within a few
+        percent of the closed-form model (serialized variant)."""
+        tensor = _tensor(system, rows, cols)
+        stream = generate_gemv_commands(tensor)
+        replay = replay_latency(stream, CFG, AIM_LPDDR5)
+        analytic = gemv_latency(
+            tensor.matrix, CFG, AIM_LPDDR5,
+            selection=tensor.selection, overlap_gb_loads=False,
+        )
+        assert replay == pytest.approx(analytic.total_ns, rel=0.05)
+        tensor.free()
+
+    def test_mac_columns_match_functional_stats(self, system, rng):
+        tensor = _tensor(system, 128, 2048)
+        weights = rng.standard_normal((128, 2048)).astype(np.float16)
+        tensor.store(weights)
+        _, stats = pim_gemv(tensor, rng.standard_normal(2048).astype(np.float16))
+        stream = generate_gemv_commands(tensor)
+        assert stream.n_mac_columns == stats.mac_transfers
+        tensor.free()

@@ -1,0 +1,54 @@
+"""Tests for PIM architecture configurations."""
+
+import pytest
+
+from repro.dram.config import TINY_ORG, lpddr5_organization
+from repro.pim.config import AIM_LPDDR5, HBM_PIM, PimConfig, aim_config_for
+
+
+class TestChunkDimensions:
+    def test_aim_chunk(self):
+        """AiM: (1, 1024) at FP16 — input register holds one 2 KB DRAM
+        row of the input vector (§II-C)."""
+        assert AIM_LPDDR5.chunk_rows == 1
+        assert AIM_LPDDR5.chunk_cols == 1024
+        assert AIM_LPDDR5.chunk_row_bytes == 2048
+        assert AIM_LPDDR5.chunk_bytes == 2048
+
+    def test_hbm_pim_chunk(self):
+        """HBM-PIM: (8, 128) — two sets of 8 registers, no reduction unit
+        (footnote 1)."""
+        assert HBM_PIM.chunk_rows == 8
+        assert HBM_PIM.chunk_cols == 128
+        assert HBM_PIM.chunk_row_bytes == 256
+        assert HBM_PIM.chunk_bytes == 2048
+
+    def test_lpddr5_mac_rate_calibration(self):
+        assert AIM_LPDDR5.mac_ccd_multiplier == 2
+
+
+class TestValidation:
+    def test_rejects_non_pow2_chunk(self):
+        with pytest.raises(ValueError):
+            PimConfig("bad", chunk_rows=3, chunk_cols=128)
+
+    def test_rejects_bad_dtype(self):
+        with pytest.raises(ValueError):
+            PimConfig("bad", chunk_rows=1, chunk_cols=128, dtype_bytes=0)
+
+
+class TestDerived:
+    def test_pus_one_per_bank(self):
+        org = lpddr5_organization(bus_width_bits=256, capacity_gb=64)
+        assert AIM_LPDDR5.pus(org) == 512
+
+    def test_elems_per_transfer(self):
+        assert AIM_LPDDR5.elems_per_transfer(TINY_ORG) == 16
+
+
+class TestAimConfigFor:
+    def test_chunk_spans_one_row(self):
+        cfg = aim_config_for(TINY_ORG)
+        assert cfg.chunk_row_bytes == TINY_ORG.row_bytes
+        assert cfg.global_buffer_bytes == TINY_ORG.row_bytes
+        assert cfg.banks_per_global_buffer == TINY_ORG.banks_per_rank

@@ -1,0 +1,100 @@
+"""Functional PIM GEMV vs numpy, across shapes, styles, and partitioning."""
+
+import numpy as np
+import pytest
+
+from repro.core.pimalloc import PimSystem
+from repro.core.selector import MatrixConfig
+from repro.dram.config import TINY_ORG, DramOrganization
+from repro.pim.config import AIM_LPDDR5, HBM_PIM, aim_config_for
+from repro.pim.functional import pim_gemv
+
+MEDIUM_ORG = DramOrganization(
+    n_channels=4, ranks_per_channel=2, banks_per_rank=16,
+    rows_per_bank=512, row_bytes=2048, transfer_bytes=32,
+)
+
+
+def _check(system, rows, cols, rng, rtol=2e-2):
+    tensor = system.pimalloc(MatrixConfig(rows=rows, cols=cols))
+    weights = rng.standard_normal((rows, cols)).astype(np.float16)
+    x = rng.standard_normal(cols).astype(np.float16)
+    tensor.store(weights)
+    y, stats = pim_gemv(tensor, x)
+    reference = weights.astype(np.float32) @ x.astype(np.float32)
+    np.testing.assert_allclose(y, reference, rtol=rtol, atol=1e-2)
+    tensor.free()
+    return stats
+
+
+class TestTinyAim:
+    @pytest.mark.parametrize(
+        "rows,cols",
+        [(4, 128), (16, 128), (64, 300), (8, 2048), (100, 1000), (3, 130)],
+    )
+    def test_matches_numpy(self, rows, cols, rng):
+        system = PimSystem.build(TINY_ORG, aim_config_for(TINY_ORG))
+        _check(system, rows, cols, rng)
+
+    def test_stats_chunk_count(self, rng):
+        system = PimSystem.build(TINY_ORG, aim_config_for(TINY_ORG))
+        stats = _check(system, 16, 256, rng)
+        assert stats.chunks_processed == 16 * 2
+        assert stats.mac_transfers == 16 * 2 * 8
+        assert stats.soc_reduced_rows == 0
+
+
+class TestPartitionedAim:
+    def test_partitioned_rows_reduced_by_soc(self, rng):
+        system = PimSystem.build(MEDIUM_ORG, AIM_LPDDR5)
+        stats = _check(system, 8, 16384, rng)
+        assert stats.soc_reduced_rows == 8  # every row split across PUs
+
+    def test_llama_shapes(self, rng):
+        system = PimSystem.build(MEDIUM_ORG, AIM_LPDDR5)
+        _check(system, 64, 4096, rng)
+        _check(system, 32, 14336, rng)
+
+
+class TestHbmPim:
+    @pytest.mark.parametrize("rows,cols", [(16, 128), (64, 300), (32, 2048)])
+    def test_matches_numpy(self, rows, cols, rng):
+        system = PimSystem.build(MEDIUM_ORG, HBM_PIM)
+        _check(system, rows, cols, rng)
+
+
+class TestInputValidation:
+    def test_wrong_length(self, rng):
+        system = PimSystem.build(TINY_ORG, aim_config_for(TINY_ORG))
+        tensor = system.pimalloc(MatrixConfig(rows=4, cols=128))
+        tensor.store(np.zeros((4, 128), dtype=np.float16))
+        with pytest.raises(ValueError, match="shape"):
+            pim_gemv(tensor, np.zeros(127, dtype=np.float16))
+
+    def test_wrong_dtype(self):
+        system = PimSystem.build(TINY_ORG, aim_config_for(TINY_ORG))
+        tensor = system.pimalloc(MatrixConfig(rows=4, cols=128))
+        tensor.store(np.zeros((4, 128), dtype=np.float16))
+        with pytest.raises(ValueError, match="width"):
+            pim_gemv(tensor, np.zeros(128, dtype=np.float32))
+
+    def test_timing_only_system_rejected(self):
+        from repro.dram.config import lpddr5_organization
+
+        org = lpddr5_organization(bus_width_bits=256, capacity_gb=64)
+        system = PimSystem.build(org, AIM_LPDDR5, functional=False)
+        tensor = system.pimalloc(MatrixConfig(rows=4, cols=4096))
+        with pytest.raises(RuntimeError, match="functional"):
+            pim_gemv(tensor, np.zeros(4096, dtype=np.float16))
+
+
+class TestGbLoadAccounting:
+    def test_one_load_per_rank_segment(self, rng):
+        """Every (channel, rank) loads each needed input segment once —
+        the shared-global-buffer reuse the placement enables."""
+        system = PimSystem.build(TINY_ORG, aim_config_for(TINY_ORG))
+        tensor = system.pimalloc(MatrixConfig(rows=16, cols=512))
+        tensor.store(rng.standard_normal((16, 512)).astype(np.float16))
+        _, stats = pim_gemv(tensor, rng.standard_normal(512).astype(np.float16))
+        # 512 cols / 128-elem segments = 4 segments; 2 rank-groups (2 ch x 1 rk)
+        assert stats.total_gb_loads <= 4 * 2

@@ -1,0 +1,87 @@
+"""Tests for the INT8 quantized-weight path (AWQ-style deployments)."""
+
+import numpy as np
+import pytest
+
+from repro.core.pimalloc import PimSystem
+from repro.core.selector import MatrixConfig
+from repro.dram.config import DramOrganization
+from repro.pim.config import AIM_LPDDR5_INT8
+from repro.pim.functional import pim_gemv
+
+ORG = DramOrganization(
+    n_channels=4, ranks_per_channel=2, banks_per_rank=16,
+    rows_per_bank=512, row_bytes=2048, transfer_bytes=32,
+)
+
+
+@pytest.fixture(scope="module")
+def system():
+    return PimSystem.build(ORG, AIM_LPDDR5_INT8)
+
+
+class TestMatrixConfigKind:
+    def test_numpy_dtypes(self):
+        assert MatrixConfig(4, 4, 2, "float").numpy_dtype == np.float16
+        assert MatrixConfig(4, 4, 1, "int").numpy_dtype == np.int8
+        assert MatrixConfig(4, 4, 2, "int").numpy_dtype == np.int16
+
+    def test_bad_kind_rejected(self):
+        with pytest.raises(ValueError, match="kind"):
+            MatrixConfig(4, 4, kind="complex")
+
+
+class TestInt8Gemv:
+    @pytest.mark.parametrize("rows,cols", [(64, 4096), (17, 3000), (8, 2048)])
+    def test_exact_integer_arithmetic(self, system, rows, cols, rng):
+        """Integer GEMV has no rounding: the PIM result must equal the
+        int64 reference bit-for-bit."""
+        matrix = MatrixConfig(rows=rows, cols=cols, dtype_bytes=1, kind="int")
+        tensor = system.pimalloc(matrix)
+        weights = rng.integers(-127, 128, (rows, cols)).astype(np.int8)
+        x = rng.integers(-127, 128, cols).astype(np.int8)
+        tensor.store(weights)
+        y, _ = pim_gemv(tensor, x)
+        reference = weights.astype(np.int64) @ x.astype(np.int64)
+        assert np.array_equal(y, reference)
+        tensor.free()
+
+    def test_roundtrip(self, system, rng):
+        matrix = MatrixConfig(rows=16, cols=1000, dtype_bytes=1, kind="int")
+        tensor = system.pimalloc(matrix)
+        weights = rng.integers(-128, 128, (16, 1000)).astype(np.int8)
+        tensor.store(weights)
+        assert np.array_equal(tensor.load(np.int8), weights)
+
+
+class TestInt8Placement:
+    def test_chunk_holds_2048_elements(self):
+        assert AIM_LPDDR5_INT8.chunk_row_bytes == 2048
+        assert AIM_LPDDR5_INT8.chunk_cols == 2048
+
+    def test_int8_halves_partition_pressure(self, system):
+        """The same logical row needs half the bytes: matrices that
+        partition at FP16 fit in one bank at INT8."""
+        from repro.core.selector import select_mapping
+        from repro.pim.config import AIM_LPDDR5
+
+        fp16 = select_mapping(
+            MatrixConfig(4096, 14336, 2), ORG, AIM_LPDDR5
+        )
+        int8 = select_mapping(
+            MatrixConfig(4096, 14336, 1, "int"), ORG, AIM_LPDDR5_INT8
+        )
+        assert int8.partitions_per_row <= fp16.partitions_per_row
+
+    def test_int8_gemv_timing_halves(self):
+        """Half the weight bytes stream through the MACs: the timing
+        model sees ~2x faster GEMV."""
+        from repro.core.selector import MatrixConfig as MC
+        from repro.dram.config import DramConfig, LPDDR5_6400_TIMINGS, lpddr5_organization
+        from repro.pim.config import AIM_LPDDR5
+        from repro.pim.gemv import gemv_latency
+
+        dram = DramConfig(lpddr5_organization(256, 64), LPDDR5_6400_TIMINGS)
+        fp16 = gemv_latency(MC(4096, 4096, 2), dram, AIM_LPDDR5)
+        int8 = gemv_latency(MC(4096, 4096, 1, "int"), dram, AIM_LPDDR5_INT8)
+        assert int8.total_ns < 0.7 * fp16.total_ns

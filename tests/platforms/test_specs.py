@@ -1,0 +1,65 @@
+"""Tests that the platform catalog matches paper Table II."""
+
+import pytest
+
+from repro.platforms.specs import (
+    ALL_PLATFORMS,
+    IDEAPAD,
+    IPHONE_15_PRO,
+    JETSON_ORIN,
+    MACBOOK_PRO,
+)
+
+
+class TestTable2:
+    @pytest.mark.parametrize(
+        "platform,tflops,bw,capacity_gb,model",
+        [
+            (JETSON_ORIN, 42.5, 204.8, 64, "llama3-8b"),
+            (MACBOOK_PRO, 28.4, 409.6, 64, "llama3-8b"),
+            (IDEAPAD, 5.6, 59.7, 32, "opt-6.7b"),
+            (IPHONE_15_PRO, 4.29, 51.2, 8, "phi-1.5"),
+        ],
+    )
+    def test_row(self, platform, tflops, bw, capacity_gb, model):
+        assert platform.soc.peak_tflops_fp16 == tflops
+        assert platform.peak_bw_gbps == pytest.approx(bw, rel=1e-3)
+        assert platform.dram.org.capacity_bytes == capacity_gb << 30
+        assert platform.model_name == model
+
+    def test_measured_bandwidth_utilizations(self):
+        """§VI-C: 76.3 / 88.3 / 33.3 / 74.6 %."""
+        assert JETSON_ORIN.soc.bw_utilization == 0.763
+        assert MACBOOK_PRO.soc.bw_utilization == 0.883
+        assert IDEAPAD.soc.bw_utilization == 0.333
+        assert IPHONE_15_PRO.soc.bw_utilization == 0.746
+
+    def test_table3_conservative_slowdowns(self):
+        """Worst-case Table III values: 2.1 / 0.1 / 1.1 / 1.6 %."""
+        assert JETSON_ORIN.gemm_layout_slowdown == 0.021
+        assert MACBOOK_PRO.gemm_layout_slowdown == 0.001
+        assert IDEAPAD.gemm_layout_slowdown == 0.011
+        assert IPHONE_15_PRO.gemm_layout_slowdown == 0.016
+
+
+class TestPimAugmentation:
+    def test_aim_style_everywhere(self):
+        """§VI-A: AiM-style PIM, 16 banks/rank sharing a 2 KB global
+        buffer, two ranks per channel."""
+        for platform in ALL_PLATFORMS:
+            assert platform.pim.chunk_rows == 1
+            assert platform.pim.global_buffer_bytes == 2048
+            assert platform.pim.banks_per_global_buffer == 16
+            assert platform.dram.org.ranks_per_channel == 2
+            assert platform.dram.org.banks_per_rank == 16
+
+
+class TestRidgePoints:
+    def test_paper_ridge_ordering(self):
+        """§VI-B: MacBook (69.3) and iPhone (83.8) have lower ridge
+        points than IdeaPad (93.8) and Jetson (207.5)."""
+        ridges = {p.name: p.soc.ridge_point_flop_per_byte for p in ALL_PLATFORMS}
+        assert ridges["jetson-agx-orin"] == pytest.approx(207.5, rel=0.01)
+        assert ridges["macbook-pro-m3-max"] == pytest.approx(69.3, rel=0.01)
+        assert ridges["ideapad-slim-5"] == pytest.approx(93.8, rel=0.01)
+        assert ridges["iphone-15-pro"] == pytest.approx(83.8, rel=0.01)

@@ -1,0 +1,84 @@
+"""Tests for the roofline SoC model."""
+
+import pytest
+
+from repro.soc.processor import SocProcessor, ideal_npu
+
+
+def _soc(**overrides):
+    defaults = dict(
+        name="test", kind="gpu", peak_tflops_fp16=40.0, peak_bw_gbps=200.0,
+        bw_utilization=0.8, compute_efficiency=0.8, kernel_launch_ns=0.0,
+    )
+    defaults.update(overrides)
+    return SocProcessor(**defaults)
+
+
+class TestValidation:
+    def test_rejects_bad_utilization(self):
+        with pytest.raises(ValueError):
+            _soc(bw_utilization=0.0)
+        with pytest.raises(ValueError):
+            _soc(bw_utilization=1.5)
+
+    def test_rejects_bad_peaks(self):
+        with pytest.raises(ValueError):
+            _soc(peak_tflops_fp16=0)
+
+
+class TestRoofline:
+    def test_ridge_point(self):
+        soc = _soc()
+        assert soc.ridge_point_flop_per_byte == pytest.approx(200.0)
+
+    def test_memory_bound_op(self):
+        soc = _soc()
+        # 1 GB at 160 GB/s effective: 6.25 ms; trivial flops
+        ns = soc.op_time_ns(flops=1e6, bytes_moved=1e9)
+        assert ns == pytest.approx(1e9 / 160.0)
+
+    def test_compute_bound_op(self):
+        soc = _soc()
+        ns = soc.op_time_ns(flops=3.2e12, bytes_moved=1e6)
+        assert ns == pytest.approx(3.2e12 / (40e3 * 0.8))
+
+    def test_launch_overhead_added(self):
+        fast = _soc(kernel_launch_ns=0.0)
+        slow = _soc(kernel_launch_ns=10_000.0)
+        assert slow.op_time_ns(1, 1) - fast.op_time_ns(1, 1) == pytest.approx(10_000.0)
+
+
+class TestGemm:
+    def test_gemv_is_memory_bound(self):
+        soc = _soc()
+        m, k = 4096, 4096
+        ns = soc.gemv_time_ns(m, k)
+        weight_bytes = m * k * 2
+        assert ns >= weight_bytes / (200.0 * 0.8)
+
+    def test_gemm_becomes_compute_bound_with_batch(self):
+        soc = _soc()
+        per_token_small = soc.gemm_time_ns(4096, 8, 4096) / 8
+        per_token_large = soc.gemm_time_ns(4096, 4096, 4096) / 4096
+        # amortization stops once compute-bound
+        assert per_token_large < per_token_small
+
+    def test_lda_padding_adds_traffic(self):
+        soc = _soc()
+        tight = soc.gemm_time_ns(4096, 1, 14336)
+        padded = soc.gemm_time_ns(4096, 1, 14336, lda=16384)
+        assert padded > tight
+
+    def test_stream_time(self):
+        soc = _soc()
+        assert soc.stream_time_ns(160e9) == pytest.approx(1e9)
+
+
+class TestIdealNpu:
+    def test_fig3_comparator_properties(self):
+        """Fig. 3's comparator: infinite FLOPS, 100 % of peak bandwidth."""
+        npu = ideal_npu(204.8)
+        assert npu.bw_utilization == 1.0
+        # any realistic op is purely memory-bound at full peak
+        ns = npu.op_time_ns(flops=1e15, bytes_moved=1e9)
+        assert ns == pytest.approx(1e9 / 204.8, rel=1e-3)

@@ -1,0 +1,62 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_mapping_args(self):
+        args = build_parser().parse_args(["mapping", "--rows", "8", "--cols", "16"])
+        assert args.rows == 8 and args.cols == 16
+        assert args.platform == "jetson-agx-orin"
+
+
+class TestCommands:
+    def test_platforms_lists_table2(self, capsys):
+        assert main(["platforms"]) == 0
+        out = capsys.readouterr().out
+        for name in ("jetson-agx-orin", "macbook-pro-m3-max",
+                     "ideapad-slim-5", "iphone-15-pro"):
+            assert name in out
+
+    def test_mapping_selector_output(self, capsys):
+        main(["mapping", "--rows", "4096", "--cols", "14336"])
+        out = capsys.readouterr().out
+        assert "selected MapID  : 1" in out
+        assert "8 PUs per row" in out
+        assert "channel[" in out
+
+    def test_query_all_policies(self, capsys):
+        main(["query", "--prefill", "8", "--decode", "4"])
+        out = capsys.readouterr().out
+        for policy in ("soc-only", "hybrid-static", "hybrid-dynamic", "facil"):
+            assert policy in out
+
+    def test_query_single_policy(self, capsys):
+        main(["query", "--policy", "facil", "--prefill", "8", "--decode", "4"])
+        out = capsys.readouterr().out
+        assert "facil" in out
+        assert "soc-only" not in out
+
+    def test_sweep(self, capsys):
+        main(["sweep", "--prefill-lengths", "8", "16", "--decode", "8"])
+        out = capsys.readouterr().out
+        assert "geomean" in out
+
+    def test_dataset(self, capsys):
+        main(["dataset", "--queries", "10"])
+        out = capsys.readouterr().out
+        assert "FACIL vs hybrid-static" in out
+
+    def test_unknown_platform_exits(self):
+        with pytest.raises(SystemExit, match="unknown platform"):
+            main(["query", "--platform", "pixel-9000"])
+
+    def test_unknown_dataset_exits(self):
+        with pytest.raises(SystemExit, match="unknown dataset"):
+            main(["dataset", "--dataset", "imagenet"])
