@@ -1,0 +1,81 @@
+"""Extension — reliability: chaos campaigns across fault rates.
+
+Sweeps the transient-flip rate (plus uncorrectable doubles and a
+permanent PIM-unit failure at the highest point) through seeded chaos
+campaigns on the functional FACIL stack, and reports how each fault
+budget lands: ECC corrections, detected-and-recovered faults, silent
+corruptions (the bar: zero, always), availability, and the latency cost
+of degraded service.
+"""
+
+from repro.engine.policies import InferenceEngine
+from repro.platforms.specs import IPHONE_15_PRO
+from repro.reliability.campaign import CampaignSpec, run_campaign
+from repro.reliability.degrade import ResilientEngine
+
+from report import emit, format_table
+
+N_QUERIES = 15
+SEED = 0
+
+#: (label, flip rate, double-flip probability, PU-failure query index)
+POINTS = (
+    ("clean", 0.0, 0.0, None),
+    ("flips 0.5/q", 0.5, 0.0, None),
+    ("flips 2/q", 2.0, 0.0, None),
+    ("+doubles", 2.0, 0.4, None),
+    ("+PU failure", 2.0, 0.4, 8),
+)
+
+
+def test_reliability_campaign_sweep(benchmark):
+    engine = InferenceEngine(IPHONE_15_PRO)
+
+    def run():
+        reports = []
+        for label, flip, double, pu_at in POINTS:
+            spec = CampaignSpec(
+                seed=SEED,
+                n_queries=N_QUERIES,
+                flip_rate=flip,
+                double_flip_rate=double,
+                pu_fail_at=pu_at,
+            )
+            reports.append((label, run_campaign(spec, ResilientEngine(engine))))
+        return reports
+
+    reports = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = []
+    for label, r in reports:
+        rows.append(
+            (
+                label,
+                str(r.total_injected),
+                str(r.corrected),
+                str(r.detected),
+                str(r.silent),
+                f"{r.availability * 100:.0f}%",
+                f"{r.p99_ttlt_ns / 1e6:.0f}",
+                f"{r.mean_degradation_ns / 1e6:.1f}",
+            )
+        )
+    text = format_table(
+        [
+            "campaign", "injected", "corrected", "detected", "silent",
+            "avail", "p99 ms", "degr ms",
+        ],
+        rows,
+    )
+    text += (
+        "\nevery fault is corrected (SECDED ECC), detected-and-recovered "
+        "(retry / repair / flush), or served degraded (SoC fallback) — "
+        "silent corruptions stay at zero and availability at 100% even "
+        "with a dead PIM unit, which costs the 'degr' column's latency."
+    )
+    emit("reliability_campaign", text)
+
+    for label, r in reports:
+        assert r.silent == 0, label
+        assert r.availability == 1.0, label
+    # The PU-failure point actually pays for its resilience.
+    assert reports[-1][1].mean_degradation_ns > 0

@@ -7,6 +7,7 @@ Subcommands::
     repro-facil query    --policy facil --prefill 24 --decode 64
     repro-facil sweep                             # Fig. 13 TTFT series
     repro-facil dataset  --dataset alpaca-like    # Figs. 15/16 trace
+    repro-facil chaos    --flip-rate 2.0 --seed 7 # reliability campaign
 
 All commands take ``--platform`` (default ``jetson-agx-orin``).  Install
 exposes the ``repro-facil`` script; the module also runs directly as
@@ -123,6 +124,34 @@ def _cmd_dataset(args: argparse.Namespace) -> None:
     )
 
 
+def _cmd_chaos(args: argparse.Namespace) -> None:
+    # Lazy import: the reliability layer is optional machinery the other
+    # subcommands never need.
+    from repro.reliability import CampaignSpec, ResilientEngine, run_campaign
+
+    platform = _platform_by_name(args.platform)
+    engine = ResilientEngine(InferenceEngine(platform))
+    spec = CampaignSpec(
+        seed=args.seed,
+        n_queries=args.queries,
+        policy=args.policy,
+        prefill_len=args.prefill,
+        decode_len=args.decode,
+        flip_rate=args.flip_rate,
+        double_flip_rate=args.double_flip_rate,
+        pte_corrupt_rate=args.pte_corrupt_rate,
+        mapping_corrupt_rate=args.mapping_corrupt_rate,
+        stale_tlb_rate=args.stale_tlb_rate,
+        alloc_fail_rate=args.alloc_fail_rate,
+        pu_fail_at=args.pu_fail_at,
+    )
+    report = run_campaign(spec, engine=engine)
+    print(f"platform        : {platform.name} / {engine.engine.model.name}")
+    print(report.render())
+    if report.silent:
+        raise SystemExit(f"{report.silent} silent corruption(s) escaped")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-facil",
@@ -156,7 +185,30 @@ def build_parser() -> argparse.ArgumentParser:
     dataset.add_argument("--queries", type=int, default=100)
     dataset.add_argument("--seed", type=int, default=0)
 
-    for sub_parser in (mapping, query, sweep, dataset):
+    chaos = sub.add_parser(
+        "chaos", help="seeded fault-injection campaign with reliability report"
+    )
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument("--queries", type=int, default=20)
+    chaos.add_argument("--policy", choices=POLICIES, default="facil")
+    chaos.add_argument("--prefill", type=int, default=64)
+    chaos.add_argument("--decode", type=int, default=16)
+    chaos.add_argument("--flip-rate", type=float, default=1.0,
+                       help="expected transient single-bit flips per query")
+    chaos.add_argument("--double-flip-rate", type=float, default=0.0,
+                       help="P(uncorrectable double flip) per query")
+    chaos.add_argument("--pte-corrupt-rate", type=float, default=0.0,
+                       help="P(MapID bit flip in a live PTE) per query")
+    chaos.add_argument("--mapping-corrupt-rate", type=float, default=0.0,
+                       help="P(scrambled mapping-table entry) per query")
+    chaos.add_argument("--stale-tlb-rate", type=float, default=0.0,
+                       help="P(swallowed TLB shootdown) per query")
+    chaos.add_argument("--alloc-fail-rate", type=float, default=0.0,
+                       help="P(injected allocation failure) per query")
+    chaos.add_argument("--pu-fail-at", type=int, default=None,
+                       help="query index at which one PIM unit fails for good")
+
+    for sub_parser in (mapping, query, sweep, dataset, chaos):
         sub_parser.add_argument("--platform", default="jetson-agx-orin")
     return parser
 
@@ -167,6 +219,7 @@ _COMMANDS = {
     "query": _cmd_query,
     "sweep": _cmd_sweep,
     "dataset": _cmd_dataset,
+    "chaos": _cmd_chaos,
 }
 
 

@@ -16,9 +16,12 @@ and move bytes to/from the per-bank arrays of a :class:`PhysicalMemory`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an import cycle)
+    from repro.reliability.ecc import EccEngine
 
 from repro.core.bitfield import ilog2
 from repro.core.mapping import (
@@ -58,48 +61,96 @@ class MappingTable:
     """The controller's table of PA-to-DA mappings, indexed by MapID.
 
     Entry 0 is always the conventional mapping.  Registering an equal
-    mapping twice returns the existing MapID, so the table stays as small
-    as the number of *distinct* mappings in use (the paper bounds this at
-    ``max(MapID)+1``, 14 in the LPDDR5 worst case).
+    mapping twice returns the existing MapID with its reference count
+    bumped, so the table stays as small as the number of *distinct*
+    mappings in use (the paper bounds this at ``max(MapID)+1``, 14 in the
+    LPDDR5 worst case).  :meth:`release` drops a reference; a slot whose
+    count reaches zero is recycled by later registrations, so long-lived
+    systems with allocation churn never exhaust the table.
     """
 
     def __init__(self, conventional: AddressMapping, max_entries: int = 16):
-        self._entries: List[AddressMapping] = [conventional]
+        self._entries: List[Optional[AddressMapping]] = [conventional]
+        self._refcounts: List[int] = [1]
         self._max_entries = max_entries
 
     def __len__(self) -> int:
-        return len(self._entries)
+        """Number of live (registered, unreleased) entries."""
+        return sum(entry is not None for entry in self._entries)
 
     def __getitem__(self, map_id: int) -> AddressMapping:
-        try:
-            return self._entries[map_id]
-        except IndexError:
-            raise KeyError(f"MapID {map_id} not registered") from None
+        if not 0 <= map_id < len(self._entries):
+            raise KeyError(f"MapID {map_id} not registered")
+        entry = self._entries[map_id]
+        if entry is None:
+            raise KeyError(f"MapID {map_id} was released")
+        return entry
 
     @property
     def conventional(self) -> AddressMapping:
         return self._entries[CONVENTIONAL_MAP_ID]
 
     def entries(self) -> Sequence[AddressMapping]:
-        return tuple(self._entries)
+        """Slot-ordered view, one entry per MapID.  Released slots report
+        the conventional mapping (a free mux may route anything; routing
+        MapID 0 keeps the hardware view well-defined)."""
+        conventional = self.conventional
+        return tuple(
+            entry if entry is not None else conventional
+            for entry in self._entries
+        )
+
+    def refcount(self, map_id: int) -> int:
+        self[map_id]  # raises KeyError for dead slots
+        return self._refcounts[map_id]
 
     def register(self, mapping: AddressMapping) -> int:
-        """Add *mapping* (if new) and return its MapID."""
+        """Add *mapping* (if new) and return its MapID.
+
+        Every ``register`` must be paired with a :meth:`release` once the
+        last region using the mapping is gone.
+        """
         if mapping.n_bits != self.conventional.n_bits:
             raise ValueError(
                 f"mapping covers {mapping.n_bits} bits; table expects "
                 f"{self.conventional.n_bits}"
             )
         for map_id, existing in enumerate(self._entries):
-            if existing.fields == mapping.fields:
+            if existing is not None and existing.fields == mapping.fields:
+                self._refcounts[map_id] += 1
+                return map_id
+        for map_id, existing in enumerate(self._entries):
+            if existing is None:
+                self._install(map_id, mapping)
                 return map_id
         if len(self._entries) >= self._max_entries:
             raise ValueError(
                 f"mapping table full ({self._max_entries} entries); FACIL "
                 "bounds the table by the MapID formulation"
             )
-        self._entries.append(mapping)
-        return len(self._entries) - 1
+        self._entries.append(None)
+        self._refcounts.append(0)
+        map_id = len(self._entries) - 1
+        self._install(map_id, mapping)
+        return map_id
+
+    def _install(self, map_id: int, mapping: AddressMapping) -> None:
+        """Write *mapping* into a free slot (subclass hook point)."""
+        self._entries[map_id] = mapping
+        self._refcounts[map_id] = 1
+
+    def release(self, map_id: int) -> None:
+        """Drop one reference to *map_id*; free the slot at zero.
+
+        MapID 0 (the conventional mapping) is pinned and never released.
+        """
+        if map_id == CONVENTIONAL_MAP_ID:
+            return
+        self[map_id]  # raises KeyError for unknown/already-freed ids
+        self._refcounts[map_id] -= 1
+        if self._refcounts[map_id] <= 0:
+            self._entries[map_id] = None
+            self._refcounts[map_id] = 0
 
 
 class MemoryController:
@@ -112,6 +163,10 @@ class MemoryController:
         table: mapping table (created with the default conventional
             mapping when omitted).
         memory: functional byte store; omit for translation-only use.
+        ecc: optional :class:`repro.reliability.ecc.EccEngine`; when
+            present every functional write re-protects the touched
+            8-byte words and every read scrubs them first (correcting
+            single-bit flips, raising on double-bit errors).
     """
 
     def __init__(
@@ -120,6 +175,7 @@ class MemoryController:
         page_bytes: int = 2 << 20,
         table: Optional[MappingTable] = None,
         memory: Optional[PhysicalMemory] = None,
+        ecc: Optional["EccEngine"] = None,
     ):
         self.org = org
         self.page_bytes = page_bytes
@@ -132,6 +188,7 @@ class MemoryController:
             raise ValueError("mapping table bit width does not match page size")
         self.table = table
         self.memory = memory
+        self.ecc = ecc
         self._row_bits_in_page = table.conventional.row_bits
         for mapping in table.entries():
             if mapping.row_bits != self._row_bits_in_page:
@@ -238,6 +295,14 @@ class MemoryController:
                 byte_index,
                 data[start:stop],
             )
+            if self.ecc is not None:
+                self.ecc.protect(
+                    memory,
+                    fields[Field.CHANNEL],
+                    fields[Field.RANK],
+                    fields[Field.BANK],
+                    byte_index,
+                )
 
     def read(
         self, pa: int, nbytes: int, map_id: int = CONVENTIONAL_MAP_ID
@@ -255,10 +320,21 @@ class MemoryController:
                 + fields[Field.COL] * self.org.transfer_bytes
                 + fields[Field.OFFSET]
             )
-            out[start:stop] = memory.gather(
-                fields[Field.CHANNEL],
-                fields[Field.RANK],
-                fields[Field.BANK],
-                byte_index,
-            )
+            if self.ecc is not None:
+                # Scrub + gather in one bank access: the returned bytes
+                # are corrected in flight, as real SECDED read logic is.
+                out[start:stop] = self.ecc.fetch(
+                    memory,
+                    fields[Field.CHANNEL],
+                    fields[Field.RANK],
+                    fields[Field.BANK],
+                    byte_index,
+                )
+            else:
+                out[start:stop] = memory.gather(
+                    fields[Field.CHANNEL],
+                    fields[Field.RANK],
+                    fields[Field.BANK],
+                    byte_index,
+                )
         return out

@@ -102,7 +102,14 @@ class PimTensor:
         return padded[:, : self.matrix.cols].copy()
 
     def free(self) -> None:
+        """Unmap the region and drop its mapping-table reference.
+
+        Without the release, alloc/free churn over distinct mappings
+        leaks MapIDs until the controller's table fills — the table is a
+        hardware resource bounded at 16 entries.
+        """
         self.allocator.space.munmap(self.va)
+        self.allocator.release_mapping(self.map_id)
 
 
 class PimAllocator:
@@ -123,11 +130,17 @@ class PimAllocator:
         self.controller = controller
         self.space = space
         self.huge_page_bytes = huge_page_bytes
+        #: reliability hook (see :mod:`repro.reliability.faults`): when
+        #: set, ``fault_hook.on_pimalloc(matrix)`` runs before each
+        #: allocation and may raise (injected buddy OOM, PU failures).
+        self.fault_hook = None
 
     # -- the pimalloc interface ----------------------------------------------
 
     def pimalloc(self, matrix: MatrixConfig) -> PimTensor:
         """Allocate *matrix* with the selector-chosen PIM mapping."""
+        if self.fault_hook is not None:
+            self.fault_hook.on_pimalloc(matrix)
         selection = select_mapping(matrix, self.org, self.pim, self.huge_page_bytes)
         mapping = pim_optimized_mapping(
             org=self.org,
@@ -140,7 +153,11 @@ class PimAllocator:
         )
         map_id = self.controller.table.register(mapping)
         nbytes = matrix.rows * selection.padded_row_bytes
-        va = self.space.mmap(nbytes, huge=True, map_id=map_id)
+        try:
+            va = self.space.mmap(nbytes, huge=True, map_id=map_id)
+        except Exception:
+            self.controller.table.release(map_id)
+            raise
         return PimTensor(
             va=va,
             matrix=matrix,
@@ -153,6 +170,11 @@ class PimAllocator:
     def malloc(self, nbytes: int, huge: bool = False) -> int:
         """Plain allocation with the conventional mapping (MapID 0)."""
         return self.space.mmap(nbytes, huge=huge, map_id=0)
+
+    def release_mapping(self, map_id: int) -> None:
+        """Drop one reference to a registered mapping (see
+        :meth:`PimTensor.free`)."""
+        self.controller.table.release(map_id)
 
     # -- virtual-address data path ----------------------------------------------
 
@@ -190,6 +212,8 @@ class PimSystem:
         pim: PimConfig,
         huge_page_bytes: int = 2 << 20,
         functional: bool = True,
+        ecc: bool = False,
+        integrity: bool = False,
     ):
         from repro.os.page_table import HUGE_SHIFT
 
@@ -204,8 +228,26 @@ class PimSystem:
         self.huge_page_bytes = huge_page_bytes
         memory = PhysicalMemory(org) if functional else None
         self.memory = memory
+        # Reliability options (lazy imports keep the base stack free of
+        # a repro.reliability dependency).
+        ecc_engine = None
+        if ecc:
+            if not functional:
+                raise ValueError("ECC protects functional storage; needs functional=True")
+            from repro.reliability.ecc import EccEngine
+
+            ecc_engine = EccEngine()
+        self.ecc = ecc_engine
+        table = None
+        if integrity:
+            from repro.core.mapping import CONVENTIONAL_SPEC, conventional_mapping
+            from repro.reliability.integrity import ParityMappingTable
+
+            table = ParityMappingTable(
+                conventional_mapping(org, ilog2(huge_page_bytes), CONVENTIONAL_SPEC)
+            )
         self.controller = MemoryController(
-            org, page_bytes=huge_page_bytes, memory=memory
+            org, page_bytes=huge_page_bytes, memory=memory, table=table, ecc=ecc_engine
         )
         total_pages = org.capacity_bytes >> PAGE_SHIFT
         huge_order = ilog2(huge_page_bytes) - PAGE_SHIFT
@@ -222,8 +264,10 @@ class PimSystem:
         pim: PimConfig,
         huge_page_bytes: int = 2 << 20,
         functional: bool = True,
+        ecc: bool = False,
+        integrity: bool = False,
     ) -> "PimSystem":
-        return cls(org, pim, huge_page_bytes, functional)
+        return cls(org, pim, huge_page_bytes, functional, ecc, integrity)
 
     def pimalloc(self, matrix: MatrixConfig) -> PimTensor:
         return self.allocator.pimalloc(matrix)

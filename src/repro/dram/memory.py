@@ -40,6 +40,11 @@ class PhysicalMemory:
             )
         self.org = org
         self._banks: Dict[_BankKey, np.ndarray] = {}
+        #: reliability hook (see :mod:`repro.reliability.faults`): when
+        #: set, ``fault_hook.on_bank_access(key, array)`` runs on every
+        #: bank access, letting a fault injector re-assert stuck-at bits
+        #: before any reader (SoC, ECC scrubber, or PIM) sees the array.
+        self.fault_hook = None
 
     # -- bank access -----------------------------------------------------
 
@@ -58,6 +63,8 @@ class PhysicalMemory:
                 (self.org.rows_per_bank, self.org.row_bytes), dtype=np.uint8
             )
             self._banks[key] = array
+        if self.fault_hook is not None:
+            self.fault_hook.on_bank_access(key, array)
         return array
 
     def row(self, channel: int, rank: int, bank: int, row: int) -> np.ndarray:

@@ -34,9 +34,17 @@ from repro.pim.gemv import GemvLatency, gemv_latency
 from repro.platforms.specs import PlatformSpec
 from repro.soc.processor import SocProcessor
 
-__all__ = ["InferenceEngine", "POLICIES"]
+__all__ = ["InferenceEngine", "POLICIES", "decode_on_pim"]
 
 POLICIES = ("soc-only", "hybrid-static", "hybrid-dynamic", "facil")
+
+
+def decode_on_pim(policy: str) -> bool:
+    """True when *policy* runs its decode GEMVs on the PIM units (i.e. it
+    needs healthy PIM hardware for its normal decode path)."""
+    if policy not in POLICIES:
+        raise ValueError(f"unknown policy {policy!r}; known: {POLICIES}")
+    return policy != "soc-only"
 
 #: Per-offloaded-op dispatch overhead for PIM command streams.
 PIM_DISPATCH_NS = 2_000.0

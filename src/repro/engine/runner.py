@@ -14,7 +14,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.engine.metrics import QueryLatency, geomean, speedup
-from repro.engine.policies import InferenceEngine
+from repro.engine.policies import POLICIES, InferenceEngine
 from repro.llm.datasets import DatasetSpec, QueryTrace, sample_trace
 from repro.platforms.specs import PlatformSpec
 
@@ -89,9 +89,13 @@ class DatasetResult:
     ttlt_ns: Dict[str, List[float]]
 
     def mean_ttft_ns(self, policy: str) -> float:
+        if self.n_queries <= 0:
+            raise ValueError("result holds no queries; trace was empty")
         return sum(self.ttft_ns[policy]) / self.n_queries
 
     def mean_ttlt_ns(self, policy: str) -> float:
+        if self.n_queries <= 0:
+            raise ValueError("result holds no queries; trace was empty")
         return sum(self.ttlt_ns[policy]) / self.n_queries
 
     def ttft_speedup_over(self, baseline: str, policy: str = "facil") -> float:
@@ -117,8 +121,26 @@ def dataset_eval(
 
     FACIL runs with dynamic offload enabled, matching the paper's dataset
     experiments.
+
+    Raises:
+        ValueError: for a non-positive query count, an empty policy list,
+            an unknown policy, or an empty sampled trace — all of which
+            would otherwise surface as a ZeroDivisionError or KeyError
+            deep inside the aggregation.
     """
+    if n_queries <= 0:
+        raise ValueError(f"n_queries must be positive, got {n_queries}")
+    if not policies:
+        raise ValueError("policies must not be empty")
+    unknown = [p for p in policies if p not in POLICIES]
+    if unknown:
+        raise ValueError(f"unknown policies {unknown}; known: {POLICIES}")
     trace = sample_trace(dataset, n_queries, seed)
+    if not trace:
+        raise ValueError(
+            f"dataset {dataset.name!r} sampled an empty trace for "
+            f"n_queries={n_queries}"
+        )
     ttft: Dict[str, List[float]] = {p: [] for p in policies}
     ttlt: Dict[str, List[float]] = {p: [] for p in policies}
     for query in trace:

@@ -17,7 +17,7 @@ from dataclasses import dataclass
 from typing import List
 
 from repro.engine.metrics import QueryLatency
-from repro.engine.policies import InferenceEngine
+from repro.engine.policies import POLICIES, InferenceEngine, decode_on_pim
 from repro.llm.inference import attention_cost
 from repro.llm.layers import linear_specs
 
@@ -48,8 +48,8 @@ class ChatSession:
     """Prices a conversation under one policy, with persistent KV cache."""
 
     def __init__(self, engine: InferenceEngine, policy: str):
-        if policy not in ("soc-only", "hybrid-static", "hybrid-dynamic", "facil"):
-            raise ValueError(f"unknown policy {policy!r}")
+        if policy not in POLICIES:
+            raise ValueError(f"unknown policy {policy!r}; known: {POLICIES}")
         self.engine = engine
         self.policy = policy
         self.context = 0
@@ -98,7 +98,7 @@ class ChatSession:
             raise ValueError("token counts must be positive")
         engine = self.engine
         ttft = self._prefill_ns(user_tokens)
-        on_pim = self.policy != "soc-only"
+        on_pim = decode_on_pim(self.policy)
         step = engine.pim_decode_step_ns if on_pim else engine.soc_decode_step_ns
         decode = 0.0
         base = self.context + user_tokens

@@ -126,6 +126,10 @@ class PageTable:
     def __init__(self) -> None:
         self._root: Dict[int, object] = {}
         self.walks = 0
+        #: reliability hook (see :mod:`repro.reliability.faults`): when
+        #: set, ``fault_hook.on_walk(va, result)`` may substitute the
+        #: leaf a walk returns (transient walker faults).
+        self.fault_hook = None
 
     @staticmethod
     def _indices(va: int) -> tuple:
@@ -206,7 +210,32 @@ class PageTable:
                 raise PageFaultError(
                     f"malformed table: leaf at level {level} for va {va:#x}"
                 )
+            if self.fault_hook is not None:
+                result = self.fault_hook.on_walk(va, result)
             return result
+        raise PageFaultError(f"va {va:#x}: walk reached depth without a leaf")
+
+    def corrupt_pte(self, va: int, xor_mask: int) -> int:
+        """Fault-injection backdoor: XOR *xor_mask* into the leaf PTE
+        covering *va* (e.g. flip a MapID bit, paper Fig. 11's worry).
+
+        Returns the corrupted PTE value so campaigns can log it.
+
+        Raises:
+            PageFaultError: when no leaf covers *va*.
+        """
+        indices = self._indices(va)
+        node = self._root
+        for level in range(N_LEVELS):
+            entry = node.get(indices[level])
+            if entry is None:
+                raise PageFaultError(f"va {va:#x} not mapped (level {level})")
+            if isinstance(entry, dict):
+                node = entry
+                continue
+            corrupted = entry ^ xor_mask
+            node[indices[level]] = corrupted
+            return corrupted
         raise PageFaultError(f"va {va:#x}: walk reached depth without a leaf")
 
     def translate(self, va: int) -> WalkResult:

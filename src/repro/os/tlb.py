@@ -56,6 +56,11 @@ class Tlb:
         self._sets: List[List[_Entry]] = [[] for _ in range(n_sets)]
         self._clock = 0
         self.stats = TlbStats()
+        #: reliability hook (see :mod:`repro.reliability.faults`): when
+        #: set, ``fault_hook.on_invalidate(va, page_shift)`` returning
+        #: False swallows a shootdown — the lost-invalidation fault that
+        #: leaves a stale MapID being served.
+        self.fault_hook = None
 
     def _set_index(self, vpn: int) -> int:
         return vpn % self.n_sets
@@ -93,6 +98,10 @@ class Tlb:
         )
 
     def invalidate(self, va: int, page_shift: int) -> None:
+        if self.fault_hook is not None and not self.fault_hook.on_invalidate(
+            va, page_shift
+        ):
+            return
         vpn = va >> page_shift
         entry_set = self._sets[self._set_index(vpn)]
         entry_set[:] = [

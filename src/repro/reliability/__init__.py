@@ -1,0 +1,72 @@
+"""Reliability layer: fault injection, ECC, integrity, degradation
+(extension; not part of the FACIL paper).
+
+The flexible-mapping stack adds hardware state a conventional system does
+not have — the mapping table, MapID bits in PTEs and TLB entries — and
+the paper's reviewers' first question is what happens when any of it
+breaks.  This package answers it experimentally:
+
+* :mod:`repro.reliability.faults` — seeded deterministic fault injection
+  into every layer (DRAM cells, PTEs, TLB shootdowns, the allocator, the
+  PIM units);
+* :mod:`repro.reliability.ecc` — functional SECDED(72,64) on the
+  controller's data path;
+* :mod:`repro.reliability.integrity` — parity-protected mapping-table
+  entries, verified on every translation;
+* :mod:`repro.reliability.degrade` — per-component health tracking and
+  fallback policies (facil -> hybrid-static, PIM decode -> SoC decode);
+* :mod:`repro.reliability.campaign` — chaos campaigns tying it together
+  into a reliability report (zero silent corruptions is the bar).
+"""
+
+from repro.reliability.campaign import (
+    CampaignSpec,
+    ReliabilityReport,
+    TINY_CAMPAIGN_ORG,
+    run_campaign,
+)
+from repro.reliability.degrade import (
+    Health,
+    HealthMonitor,
+    ResilientEngine,
+    ResilientQuery,
+)
+from repro.reliability.ecc import (
+    EccEngine,
+    STATUS_CLEAN,
+    STATUS_CORRECTED,
+    STATUS_UNCORRECTABLE,
+    UncorrectableEccError,
+    secded_decode,
+    secded_encode,
+)
+from repro.reliability.faults import FaultEvent, FaultInjector, FaultKind
+from repro.reliability.integrity import (
+    MappingIntegrityError,
+    ParityMappingTable,
+    mapping_checksum,
+)
+
+__all__ = [
+    "CampaignSpec",
+    "EccEngine",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultKind",
+    "Health",
+    "HealthMonitor",
+    "MappingIntegrityError",
+    "ParityMappingTable",
+    "ReliabilityReport",
+    "ResilientEngine",
+    "ResilientQuery",
+    "STATUS_CLEAN",
+    "STATUS_CORRECTED",
+    "STATUS_UNCORRECTABLE",
+    "TINY_CAMPAIGN_ORG",
+    "UncorrectableEccError",
+    "mapping_checksum",
+    "run_campaign",
+    "secded_decode",
+    "secded_encode",
+]

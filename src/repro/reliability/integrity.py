@@ -1,0 +1,99 @@
+"""Mapping-table integrity: parity-protected MapID entries (extension).
+
+A corrupted mapping-table entry is the worst fault in the FACIL stack: the
+mux array silently applies a wrong permutation, scrambling every access to
+an entire huge page — and, because the scrambled bytes are themselves
+valid ECC words written through the *other* permutation, on-die ECC sees
+nothing wrong.  Real controllers therefore parity-protect their
+configuration state.  :class:`ParityMappingTable` does the same: every
+registered entry carries a checksum over its canonical bit layout,
+verified on **every lookup** (i.e. on every translation), so corruption is
+caught before a single scrambled byte is produced.
+
+Detection is the job of this layer; repair policy belongs to software.
+:meth:`ParityMappingTable.repair` reinstalls a known-good mapping (e.g.
+the one retained by the owning :class:`~repro.core.pimalloc.PimTensor`),
+which is what the chaos campaign's recovery ladder does.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import List, Optional
+
+from repro.core.controller import MappingTable
+from repro.core.mapping import AddressMapping
+from repro.dram.address import FIELDS
+
+__all__ = ["MappingIntegrityError", "ParityMappingTable", "mapping_checksum"]
+
+
+class MappingIntegrityError(RuntimeError):
+    """A mapping-table entry failed its parity check."""
+
+    def __init__(self, map_id: int, stored: int, computed: int):
+        self.map_id = map_id
+        self.stored = stored
+        self.computed = computed
+        super().__init__(
+            f"MapID {map_id} failed parity: stored {stored:#010x}, "
+            f"entry hashes to {computed:#010x} — refusing to translate "
+            "through a corrupted mux configuration"
+        )
+
+
+def mapping_checksum(mapping: AddressMapping) -> int:
+    """CRC32 over the canonical serialization of a mapping's bit layout.
+
+    Only the routing (field -> PA bit positions) is covered — the name is
+    a software label with no hardware counterpart.
+    """
+    parts = [str(mapping.n_bits)]
+    for fname in FIELDS:
+        parts.append(f"{fname}:{','.join(map(str, mapping.positions(fname)))}")
+    return zlib.crc32("|".join(parts).encode()) & 0xFFFFFFFF
+
+
+class ParityMappingTable(MappingTable):
+    """A :class:`MappingTable` whose entries are parity-checked on lookup."""
+
+    def __init__(self, conventional: AddressMapping, max_entries: int = 16):
+        super().__init__(conventional, max_entries)
+        self._parity: List[Optional[int]] = [mapping_checksum(conventional)]
+
+    def __getitem__(self, map_id: int) -> AddressMapping:
+        entry = super().__getitem__(map_id)
+        stored = self._parity[map_id]
+        computed = mapping_checksum(entry)
+        if stored != computed:
+            raise MappingIntegrityError(map_id, stored or 0, computed)
+        return entry
+
+    def _install(self, map_id: int, mapping: AddressMapping) -> None:
+        super()._install(map_id, mapping)
+        while len(self._parity) < len(self._entries):
+            self._parity.append(None)
+        self._parity[map_id] = mapping_checksum(mapping)
+
+    def repair(self, map_id: int, mapping: AddressMapping) -> None:
+        """Reinstall a known-good *mapping* into a (possibly corrupted)
+        live slot, restoring its parity.  The reference count is kept."""
+        if not 0 <= map_id < len(self._entries) or self._entries[map_id] is None:
+            raise KeyError(f"MapID {map_id} not registered")
+        if mapping.n_bits != self.conventional.n_bits:
+            raise ValueError(
+                f"mapping covers {mapping.n_bits} bits; table expects "
+                f"{self.conventional.n_bits}"
+            )
+        self._entries[map_id] = mapping
+        self._parity[map_id] = mapping_checksum(mapping)
+
+    def verify_all(self) -> List[int]:
+        """MapIDs whose entries currently fail parity (a scrub pass)."""
+        bad: List[int] = []
+        for map_id, entry in enumerate(self._entries):
+            if entry is None:
+                continue
+            if self._parity[map_id] != mapping_checksum(entry):
+                bad.append(map_id)
+        return bad

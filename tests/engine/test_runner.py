@@ -62,3 +62,35 @@ class TestDatasetEval:
     def test_dataset_metadata(self, result):
         assert result.dataset == "alpaca-like"
         assert result.platform == "jetson-agx-orin"
+
+
+class TestDatasetEvalValidation:
+    def test_rejects_nonpositive_query_counts(self, engine):
+        with pytest.raises(ValueError, match="n_queries"):
+            dataset_eval(engine, ALPACA_LIKE, n_queries=0)
+        with pytest.raises(ValueError, match="n_queries"):
+            dataset_eval(engine, ALPACA_LIKE, n_queries=-5)
+
+    def test_rejects_empty_policy_list(self, engine):
+        with pytest.raises(ValueError, match="policies"):
+            dataset_eval(engine, ALPACA_LIKE, n_queries=4, policies=())
+
+    def test_rejects_unknown_policies(self, engine):
+        with pytest.raises(ValueError, match="unknown policies"):
+            dataset_eval(
+                engine, ALPACA_LIKE, n_queries=4, policies=("facil", "warp-drive")
+            )
+
+    def test_empty_result_mean_raises_value_error(self):
+        # A result that somehow holds no queries must raise a clear
+        # ValueError, not ZeroDivisionError, from the mean accessors.
+        from repro.engine.runner import DatasetResult
+
+        empty = DatasetResult(
+            dataset="d", platform="p", n_queries=0,
+            ttft_ns={"facil": []}, ttlt_ns={"facil": []},
+        )
+        with pytest.raises(ValueError, match="empty"):
+            empty.mean_ttft_ns("facil")
+        with pytest.raises(ValueError, match="empty"):
+            empty.mean_ttlt_ns("facil")

@@ -1,0 +1,23 @@
+"""Shared fixtures for the reliability test suite."""
+
+import pytest
+
+from repro.core.pimalloc import PimSystem
+from repro.dram.config import TINY_ORG
+from repro.engine.policies import InferenceEngine
+from repro.pim.config import aim_config_for
+from repro.platforms.specs import IPHONE_15_PRO
+
+
+@pytest.fixture
+def protected_system():
+    """Tiny functional system with ECC and mapping-table parity on."""
+    return PimSystem.build(
+        TINY_ORG, aim_config_for(TINY_ORG), ecc=True, integrity=True
+    )
+
+
+@pytest.fixture(scope="session")
+def iphone_engine():
+    """One engine on the smallest model (cheap to construct, cached)."""
+    return InferenceEngine(IPHONE_15_PRO)

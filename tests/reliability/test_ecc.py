@@ -1,0 +1,141 @@
+"""SECDED(72,64) properties and the controller-level ECC data path."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core.selector import MatrixConfig
+from repro.reliability.ecc import (
+    STATUS_CLEAN,
+    STATUS_CORRECTED,
+    STATUS_UNCORRECTABLE,
+    UncorrectableEccError,
+    secded_decode,
+    secded_encode,
+)
+from repro.reliability.faults import FaultInjector
+
+RNG = np.random.default_rng(42)
+
+
+def _random_words(n):
+    return RNG.integers(0, np.iinfo(np.uint64).max, size=n, dtype=np.uint64)
+
+
+class TestSecdedCode:
+    def test_clean_words_decode_clean(self):
+        data = _random_words(64)
+        check = secded_encode(data)
+        out_data, out_check, status = secded_decode(data, check)
+        assert np.all(status == STATUS_CLEAN)
+        assert np.array_equal(out_data, data)
+        assert np.array_equal(out_check, check)
+
+    def test_zero_word_has_zero_check(self):
+        # Lazily-zeroed DRAM must be born ECC-consistent without a
+        # shadow entry: the all-zero codeword's check byte is zero.
+        check = secded_encode(np.zeros(1, dtype=np.uint64))
+        assert int(check[0]) == 0
+
+    def test_every_single_data_bit_flip_is_corrected(self):
+        # Property: all 64 data-bit positions, on many random words.
+        data = _random_words(64)
+        check = secded_encode(data)
+        for bit in range(64):
+            flipped = data ^ np.uint64(1 << bit)
+            out_data, out_check, status = secded_decode(flipped, check)
+            assert np.all(status == STATUS_CORRECTED), f"data bit {bit}"
+            assert np.array_equal(out_data, data), f"data bit {bit}"
+            assert np.array_equal(out_check, check)
+
+    def test_every_single_check_bit_flip_is_corrected(self):
+        data = _random_words(64)
+        check = secded_encode(data)
+        for bit in range(8):
+            bad_check = check ^ np.uint8(1 << bit)
+            out_data, out_check, status = secded_decode(data, bad_check)
+            assert np.all(status == STATUS_CORRECTED), f"check bit {bit}"
+            assert np.array_equal(out_data, data), f"check bit {bit}"
+            assert np.array_equal(out_check, check), f"check bit {bit}"
+
+    def test_every_double_data_bit_flip_is_detected(self):
+        # Exhaustive over all C(64,2) = 2016 data-bit pairs.
+        data = _random_words(1)
+        check = secded_encode(data)
+        for a, b in itertools.combinations(range(64), 2):
+            flipped = data ^ np.uint64((1 << a) | (1 << b))
+            _, _, status = secded_decode(flipped, check)
+            assert status[0] == STATUS_UNCORRECTABLE, f"bits {a},{b}"
+
+    def test_data_plus_check_double_flips_are_detected(self):
+        data = _random_words(1)
+        check = secded_encode(data)
+        for d, c in itertools.product(range(64), range(8)):
+            _, _, status = secded_decode(
+                data ^ np.uint64(1 << d), check ^ np.uint8(1 << c)
+            )
+            assert status[0] == STATUS_UNCORRECTABLE, f"data {d} + check {c}"
+
+    def test_check_check_double_flips_are_detected(self):
+        data = _random_words(1)
+        check = secded_encode(data)
+        for a, b in itertools.combinations(range(8), 2):
+            _, _, status = secded_decode(
+                data, check ^ np.uint8((1 << a) | (1 << b))
+            )
+            assert status[0] == STATUS_UNCORRECTABLE, f"check {a},{b}"
+
+
+class TestControllerEcc:
+    def _store(self, system, seed=0, rows=16, cols=256):
+        tensor = system.pimalloc(MatrixConfig(rows=rows, cols=cols, dtype_bytes=2))
+        data = np.random.default_rng(seed).integers(
+            0, 1 << 16, size=(rows, cols), dtype=np.uint16
+        )
+        tensor.store(data)
+        return tensor, data
+
+    def test_clean_roundtrip_reports_no_errors(self, protected_system):
+        tensor, data = self._store(protected_system)
+        assert np.array_equal(tensor.load(np.uint16), data)
+        assert protected_system.ecc.total_corrected == 0
+        assert protected_system.ecc.total_detected == 0
+
+    def test_single_bit_flips_are_corrected_transparently(self, protected_system):
+        tensor, data = self._store(protected_system)
+        injector = FaultInjector(seed=3)
+        events = injector.flip_bits_in_tensor(protected_system, tensor, 5)
+        assert len(events) == 5
+        assert np.array_equal(tensor.load(np.uint16), data)
+        assert protected_system.ecc.total_corrected == 5
+        assert sum(protected_system.ecc.corrected_by_bank.values()) == 5
+
+    def test_scrub_writes_corrections_back(self, protected_system):
+        # The first read corrects in place; a second read is clean.
+        tensor, data = self._store(protected_system)
+        FaultInjector(seed=4).flip_bits_in_tensor(protected_system, tensor, 3)
+        tensor.load(np.uint16)
+        before = protected_system.ecc.total_corrected
+        assert np.array_equal(tensor.load(np.uint16), data)
+        assert protected_system.ecc.total_corrected == before
+
+    def test_double_flip_raises_with_bank_location(self, protected_system):
+        tensor, _ = self._store(protected_system)
+        event = FaultInjector(seed=5).double_flip_in_tensor(
+            protected_system, tensor
+        )
+        with pytest.raises(UncorrectableEccError) as excinfo:
+            tensor.load(np.uint16)
+        (key, word), = excinfo.value.faults
+        assert key == event.detail[0]
+        assert protected_system.ecc.total_detected >= 1
+        assert protected_system.ecc.detected_by_bank[key] >= 1
+
+    def test_rewrite_recovers_uncorrectable_word(self, protected_system):
+        tensor, data = self._store(protected_system)
+        FaultInjector(seed=6).double_flip_in_tensor(protected_system, tensor)
+        with pytest.raises(UncorrectableEccError):
+            tensor.load(np.uint16)
+        tensor.store(data)  # recovery: rewrite from source
+        assert np.array_equal(tensor.load(np.uint16), data)

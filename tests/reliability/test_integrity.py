@@ -1,0 +1,175 @@
+"""Mapping-table parity, refcounted release, and the MapID-leak fix."""
+
+import pytest
+
+from repro.core.controller import MappingTable
+from repro.core.mapping import AddressMapping, conventional_mapping
+from repro.core.selector import MatrixConfig
+from repro.dram.config import TINY_ORG
+from repro.reliability.faults import FaultInjector
+from repro.reliability.integrity import (
+    MappingIntegrityError,
+    ParityMappingTable,
+    mapping_checksum,
+)
+
+N_BITS = 21
+
+
+def _conventional():
+    return conventional_mapping(TINY_ORG, N_BITS)
+
+
+def _variant(index):
+    """Distinct valid mappings: rotate the ROW/COL bit sources.
+
+    Swapping PA sources between two fields keeps the mapping a
+    permutation, so each index yields a structurally valid but distinct
+    entry — enough to exercise >16 registrations.
+    """
+    base = _conventional()
+    fields = {fname: list(pos) for fname, pos in base.fields.items()}
+    rows, cols = fields["row"], fields["col"]
+    i = index % len(rows)
+    j = index % len(cols)
+    rows[i], cols[j] = cols[j], rows[i]
+    if index // len(rows) % 2:
+        rows.reverse()
+    return AddressMapping(
+        name=f"variant-{index}",
+        n_bits=base.n_bits,
+        fields={fname: tuple(pos) for fname, pos in fields.items()},
+    )
+
+
+class TestChecksum:
+    def test_checksum_is_stable(self):
+        assert mapping_checksum(_conventional()) == mapping_checksum(_conventional())
+
+    def test_checksum_covers_routing_not_name(self):
+        a = _variant(0)
+        renamed = AddressMapping(name="other", n_bits=a.n_bits, fields=a.fields)
+        assert mapping_checksum(a) == mapping_checksum(renamed)
+        assert mapping_checksum(a) != mapping_checksum(_conventional())
+
+
+class TestParityTable:
+    def test_lookup_verifies_parity(self):
+        table = ParityMappingTable(_conventional())
+        map_id = table.register(_variant(0))
+        assert table[map_id] == _variant(0)
+        FaultInjector(seed=0).corrupt_mapping_entry(table, map_id)
+        with pytest.raises(MappingIntegrityError) as excinfo:
+            table[map_id]
+        assert excinfo.value.map_id == map_id
+        assert table.verify_all() == [map_id]
+
+    def test_repair_restores_translation(self):
+        table = ParityMappingTable(_conventional())
+        good = _variant(1)
+        map_id = table.register(good)
+        FaultInjector(seed=1).corrupt_mapping_entry(table, map_id)
+        table.repair(map_id, good)
+        assert table[map_id] == good
+        assert table.verify_all() == []
+        assert table.refcount(map_id) == 1  # repair keeps the refcount
+
+    def test_repair_rejects_dead_slots(self):
+        table = ParityMappingTable(_conventional())
+        with pytest.raises(KeyError):
+            table.repair(5, _variant(0))
+
+
+class TestRefcountedRelease:
+    def test_release_frees_slot_for_reuse(self):
+        table = MappingTable(_conventional())
+        first = table.register(_variant(0))
+        table.release(first)
+        with pytest.raises(KeyError):
+            table[first]
+        second = table.register(_variant(1))
+        assert second == first  # the hole is recycled
+        assert len(table) == 2
+
+    def test_duplicate_registration_refcounts(self):
+        table = MappingTable(_conventional())
+        a = table.register(_variant(0))
+        b = table.register(_variant(0))
+        assert a == b
+        assert table.refcount(a) == 2
+        table.release(a)
+        assert table[a] == _variant(0)  # still referenced
+        table.release(a)
+        with pytest.raises(KeyError):
+            table[a]
+
+    def test_conventional_entry_is_pinned(self):
+        table = MappingTable(_conventional())
+        table.release(0)
+        assert table[0] == _conventional()
+
+    def test_churn_beyond_table_capacity(self):
+        # Regression for the MapID leak: >16 *distinct* mappings pass
+        # through a 16-entry table, which only works if every release
+        # actually frees its slot.
+        table = MappingTable(_conventional(), max_entries=16)
+        for index in range(40):
+            map_id = table.register(_variant(index))
+            assert len(table) == 2
+            table.release(map_id)
+        assert len(table) == 1
+
+
+class TestPimallocRelease:
+    def test_free_releases_the_mapping(self, protected_system):
+        table = protected_system.controller.table
+        tensor = protected_system.pimalloc(
+            MatrixConfig(rows=16, cols=256, dtype_bytes=2)
+        )
+        assert table.refcount(tensor.map_id) == 1
+        tensor.free()
+        with pytest.raises(KeyError):
+            table.refcount(tensor.map_id)
+        assert len(table) == 1
+
+    def test_shared_mapping_survives_until_last_free(self, protected_system):
+        table = protected_system.controller.table
+        matrix = MatrixConfig(rows=16, cols=256, dtype_bytes=2)
+        a = protected_system.pimalloc(matrix)
+        b = protected_system.pimalloc(matrix)
+        assert a.map_id == b.map_id
+        assert table.refcount(a.map_id) == 2
+        a.free()
+        assert table.refcount(b.map_id) == 1
+        b.free()
+        assert len(table) == 1
+
+    def test_alloc_free_churn_never_fills_the_table(self, protected_system):
+        # Regression for the MapID leak at the pimalloc level: without
+        # PimTensor.free releasing its entry, 40 cycles over distinct
+        # shapes overflow the 16-entry hardware table.
+        shapes = ((16, 256), (8, 128), (32, 256), (8, 256), (16, 128))
+        table = protected_system.controller.table
+        for cycle in range(40):
+            rows, cols = shapes[cycle % len(shapes)]
+            tensor = protected_system.pimalloc(
+                MatrixConfig(rows=rows, cols=cols, dtype_bytes=2)
+            )
+            tensor.free()
+            assert len(table) == 1  # only the conventional entry survives
+
+    def test_failed_mmap_rolls_back_the_registration(self, protected_system):
+        # Exhaust physical memory, then fail an allocation: the mapping
+        # registered before mmap must be released again.
+        table = protected_system.controller.table
+        live = []
+        matrix = MatrixConfig(rows=16, cols=256, dtype_bytes=2)
+        with pytest.raises(Exception):
+            while True:
+                live.append(protected_system.pimalloc(matrix))
+        len_after_oom = len(table)
+        refcount_after_oom = table.refcount(live[0].map_id)
+        assert refcount_after_oom == len(live)  # failed attempt left none
+        for tensor in live:
+            tensor.free()
+        assert len(table) == len_after_oom - 1
