@@ -1,0 +1,193 @@
+"""Static analysis for the FACIL reproduction (``repro-facil analyze``).
+
+Three passes:
+
+* :mod:`repro.analysis.mapverify` — proves every reachable address
+  mapping is a bijective bit permutation with the paper's PIM placement
+  invariants (rules ``MVxxx``);
+* :mod:`repro.analysis.tracelint` — replays DRAM command logs and
+  request traces against the protocol state machine (rules ``TLxxx``);
+* :mod:`repro.analysis.repolint` + :mod:`repro.analysis.gate` — repo
+  conventions as AST rules (``RLxxx``) plus ruff/mypy when installed
+  (``GTxxx``).
+
+:func:`run_all` composes them into one :class:`AnalysisReport`.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional, Sequence, Tuple
+
+from repro.analysis.findings import (
+    LEVEL_ERROR,
+    LEVEL_NOTE,
+    LEVEL_WARNING,
+    RULES,
+    AnalysisReport,
+    Finding,
+    register_rules,
+)
+from repro.analysis.gate import run_mypy, run_ruff
+from repro.analysis.mapverify import (
+    DEFAULT_MATRIX_BATTERY,
+    chunk_max_map_id,
+    gf2_rank,
+    mapping_matrix,
+    unsafe_mapping,
+    verify_mapping,
+    verify_pim_mapping,
+    verify_platform,
+    verify_selection,
+)
+from repro.analysis.repolint import lint_tree
+from repro.analysis.tracelint import (
+    lint_commands,
+    lint_requests,
+    lint_trace_file,
+)
+
+__all__ = [
+    "AnalysisReport",
+    "Finding",
+    "RULES",
+    "register_rules",
+    "LEVEL_ERROR",
+    "LEVEL_WARNING",
+    "LEVEL_NOTE",
+    "mapping_matrix",
+    "gf2_rank",
+    "unsafe_mapping",
+    "chunk_max_map_id",
+    "verify_mapping",
+    "verify_pim_mapping",
+    "verify_selection",
+    "verify_platform",
+    "DEFAULT_MATRIX_BATTERY",
+    "lint_commands",
+    "lint_requests",
+    "lint_trace_file",
+    "lint_tree",
+    "run_ruff",
+    "run_mypy",
+    "run_all",
+]
+
+
+def _mapverify_pass(report: AnalysisReport) -> None:
+    from repro.core.mapping import conventional_mapping
+    from repro.core.bitfield import ilog2
+    from repro.platforms.specs import ALL_PLATFORMS
+
+    findings: list[Finding] = []
+    checked = 0
+    for spec in ALL_PLATFORMS:
+        org = spec.dram.org
+        huge_page = 2 << 20
+        conv = conventional_mapping(org, ilog2(huge_page))
+        platform_findings, platform_checked = verify_platform(
+            spec.name, org, spec.pim, conv, huge_page_bytes=huge_page
+        )
+        findings.extend(platform_findings)
+        checked += platform_checked
+    report.extend("mapverify", findings, checked)
+
+
+def _tracelint_pass(
+    report: AnalysisReport, trace_paths: Sequence[str]
+) -> None:
+    from repro.dram.config import TINY_ORG
+
+    findings: list[Finding] = []
+    checked = 0
+    for path in trace_paths:
+        findings.extend(lint_trace_file(path, TINY_ORG))
+        checked += 1
+    findings.extend(_simulator_self_check())
+    checked += 1
+    report.extend("tracelint", findings, checked)
+
+
+def _simulator_self_check() -> "list[Finding]":
+    """Drive the timing simulator over a deterministic mixed workload
+    with command logging on, and lint its own command stream — the
+    simulator must obey the protocol it models."""
+    import random
+
+    from repro.dram.address import DramCoord
+    from repro.dram.command import Request
+    from repro.dram.config import (
+        DramConfig,
+        LPDDR5_6400_TIMINGS,
+        TINY_ORG,
+    )
+    from repro.dram.scheduler import ChannelScheduler
+
+    config = DramConfig(TINY_ORG, LPDDR5_6400_TIMINGS)
+    rng = random.Random(2025)
+    findings: list[Finding] = []
+    for n_row_buffers, model_refresh in ((1, False), (2, True)):
+        scheduler = ChannelScheduler(
+            config,
+            channel=0,
+            n_row_buffers=n_row_buffers,
+            model_refresh=model_refresh,
+            log_commands=True,
+        )
+        for index in range(400):
+            coord = DramCoord(
+                channel=0,
+                rank=0,
+                bank=rng.randrange(TINY_ORG.banks_per_rank),
+                row=rng.randrange(64),
+                col=rng.randrange(TINY_ORG.cols_per_row),
+            )
+            scheduler.enqueue(
+                Request(coord=coord, is_write=index % 3 == 0, tag="soc")
+            )
+        scheduler.drain()
+        findings.extend(
+            lint_commands(
+                scheduler.command_log or [],
+                TINY_ORG,
+                n_row_buffers=n_row_buffers,
+            )
+        )
+    return findings
+
+
+def _repolint_pass(report: AnalysisReport) -> None:
+    findings, checked = lint_tree()
+    report.extend("repolint", findings, checked)
+
+
+def _gate_pass(report: AnalysisReport, repo_root: Path) -> None:
+    ruff_findings = run_ruff(repo_root)
+    if ruff_findings is None:
+        report.skip("ruff", "ruff not installed")
+    else:
+        report.extend("ruff", ruff_findings, 1)
+    mypy_findings = run_mypy(repo_root)
+    if mypy_findings is None:
+        report.skip("mypy", "mypy not installed")
+    else:
+        report.extend("mypy", mypy_findings, 1)
+
+
+def run_all(
+    repo_root: Optional[Path] = None,
+    trace_paths: Sequence[str] = (),
+    passes: Tuple[str, ...] = ("mapverify", "tracelint", "repolint", "gate"),
+) -> AnalysisReport:
+    """Run the requested analysis passes and return the joint report."""
+    root = repo_root if repo_root is not None else Path.cwd()
+    report = AnalysisReport()
+    if "mapverify" in passes:
+        _mapverify_pass(report)
+    if "tracelint" in passes:
+        _tracelint_pass(report, trace_paths)
+    if "repolint" in passes:
+        _repolint_pass(report)
+    if "gate" in passes:
+        _gate_pass(report, root)
+    return report

@@ -1,0 +1,179 @@
+"""Findings and reports shared by every static-analysis pass.
+
+A :class:`Finding` is one rule violation with a stable rule ID; an
+:class:`AnalysisReport` aggregates the findings of one or more passes and
+renders them as text or as a SARIF-style JSON document (the interchange
+format CI annotators consume).  Rule IDs are registered in :data:`RULES`
+so reports and docs never drift from the implementation.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Sequence, Tuple
+
+__all__ = [
+    "LEVEL_ERROR",
+    "LEVEL_WARNING",
+    "LEVEL_NOTE",
+    "RULES",
+    "Finding",
+    "AnalysisReport",
+    "register_rules",
+]
+
+LEVEL_ERROR = "error"
+LEVEL_WARNING = "warning"
+LEVEL_NOTE = "note"
+
+_LEVELS = (LEVEL_ERROR, LEVEL_WARNING, LEVEL_NOTE)
+
+#: Registry of every known rule ID -> one-line description.  Passes
+#: register their rules at import time via :func:`register_rules`; the
+#: SARIF output and ``docs/ANALYSIS.md`` are derived from this table.
+RULES: Dict[str, str] = {}
+
+
+def register_rules(rules: Dict[str, str]) -> None:
+    """Add a pass's rules to the registry (idempotent, collision-checked)."""
+    for rule_id, description in rules.items():
+        existing = RULES.get(rule_id)
+        if existing is not None and existing != description:
+            raise ValueError(f"rule {rule_id} registered twice with different text")
+        RULES[rule_id] = description
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation.
+
+    Attributes:
+        rule_id: stable identifier (``MVxxx`` mapping verifier, ``TLxxx``
+            trace linter, ``RLxxx`` repo lint, ``GTxxx`` gate).
+        level: ``error`` (gate-failing), ``warning``, or ``note``.
+        message: human-readable one-liner.
+        location: where the violation lives — a ``path:line`` for repo
+            lint, a mapping/platform name for the verifier, a trace
+            position (``cmd[i]``/``req[i]``) for the linter.
+        detail: optional longer context (offending values, expected vs
+            observed).
+    """
+
+    rule_id: str
+    level: str
+    message: str
+    location: str = ""
+    detail: str = ""
+
+    def __post_init__(self) -> None:
+        if self.level not in _LEVELS:
+            raise ValueError(f"level must be one of {_LEVELS}, got {self.level!r}")
+        if self.rule_id not in RULES:
+            raise ValueError(f"unregistered rule id {self.rule_id!r}")
+
+    def render(self) -> str:
+        where = f" [{self.location}]" if self.location else ""
+        tail = f"\n      {self.detail}" if self.detail else ""
+        return f"{self.rule_id} {self.level}{where}: {self.message}{tail}"
+
+
+@dataclass
+class AnalysisReport:
+    """Aggregated outcome of one ``repro-facil analyze`` run."""
+
+    findings: List[Finding] = field(default_factory=list)
+    #: pass name -> short status line ("ok", "skipped: ...", "N findings")
+    passes: Dict[str, str] = field(default_factory=dict)
+    #: number of objects each pass inspected (mappings, commands, files)
+    checked: Dict[str, int] = field(default_factory=dict)
+
+    def extend(self, pass_name: str, findings: Iterable[Finding],
+               checked: int = 0) -> None:
+        added = list(findings)
+        self.findings.extend(added)
+        self.checked[pass_name] = self.checked.get(pass_name, 0) + checked
+        status = "ok" if not added else f"{len(added)} finding(s)"
+        self.passes[pass_name] = status
+
+    def skip(self, pass_name: str, reason: str) -> None:
+        self.passes[pass_name] = f"skipped: {reason}"
+
+    def waive(self, rule_ids: Sequence[str]) -> None:
+        """Drop findings of the given rules (CLI ``--waive``)."""
+        waived = set(rule_ids)
+        self.findings = [f for f in self.findings if f.rule_id not in waived]
+
+    @property
+    def errors(self) -> Tuple[Finding, ...]:
+        return tuple(f for f in self.findings if f.level == LEVEL_ERROR)
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    # -- rendering -------------------------------------------------------
+
+    def render_text(self) -> str:
+        lines: List[str] = []
+        for name in sorted(self.passes):
+            status = self.passes[name]
+            count = self.checked.get(name)
+            suffix = f" ({count} checked)" if count else ""
+            lines.append(f"pass {name:12s}: {status}{suffix}")
+        if self.findings:
+            lines.append("")
+            for finding in self.findings:
+                lines.append(finding.render())
+        lines.append("")
+        verdict = "PASS" if self.ok else f"FAIL ({len(self.errors)} error(s))"
+        lines.append(f"analysis: {verdict}")
+        return "\n".join(lines)
+
+    def to_sarif(self) -> Dict[str, Any]:
+        """SARIF-style dict: one run, one result per finding."""
+        used = sorted({f.rule_id for f in self.findings})
+        return {
+            "version": "2.1.0",
+            "runs": [
+                {
+                    "tool": {
+                        "driver": {
+                            "name": "repro-facil-analyze",
+                            "rules": [
+                                {
+                                    "id": rule_id,
+                                    "shortDescription": {"text": RULES[rule_id]},
+                                }
+                                for rule_id in used
+                            ],
+                        }
+                    },
+                    "results": [
+                        {
+                            "ruleId": f.rule_id,
+                            "level": f.level,
+                            "message": {"text": f.message},
+                            "locations": [
+                                {
+                                    "physicalLocation": {
+                                        "artifactLocation": {"uri": f.location}
+                                    }
+                                }
+                            ]
+                            if f.location
+                            else [],
+                            "properties": {"detail": f.detail} if f.detail else {},
+                        }
+                        for f in self.findings
+                    ],
+                    "properties": {
+                        "passes": dict(self.passes),
+                        "checked": dict(self.checked),
+                    },
+                }
+            ],
+        }
+
+    def render_json(self) -> str:
+        return json.dumps(self.to_sarif(), indent=2, sort_keys=True)

@@ -1,0 +1,99 @@
+"""External-tool gate (part of pass 3 of ``repro-facil analyze``).
+
+Runs ``ruff check`` and ``mypy --strict`` (on the strictly-typed
+packages) when those tools are installed, folding their diagnostics into
+the analysis report.  The container this repo develops in does not ship
+them, so absence is a recorded *skip*, never a crash — CI installs the
+real tools and the same gate then enforces them.
+"""
+
+from __future__ import annotations
+
+import shutil
+import subprocess
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.findings import LEVEL_ERROR, Finding, register_rules
+
+__all__ = [
+    "GATE_RULES",
+    "STRICT_PACKAGES",
+    "run_ruff",
+    "run_mypy",
+]
+
+GATE_RULES: Dict[str, str] = {
+    "GT001": "ruff check reported a diagnostic",
+    "GT002": "mypy --strict reported an error",
+    "GT003": "external tool exited abnormally",
+}
+register_rules(GATE_RULES)
+
+#: Packages held to ``mypy --strict`` (satellite: ``repro.core`` ships
+#: ``py.typed``; the analysis package holds itself to the same bar).
+STRICT_PACKAGES = ("src/repro/core", "src/repro/analysis")
+
+_TOOL_TIMEOUT_S = 300
+
+
+def _run(argv: List[str], cwd: Path) -> Optional[Tuple[int, str]]:
+    """Run *argv*; ``(returncode, stdout+stderr)`` or None if missing."""
+    if shutil.which(argv[0]) is None:
+        return None
+    proc = subprocess.run(
+        argv, cwd=cwd, capture_output=True, text=True,
+        timeout=_TOOL_TIMEOUT_S,
+    )
+    return proc.returncode, (proc.stdout + proc.stderr).strip()
+
+
+def run_ruff(repo_root: Path) -> Optional[List[Finding]]:
+    """``ruff check src tests``; None when ruff is not installed."""
+    result = _run(["ruff", "check", "src", "tests"], repo_root)
+    if result is None:
+        return None
+    code, output = result
+    if code == 0:
+        return []
+    findings: List[Finding] = []
+    lines = [line for line in output.splitlines() if line.strip()]
+    for line in lines[:50]:
+        findings.append(
+            Finding("GT001", LEVEL_ERROR, line.strip(), location="ruff")
+        )
+    if not findings:  # nonzero exit with no parsable output
+        findings.append(
+            Finding("GT003", LEVEL_ERROR,
+                    f"ruff exited {code} with no diagnostics",
+                    location="ruff", detail=output[:500])
+        )
+    return findings
+
+
+def run_mypy(repo_root: Path) -> Optional[List[Finding]]:
+    """``mypy --strict`` over :data:`STRICT_PACKAGES`; None when mypy is
+    not installed."""
+    result = _run(
+        ["mypy", "--strict", *STRICT_PACKAGES], repo_root
+    )
+    if result is None:
+        return None
+    code, output = result
+    if code == 0:
+        return []
+    findings: List[Finding] = []
+    for line in output.splitlines():
+        if ": error:" in line:
+            location, _, message = line.partition(": error:")
+            findings.append(
+                Finding("GT002", LEVEL_ERROR, message.strip(),
+                        location=location.strip())
+            )
+    if not findings:
+        findings.append(
+            Finding("GT003", LEVEL_ERROR,
+                    f"mypy exited {code} with no parsable errors",
+                    location="mypy", detail=output[:500])
+        )
+    return findings[:50]

@@ -1,0 +1,192 @@
+"""Repository lint rules (part of pass 3 of ``repro-facil analyze``).
+
+Custom AST rules that encode this repo's conventions — things generic
+linters don't know:
+
+* ``RL001`` — no bare ``assert`` in ``src/``: asserts vanish under
+  ``python -O``, so library invariants must raise real exceptions
+  (asserts are fine in tests).
+* ``RL002`` — no raw single-bit probing (``(x >> k) & 1``) outside
+  :mod:`repro.core.bitfield`: bit manipulation is centralized so the
+  mapping verifier has one place to trust.
+* ``RL003`` — mapping/config types must be frozen dataclasses: an
+  :class:`AddressMapping` that mutates after validation voids every
+  static proof about it.
+* ``RL004`` — no ``print()`` outside the CLI: library code reports
+  through return values and findings, not stdout.
+
+A violation can be waived in place with a trailing comment::
+
+    assert invariant  # lint: waive[RL001] -- benchmark-only helper
+
+Rule IDs are ``RL001``-``RL004``; see ``docs/ANALYSIS.md``.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple
+
+from repro.analysis.findings import LEVEL_ERROR, Finding, register_rules
+
+__all__ = [
+    "REPOLINT_RULES",
+    "lint_source",
+    "lint_tree",
+    "default_source_root",
+]
+
+REPOLINT_RULES: Dict[str, str] = {
+    "RL001": "bare assert in library code (stripped under python -O); "
+             "raise an exception instead",
+    "RL002": "raw single-bit twiddling outside repro.core.bitfield",
+    "RL003": "mapping/config dataclass is not frozen",
+    "RL004": "print() outside the CLI module",
+}
+register_rules(REPOLINT_RULES)
+
+#: Modules whose dataclasses define mappings or hardware configuration
+#: and therefore must be immutable (RL003), relative to the source root.
+FROZEN_MODULES = (
+    "repro/core/mapping.py",
+    "repro/core/selector.py",
+    "repro/core/optimizer.py",
+    "repro/dram/address.py",
+    "repro/dram/config.py",
+    "repro/pim/config.py",
+    "repro/platforms/specs.py",
+)
+
+#: Modules allowed to twiddle bits directly (RL002).
+BITFIELD_MODULES = ("repro/core/bitfield.py",)
+
+#: Modules allowed to print (RL004).
+PRINT_MODULES = ("repro/cli.py",)
+
+_WAIVE_RE = re.compile(r"#\s*lint:\s*waive\[([A-Z]{2}\d{3}(?:\s*,\s*[A-Z]{2}\d{3})*)\]")
+
+
+def _waivers(source_lines: Sequence[str]) -> Dict[int, Tuple[str, ...]]:
+    """Line number -> rule IDs waived on that line."""
+    out: Dict[int, Tuple[str, ...]] = {}
+    for number, line in enumerate(source_lines, start=1):
+        match = _WAIVE_RE.search(line)
+        if match:
+            out[number] = tuple(
+                rule.strip() for rule in match.group(1).split(",")
+            )
+    return out
+
+
+def _is_bit_probe(node: ast.BinOp) -> bool:
+    """Matches ``(x >> k) & 1`` / ``1 & (x >> k)`` (plain int 1 only —
+    ``np.uint8(1)`` and friends are deliberate, dtype-stable forms)."""
+    if not isinstance(node.op, ast.BitAnd):
+        return False
+    for one, shifted in ((node.right, node.left), (node.left, node.right)):
+        if (
+            isinstance(one, ast.Constant)
+            and one.value == 1
+            and isinstance(one.value, int)
+            and not isinstance(one.value, bool)
+            and isinstance(shifted, ast.BinOp)
+            and isinstance(shifted.op, ast.RShift)
+        ):
+            return True
+    return False
+
+
+def _dataclass_frozen(decorator: ast.expr) -> Tuple[bool, bool]:
+    """``(is_dataclass_decorator, is_frozen)`` for one decorator node."""
+    target = decorator.func if isinstance(decorator, ast.Call) else decorator
+    name = ""
+    if isinstance(target, ast.Name):
+        name = target.id
+    elif isinstance(target, ast.Attribute):
+        name = target.attr
+    if name != "dataclass":
+        return False, False
+    if isinstance(decorator, ast.Call):
+        for keyword in decorator.keywords:
+            if keyword.arg == "frozen":
+                value = keyword.value
+                return True, bool(
+                    isinstance(value, ast.Constant) and value.value is True
+                )
+    return True, False
+
+
+def lint_source(source: str, rel_path: str) -> List[Finding]:
+    """Lint one module's source text.  *rel_path* is the path relative
+    to the source root (``repro/...``), used for the per-module rule
+    scoping and finding locations."""
+    findings: List[Finding] = []
+    try:
+        tree = ast.parse(source, filename=rel_path)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                "RL001",
+                LEVEL_ERROR,
+                f"file does not parse: {exc.msg}",
+                location=f"{rel_path}:{exc.lineno or 0}",
+            )
+        ]
+    waivers = _waivers(source.splitlines())
+    posix = rel_path.replace("\\", "/")
+
+    def emit(rule_id: str, message: str, node: ast.AST, detail: str = "") -> None:
+        line = getattr(node, "lineno", 0)
+        if rule_id in waivers.get(line, ()):
+            return
+        findings.append(
+            Finding(rule_id, LEVEL_ERROR, message,
+                    location=f"{rel_path}:{line}", detail=detail)
+        )
+
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Assert):
+            emit("RL001", "bare assert in library code", node)
+        elif isinstance(node, ast.BinOp):
+            if _is_bit_probe(node) and posix not in BITFIELD_MODULES:
+                emit(
+                    "RL002",
+                    "raw single-bit probe; use repro.core.bitfield "
+                    "helpers or a dtype-stable mask",
+                    node,
+                )
+        elif isinstance(node, ast.ClassDef) and posix in FROZEN_MODULES:
+            for decorator in node.decorator_list:
+                is_dc, frozen = _dataclass_frozen(decorator)
+                if is_dc and not frozen:
+                    emit(
+                        "RL003",
+                        f"dataclass {node.name} in a mapping module "
+                        "must be frozen=True",
+                        node,
+                    )
+        elif isinstance(node, ast.Call) and posix not in PRINT_MODULES:
+            func = node.func
+            if isinstance(func, ast.Name) and func.id == "print":
+                emit("RL004", "print() in library code", node)
+    return findings
+
+
+def default_source_root() -> Path:
+    """The ``src/`` directory this installed package was imported from."""
+    return Path(__file__).resolve().parents[2]
+
+
+def lint_tree(source_root: Path | None = None) -> Tuple[List[Finding], int]:
+    """Lint every ``.py`` file under *source_root* (default: the live
+    ``src/`` tree).  Returns ``(findings, files_checked)``."""
+    root = source_root if source_root is not None else default_source_root()
+    findings: List[Finding] = []
+    checked = 0
+    for path in sorted(root.rglob("*.py")):
+        rel = path.relative_to(root).as_posix()
+        findings.extend(lint_source(path.read_text(encoding="utf-8"), rel))
+        checked += 1
+    return findings, checked

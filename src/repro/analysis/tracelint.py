@@ -1,0 +1,250 @@
+"""DRAM trace linter (pass 2 of ``repro-facil analyze``).
+
+Two input shapes are linted:
+
+* **device-command logs** (:class:`repro.dram.command.DramCommand`
+  sequences recorded by ``ChannelScheduler(log_commands=True)``): the
+  linter replays the protocol state machine per bank and flags illegal
+  ACT/PRE ordering, column commands to closed rows, and time going
+  backwards on a channel's command bus;
+* **request streams** (:class:`repro.dram.command.Request` sequences, or
+  trace files in the :mod:`repro.dram.trace` format): the linter checks
+  coordinate ranges against the :class:`DramOrganization`, reads to rows
+  no write ever touched, and ECC-scrub reentrancy (a scrub pass — any
+  request whose tag starts with ``"scrub"`` — must visit each row at
+  most once, or corrected words could be folded twice).
+
+Rule IDs are ``TL001``-``TL008``; see ``docs/ANALYSIS.md``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+from repro.analysis.findings import (
+    LEVEL_ERROR,
+    LEVEL_WARNING,
+    Finding,
+    register_rules,
+)
+from repro.dram.command import CMD_OPS, DramCommand, Request
+from repro.dram.config import DramOrganization
+from repro.dram.trace import load_trace
+
+__all__ = [
+    "TRACELINT_RULES",
+    "lint_commands",
+    "lint_requests",
+    "lint_trace_file",
+]
+
+TRACELINT_RULES: Dict[str, str] = {
+    "TL001": "ACT issued to a bank whose row buffers are all occupied "
+             "(no PRE freed a slot first)",
+    "TL002": "PRE issued for a row that is not open",
+    "TL003": "RD/WR issued to a row that is not open in its bank",
+    "TL004": "command or request coordinate outside the DRAM organization",
+    "TL005": "read targets a row no write in the trace ever touched",
+    "TL006": "ECC scrub pass re-enters a row it already scrubbed",
+    "TL007": "command time goes backwards within one bank",
+    "TL008": "redundant ACT: the target row is already open",
+}
+register_rules(TRACELINT_RULES)
+
+_MAX_PER_RULE = 16  # cap repeated findings so huge traces stay readable
+
+
+class _RuleBucket:
+    """Collects findings, truncating each rule after ``_MAX_PER_RULE``."""
+
+    def __init__(self) -> None:
+        self.findings: List[Finding] = []
+        self._counts: Dict[str, int] = {}
+
+    def add(self, rule_id: str, level: str, message: str,
+            location: str = "", detail: str = "") -> None:
+        count = self._counts.get(rule_id, 0) + 1
+        self._counts[rule_id] = count
+        if count == _MAX_PER_RULE + 1:
+            self.findings.append(
+                Finding(rule_id, level,
+                        "further findings of this rule suppressed",
+                        location=location)
+            )
+        if count <= _MAX_PER_RULE:
+            self.findings.append(
+                Finding(rule_id, level, message, location, detail)
+            )
+
+
+def _coord_in_range(
+    org: DramOrganization, channel: int, rank: int, bank: int,
+    row: int, col: int,
+) -> str:
+    """Empty string when in range, else a description of the violation."""
+    checks = (
+        ("channel", channel, org.n_channels),
+        ("rank", rank, org.ranks_per_channel),
+        ("bank", bank, org.banks_per_rank),
+        ("row", row, org.rows_per_bank),
+        ("col", col, org.cols_per_row),
+    )
+    bad = [
+        f"{name}={value} not in [0, {limit})"
+        for name, value, limit in checks
+        if not 0 <= value < limit
+    ]
+    return ", ".join(bad)
+
+
+def lint_commands(
+    commands: Sequence[DramCommand],
+    org: DramOrganization,
+    n_row_buffers: int = 1,
+) -> List[Finding]:
+    """Replay a device-command log and report protocol violations."""
+    bucket = _RuleBucket()
+    #: (rank, bank) -> ordered set of open rows (insertion order = LRU)
+    open_rows: Dict[Tuple[int, int], List[int]] = {}
+    #: the log is in *decision* order (background ACTs are stamped ahead
+    #: of column traffic on other banks), so global time may jitter; but
+    #: within one bank the protocol forces monotone timestamps.
+    last_time: Dict[Tuple[int, int, int], float] = {}
+
+    for index, cmd in enumerate(commands):
+        where = f"cmd[{index}]"
+        if cmd.op not in CMD_OPS:
+            bucket.add("TL004", LEVEL_ERROR,
+                       f"unknown opcode {cmd.op!r}", where)
+            continue
+        if cmd.op != "REF":
+            bank_time_key = (cmd.channel, cmd.rank, cmd.bank)
+            prev = last_time.get(bank_time_key)
+            if prev is not None and cmd.time_ns < prev - 1e-9:
+                bucket.add(
+                    "TL007", LEVEL_ERROR,
+                    f"{cmd.op} at {cmd.time_ns:.2f} ns after a command "
+                    f"at {prev:.2f} ns in bank {cmd.rank}/{cmd.bank}",
+                    where,
+                )
+            last_time[bank_time_key] = max(
+                cmd.time_ns, prev if prev is not None else cmd.time_ns
+            )
+
+        if cmd.op == "REF":
+            # All-bank refresh closes every row buffer.
+            open_rows.clear()
+            continue
+
+        range_error = _coord_in_range(
+            org, cmd.channel, cmd.rank, cmd.bank, cmd.row,
+            cmd.col if cmd.op in ("RD", "WR") else 0,
+        )
+        if range_error:
+            bucket.add("TL004", LEVEL_ERROR, range_error, where)
+            continue
+
+        key = (cmd.rank, cmd.bank)
+        rows = open_rows.setdefault(key, [])
+        if cmd.op == "ACT":
+            if cmd.row in rows:
+                bucket.add(
+                    "TL008", LEVEL_WARNING,
+                    f"row {cmd.row} already open in bank "
+                    f"{cmd.rank}/{cmd.bank}",
+                    where,
+                )
+            elif len(rows) >= n_row_buffers:
+                bucket.add(
+                    "TL001", LEVEL_ERROR,
+                    f"bank {cmd.rank}/{cmd.bank} has {len(rows)} row(s) "
+                    f"open with {n_row_buffers} buffer(s); ACT row "
+                    f"{cmd.row} without a PRE",
+                    where,
+                )
+            else:
+                rows.append(cmd.row)
+        elif cmd.op == "PRE":
+            if cmd.row not in rows:
+                bucket.add(
+                    "TL002", LEVEL_ERROR,
+                    f"PRE row {cmd.row} in bank {cmd.rank}/{cmd.bank} "
+                    f"but open rows are {rows}",
+                    where,
+                )
+            else:
+                rows.remove(cmd.row)
+        else:  # RD / WR
+            if cmd.row not in rows:
+                bucket.add(
+                    "TL003", LEVEL_ERROR,
+                    f"{cmd.op} row {cmd.row} in bank {cmd.rank}/"
+                    f"{cmd.bank} but open rows are {rows}",
+                    where,
+                )
+    return bucket.findings
+
+
+def lint_requests(
+    requests: Iterable[Request],
+    org: DramOrganization,
+    require_writes: bool = False,
+) -> List[Finding]:
+    """Lint a request stream: coordinate ranges, reads to rows nothing
+    wrote, and scrub-pass reentrancy.
+
+    ``require_writes=True`` raises never-written reads to errors; the
+    default keeps them warnings, since traces often read memory a
+    previous phase (outside the trace) initialized.
+    """
+    bucket = _RuleBucket()
+    written: Set[Tuple[int, int, int, int]] = set()
+    scrubbed: Set[Tuple[int, int, int, int]] = set()
+    scrub_cursor: Dict[Tuple[int, int, int], int] = {}
+
+    for index, request in enumerate(requests):
+        where = f"req[{index}]"
+        coord = request.coord
+        range_error = _coord_in_range(
+            org, coord.channel, coord.rank, coord.bank, coord.row, coord.col
+        )
+        if range_error:
+            bucket.add("TL004", LEVEL_ERROR, range_error, where)
+            continue
+        row_key = (coord.channel, coord.rank, coord.bank, coord.row)
+        if request.is_write:
+            written.add(row_key)
+        else:
+            if row_key not in written:
+                bucket.add(
+                    "TL005",
+                    LEVEL_ERROR if require_writes else LEVEL_WARNING,
+                    f"read of ch{coord.channel}/rk{coord.rank}/"
+                    f"bk{coord.bank}/row{coord.row} but no prior write "
+                    "in this trace",
+                    where,
+                )
+            if request.tag.startswith("scrub"):
+                bank_key = row_key[:3]
+                if (
+                    row_key in scrubbed
+                    and scrub_cursor.get(bank_key) != coord.row
+                ):
+                    bucket.add(
+                        "TL006", LEVEL_ERROR,
+                        f"scrub re-enters row {coord.row} of bank "
+                        f"{coord.rank}/{coord.bank} after moving on",
+                        where,
+                    )
+                scrubbed.add(row_key)
+                scrub_cursor[bank_key] = coord.row
+    return bucket.findings
+
+
+def lint_trace_file(
+    path: str,
+    org: DramOrganization,
+    require_writes: bool = False,
+) -> List[Finding]:
+    """Lint a trace file in the :mod:`repro.dram.trace` text format."""
+    return lint_requests(load_trace(path), org, require_writes=require_writes)

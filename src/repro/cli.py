@@ -8,6 +8,7 @@ Subcommands::
     repro-facil sweep                             # Fig. 13 TTFT series
     repro-facil dataset  --dataset alpaca-like    # Figs. 15/16 trace
     repro-facil chaos    --flip-rate 2.0 --seed 7 # reliability campaign
+    repro-facil analyze  --format json            # static analysis gate
 
 All commands take ``--platform`` (default ``jetson-agx-orin``).  Install
 exposes the ``repro-facil`` script; the module also runs directly as
@@ -152,6 +153,31 @@ def _cmd_chaos(args: argparse.Namespace) -> None:
         raise SystemExit(f"{report.silent} silent corruption(s) escaped")
 
 
+def _cmd_analyze(args: argparse.Namespace) -> None:
+    # Lazy import: the analysis layer is tooling the runtime commands
+    # never need.
+    from pathlib import Path
+
+    from repro.analysis import run_all
+
+    passes = tuple(args.passes) if args.passes else (
+        "mapverify", "tracelint", "repolint", "gate"
+    )
+    report = run_all(
+        repo_root=Path.cwd(),
+        trace_paths=args.trace or (),
+        passes=passes,
+    )
+    if args.waive:
+        report.waive(args.waive)
+    if args.format == "json":
+        print(report.render_json())
+    else:
+        print(report.render_text())
+    if not report.ok:
+        raise SystemExit(1)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-facil",
@@ -208,6 +234,28 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--pu-fail-at", type=int, default=None,
                        help="query index at which one PIM unit fails for good")
 
+    analyze = sub.add_parser(
+        "analyze",
+        help="static analysis: mapping verifier, trace linter, repo lint",
+    )
+    analyze.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="text report or SARIF-style JSON",
+    )
+    analyze.add_argument(
+        "--pass", dest="passes", action="append",
+        choices=("mapverify", "tracelint", "repolint", "gate"),
+        help="run only the given pass(es); default: all",
+    )
+    analyze.add_argument(
+        "--trace", action="append", metavar="PATH",
+        help="also lint this request-trace file (repeatable)",
+    )
+    analyze.add_argument(
+        "--waive", action="append", metavar="RULE",
+        help="drop findings of this rule ID (repeatable)",
+    )
+
     for sub_parser in (mapping, query, sweep, dataset, chaos):
         sub_parser.add_argument("--platform", default="jetson-agx-orin")
     return parser
@@ -220,6 +268,7 @@ _COMMANDS = {
     "sweep": _cmd_sweep,
     "dataset": _cmd_dataset,
     "chaos": _cmd_chaos,
+    "analyze": _cmd_analyze,
 }
 
 

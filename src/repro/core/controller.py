@@ -69,7 +69,7 @@ class MappingTable:
     systems with allocation churn never exhaust the table.
     """
 
-    def __init__(self, conventional: AddressMapping, max_entries: int = 16):
+    def __init__(self, conventional: AddressMapping, max_entries: int = 16) -> None:
         self._entries: List[Optional[AddressMapping]] = [conventional]
         self._refcounts: List[int] = [1]
         self._max_entries = max_entries
@@ -176,7 +176,7 @@ class MemoryController:
         table: Optional[MappingTable] = None,
         memory: Optional[PhysicalMemory] = None,
         ecc: Optional["EccEngine"] = None,
-    ):
+    ) -> None:
         self.org = org
         self.page_bytes = page_bytes
         self.page_bits = ilog2(page_bytes)

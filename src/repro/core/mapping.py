@@ -341,25 +341,31 @@ def pim_optimized_mapping(
     # assigned.  For AiM (chunk == full DRAM row) there are none; for
     # smaller chunks the leftover column bits sit directly above the chunk
     # bits so that consecutive chunks of the same matrix row share a DRAM
-    # row when map_id > 0.
+    # row when map_id > 0.  The MapID counts *all* bits between the chunk
+    # and the PU-changing bits, column or row: when the matrix row fills
+    # less than one DRAM row (map_id < leftover_col) the surplus column
+    # bits move above the PU bits, so a bank's DRAM row then holds
+    # 2**(leftover_col - map_id) distant page segments — reduced locality,
+    # but each matrix row still lives wholly in one PU.
     leftover_col = org.col_bits - chunk_col_part - chunk_row_bits
     if leftover_col:
-        if map_id < leftover_col:
+        mid_col = min(map_id, leftover_col)
+        spill_col = leftover_col - mid_col
+        if spill_col > row_hi:
             raise ValueError(
-                f"map_id={map_id} smaller than leftover column bits "
-                f"({leftover_col}); a chunk row would straddle DRAM rows"
+                f"map_id={map_id} does not fit: {spill_col} leftover column "
+                f"bits spill past the page MSB ({row_hi} bits remain)"
             )
-        # Re-assemble: the first `leftover_col` of the map_id bits are
-        # column bits (filling the DRAM row before moving to the next row).
         groups = [
             (Field.OFFSET, org.offset_bits),
             (Field.COL, chunk_col_part),
             (Field.ROW, chunk_row_part),
-            (Field.COL, leftover_col),
-            (Field.ROW, map_id - leftover_col),
+            (Field.COL, mid_col),
+            (Field.ROW, map_id - mid_col),
             (Field.COL, chunk_row_bits),
             *pu_groups,
-            (Field.ROW, row_hi),
+            (Field.COL, spill_col),
+            (Field.ROW, row_hi - spill_col),
         ]
     if not name:
         style = "aim" if chunk_rows == 1 else "hbmpim"

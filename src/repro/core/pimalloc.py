@@ -122,7 +122,7 @@ class PimAllocator:
         controller: MemoryController,
         space: AddressSpace,
         huge_page_bytes: int = 2 << 20,
-    ):
+    ) -> None:
         if controller.page_bytes != huge_page_bytes:
             raise ValueError("controller page size must equal the huge page size")
         self.org = org
@@ -214,7 +214,7 @@ class PimSystem:
         functional: bool = True,
         ecc: bool = False,
         integrity: bool = False,
-    ):
+    ) -> None:
         from repro.os.page_table import HUGE_SHIFT
 
         if huge_page_bytes != 1 << HUGE_SHIFT:

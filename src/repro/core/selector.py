@@ -16,8 +16,12 @@ huge page of the matrix should use:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Tuple
 
 from repro.core.bitfield import ceil_log2, ilog2
+
+if TYPE_CHECKING:
+    import numpy as np
 from repro.core.mapping import AddressMapping, Field, pim_optimized_mapping
 from repro.dram.config import DramOrganization
 from repro.pim.config import PimConfig
@@ -54,7 +58,7 @@ class MatrixConfig:
             raise ValueError(f"kind must be 'float' or 'int', got {self.kind!r}")
 
     @property
-    def numpy_dtype(self):
+    def numpy_dtype(self) -> "np.dtype[Any]":
         """The numpy dtype matching (kind, dtype_bytes)."""
         import numpy as np
 
@@ -123,6 +127,24 @@ def select_mapping(
             f"huge page ({huge_page_bytes} B) cannot give each of "
             f"{org.total_banks} banks one chunk row ({pim.chunk_row_bytes} B)"
         )
+    if pim.chunk_row_bytes < org.transfer_bytes:
+        raise ValueError(
+            f"one chunk row ({pim.chunk_row_bytes} B) is smaller than a "
+            f"DRAM transfer ({org.transfer_bytes} B)"
+        )
+    # A multi-row chunk must fit the bank's DRAM row: its chunk_rows
+    # segments share one row buffer (lock-step MAC sweeps never cross
+    # DRAM rows), so the same column-bit budget the mapping builder
+    # enforces must already hold here.
+    chunk_col_part = min(
+        ilog2(pim.chunk_row_bytes // org.transfer_bytes), org.col_bits
+    )
+    if chunk_col_part + ilog2(pim.chunk_rows) > org.col_bits:
+        raise ValueError(
+            f"chunk ({pim.chunk_rows}x{pim.chunk_cols}) needs "
+            f"{chunk_col_part + ilog2(pim.chunk_rows)} column bits but a "
+            f"DRAM row of this organization provides only {org.col_bits}"
+        )
 
     # Rows narrower than one chunk are padded up to it: the PU always
     # consumes whole chunk rows.
@@ -132,6 +154,12 @@ def select_mapping(
 
     if needs_partition:
         per_bank_row_share = memory_per_bank // pim.chunk_rows
+        if per_bank_row_share < pim.chunk_row_bytes:
+            raise ValueError(
+                f"huge page ({huge_page_bytes} B) cannot give each bank "
+                f"{pim.chunk_rows} chunk rows of {pim.chunk_row_bytes} B; "
+                "partitioned placement would split a chunk row"
+            )
         map_id = ilog2(per_bank_row_share) - ilog2(pim.chunk_row_bytes)
         partitions = row_bytes // per_bank_row_share
     else:
@@ -160,7 +188,7 @@ def select_mapping(
     )
 
 
-def pu_order_for(selection: MappingSelection) -> tuple:
+def pu_order_for(selection: MappingSelection) -> Tuple[str, str, str]:
     """PU-changing bit order for a selection (see
     :func:`repro.core.mapping.pim_optimized_mapping`): partitioned rows
     spread across channels first, so each partition gets its own global

@@ -92,6 +92,10 @@ class BankState:
         self.next_pre_ns = act + timings.tRAS
         return self.next_col_ns
 
+    def close_all(self) -> None:
+        """Precharge every row buffer (all-bank refresh requires it)."""
+        self._open.clear()
+
     def note_column(
         self, issue_ns: float, timings: DramTimings, is_write: bool, burst_ns: float
     ) -> None:

@@ -6,10 +6,13 @@ from dataclasses import dataclass
 
 from repro.dram.address import DramCoord
 
-__all__ = ["Request", "READ", "WRITE"]
+__all__ = ["Request", "DramCommand", "READ", "WRITE", "CMD_OPS"]
 
 READ = "read"
 WRITE = "write"
+
+#: Device-level command opcodes emitted by the scheduler's command log.
+CMD_OPS = ("ACT", "PRE", "RD", "WR", "REF")
 
 
 @dataclass(frozen=True)
@@ -33,3 +36,24 @@ class Request:
     @property
     def kind(self) -> str:
         return WRITE if self.is_write else READ
+
+
+@dataclass(frozen=True)
+class DramCommand:
+    """One device-level command as issued on a channel's command bus.
+
+    The scheduler appends these to its optional ``command_log``; the
+    :mod:`repro.analysis.tracelint` pass replays the log and checks the
+    protocol invariants (ACT/PRE pairing, open-row consistency).  ``row``
+    is the target row for ACT/RD/WR, the precharged row for PRE, and -1
+    for REF (all-bank).  ``col`` is meaningful only for RD/WR.
+    """
+
+    op: str  # one of CMD_OPS
+    channel: int
+    rank: int
+    bank: int
+    row: int = -1
+    col: int = -1
+    time_ns: float = 0.0
+    tag: str = ""

@@ -15,8 +15,9 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Deque, Dict, List, Optional, Set, Tuple
 
+from repro.dram.address import DramCoord
 from repro.dram.bank import BankState
-from repro.dram.command import Request
+from repro.dram.command import DramCommand, Request
 from repro.dram.config import DramConfig
 
 __all__ = ["ChannelScheduler", "ChannelStats"]
@@ -55,6 +56,7 @@ class ChannelScheduler:
         n_row_buffers: int = 1,
         priority_tag: Optional[str] = None,
         model_refresh: bool = False,
+        log_commands: bool = False,
     ):
         self.config = config
         self.channel = channel
@@ -84,6 +86,11 @@ class ChannelScheduler:
         #: shaves the ~tRFC/tREFI duty cycle (~4-5 %) off bandwidth
         self.model_refresh = model_refresh
         self._next_refresh_ns = config.timings.tREFI
+        #: device-command log for the trace linter (None = not recorded);
+        #: every ACT/PRE/RD/WR/REF this scheduler issues, in issue order
+        self.command_log: Optional[List[DramCommand]] = (
+            [] if log_commands else None
+        )
 
     # -- public API ---------------------------------------------------------
 
@@ -129,6 +136,42 @@ class ChannelScheduler:
         self._last_act_ns = bank.last_act_ns
         self._act_history.append(bank.last_act_ns)
 
+    def _prepare(self, bank: BankState, coord: DramCoord, is_write: bool) -> None:
+        """Bring *coord*'s row to openable state in *bank*: precharge a
+        victim if all row buffers are busy, activate if the row is closed,
+        and record the resulting ACT/PRE on the command log."""
+        timings = self.config.timings
+        opening = not bank.is_open(coord.row)
+        victim: Optional[int] = None
+        if opening and len(bank.open_rows()) >= bank.n_row_buffers:
+            victim = bank.open_rows()[0]
+        bank.prepare_column(coord.row, self._bus_free_ns, timings, is_write)
+        if opening:
+            self._apply_act_constraints(bank)
+            if self.command_log is not None:
+                act_ns = bank.last_act_ns
+                if victim is not None:
+                    self.command_log.append(
+                        DramCommand(
+                            op="PRE",
+                            channel=self.channel,
+                            rank=coord.rank,
+                            bank=coord.bank,
+                            row=victim,
+                            time_ns=act_ns - timings.tRP,
+                        )
+                    )
+                self.command_log.append(
+                    DramCommand(
+                        op="ACT",
+                        channel=self.channel,
+                        rank=coord.rank,
+                        bank=coord.bank,
+                        row=coord.row,
+                        time_ns=act_ns,
+                    )
+                )
+
     def _prepare_window(self) -> None:
         """Open rows for the first pending request of each bank in the
         window (background ACT/PRE on the command bus).
@@ -137,7 +180,6 @@ class ChannelScheduler:
         a request hitting it — closing under pending hits would waste the
         row buffer, and real FR-FCFS drains hits first.
         """
-        timings = self.config.timings
         limit = min(self.window, len(self._queue))
         pending_rows: Set[Tuple[int, int, int]] = set()
         for index in range(limit):
@@ -158,12 +200,7 @@ class ChannelScheduler:
                 victim = bank.open_rows()[0]  # LRU row the ACT would evict
                 if (coord.rank, coord.bank, victim) in pending_rows:
                     continue  # drain the victim row's hits first
-            opening = not bank.is_open(coord.row)
-            bank.prepare_column(
-                coord.row, self._bus_free_ns, timings, entry.request.is_write
-            )
-            if opening:
-                self._apply_act_constraints(bank)
+            self._prepare(bank, coord, entry.request.is_write)
             entry.prepared = True
 
     def _pick(self) -> int:
@@ -197,30 +234,32 @@ class ChannelScheduler:
         bank = self._bank_of(request)
 
         if self.model_refresh and self._bus_free_ns >= self._next_refresh_ns:
-            # all-bank refresh: every bank stalls for tRFC
+            # all-bank refresh: every bank is precharged (open rows are
+            # lost — re-accessing them costs a fresh ACT) and stalls tRFC
             stall_end = self._next_refresh_ns + timings.tRFC
             for state in self.banks.values():
+                state.close_all()
                 state.next_act_ns = max(state.next_act_ns, stall_end)
                 state.next_col_ns = max(state.next_col_ns, stall_end)
+            if self.command_log is not None:
+                self.command_log.append(
+                    DramCommand(
+                        op="REF",
+                        channel=self.channel,
+                        rank=-1,
+                        bank=-1,
+                        time_ns=self._next_refresh_ns,
+                    )
+                )
             self._bus_free_ns = max(self._bus_free_ns, stall_end)
             self._next_refresh_ns += timings.tREFI
 
-        if not entry.prepared:
+        if not entry.prepared or not bank.is_open(coord.row):
             # Unprepared entries reach here either as row hits (counted by
             # prepare_column) or after a background prepare closed their
-            # row (counted as the conflict they now are).
-            opening = not bank.is_open(coord.row)
-            bank.prepare_column(
-                coord.row, self._bus_free_ns, timings, request.is_write
-            )
-            if opening:
-                self._apply_act_constraints(bank)
-        elif not bank.is_open(coord.row):
-            # Defensive: a prepared entry whose row was closed anyway.
-            bank.prepare_column(
-                coord.row, self._bus_free_ns, timings, request.is_write
-            )
-            self._apply_act_constraints(bank)
+            # row (counted as the conflict they now are); a *prepared*
+            # entry whose row was closed anyway is re-prepared defensively.
+            self._prepare(bank, coord, request.is_write)
 
         ready = max(bank.next_col_ns, request.arrival_ns)
         if request.uses_bus:
@@ -233,6 +272,19 @@ class ChannelScheduler:
             # PIM MAC: bank-internal data movement, no bus arbitration.
             issue = ready
         bank.note_column(issue, timings, request.is_write, self._burst_ns)
+        if self.command_log is not None:
+            self.command_log.append(
+                DramCommand(
+                    op="WR" if request.is_write else "RD",
+                    channel=self.channel,
+                    rank=coord.rank,
+                    bank=coord.bank,
+                    row=coord.row,
+                    col=coord.col,
+                    time_ns=issue,
+                    tag=request.tag,
+                )
+            )
 
         latency = timings.tCWL if request.is_write else timings.tCL
         data_end = issue + latency + self._burst_ns

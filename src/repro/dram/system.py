@@ -20,7 +20,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.dram.address import DramCoord, Field
-from repro.dram.command import Request
+from repro.dram.command import DramCommand, Request
 from repro.dram.config import DramConfig
 from repro.dram.scheduler import ChannelScheduler, ChannelStats
 
@@ -89,12 +89,17 @@ class DramTimingSimulator:
         n_row_buffers: int = 1,
         priority_tag: Optional[str] = None,
         model_refresh: bool = False,
+        log_commands: bool = False,
     ):
         self.config = config
         self.window = window
         self.n_row_buffers = n_row_buffers
         self.priority_tag = priority_tag
         self.model_refresh = model_refresh
+        self.log_commands = log_commands
+        #: per-channel device-command logs of the most recent :meth:`run`
+        #: (populated only when ``log_commands`` is True)
+        self.command_logs: Dict[int, List[DramCommand]] = {}
 
     def run(self, requests: Iterable[Request]) -> SimResult:
         """Serve *requests* (arrival order = stream order) to completion."""
@@ -112,14 +117,18 @@ class DramTimingSimulator:
                     self.n_row_buffers,
                     self.priority_tag,
                     self.model_refresh,
+                    self.log_commands,
                 )
                 schedulers[channel] = sched
             sched.enqueue(request)
             n_requests += 1
         total = 0.0
+        self.command_logs = {}
         for sched in schedulers.values():
             total = max(total, sched.drain())
             sched.collect_bank_stats()
+            if sched.command_log is not None:
+                self.command_logs[sched.channel] = sched.command_log
         per_channel = {ch: s.stats for ch, s in schedulers.items()}
         per_tag: Dict[str, Tuple[int, float, float]] = {}
         for sched in schedulers.values():

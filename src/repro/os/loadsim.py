@@ -144,7 +144,8 @@ def build_fragmented_arena(
             high = mid - 1
         if low > high:
             break
-    assert best is not None
+    if best is None:
+        raise RuntimeError("fragmentation search produced no candidate arena")
     return best
 
 

@@ -199,7 +199,8 @@ def run_campaign(
     data_rng = np.random.default_rng(spec.seed)
 
     report = ReliabilityReport(spec=spec)
-    assert system.ecc is not None
+    if system.ecc is None:
+        raise ValueError("reliability campaign requires an ECC-enabled system")
     ecc = system.ecc
     table = system.controller.table
     tlb = system.space.mmu.tlb

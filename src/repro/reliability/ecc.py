@@ -49,7 +49,8 @@ WORD_BYTES = 8
 # position 2**k; data bits occupy the 64 non-power-of-two positions in
 # [1, 72); "position 0" is the overall-parity bit (stored as check bit 7).
 _DATA_POSITIONS = tuple(p for p in range(1, 72) if p & (p - 1))
-assert len(_DATA_POSITIONS) == 64
+if len(_DATA_POSITIONS) != 64:  # arithmetic invariant of (72, 64) Hamming
+    raise AssertionError("extended-Hamming data positions must number 64")
 
 _MASKS = np.array(
     [
@@ -120,7 +121,9 @@ def secded_decode(
     check = np.asarray(check, dtype=np.uint8).copy()
     syndrome = np.zeros(data.shape, dtype=np.uint8)
     for k in range(7):
-        syndrome |= (_parity64(data & _MASKS[k]) ^ ((check >> np.uint8(k)) & 1)) << np.uint8(k)
+        syndrome |= (
+            _parity64(data & _MASKS[k]) ^ ((check >> np.uint8(k)) & np.uint8(1))
+        ) << np.uint8(k)
     overall = _parity64(data) ^ _parity8(check)
 
     databit = _SYN_TO_DATABIT[syndrome]

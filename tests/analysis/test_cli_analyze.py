@@ -1,0 +1,49 @@
+"""The ``repro-facil analyze`` subcommand: formats, pass selection, and
+exit codes (zero on clean, nonzero on findings)."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestAnalyzeCommand:
+    def test_repolint_pass_exits_zero(self, capsys):
+        assert main(["analyze", "--pass", "repolint"]) == 0
+        out = capsys.readouterr().out
+        assert "repolint" in out and "PASS" in out
+
+    def test_json_format_is_sarif(self, capsys):
+        assert main(["analyze", "--pass", "repolint",
+                     "--format", "json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["version"] == "2.1.0"
+        assert doc["runs"][0]["tool"]["driver"]["name"] == (
+            "repro-facil-analyze"
+        )
+
+    def test_seeded_bad_trace_exits_nonzero(self, tmp_path, capsys):
+        bad = tmp_path / "bad.txt"
+        bad.write_text(
+            "# channel rank bank row col R/W [tag]\n"
+            "0 0 99 5 0 R\n"
+        )
+        with pytest.raises(SystemExit) as excinfo:
+            main(["analyze", "--pass", "tracelint", "--trace", str(bad)])
+        assert excinfo.value.code == 1
+        assert "TL004" in capsys.readouterr().out
+
+    def test_waive_turns_failure_into_pass(self, tmp_path, capsys):
+        bad = tmp_path / "bad.txt"
+        bad.write_text("0 0 99 5 0 R\n")
+        assert main([
+            "analyze", "--pass", "tracelint", "--trace", str(bad),
+            "--waive", "TL004",
+        ]) == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_mapverify_pass_clean(self, capsys):
+        assert main(["analyze", "--pass", "mapverify"]) == 0
+        out = capsys.readouterr().out
+        assert "mapverify" in out and "PASS" in out

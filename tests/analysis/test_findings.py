@@ -1,0 +1,72 @@
+"""Finding/report plumbing: validation, rendering, SARIF, waivers."""
+
+import json
+
+import pytest
+
+from repro.analysis.findings import (
+    LEVEL_ERROR,
+    LEVEL_WARNING,
+    RULES,
+    AnalysisReport,
+    Finding,
+    register_rules,
+)
+
+register_rules({"XX001": "test rule", "XX002": "another test rule"})
+
+
+class TestFinding:
+    def test_rejects_unknown_level(self):
+        with pytest.raises(ValueError, match="level"):
+            Finding("XX001", "fatal", "boom")
+
+    def test_rejects_unregistered_rule(self):
+        with pytest.raises(ValueError, match="unregistered"):
+            Finding("ZZ999", LEVEL_ERROR, "boom")
+
+    def test_render_includes_location_and_detail(self):
+        f = Finding("XX001", LEVEL_ERROR, "msg", location="a.py:3",
+                    detail="ctx")
+        text = f.render()
+        assert "XX001" in text and "a.py:3" in text and "ctx" in text
+
+    def test_register_collision_rejected(self):
+        with pytest.raises(ValueError, match="registered twice"):
+            register_rules({"XX001": "different text"})
+
+
+class TestReport:
+    def test_ok_depends_on_errors_only(self):
+        report = AnalysisReport()
+        report.extend("p", [Finding("XX001", LEVEL_WARNING, "w")], 1)
+        assert report.ok
+        report.extend("p", [Finding("XX002", LEVEL_ERROR, "e")], 1)
+        assert not report.ok
+        assert len(report.errors) == 1
+
+    def test_waive_drops_rule(self):
+        report = AnalysisReport()
+        report.extend("p", [Finding("XX001", LEVEL_ERROR, "e")], 1)
+        report.waive(["XX001"])
+        assert report.ok
+
+    def test_text_render_has_verdict(self):
+        report = AnalysisReport()
+        report.extend("p", [], 3)
+        report.skip("q", "tool missing")
+        text = report.render_text()
+        assert "PASS" in text and "skipped: tool missing" in text
+
+    def test_sarif_shape(self):
+        report = AnalysisReport()
+        report.extend("p", [Finding("XX001", LEVEL_ERROR, "e",
+                                    location="x")], 1)
+        doc = json.loads(report.render_json())
+        assert doc["version"] == "2.1.0"
+        run = doc["runs"][0]
+        assert run["tool"]["driver"]["name"] == "repro-facil-analyze"
+        assert run["results"][0]["ruleId"] == "XX001"
+        rule_ids = [r["id"] for r in run["tool"]["driver"]["rules"]]
+        assert rule_ids == ["XX001"]
+        assert RULES["XX001"] == "test rule"

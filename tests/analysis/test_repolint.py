@@ -1,0 +1,80 @@
+"""Repo lint rules: each RL rule on synthetic sources, waivers, and the
+live tree staying clean."""
+
+from repro.analysis.repolint import lint_source, lint_tree
+
+
+def _rule_ids(findings):
+    return sorted({f.rule_id for f in findings})
+
+
+class TestRl001BareAssert:
+    def test_fires_in_library_code(self):
+        findings = lint_source("assert x > 0\n", "repro/core/thing.py")
+        assert _rule_ids(findings) == ["RL001"]
+
+    def test_waiver_suppresses(self):
+        source = "assert x > 0  # lint: waive[RL001]\n"
+        assert lint_source(source, "repro/core/thing.py") == []
+
+
+class TestRl002BitProbe:
+    def test_fires_outside_bitfield(self):
+        findings = lint_source("y = (x >> 3) & 1\n", "repro/dram/x.py")
+        assert _rule_ids(findings) == ["RL002"]
+
+    def test_reversed_operands(self):
+        findings = lint_source("y = 1 & (x >> k)\n", "repro/dram/x.py")
+        assert _rule_ids(findings) == ["RL002"]
+
+    def test_allowed_in_bitfield_module(self):
+        assert lint_source("y = (x >> 3) & 1\n",
+                           "repro/core/bitfield.py") == []
+
+    def test_dtype_stable_mask_allowed(self):
+        source = "y = (x >> np.uint8(3)) & np.uint8(1)\n"
+        assert lint_source(source, "repro/dram/x.py") == []
+
+    def test_wide_mask_allowed(self):
+        assert lint_source("y = (x >> 3) & 0xFF\n", "repro/dram/x.py") == []
+
+
+class TestRl003FrozenDataclass:
+    SOURCE = (
+        "from dataclasses import dataclass\n"
+        "@dataclass\n"
+        "class M:\n"
+        "    x: int\n"
+    )
+
+    def test_fires_in_mapping_module(self):
+        findings = lint_source(self.SOURCE, "repro/core/mapping.py")
+        assert _rule_ids(findings) == ["RL003"]
+
+    def test_frozen_ok(self):
+        source = self.SOURCE.replace("@dataclass", "@dataclass(frozen=True)")
+        assert lint_source(source, "repro/core/mapping.py") == []
+
+    def test_other_modules_unconstrained(self):
+        assert lint_source(self.SOURCE, "repro/engine/runner.py") == []
+
+
+class TestRl004Print:
+    def test_fires_in_library_code(self):
+        findings = lint_source("print('hi')\n", "repro/core/mapping.py")
+        assert _rule_ids(findings) == ["RL004"]
+
+    def test_allowed_in_cli(self):
+        assert lint_source("print('hi')\n", "repro/cli.py") == []
+
+
+class TestLiveTree:
+    def test_src_tree_is_clean(self):
+        findings, checked = lint_tree()
+        assert checked > 50  # the whole package was scanned
+        assert findings == [], [f.render() for f in findings]
+
+    def test_syntax_error_reported_not_raised(self):
+        findings = lint_source("def broken(:\n", "repro/core/x.py")
+        assert len(findings) == 1
+        assert "does not parse" in findings[0].message

@@ -1,0 +1,179 @@
+"""Trace linter: the simulator's own command log must lint clean, and
+each TL rule must fire on its seeded violation."""
+
+import random
+
+import pytest
+
+from repro.analysis.tracelint import (
+    lint_commands,
+    lint_requests,
+    lint_trace_file,
+)
+from repro.dram.address import DramCoord
+from repro.dram.command import DramCommand, Request
+from repro.dram.config import (
+    TINY_ORG,
+    DramConfig,
+    LPDDR5_6400_TIMINGS,
+)
+from repro.dram.scheduler import ChannelScheduler
+from repro.dram.trace import save_trace
+
+
+def _rule_ids(findings):
+    return sorted({f.rule_id for f in findings})
+
+
+def _run_workload(n_row_buffers=1, model_refresh=False, n=600, seed=11):
+    config = DramConfig(TINY_ORG, LPDDR5_6400_TIMINGS)
+    scheduler = ChannelScheduler(
+        config, channel=0, n_row_buffers=n_row_buffers,
+        model_refresh=model_refresh, log_commands=True,
+    )
+    rng = random.Random(seed)
+    for index in range(n):
+        coord = DramCoord(
+            channel=0, rank=0,
+            bank=rng.randrange(TINY_ORG.banks_per_rank),
+            row=rng.randrange(128),
+            col=rng.randrange(TINY_ORG.cols_per_row),
+        )
+        scheduler.enqueue(Request(coord=coord, is_write=index % 4 == 0))
+    scheduler.drain()
+    return scheduler.command_log
+
+
+class TestSimulatorProtocol:
+    @pytest.mark.parametrize("n_row_buffers", [1, 2])
+    @pytest.mark.parametrize("model_refresh", [False, True])
+    def test_scheduler_log_lints_clean(self, n_row_buffers, model_refresh):
+        log = _run_workload(n_row_buffers, model_refresh)
+        assert log  # commands were recorded
+        findings = lint_commands(log, TINY_ORG, n_row_buffers=n_row_buffers)
+        assert findings == []
+
+    def test_refresh_emits_ref_and_closes_rows(self):
+        """Regression: all-bank refresh must precharge every row buffer
+        (the linter caught the scheduler leaving rows open across REF)."""
+        log = _run_workload(model_refresh=True)
+        ref_indices = [i for i, c in enumerate(log) if c.op == "REF"]
+        assert ref_indices
+        first_ref = ref_indices[0]
+        reopened = [
+            c for c in log[first_ref + 1:]
+            if c.op == "ACT"
+        ]
+        assert reopened  # traffic after refresh had to re-activate
+
+
+class TestCommandRules:
+    def _cmd(self, op, bank=0, row=0, col=0, t=0.0):
+        return DramCommand(op=op, channel=0, rank=0, bank=bank,
+                           row=row, col=col, time_ns=t)
+
+    def test_act_overflow_tl001(self):
+        cmds = [self._cmd("ACT", row=1), self._cmd("ACT", row=2, t=1)]
+        assert _rule_ids(lint_commands(cmds, TINY_ORG)) == ["TL001"]
+
+    def test_pre_nothing_open_tl002(self):
+        cmds = [self._cmd("PRE", row=3)]
+        assert _rule_ids(lint_commands(cmds, TINY_ORG)) == ["TL002"]
+
+    def test_column_to_closed_row_tl003(self):
+        cmds = [self._cmd("ACT", row=1), self._cmd("RD", row=2, t=1)]
+        assert _rule_ids(lint_commands(cmds, TINY_ORG)) == ["TL003"]
+
+    def test_out_of_range_tl004(self):
+        cmds = [self._cmd("ACT", bank=99, row=1)]
+        assert _rule_ids(lint_commands(cmds, TINY_ORG)) == ["TL004"]
+
+    def test_time_backwards_tl007(self):
+        cmds = [
+            self._cmd("ACT", row=1, t=10.0),
+            self._cmd("RD", row=1, t=5.0),
+        ]
+        assert _rule_ids(lint_commands(cmds, TINY_ORG)) == ["TL007"]
+
+    def test_redundant_act_tl008_is_warning(self):
+        cmds = [self._cmd("ACT", row=1), self._cmd("ACT", row=1, t=1)]
+        findings = lint_commands(cmds, TINY_ORG)
+        assert _rule_ids(findings) == ["TL008"]
+        assert all(f.level == "warning" for f in findings)
+
+    def test_ref_closes_rows_in_model(self):
+        cmds = [
+            self._cmd("ACT", row=1),
+            DramCommand(op="REF", channel=0, rank=-1, bank=-1, time_ns=1.0),
+            self._cmd("RD", row=1, t=2.0),  # row lost to refresh
+        ]
+        assert "TL003" in _rule_ids(lint_commands(cmds, TINY_ORG))
+
+    def test_finding_cap(self):
+        cmds = [self._cmd("PRE", row=i, t=float(i)) for i in range(40)]
+        findings = lint_commands(cmds, TINY_ORG)
+        # 16 findings + 1 suppression note
+        assert len(findings) == 17
+
+
+class TestRequestRules:
+    def _req(self, row, col=0, write=False, tag=""):
+        return Request(
+            coord=DramCoord(0, 0, 0, row, col), is_write=write, tag=tag
+        )
+
+    def test_read_never_written_tl005_warning(self):
+        findings = lint_requests([self._req(7)], TINY_ORG)
+        assert _rule_ids(findings) == ["TL005"]
+        assert findings[0].level == "warning"
+
+    def test_read_never_written_tl005_error_when_required(self):
+        findings = lint_requests(
+            [self._req(7)], TINY_ORG, require_writes=True
+        )
+        assert findings[0].level == "error"
+
+    def test_written_row_reads_clean(self):
+        reqs = [self._req(7, write=True), self._req(7)]
+        assert lint_requests(reqs, TINY_ORG) == []
+
+    def test_scrub_reentry_tl006(self):
+        reqs = [
+            self._req(1, write=True), self._req(2, write=True),
+            self._req(1, tag="scrub"),
+            self._req(2, tag="scrub"),
+            self._req(1, tag="scrub"),  # back to a finished row
+        ]
+        assert "TL006" in _rule_ids(lint_requests(reqs, TINY_ORG))
+
+    def test_scrub_same_row_burst_ok(self):
+        # Multiple scrub reads of the same row back-to-back are one
+        # visit, not reentrancy (a row is scrubbed word by word).
+        reqs = [
+            self._req(1, col=0, tag="scrub"),
+            self._req(1, col=1, tag="scrub"),
+            self._req(2, col=0, tag="scrub"),
+        ]
+        findings = lint_requests(reqs, TINY_ORG)
+        assert "TL006" not in _rule_ids(findings)
+
+
+class TestTraceFile:
+    def test_roundtrip_and_lint(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        reqs = [
+            Request(coord=DramCoord(0, 0, 0, 5, 0), is_write=True),
+            Request(coord=DramCoord(0, 0, 0, 5, 1)),
+        ]
+        save_trace(reqs, str(path))
+        assert lint_trace_file(str(path), TINY_ORG) == []
+
+    def test_seeded_bad_trace_found(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text(
+            "# channel rank bank row col R/W [tag]\n"
+            "0 0 0 5 0 W\n"
+            "0 0 99 5 0 R\n"
+        )
+        findings = lint_trace_file(str(path), TINY_ORG)
+        assert "TL004" in _rule_ids(findings)

@@ -29,12 +29,32 @@ class TestSmallChunks:
         # one true row bit between the leftover col bit and the PU bits
         assert mapping.positions(Field.ROW)[0] == 11
 
-    def test_map_id_smaller_than_leftover_rejected(self):
-        with pytest.raises(ValueError, match="leftover"):
-            pim_optimized_mapping(
-                ORG, chunk_rows=1, chunk_cols=512, dtype_bytes=2,
-                map_id=0, n_bits=21,
-            )
+    def test_map_id_smaller_than_leftover_spills_above_pu_bits(self):
+        # Regression: this used to raise "map_id=0 smaller than leftover
+        # column bits" even though the selector legitimately picks
+        # map_id=0 for matrix rows no larger than one chunk.  The surplus
+        # column bits now sit above the PU bits instead.
+        mapping = pim_optimized_mapping(
+            ORG, chunk_rows=1, chunk_cols=512, dtype_bytes=2,
+            map_id=0, n_bits=21,
+        )
+        col = mapping.positions(Field.COL)
+        # 5 chunk-col bits right after the offset...
+        assert col[:5] == tuple(range(5, 10))
+        # ...the PU bits directly above the chunk, and the leftover
+        # column bit above them.
+        bank = mapping.positions(Field.BANK)
+        assert min(bank) == 10
+        assert col[5] > max(mapping.positions(Field.CHANNEL))
+        # still a bijection
+        for pa in (0, 54321, (1 << 21) - 1):
+            assert mapping.encode(mapping.decode(pa)) == pa
+        # a chunk row (1 KB) stays inside one bank
+        pus = {
+            (c.channel, c.rank, c.bank)
+            for c in (mapping.decode(pa) for pa in range(0, 1024, 32))
+        }
+        assert len(pus) == 1
 
     def test_quarter_row_chunk(self):
         mapping = pim_optimized_mapping(

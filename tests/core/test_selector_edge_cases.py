@@ -1,0 +1,116 @@
+"""Selector boundaries: Fig. 10 partitioning exactly at the per-bank
+share, and matrices smaller than one chunk (regression for the
+map_id-below-leftover defect the static verifier surfaced)."""
+
+import pytest
+
+from repro.core.mapping import Field
+from repro.core.selector import (
+    MatrixConfig,
+    build_selected_mapping,
+    pu_order_for,
+    select_mapping,
+)
+from repro.dram.config import lpddr5_organization
+from repro.pim.config import AIM_LPDDR5
+
+ORG = lpddr5_organization(256, 64)
+HP = 2 << 20
+PER_BANK = HP // ORG.total_banks
+
+
+class TestPartitionBoundary:
+    """One matrix row vs. the bank's share of a huge page (Fig. 10)."""
+
+    def _select(self, cols):
+        return select_mapping(
+            MatrixConfig(rows=64, cols=cols), ORG, AIM_LPDDR5, HP
+        )
+
+    def test_row_exactly_filling_share_not_partitioned(self):
+        cols = PER_BANK // 2  # fp16: row bytes == per-bank share
+        selection = self._select(cols)
+        assert not selection.needs_partition
+        assert selection.partitions_per_row == 1
+        assert selection.padded_row_bytes == PER_BANK
+        assert pu_order_for(selection)[0] == Field.BANK
+
+    def test_one_element_over_partitions(self):
+        cols = PER_BANK // 2 + 1  # pads to 2x the share
+        selection = self._select(cols)
+        assert selection.needs_partition
+        assert selection.partitions_per_row == 2
+        # Partitioned rows keep the maximal MapID: the PU bits sit at
+        # the page MSB so each partition fills its bank contiguously.
+        boundary = self._select(PER_BANK // 2)
+        assert selection.map_id == boundary.map_id
+        # and partitions spread across channels first
+        assert pu_order_for(selection)[0] == Field.CHANNEL
+
+    def test_partitioned_mapping_buildable_and_channel_first(self):
+        cols = PER_BANK  # 2x over: 2 partitions
+        matrix = MatrixConfig(rows=64, cols=cols)
+        mapping = select_and_build(matrix)
+        # partitioned placement flips the PU order: channel bits sit
+        # below the bank bits so partitions spread across channels
+        channel = mapping.positions(Field.CHANNEL)
+        bank = mapping.positions(Field.BANK)
+        assert max(channel) < min(bank)
+        # adjacent partitions of one row land in different channels:
+        # the first PA bit above a bank's page share flips the channel
+        selection = select_mapping(matrix, ORG, AIM_LPDDR5, HP)
+        a = mapping.decode(0)
+        b = mapping.decode(selection.bytes_per_bank_per_page)
+        assert a.channel != b.channel
+
+    def test_page_wide_row_spans_pages(self):
+        # A row wider than a whole huge page is spread over more PUs
+        # than one page holds — it spans huge pages, each bank keeping
+        # its per-page share.
+        selection = self._select(HP)  # fp16: 4 MB row in 2 MB pages
+        assert selection.needs_partition
+        assert selection.partitions_per_row > ORG.total_banks
+        assert (
+            selection.partitions_per_row * selection.bytes_per_bank_per_page
+            == selection.padded_row_bytes
+        )
+
+
+def select_and_build(matrix):
+    return build_selected_mapping(matrix, ORG, AIM_LPDDR5, HP)
+
+
+class TestSubChunkMatrices:
+    """Matrices narrower than one chunk pad up to it and use MapID 0."""
+
+    def test_tiny_matrix_selects_map_id_zero(self):
+        selection = select_mapping(
+            MatrixConfig(rows=1, cols=64), ORG, AIM_LPDDR5, HP
+        )
+        assert selection.map_id == 0
+        assert selection.padded_row_bytes == AIM_LPDDR5.chunk_row_bytes
+
+    def test_sub_chunk_mapping_builds(self):
+        # Regression: the builder used to reject map_id=0 whenever the
+        # chunk left leftover column bits; the selector legitimately
+        # picks 0 for sub-chunk rows.
+        mapping = select_and_build(MatrixConfig(rows=1, cols=64))
+        for pa in (0, 12345, HP - 1):
+            assert mapping.encode(mapping.decode(pa)) == pa
+
+    def test_sub_chunk_row_stays_in_one_pu(self):
+        mapping = select_and_build(MatrixConfig(rows=1, cols=64))
+        pus = {
+            (c.channel, c.rank, c.bank)
+            for c in (
+                mapping.decode(pa)
+                for pa in range(0, AIM_LPDDR5.chunk_row_bytes,
+                                ORG.transfer_bytes)
+            )
+        }
+        assert len(pus) == 1
+
+    @pytest.mark.parametrize("cols", [1, 33, 64, 100, 512, 1023])
+    def test_all_sub_chunk_widths_build(self, cols):
+        mapping = select_and_build(MatrixConfig(rows=8, cols=cols))
+        assert mapping.encode(mapping.decode(0x1234)) == 0x1234

@@ -88,9 +88,11 @@ class TestSampling:
 
 class TestRefreshModeling:
     def test_refresh_costs_duty_cycle(self, controller):
-        """With all-bank refresh on, bandwidth drops by roughly the
-        tRFC/tREFI duty cycle.  An exaggerated duty cycle (10 %) makes
-        the effect visible on a short sample."""
+        """With all-bank refresh on, bandwidth drops by the tRFC/tREFI
+        duty cycle *plus* the cost of re-opening the rows the refresh
+        precharged.  An exaggerated duty cycle (10 %) makes the effect
+        visible on a short sample — and amplifies the re-open cost, so
+        the lower bound is loose."""
         from dataclasses import replace as dc_replace
 
         timings = dc_replace(LPDDR5_6400_TIMINGS, tREFI=500.0, tRFC=50.0)
@@ -102,5 +104,5 @@ class TestRefreshModeling:
         refreshed = DramTimingSimulator(
             config, model_refresh=True
         ).measure_bandwidth(fields, sample_transfers=16384)
-        assert refreshed < 0.99 * base
-        assert refreshed > 0.80 * base
+        assert refreshed < 0.95 * base
+        assert refreshed > 0.55 * base
