@@ -14,12 +14,18 @@ linters don't know:
   static proof about it.
 * ``RL004`` — no ``print()`` outside the CLI: library code reports
   through return values and findings, not stdout.
+* ``RL005`` — no module-level randomness in ``src/``: calls through the
+  global ``random.*`` state (or numpy's legacy ``np.random.*``) make
+  runs irreproducible.  Construct a seeded generator instead
+  (``random.Random(seed)`` / ``np.random.default_rng(seed)``) and pass
+  it down — the discipline every campaign and the serving runtime
+  follow.
 
 A violation can be waived in place with a trailing comment::
 
     assert invariant  # lint: waive[RL001] -- benchmark-only helper
 
-Rule IDs are ``RL001``-``RL004``; see ``docs/ANALYSIS.md``.
+Rule IDs are ``RL001``-``RL005``; see ``docs/ANALYSIS.md``.
 """
 
 from __future__ import annotations
@@ -44,6 +50,8 @@ REPOLINT_RULES: Dict[str, str] = {
     "RL002": "raw single-bit twiddling outside repro.core.bitfield",
     "RL003": "mapping/config dataclass is not frozen",
     "RL004": "print() outside the CLI module",
+    "RL005": "module-level randomness (global random.* / np.random.*) "
+             "instead of an injected seeded generator",
 }
 register_rules(REPOLINT_RULES)
 
@@ -64,6 +72,10 @@ BITFIELD_MODULES = ("repro/core/bitfield.py",)
 
 #: Modules allowed to print (RL004).
 PRINT_MODULES = ("repro/cli.py",)
+
+#: random-module attributes that *construct* generators (fine) rather
+#: than draw from hidden global state (RL005)
+_RANDOM_CONSTRUCTORS = ("Random", "SystemRandom")
 
 _WAIVE_RE = re.compile(r"#\s*lint:\s*waive\[([A-Z]{2}\d{3}(?:\s*,\s*[A-Z]{2}\d{3})*)\]")
 
@@ -96,6 +108,30 @@ def _is_bit_probe(node: ast.BinOp) -> bool:
         ):
             return True
     return False
+
+
+def _global_random_call(node: ast.Call) -> str:
+    """Return a description when *node* draws from hidden global random
+    state — ``random.<fn>(...)`` (except generator constructors) or
+    numpy's legacy ``np.random.<fn>(...)`` (except ``default_rng``) —
+    else the empty string."""
+    func = node.func
+    if not isinstance(func, ast.Attribute):
+        return ""
+    owner = func.value
+    if isinstance(owner, ast.Name) and owner.id == "random":
+        if func.attr in _RANDOM_CONSTRUCTORS:
+            return ""
+        return f"random.{func.attr}()"
+    if (
+        isinstance(owner, ast.Attribute)
+        and owner.attr == "random"
+        and isinstance(owner.value, ast.Name)
+        and owner.value.id in ("np", "numpy")
+        and func.attr != "default_rng"
+    ):
+        return f"{owner.value.id}.random.{func.attr}()"
+    return ""
 
 
 def _dataclass_frozen(decorator: ast.expr) -> Tuple[bool, bool]:
@@ -167,10 +203,20 @@ def lint_source(source: str, rel_path: str) -> List[Finding]:
                         "must be frozen=True",
                         node,
                     )
-        elif isinstance(node, ast.Call) and posix not in PRINT_MODULES:
-            func = node.func
-            if isinstance(func, ast.Name) and func.id == "print":
-                emit("RL004", "print() in library code", node)
+        elif isinstance(node, ast.Call):
+            if posix not in PRINT_MODULES:
+                func = node.func
+                if isinstance(func, ast.Name) and func.id == "print":
+                    emit("RL004", "print() in library code", node)
+            drawn = _global_random_call(node)
+            if drawn:
+                emit(
+                    "RL005",
+                    f"{drawn} draws from hidden global state; construct "
+                    "a seeded generator (random.Random(seed) / "
+                    "np.random.default_rng(seed)) and pass it down",
+                    node,
+                )
     return findings
 
 

@@ -8,7 +8,11 @@ Subcommands::
     repro-facil sweep                             # Fig. 13 TTFT series
     repro-facil dataset  --dataset alpaca-like    # Figs. 15/16 trace
     repro-facil chaos    --flip-rate 2.0 --seed 7 # reliability campaign
+    repro-facil serve    --duration-ms 60000      # serving runtime + SLO report
     repro-facil analyze  --format json            # static analysis gate
+
+``chaos`` and ``serve`` write machine-readable JSON reports under
+``benchmarks/results/`` and exit nonzero when any query went unserved.
 
 All commands take ``--platform`` (default ``jetson-agx-orin``).  Install
 exposes the ``repro-facil`` script; the module also runs directly as
@@ -125,9 +129,19 @@ def _cmd_dataset(args: argparse.Namespace) -> None:
     )
 
 
+def _results_path(name: str) -> "Path":
+    from pathlib import Path
+
+    results = Path(__file__).resolve().parents[2] / "benchmarks" / "results"
+    results.mkdir(parents=True, exist_ok=True)
+    return results / name
+
+
 def _cmd_chaos(args: argparse.Namespace) -> None:
     # Lazy import: the reliability layer is optional machinery the other
     # subcommands never need.
+    import json
+
     from repro.reliability import CampaignSpec, ResilientEngine, run_campaign
 
     platform = _platform_by_name(args.platform)
@@ -149,8 +163,92 @@ def _cmd_chaos(args: argparse.Namespace) -> None:
     report = run_campaign(spec, engine=engine)
     print(f"platform        : {platform.name} / {engine.engine.model.name}")
     print(report.render())
+    payload = {"campaign": report.to_dict()}
+    if args.crash_injections:
+        from repro.serving.crashes import run_crash_campaign
+
+        crash = run_crash_campaign(n_injections=args.crash_injections, seed=args.seed)
+        print()
+        print(crash.render())
+        payload["crash"] = crash.to_dict()
+    out = args.out if args.out else _results_path(f"chaos_seed{args.seed}.json")
+    with open(out, "w") as handle:
+        handle.write(json.dumps(payload, indent=2) + "\n")
+    print(f"\nreport written to {out}")
     if report.silent:
         raise SystemExit(f"{report.silent} silent corruption(s) escaped")
+    if report.aborted:
+        raise SystemExit(f"{report.aborted} query(ies) went unserved")
+    if args.crash_injections and not payload["crash"]["ok"]:
+        raise SystemExit("crash-recovery campaign failed its audit")
+
+
+def _cmd_serve(args: argparse.Namespace) -> None:
+    # Lazy import: the serving layer pulls in the reliability stack.
+    from repro.serving import (
+        ServingConfig,
+        ServingRuntime,
+        TenantSpec,
+        poisson_workload,
+        sustainable_qps,
+    )
+
+    platform = _platform_by_name(args.platform)
+    engine = InferenceEngine(platform)
+    spec = _DATASETS.get(args.dataset)
+    if spec is None:
+        raise SystemExit(
+            f"unknown dataset {args.dataset!r}; known: {sorted(_DATASETS)}"
+        )
+    probe = TenantSpec(
+        name="probe", dataset=spec, policy=args.policy,
+        deadline_ms=args.deadline_ms,
+    )
+    capacity_qps = sustainable_qps(engine, probe, seed=args.seed)
+    qps = args.qps if args.qps is not None else args.load * capacity_qps
+    tenant = TenantSpec(
+        name=spec.name, dataset=spec, policy=args.policy, qps=qps,
+        deadline_ms=args.deadline_ms,
+    )
+    requests = poisson_workload([tenant], duration_ms=args.duration_ms, seed=args.seed)
+    # Brown-out watermarks scale with the platform: saturation means a
+    # few mean decode phases queued, whatever those cost here.
+    import random as _random
+
+    from repro.engine.policies import decode_on_pim
+
+    probe_rng = _random.Random(args.seed)
+    on_pim = decode_on_pim(args.policy)
+    decode_works = [
+        engine.decode_total_ns(t.prefill_tokens, t.decode_tokens, on_pim)
+        for t in (spec.sample_one(probe_rng) for _ in range(50))
+    ]
+    mean_decode_ns = sum(decode_works) / len(decode_works)
+    config = ServingConfig(
+        seed=args.seed,
+        queue_capacity=args.capacity,
+        shed_policy=args.shed,
+        max_retries=args.max_retries,
+        jitter=args.jitter,
+        pim_fault_rate=args.pim_fault_rate,
+        mapping_fault_rate=args.mapping_fault_rate,
+        brownout_high_ns=4.0 * mean_decode_ns,
+        brownout_low_ns=1.0 * mean_decode_ns,
+    )
+    report = ServingRuntime(engine, config).run(requests)
+    print(f"platform        : {platform.name} / {engine.model.name}")
+    print(f"sustainable     : {capacity_qps:.2f} qps; offered {qps:.2f} qps "
+          f"({qps / capacity_qps:.2f}x)")
+    print(report.render())
+    out = args.out if args.out else _results_path(f"serve_seed{args.seed}.json")
+    with open(out, "w") as handle:
+        handle.write(report.to_json() + "\n")
+    print(f"\nreport written to {out}")
+    if report.unserved:
+        raise SystemExit(
+            f"{report.unserved} admitted query(ies) went unserved "
+            f"({report.timed_out} timed-out, {report.aborted} aborted)"
+        )
 
 
 def _cmd_analyze(args: argparse.Namespace) -> None:
@@ -233,6 +331,40 @@ def build_parser() -> argparse.ArgumentParser:
                        help="P(injected allocation failure) per query")
     chaos.add_argument("--pu-fail-at", type=int, default=None,
                        help="query index at which one PIM unit fails for good")
+    chaos.add_argument("--crash-injections", type=int, default=0,
+                       help="also run N crash injections through the MapID "
+                       "journal and merge the audit into the report")
+    chaos.add_argument("--out", default=None, metavar="PATH",
+                       help="JSON report path (default: benchmarks/results/)")
+
+    serve = sub.add_parser(
+        "serve", help="serving runtime: multi-tenant stream with SLO report"
+    )
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--dataset", default=ALPACA_LIKE.name,
+                       help=f"one of {sorted(_DATASETS)}")
+    serve.add_argument("--policy", choices=POLICIES, default="facil")
+    serve.add_argument("--duration-ms", type=float, default=60_000.0)
+    serve.add_argument("--qps", type=float, default=None,
+                       help="arrival rate; default: --load x sustainable rate")
+    serve.add_argument("--load", type=float, default=0.5,
+                       help="arrival rate as a fraction of sustainable "
+                       "(ignored with --qps)")
+    serve.add_argument("--deadline-ms", type=float, default=10_000.0,
+                       help="per-request TTFT budget")
+    serve.add_argument("--capacity", type=int, default=8,
+                       help="admission queue bound")
+    serve.add_argument("--shed", choices=("reject", "degrade", "drop-oldest"),
+                       default="reject", help="load-shedding policy")
+    serve.add_argument("--max-retries", type=int, default=3)
+    serve.add_argument("--jitter", type=float, default=0.1,
+                       help="backoff jitter amplitude in [0, 1)")
+    serve.add_argument("--pim-fault-rate", type=float, default=0.0,
+                       help="P(transient fault) per PIM phase attempt")
+    serve.add_argument("--mapping-fault-rate", type=float, default=0.0,
+                       help="P(transient fault) per flexible-mapping prefill")
+    serve.add_argument("--out", default=None, metavar="PATH",
+                       help="JSON report path (default: benchmarks/results/)")
 
     analyze = sub.add_parser(
         "analyze",
@@ -256,7 +388,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="drop findings of this rule ID (repeatable)",
     )
 
-    for sub_parser in (mapping, query, sweep, dataset, chaos):
+    for sub_parser in (mapping, query, sweep, dataset, chaos, serve):
         sub_parser.add_argument("--platform", default="jetson-agx-orin")
     return parser
 
@@ -268,6 +400,7 @@ _COMMANDS = {
     "sweep": _cmd_sweep,
     "dataset": _cmd_dataset,
     "chaos": _cmd_chaos,
+    "serve": _cmd_serve,
     "analyze": _cmd_analyze,
 }
 

@@ -139,6 +139,24 @@ class MappingTable:
         self._entries[map_id] = mapping
         self._refcounts[map_id] = 1
 
+    def live_ids(self) -> Tuple[int, ...]:
+        """MapIDs of live (registered, unreleased) slots, slot order."""
+        return tuple(
+            map_id
+            for map_id, entry in enumerate(self._entries)
+            if entry is not None
+        )
+
+    def refcounts(self) -> Dict[int, int]:
+        """Live MapID -> reference count (the crash-recovery audit's
+        ground truth: must equal the number of live regions per MapID,
+        plus the conventional mapping's pin)."""
+        return {
+            map_id: self._refcounts[map_id]
+            for map_id, entry in enumerate(self._entries)
+            if entry is not None
+        }
+
     def release(self, map_id: int) -> None:
         """Drop one reference to *map_id*; free the slot at zero.
 

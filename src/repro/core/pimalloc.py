@@ -24,6 +24,7 @@ import numpy as np
 
 from repro.core.bitfield import ceil_div, ilog2
 from repro.core.controller import MemoryController
+from repro.core.journal import JournalTxn, MapJournal
 from repro.core.mapping import AddressMapping, pim_optimized_mapping
 from repro.core.selector import (
     MappingSelection,
@@ -106,10 +107,11 @@ class PimTensor:
 
         Without the release, alloc/free churn over distinct mappings
         leaks MapIDs until the controller's table fills — the table is a
-        hardware resource bounded at 16 entries.
+        hardware resource bounded at 16 entries.  With a journal attached
+        to the allocator the two steps are crash-consistent: a crash
+        between them rolls forward on recovery.
         """
-        self.allocator.space.munmap(self.va)
-        self.allocator.release_mapping(self.map_id)
+        self.allocator.free(self)
 
 
 class PimAllocator:
@@ -134,6 +136,36 @@ class PimAllocator:
         #: set, ``fault_hook.on_pimalloc(matrix)`` runs before each
         #: allocation and may raise (injected buddy OOM, PU failures).
         self.fault_hook = None
+        #: optional write-ahead intent journal; when attached, every
+        #: multi-step mutation (alloc, free, phase switch) records its
+        #: intent and completed steps so :func:`repro.core.journal.recover`
+        #: can replay a crash back to a consistent state.
+        self.journal: Optional[MapJournal] = None
+
+    # -- journal plumbing --------------------------------------------------
+
+    def _jstep(self, txn: Optional[JournalTxn], name: str, **detail) -> None:
+        if txn is not None and self.journal is not None:
+            self.journal.step(txn, name, **detail)
+
+    def _jcheckpoint(self, site: str) -> None:
+        if self.journal is not None:
+            self.journal.checkpoint(site)
+
+    def _build_mapping(
+        self,
+        selection: MappingSelection,
+        pu_order: Optional[Tuple[str, str, str]] = None,
+    ) -> AddressMapping:
+        return pim_optimized_mapping(
+            org=self.org,
+            chunk_rows=self.pim.chunk_rows,
+            chunk_cols=self.pim.chunk_cols,
+            dtype_bytes=self.pim.dtype_bytes,
+            map_id=selection.map_id,
+            n_bits=ilog2(self.huge_page_bytes),
+            pu_order=pu_order if pu_order is not None else pu_order_for(selection),
+        )
 
     # -- the pimalloc interface ----------------------------------------------
 
@@ -142,22 +174,34 @@ class PimAllocator:
         if self.fault_hook is not None:
             self.fault_hook.on_pimalloc(matrix)
         selection = select_mapping(matrix, self.org, self.pim, self.huge_page_bytes)
-        mapping = pim_optimized_mapping(
-            org=self.org,
-            chunk_rows=self.pim.chunk_rows,
-            chunk_cols=self.pim.chunk_cols,
-            dtype_bytes=self.pim.dtype_bytes,
-            map_id=selection.map_id,
-            n_bits=ilog2(self.huge_page_bytes),
-            pu_order=pu_order_for(selection),
-        )
-        map_id = self.controller.table.register(mapping)
+        mapping = self._build_mapping(selection)
         nbytes = matrix.rows * selection.padded_row_bytes
+        txn = None
+        if self.journal is not None:
+            txn = self.journal.begin(
+                "alloc",
+                rows=matrix.rows,
+                cols=matrix.cols,
+                dtype_bytes=matrix.dtype_bytes,
+                nbytes=nbytes,
+            )
+        self._jcheckpoint("alloc:begin")
+        map_id = self.controller.table.register(mapping)
+        self._jstep(txn, "registered", map_id=map_id)
+        self._jcheckpoint("alloc:registered")
         try:
             va = self.space.mmap(nbytes, huge=True, map_id=map_id)
         except Exception:
+            # Unwound synchronously: the failed txn leaves nothing for
+            # recovery to undo, so it is committed as a no-op.
             self.controller.table.release(map_id)
+            if txn is not None and self.journal is not None:
+                self.journal.commit(txn)
             raise
+        self._jstep(txn, "mapped", va=va, nbytes=nbytes)
+        self._jcheckpoint("alloc:mapped")
+        if txn is not None and self.journal is not None:
+            self.journal.commit(txn)
         return PimTensor(
             va=va,
             matrix=matrix,
@@ -166,6 +210,102 @@ class PimAllocator:
             map_id=map_id,
             allocator=self,
         )
+
+    def free(self, tensor: PimTensor) -> None:
+        """Tear down *tensor*: unmap the region, release the mapping."""
+        txn = None
+        if self.journal is not None:
+            txn = self.journal.begin("free", va=tensor.va, map_id=tensor.map_id)
+        self._jcheckpoint("free:begin")
+        self.space.munmap(tensor.va)
+        self._jstep(txn, "unmapped", va=tensor.va)
+        self._jcheckpoint("free:unmapped")
+        self.controller.table.release(tensor.map_id)
+        self._jstep(txn, "released", map_id=tensor.map_id)
+        if txn is not None and self.journal is not None:
+            self.journal.commit(txn)
+
+    def switch_mapping(
+        self,
+        tensor: PimTensor,
+        pu_order: Optional[Tuple[str, str, str]] = None,
+    ) -> PimTensor:
+        """Phase switch: re-route a live tensor through a different
+        PIM-admissible mapping (default: the alternate PU-bit order),
+        migrating the stored bytes so the virtual-address contents are
+        preserved.
+
+        The migration is the classic live-remapping hazard: once any
+        huge page's PTE carries the new MapID, reads through it scramble
+        until the bytes are rewritten.  With a journal attached, every
+        step (staging copy, register, per-page PTE rewrite, data
+        rewrite, release of the old mapping) is journaled, and the bytes
+        are staged in a conventional-mapping scratch region that
+        survives a crash — recovery rolls the switch forward to
+        completion.  Without a journal the switch still works but a
+        crash mid-way is unrecoverable (exactly the gap the journal
+        closes).
+        """
+        if pu_order is None:
+            # Toggle relative to the tensor's *current* mapping: whichever
+            # of the two PU-bit orders it is not using now.
+            default = pu_order_for(tensor.selection)
+            flipped = (default[2], default[1], default[0])
+            candidate = self._build_mapping(tensor.selection, pu_order=flipped)
+            pu_order = flipped if candidate.fields != tensor.mapping.fields else default
+        new_mapping = self._build_mapping(tensor.selection, pu_order=pu_order)
+        if new_mapping.fields == tensor.mapping.fields:
+            return tensor
+        area = self.space.areas.get(tensor.va)
+        if area is None:
+            raise ValueError(f"tensor va {tensor.va:#x} is not mapped")
+        nbytes = tensor.nbytes_padded
+        n_pages = area.n_pages
+        functional = self.controller.memory is not None
+
+        txn = None
+        if self.journal is not None:
+            txn = self.journal.begin(
+                "switch",
+                va=tensor.va,
+                old_map_id=tensor.map_id,
+                nbytes=nbytes,
+                n_pages=n_pages,
+                page_bytes=area.page_bytes,
+            )
+        self._jcheckpoint("switch:begin")
+
+        staging_va = None
+        if functional:
+            staging_va = self.space.mmap(nbytes, huge=True, map_id=0)
+            self.write_virtual(staging_va, self.read_virtual(tensor.va, nbytes))
+            self._jstep(txn, "staged", staging_va=staging_va, nbytes=nbytes)
+        self._jcheckpoint("switch:staged")
+
+        new_map_id = self.controller.table.register(new_mapping)
+        self._jstep(txn, "registered", map_id=new_map_id)
+        self._jcheckpoint("switch:registered")
+
+        for index in range(n_pages):
+            self.space.set_area_map_id(tensor.va, index, new_map_id)
+            self._jstep(txn, "pte", index=index)
+            self._jcheckpoint("switch:pte")
+
+        if staging_va is not None:
+            self.write_virtual(tensor.va, self.read_virtual(staging_va, nbytes))
+            self._jstep(txn, "rewritten")
+        self._jcheckpoint("switch:rewritten")
+
+        self.controller.table.release(tensor.map_id)
+        self._jstep(txn, "released-old", map_id=tensor.map_id)
+        if staging_va is not None:
+            self.space.munmap(staging_va)
+        if txn is not None and self.journal is not None:
+            self.journal.commit(txn)
+
+        tensor.mapping = new_mapping
+        tensor.map_id = new_map_id
+        return tensor
 
     def malloc(self, nbytes: int, huge: bool = False) -> int:
         """Plain allocation with the conventional mapping (MapID 0)."""
@@ -214,6 +354,7 @@ class PimSystem:
         functional: bool = True,
         ecc: bool = False,
         integrity: bool = False,
+        journal: bool = False,
     ) -> None:
         from repro.os.page_table import HUGE_SHIFT
 
@@ -256,6 +397,10 @@ class PimSystem:
         self.allocator = PimAllocator(
             org, pim, self.controller, self.space, huge_page_bytes
         )
+        self.journal: Optional[MapJournal] = None
+        if journal:
+            self.journal = MapJournal()
+            self.allocator.journal = self.journal
 
     @classmethod
     def build(
@@ -266,8 +411,16 @@ class PimSystem:
         functional: bool = True,
         ecc: bool = False,
         integrity: bool = False,
+        journal: bool = False,
     ) -> "PimSystem":
-        return cls(org, pim, huge_page_bytes, functional, ecc, integrity)
+        return cls(org, pim, huge_page_bytes, functional, ecc, integrity, journal)
+
+    def recover(self):
+        """Replay the journal after a simulated crash (see
+        :func:`repro.core.journal.recover`)."""
+        from repro.core.journal import recover as _recover
+
+        return _recover(self.allocator)
 
     def pimalloc(self, matrix: MatrixConfig) -> PimTensor:
         return self.allocator.pimalloc(matrix)

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import functools
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.relayout import relayout_cost_ns
 from repro.core.selector import MatrixConfig, select_mapping
@@ -180,6 +180,54 @@ class InferenceEngine:
         return sum(
             step(prefill_len + t) for t in range(1, decode_len)
         )
+
+    # ------------------------------------------------------------------
+    # phase-level pricing (the serving runtime schedules phases on
+    # resources and applies per-phase breaker/brownout decisions)
+    # ------------------------------------------------------------------
+
+    def prefill_ns(
+        self,
+        policy: str,
+        prefill_len: int,
+        dynamic_offload: Optional[bool] = None,
+    ) -> Tuple[float, str]:
+        """Price the prefill phase of *policy* alone.
+
+        Returns ``(ns, resource)`` where *resource* is ``"soc"`` or
+        ``"pim"`` — the unit whose timeline the phase occupies (the
+        serving runtime serializes work per resource).
+        """
+        if policy not in POLICIES:
+            raise ValueError(f"unknown policy {policy!r}; known: {POLICIES}")
+        if prefill_len <= 0:
+            raise ValueError("prefill length must be positive")
+        if policy == "soc-only":
+            return self.soc_prefill_ns(prefill_len), "soc"
+        if policy == "hybrid-static":
+            return self.relayout_total_ns() + self.soc_prefill_ns(prefill_len), "soc"
+        if policy == "hybrid-dynamic":
+            soc_path = self.relayout_total_ns() + self.soc_prefill_ns(prefill_len)
+            pim_path = self.pim_prefill_ns(prefill_len)
+            return (pim_path, "pim") if pim_path < soc_path else (soc_path, "soc")
+        # facil
+        soc_path = self.soc_prefill_ns(prefill_len, pim_layout=True)
+        use_dynamic = True if dynamic_offload is None else dynamic_offload
+        if use_dynamic:
+            pim_path = self.pim_prefill_ns(prefill_len)
+            if pim_path < soc_path:
+                return pim_path, "pim"
+        return soc_path, "soc"
+
+    def decode_total_ns(
+        self, prefill_len: int, decode_len: int, on_pim: bool
+    ) -> float:
+        """Price the decode phase (steps 2..D) on the given unit — the
+        public face of :meth:`_decode_total_ns` for serving/reliability
+        callers."""
+        if prefill_len <= 0 or decode_len <= 0:
+            raise ValueError("prefill and decode lengths must be positive")
+        return self._decode_total_ns(prefill_len, decode_len, on_pim)
 
     # ------------------------------------------------------------------
     # dynamic-offload profiling (paper §VI-C)

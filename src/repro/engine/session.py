@@ -55,6 +55,14 @@ class ChatSession:
         self.context = 0
         self.turns: List[TurnLatency] = []
 
+    def set_policy(self, policy: str) -> None:
+        """Switch the execution policy mid-conversation (the serving
+        runtime does this when a circuit breaker or brownout forces
+        decode off the PIM units).  The KV context carries over."""
+        if policy not in POLICIES:
+            raise ValueError(f"unknown policy {policy!r}; known: {POLICIES}")
+        self.policy = policy
+
     # -- pricing helpers ------------------------------------------------------
 
     def _incremental_prefill_ns(self, n_new: int, pim_layout: bool) -> float:

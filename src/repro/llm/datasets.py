@@ -22,6 +22,7 @@ See DESIGN.md "Substitutions" for why this preserves the experiments.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
 from typing import List, Tuple
 
@@ -67,6 +68,16 @@ class DatasetSpec:
         prefill = np.clip(prefill, self.prefill_min, self.prefill_max)
         decode = np.clip(decode, self.decode_min, self.decode_max)
         return [QueryTrace(int(p), int(d)) for p, d in zip(prefill, decode)]
+
+    def sample_one(self, rng: random.Random) -> QueryTrace:
+        """Draw one query through an injected seeded ``random.Random`` —
+        the serving workload generator shares a single stream for arrival
+        times and lengths so one seed reproduces a whole run."""
+        prefill = int(rng.lognormvariate(self.prefill_mu, self.prefill_sigma))
+        decode = int(rng.lognormvariate(self.decode_mu, self.decode_sigma))
+        prefill = min(max(prefill, self.prefill_min), self.prefill_max)
+        decode = min(max(decode, self.decode_min), self.decode_max)
+        return QueryTrace(prefill, decode)
 
 
 #: Conversation assistant (Alpaca-like): short prompts, long answers.

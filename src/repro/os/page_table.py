@@ -215,6 +215,46 @@ class PageTable:
             return result
         raise PageFaultError(f"va {va:#x}: walk reached depth without a leaf")
 
+    def set_map_id(self, va: int, map_id: int) -> int:
+        """Rewrite the MapID field of the huge-page leaf PTE covering
+        *va* (FACIL's phase switch: the region's bytes are re-routed
+        through a different registered mapping).
+
+        Returns the updated PTE value.
+
+        Raises:
+            PageFaultError: when no leaf covers *va*.
+            ValueError: for a non-huge leaf (4 KB pages have no MapID
+                field) or an unencodable *map_id*.
+        """
+        if not 0 <= map_id < (1 << MAP_ID_BITS):
+            raise ValueError(
+                f"map_id {map_id} needs more than {MAP_ID_BITS} bits"
+            )
+        indices = self._indices(va)
+        node = self._root
+        for level in range(N_LEVELS):
+            entry = node.get(indices[level])
+            if entry is None:
+                raise PageFaultError(f"va {va:#x} not mapped (level {level})")
+            if isinstance(entry, dict):
+                node = entry
+                continue
+            if not entry & PteFlags.HUGE:
+                raise ValueError(
+                    f"va {va:#x} is a base-page mapping; MapID lives only "
+                    "in huge-page PTEs"
+                )
+            mask = ((1 << MAP_ID_BITS) - 1) << MAP_ID_SHIFT
+            updated = (entry & ~mask) | (map_id << MAP_ID_SHIFT)
+            if map_id != 0:
+                updated |= PteFlags.PIM
+            else:
+                updated &= ~PteFlags.PIM
+            node[indices[level]] = updated
+            return updated
+        raise PageFaultError(f"va {va:#x}: walk reached depth without a leaf")
+
     def corrupt_pte(self, va: int, xor_mask: int) -> int:
         """Fault-injection backdoor: XOR *xor_mask* into the leaf PTE
         covering *va* (e.g. flip a MapID bit, paper Fig. 11's worry).

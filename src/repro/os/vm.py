@@ -150,6 +150,31 @@ class AddressSpace:
             self.mmu.tlb.invalidate(page_va, area.page_shift)
             self.buddy.free(frame)
 
+    def set_area_map_id(self, va: int, page_index: int, map_id: int) -> None:
+        """Re-route one huge page of the area at *va* through *map_id*:
+        rewrite its PTE's MapID field and shoot down the stale TLB copy.
+
+        This is the per-page step of FACIL's phase switch; callers walk
+        every page of the area (journaling each step) so a crash mid-walk
+        is recoverable.
+        """
+        area = self.areas.get(va)
+        if area is None:
+            raise ValueError(f"va {va:#x} is not the start of a mapped area")
+        if area.page_shift != HUGE_SHIFT:
+            raise ValueError("MapID requires huge pages (paper §V-A)")
+        if not 0 <= page_index < area.n_pages:
+            raise ValueError(
+                f"page index {page_index} outside area of {area.n_pages} pages"
+            )
+        page_va = va + page_index * area.page_bytes
+        self.page_table.set_map_id(page_va, map_id)
+        self.mmu.tlb.invalidate(page_va, area.page_shift)
+        if page_index == area.n_pages - 1:
+            area.map_id = map_id
+            if map_id != 0:
+                area.flags |= PteFlags.PIM
+
     # -- queries ---------------------------------------------------------------
 
     def area_of(self, va: int) -> VmArea:

@@ -128,6 +128,33 @@ class ReliabilityReport:
     def degraded_queries(self) -> int:
         return sum(1 for q in self.queries if q.degraded)
 
+    def to_dict(self) -> Dict:
+        """Machine-readable form (the CLI writes this to
+        ``benchmarks/results/``)."""
+        return {
+            "seed": self.spec.seed,
+            "policy": self.spec.policy,
+            "n_queries": self.n_queries,
+            "injected": dict(sorted(self.injected.items())),
+            "total_injected": self.total_injected,
+            "corrected": self.corrected,
+            "detected": self.detected,
+            "silent": self.silent,
+            "aborted": self.aborted,
+            "served": self.served,
+            "availability": self.availability,
+            "degraded_queries": self.degraded_queries,
+            "mean_ttlt_ms": self.mean_ttlt_ns / 1e6,
+            "p99_ttlt_ms": self.p99_ttlt_ns / 1e6,
+            "mean_degradation_ms": self.mean_degradation_ns / 1e6,
+            "health": dict(self.health),
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        import json
+
+        return json.dumps(self.to_dict(), indent=indent)
+
     def render(self) -> str:
         lines = [
             f"chaos campaign: seed={self.spec.seed} policy={self.spec.policy} "

@@ -58,11 +58,18 @@ class _ComponentState:
     consecutive_successes: int = 0
     permanent: bool = False
     transitions: List[Tuple[Health, Health]] = field(default_factory=list)
+    #: sliding window of recent outcomes (True = fault), newest last
+    recent: List[bool] = field(default_factory=list)
 
     def _move(self, new: Health) -> None:
         if new is not self.health:
             self.transitions.append((self.health, new))
             self.health = new
+
+    def _observe(self, fault: bool, window: int) -> None:
+        self.recent.append(fault)
+        if len(self.recent) > window:
+            del self.recent[: len(self.recent) - window]
 
 
 class HealthMonitor:
@@ -80,12 +87,16 @@ class HealthMonitor:
         degrade_after: int = 1,
         fail_after: int = 3,
         recover_after: int = 3,
+        window: int = 32,
     ):
         if not 0 < degrade_after <= fail_after:
             raise ValueError("need 0 < degrade_after <= fail_after")
+        if window <= 0:
+            raise ValueError("window must be positive")
         self.degrade_after = degrade_after
         self.fail_after = fail_after
         self.recover_after = recover_after
+        self.window = window
         self._components: Dict[str, _ComponentState] = {}
 
     def _state(self, component: str) -> _ComponentState:
@@ -99,8 +110,21 @@ class HealthMonitor:
         state = self._components.get(component)
         return state.health if state is not None else Health.HEALTHY
 
+    def fault_rate(self, component: str) -> float:
+        """Fraction of faults over the last ``window`` observations
+        (0.0 with no observations) — the circuit breakers trip on this."""
+        state = self._components.get(component)
+        if state is None or not state.recent:
+            return 0.0
+        return sum(state.recent) / len(state.recent)
+
+    def observations(self, component: str) -> int:
+        state = self._components.get(component)
+        return len(state.recent) if state is not None else 0
+
     def record_fault(self, component: str, permanent: bool = False) -> Health:
         state = self._state(component)
+        state._observe(True, self.window)
         state.consecutive_successes = 0
         state.consecutive_faults += 1
         if permanent:
@@ -115,6 +139,7 @@ class HealthMonitor:
 
     def record_success(self, component: str) -> Health:
         state = self._state(component)
+        state._observe(False, self.window)
         state.consecutive_faults = 0
         if state.health is Health.DEGRADED:
             state.consecutive_successes += 1
@@ -129,6 +154,7 @@ class HealthMonitor:
         state.permanent = False
         state.consecutive_faults = 0
         state.consecutive_successes = 0
+        state.recent.clear()
         state._move(Health.HEALTHY)
 
     def transitions(self, component: str) -> List[Tuple[Health, Health]]:

@@ -21,7 +21,11 @@ seeded planner plus the hook implementations that the substrate exposes
 * **allocation failures** — ``on_pimalloc`` raises
   :class:`~repro.os.buddy.OutOfMemoryError`;
 * **PIM processing-unit failures** — permanent, surfaced to the health
-  monitor / :class:`~repro.reliability.degrade.ResilientEngine`.
+  monitor / :class:`~repro.reliability.degrade.ResilientEngine`;
+* **process crashes** — ``on_journal`` raises
+  :class:`~repro.core.journal.InjectedCrash` at an armed journal
+  checkpoint, modelling a kill mid-``pimalloc``/free/phase-switch; the
+  write-ahead journal's recovery replay must restore consistency.
 
 Everything is driven by one ``random.Random(seed)``, so a campaign is
 exactly reproducible: same seed, same faults, same report.
@@ -35,6 +39,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
+from repro.core.journal import InjectedCrash
 from repro.os.buddy import OutOfMemoryError
 from repro.os.page_table import HUGE_SHIFT, MAP_ID_BITS, MAP_ID_SHIFT, PAGE_SHIFT
 
@@ -58,6 +63,7 @@ class FaultKind:
     STALE_TLB = "stale-tlb"
     ALLOC_OOM = "alloc-oom"
     PU_FAIL = "pu-fail"
+    CRASH = "crash"
 
 
 @dataclass(frozen=True)
@@ -87,6 +93,7 @@ class FaultInjector:
         self.log: List[FaultEvent] = []
         self._suppress_invalidations = 0
         self._fail_allocs = 0
+        self._pending_crash: Optional[Tuple[str, int]] = None
         self._system: Optional["PimSystem"] = None
 
     # -- attachment --------------------------------------------------------
@@ -98,6 +105,8 @@ class FaultInjector:
         system.space.page_table.fault_hook = self
         system.space.mmu.tlb.fault_hook = self
         system.allocator.fault_hook = self
+        if system.allocator.journal is not None:
+            system.allocator.journal.fault_hook = self
         self._system = system
         return self
 
@@ -113,6 +122,9 @@ class FaultInjector:
             system.space.mmu.tlb.fault_hook = None
         if system.allocator.fault_hook is self:
             system.allocator.fault_hook = None
+        journal = system.allocator.journal
+        if journal is not None and journal.fault_hook is self:
+            journal.fault_hook = None
         self._system = None
 
     # -- hook callbacks ----------------------------------------------------
@@ -157,7 +169,27 @@ class FaultInjector:
                 "injected allocation failure (reliability campaign)"
             )
 
+    def on_journal(self, site: str) -> None:
+        """Crash the process at an armed journal checkpoint."""
+        if self._pending_crash is None:
+            return
+        armed_site, skip = self._pending_crash
+        if site != armed_site:
+            return
+        if skip > 0:
+            self._pending_crash = (armed_site, skip - 1)
+            return
+        self._pending_crash = None
+        self.log.append(FaultEvent(FaultKind.CRASH, (site,)))
+        raise InjectedCrash(site)
+
     # -- scheduling --------------------------------------------------------
+
+    def schedule_crash(self, site: str, after: int = 0) -> None:
+        """Arm a crash at journal checkpoint *site*; with ``after=k`` the
+        crash fires on the (k+1)-th hit of that site (e.g. the k-th page
+        of a phase switch's PTE walk)."""
+        self._pending_crash = (site, after)
 
     def suppress_invalidations(self, n: int = 1) -> None:
         """Swallow the next *n* TLB shootdowns."""

@@ -1,0 +1,150 @@
+"""Circuit breakers and the PIM brown-out controller.
+
+:class:`CircuitBreaker` layers the classic three-state machine on the
+reliability stack's :class:`~repro.reliability.degrade.HealthMonitor`
+sliding-window fault rate:
+
+    CLOSED --fault rate >= threshold--> OPEN --cooldown--> HALF_OPEN
+       ^                                  ^                    |
+       +------- probe succeeds -----------+---- probe fails ---+
+
+CLOSED passes traffic and watches the fault rate; OPEN fails fast (the
+runtime routes around the component — no request waits on a path that is
+currently losing most of its work); HALF_OPEN passes traffic again after
+the cooldown as *probes*: one probe failure re-opens the breaker, a full
+probe quota of consecutive successes closes it.  ``allow`` is
+deliberately side-effect-free apart from the time-driven OPEN ->
+HALF_OPEN move (which is idempotent), so the runtime may consult it
+speculatively while scheduling.
+
+:class:`BrownoutController` is orthogonal: it watches PIM **backlog**
+(queued-but-unexecuted work on the PIM timeline), not faults.  When the
+backlog crosses the high watermark the runtime migrates decode to the
+SoC; it migrates back only below the low watermark — the hysteresis gap
+prevents flapping at the boundary.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import List, Optional, Tuple
+
+from repro.reliability.degrade import HealthMonitor
+
+__all__ = ["BreakerState", "BrownoutController", "CircuitBreaker"]
+
+
+class BreakerState(enum.Enum):
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """Fail-fast wrapper around one component's health signal."""
+
+    def __init__(
+        self,
+        component: str,
+        monitor: Optional[HealthMonitor] = None,
+        fault_rate_threshold: float = 0.5,
+        min_observations: int = 4,
+        cooldown_ns: float = 5e6,
+        probe_quota: int = 2,
+    ):
+        if not 0.0 < fault_rate_threshold <= 1.0:
+            raise ValueError("fault_rate_threshold must be in (0, 1]")
+        if min_observations <= 0 or probe_quota <= 0:
+            raise ValueError("min_observations and probe_quota must be positive")
+        if cooldown_ns <= 0:
+            raise ValueError("cooldown_ns must be positive")
+        self.component = component
+        self.monitor = monitor if monitor is not None else HealthMonitor()
+        self.fault_rate_threshold = fault_rate_threshold
+        self.min_observations = min_observations
+        self.cooldown_ns = cooldown_ns
+        self.probe_quota = probe_quota
+        self.state = BreakerState.CLOSED
+        self.opened_at_ns = 0.0
+        self._probe_successes = 0
+        #: (virtual ns, from, to) — every state change, for the report
+        self.transitions: List[Tuple[float, BreakerState, BreakerState]] = []
+
+    def _move(self, new: BreakerState, now_ns: float) -> None:
+        if new is not self.state:
+            self.transitions.append((now_ns, self.state, new))
+            self.state = new
+
+    # -- gating ---------------------------------------------------------------
+
+    def allow(self, now_ns: float) -> bool:
+        """May a request use this component right now?
+
+        OPEN flips to HALF_OPEN once the cooldown elapses (idempotent);
+        HALF_OPEN and CLOSED both pass traffic.
+        """
+        if self.state is BreakerState.OPEN:
+            if now_ns - self.opened_at_ns >= self.cooldown_ns:
+                self._move(BreakerState.HALF_OPEN, now_ns)
+                self._probe_successes = 0
+            else:
+                return False
+        return True
+
+    # -- outcome reporting ----------------------------------------------------
+
+    def record_success(self, now_ns: float) -> None:
+        self.monitor.record_success(self.component)
+        if self.state is BreakerState.HALF_OPEN:
+            self._probe_successes += 1
+            if self._probe_successes >= self.probe_quota:
+                self._move(BreakerState.CLOSED, now_ns)
+
+    def record_failure(self, now_ns: float) -> None:
+        self.monitor.record_fault(self.component)
+        if self.state is BreakerState.HALF_OPEN:
+            # one failed probe is proof enough: back to OPEN, new cooldown
+            self._move(BreakerState.OPEN, now_ns)
+            self.opened_at_ns = now_ns
+            return
+        if (
+            self.state is BreakerState.CLOSED
+            and self.monitor.observations(self.component) >= self.min_observations
+            and self.monitor.fault_rate(self.component) >= self.fault_rate_threshold
+        ):
+            self._move(BreakerState.OPEN, now_ns)
+            self.opened_at_ns = now_ns
+
+
+class BrownoutController:
+    """Migrate decode off PIM when its backlog saturates; back on recovery."""
+
+    def __init__(self, high_watermark_ns: float, low_watermark_ns: float):
+        if not 0 <= low_watermark_ns < high_watermark_ns:
+            raise ValueError("need 0 <= low_watermark_ns < high_watermark_ns")
+        self.high_watermark_ns = high_watermark_ns
+        self.low_watermark_ns = low_watermark_ns
+        self.active = False
+        self._started_ns = 0.0
+        #: closed brown-out windows as (start_ns, end_ns)
+        self.intervals: List[Tuple[float, float]] = []
+
+    def observe(self, backlog_ns: float, now_ns: float) -> bool:
+        """Feed one backlog sample; returns whether brown-out is active."""
+        if not self.active and backlog_ns >= self.high_watermark_ns:
+            self.active = True
+            self._started_ns = now_ns
+        elif self.active and backlog_ns <= self.low_watermark_ns:
+            self.active = False
+            self.intervals.append((self._started_ns, now_ns))
+        return self.active
+
+    def finish(self, now_ns: float) -> None:
+        """Close a dangling brown-out window at end of run."""
+        if self.active:
+            self.active = False
+            self.intervals.append((self._started_ns, now_ns))
+
+    @property
+    def total_ns(self) -> float:
+        return sum(end - start for start, end in self.intervals)

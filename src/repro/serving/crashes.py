@@ -1,0 +1,270 @@
+"""Crash-recovery campaign: seeded crash injection over the MapID journal.
+
+Each injection arms the :class:`~repro.reliability.faults.FaultInjector`
+with one journal crash site, performs the matching allocator operation
+(alloc, free, or phase switch) on a functional :class:`PimSystem`, lets
+the :class:`~repro.core.journal.InjectedCrash` rip through it, then runs
+:func:`~repro.core.journal.recover` and **audits the recovered state**:
+
+* every live PIM mapping-table entry passes the PR 2 static verifier
+  (:func:`~repro.analysis.mapverify.verify_pim_mapping`);
+* mapping-table refcounts exactly match the live tensor population —
+  no leaked MapID slots, no dangling references;
+* the mapped-area set exactly matches the live tensors;
+* every live tensor's bytes still CRC-match their ground truth (the
+  phase-switch staging copy must survive the crash).
+
+The sweep cycles through all :data:`~repro.core.journal.CRASH_SITES`
+evenly, so ``n_injections=500`` hits every site 50 times with varied
+shapes, data, and switch states.  One ``random.Random(seed)`` drives all
+choices: a failing injection is reproducible from (seed, index).
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.analysis.mapverify import verify_pim_mapping
+from repro.core.journal import CRASH_SITES, InjectedCrash
+from repro.core.pimalloc import PimSystem, PimTensor
+from repro.core.selector import MatrixConfig
+from repro.dram.config import DramOrganization
+from repro.pim.config import PimConfig
+from repro.reliability.campaign import TINY_CAMPAIGN_ORG
+from repro.reliability.faults import FaultInjector
+
+__all__ = ["CrashReport", "run_crash_campaign"]
+
+#: matrix shapes cycled by the campaign (each fits one huge page on the
+#: tiny geometry, so two live tensors plus a staging page fit in DRAM)
+_SHAPES: Tuple[Tuple[int, int], ...] = ((16, 256), (8, 128), (32, 256))
+
+#: live-tensor pool bound: TINY_CAMPAIGN_ORG holds 4 huge pages and a
+#: phase switch needs one spare for its staging copy
+_MAX_LIVE = 2
+
+
+@dataclass
+class CrashReport:
+    """Aggregate outcome of one crash-recovery campaign."""
+
+    seed: int
+    n_injections: int = 0
+    crashes_by_site: Dict[str, int] = field(default_factory=dict)
+    rolled_back: int = 0
+    rolled_forward: int = 0
+    no_ops: int = 0
+    #: audit failures (each is one injection where the audit tripped)
+    verifier_findings: int = 0
+    refcount_mismatches: int = 0
+    area_mismatches: int = 0
+    crc_mismatches: int = 0
+    leaked_map_ids: int = 0
+    #: did the post-campaign teardown reach the pristine state?
+    final_clean: bool = False
+    failures: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return (
+            self.verifier_findings == 0
+            and self.refcount_mismatches == 0
+            and self.area_mismatches == 0
+            and self.crc_mismatches == 0
+            and self.leaked_map_ids == 0
+            and self.final_clean
+        )
+
+    def to_dict(self) -> Dict:
+        return {
+            "seed": self.seed,
+            "n_injections": self.n_injections,
+            "crashes_by_site": dict(sorted(self.crashes_by_site.items())),
+            "rolled_back": self.rolled_back,
+            "rolled_forward": self.rolled_forward,
+            "no_ops": self.no_ops,
+            "verifier_findings": self.verifier_findings,
+            "refcount_mismatches": self.refcount_mismatches,
+            "area_mismatches": self.area_mismatches,
+            "crc_mismatches": self.crc_mismatches,
+            "leaked_map_ids": self.leaked_map_ids,
+            "final_clean": self.final_clean,
+            "failures": list(self.failures[:20]),
+            "ok": self.ok,
+        }
+
+    def render(self) -> str:
+        lines = [
+            f"crash campaign: seed={self.seed} injections={self.n_injections}",
+            "crashes by site : "
+            + ", ".join(f"{k}={v}" for k, v in sorted(self.crashes_by_site.items())),
+            f"rolled back     : {self.rolled_back}",
+            f"rolled forward  : {self.rolled_forward}",
+            f"no-ops          : {self.no_ops}",
+            f"verifier errors : {self.verifier_findings}",
+            f"refcount errors : {self.refcount_mismatches}",
+            f"area errors     : {self.area_mismatches}",
+            f"CRC errors      : {self.crc_mismatches}",
+            f"leaked MapIDs   : {self.leaked_map_ids}",
+            f"final clean     : {self.final_clean}",
+            f"verdict         : {'OK' if self.ok else 'FAIL'}",
+        ]
+        return "\n".join(lines)
+
+
+@dataclass
+class _Live:
+    tensor: PimTensor
+    data: np.ndarray
+    crc: int
+
+
+def _audit(
+    system: PimSystem,
+    live: List[_Live],
+    pim: PimConfig,
+    report: CrashReport,
+    label: str,
+) -> None:
+    """Check the recovered state against the live-tensor ground truth."""
+    table = system.controller.table
+
+    for entry in live:
+        findings = verify_pim_mapping(entry.tensor.mapping, system.org, pim)
+        if findings:
+            report.verifier_findings += 1
+            report.failures.append(
+                f"{label}: verifier found {len(findings)} issue(s) on "
+                f"map_id {entry.tensor.map_id}"
+            )
+
+    expected = Counter(entry.tensor.map_id for entry in live)
+    expected[0] += 1  # the conventional mapping's baseline reference
+    actual = table.refcounts()
+    if dict(expected) != dict(actual):
+        report.refcount_mismatches += 1
+        report.failures.append(f"{label}: refcounts {actual} != expected {dict(expected)}")
+    leaked = set(table.live_ids()) - {entry.tensor.map_id for entry in live} - {0}
+    if leaked:
+        report.leaked_map_ids += len(leaked)
+        report.failures.append(f"{label}: leaked MapIDs {sorted(leaked)}")
+
+    expected_vas = {entry.tensor.va for entry in live}
+    actual_vas = set(system.space.areas.keys())
+    if expected_vas != actual_vas:
+        report.area_mismatches += 1
+        report.failures.append(
+            f"{label}: mapped areas {sorted(actual_vas)} != {sorted(expected_vas)}"
+        )
+
+    for entry in live:
+        loaded = entry.tensor.load(entry.data.dtype)
+        if zlib.crc32(loaded.tobytes()) != entry.crc:
+            report.crc_mismatches += 1
+            report.failures.append(
+                f"{label}: data CRC mismatch on map_id {entry.tensor.map_id}"
+            )
+
+
+def run_crash_campaign(
+    n_injections: int = 500,
+    seed: int = 0,
+    org: Optional[DramOrganization] = None,
+    pim: Optional[PimConfig] = None,
+) -> CrashReport:
+    """Run *n_injections* seeded crash injections; see the module docstring."""
+    if n_injections <= 0:
+        raise ValueError("n_injections must be positive")
+    campaign_org = org if org is not None else TINY_CAMPAIGN_ORG
+    if pim is None:
+        from repro.pim.config import aim_config_for
+
+        pim = aim_config_for(campaign_org)
+    system = PimSystem.build(campaign_org, pim, functional=True, journal=True)
+    injector = FaultInjector(seed).attach(system)
+    rng = random.Random(seed)
+    data_rng = np.random.default_rng(seed)
+
+    report = CrashReport(seed=seed)
+    live: List[_Live] = []
+
+    def fresh_tensor() -> _Live:
+        rows, cols = _SHAPES[rng.randrange(len(_SHAPES))]
+        tensor = system.pimalloc(MatrixConfig(rows=rows, cols=cols, dtype_bytes=2))
+        data = data_rng.integers(0, 1 << 16, size=(rows, cols), dtype=np.uint16)
+        tensor.store(data)
+        return _Live(tensor=tensor, data=data, crc=zlib.crc32(data.tobytes()))
+
+    for index in range(n_injections):
+        site = CRASH_SITES[index % len(CRASH_SITES)]
+        op = site.split(":", 1)[0]
+        label = f"injection {index} site {site}"
+
+        # stage the pool for the op (no crashes armed yet)
+        if op == "alloc" and len(live) >= _MAX_LIVE:
+            victim = live.pop(rng.randrange(len(live)))
+            victim.tensor.free()
+        if op in ("free", "switch") and not live:
+            live.append(fresh_tensor())
+
+        injector.schedule_crash(site)
+        crashed = False
+        try:
+            if op == "alloc":
+                rows, cols = _SHAPES[rng.randrange(len(_SHAPES))]
+                system.pimalloc(MatrixConfig(rows=rows, cols=cols, dtype_bytes=2))
+            elif op == "free":
+                live[-1].tensor.free()
+            else:  # switch
+                system.allocator.switch_mapping(live[-1].tensor)
+        except InjectedCrash:
+            crashed = True
+        if not crashed:
+            report.failures.append(f"{label}: armed crash never fired")
+            continue
+        report.n_injections += 1
+        report.crashes_by_site[site] = report.crashes_by_site.get(site, 0) + 1
+
+        recovery = system.recover()
+        report.rolled_back += recovery.rolled_back
+        report.rolled_forward += recovery.rolled_forward
+        report.no_ops += sum(1 for a in recovery.actions if a.resolution == "no-op")
+
+        # reconcile the live pool with what recovery decided
+        if op == "free":
+            # frees roll forward: the tensor is gone either way
+            live.pop()
+        elif op == "switch":
+            entry = live[-1]
+            action = next(
+                (a for a in recovery.actions if a.op == "switch"), None
+            )
+            if action is not None and action.resolution == "rolled-forward":
+                new_map_id = action.detail["new_map_id"]
+                entry.tensor.map_id = new_map_id
+                entry.tensor.mapping = system.controller.table[new_map_id]
+            # rolled-back: the old handle is still accurate
+        # alloc rolled back: nothing to add
+
+        _audit(system, live, pim, report, label)
+        if system.journal is not None:
+            system.journal.truncate_committed()  # log compaction each round
+
+    # teardown must reach the pristine state: no areas, only the
+    # conventional mapping left with its baseline reference
+    for entry in live:
+        entry.tensor.free()
+    live.clear()
+    table = system.controller.table
+    report.final_clean = (
+        not system.space.areas
+        and table.refcounts() == {0: 1}
+    )
+    injector.detach()
+    return report

@@ -1,0 +1,157 @@
+"""Bounded admission queue with pluggable load-shedding policies.
+
+The queue sits between arrivals and the engine; its capacity is the
+system's backpressure bound — occupancy can never exceed it, whatever
+the offered load.  Three shedding policies:
+
+* ``reject`` — a full queue turns the arrival away immediately (fail
+  fast; the client sees the rejection at arrival time, not after a
+  hopeless wait);
+* ``degrade`` — occupancy at or above the *degrade watermark* admits the
+  request flagged for **degraded service** (the runtime clips its decode
+  budget), and a full queue still rejects — latency is shed before
+  requests are;
+* ``drop-oldest`` — a full queue evicts its oldest waiter to admit the
+  newcomer (freshness-first: half-served staleness is worth less than a
+  fresh request; the evicted waiter has also burned the most deadline).
+
+Occupancy is accounted **time-weighted**: every mutation first advances
+an occupancy integral, so ``mean_occupancy`` is exact over virtual time,
+not a sample average.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, List, Optional, Tuple
+
+from repro.serving.workload import Request
+
+__all__ = ["AdmissionQueue", "QueueStats", "SHED_POLICIES"]
+
+SHED_POLICIES = ("reject", "degrade", "drop-oldest")
+
+#: admission verdicts returned by :meth:`AdmissionQueue.offer`
+ADMITTED = "admitted"
+ADMITTED_DEGRADED = "admitted-degraded"
+REJECTED = "rejected"
+
+
+@dataclass
+class QueueStats:
+    """Backpressure accounting (all counters cumulative)."""
+
+    offered: int = 0
+    admitted: int = 0
+    admitted_degraded: int = 0
+    rejected: int = 0
+    dropped: int = 0  # drop-oldest evictions
+    peak_occupancy: int = 0
+    #: integral of occupancy over virtual time (requests * ns)
+    occupancy_ns: float = 0.0
+    #: total waiting time accumulated by popped requests
+    wait_ns: float = 0.0
+
+    @property
+    def shed(self) -> int:
+        return self.rejected + self.dropped
+
+    def mean_occupancy(self, elapsed_ns: float) -> float:
+        return self.occupancy_ns / elapsed_ns if elapsed_ns > 0 else 0.0
+
+
+class AdmissionQueue:
+    """FIFO admission queue bounded at *capacity*."""
+
+    def __init__(
+        self,
+        capacity: int,
+        policy: str = "reject",
+        degrade_watermark: Optional[int] = None,
+    ):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if policy not in SHED_POLICIES:
+            raise ValueError(f"unknown shed policy {policy!r}; known: {SHED_POLICIES}")
+        if policy == "degrade":
+            watermark = (
+                degrade_watermark if degrade_watermark is not None else capacity // 2
+            )
+            if not 0 < watermark <= capacity:
+                raise ValueError("need 0 < degrade_watermark <= capacity")
+            self.degrade_watermark: Optional[int] = watermark
+        else:
+            self.degrade_watermark = None
+        self.capacity = capacity
+        self.policy = policy
+        self.stats = QueueStats()
+        self._waiting: Deque[Tuple[Request, float]] = deque()  # (request, enq_ns)
+        self._clock_ns = 0.0
+
+    # -- occupancy accounting ------------------------------------------------
+
+    def _advance(self, now_ns: float) -> None:
+        if now_ns > self._clock_ns:
+            self.stats.occupancy_ns += len(self._waiting) * (now_ns - self._clock_ns)
+            self._clock_ns = now_ns
+
+    def __len__(self) -> int:
+        return len(self._waiting)
+
+    def peek(self) -> Optional[Request]:
+        return self._waiting[0][0] if self._waiting else None
+
+    # -- admission -----------------------------------------------------------
+
+    def offer(
+        self, request: Request, now_ns: Optional[float] = None
+    ) -> Tuple[str, Optional[Request]]:
+        """Offer one arrival; returns ``(verdict, evicted)``.
+
+        *verdict* is ``"admitted"``, ``"admitted-degraded"``, or
+        ``"rejected"``; *evicted* is the waiter displaced under
+        ``drop-oldest`` (None otherwise).
+        """
+        now = request.arrival_ns if now_ns is None else now_ns
+        self._advance(now)
+        self.stats.offered += 1
+        evicted: Optional[Request] = None
+        occupancy = len(self._waiting)
+
+        if occupancy >= self.capacity:
+            if self.policy == "drop-oldest":
+                evicted = self._waiting.popleft()[0]
+                self.stats.dropped += 1
+            else:  # reject / degrade both refuse when full
+                self.stats.rejected += 1
+                return REJECTED, None
+
+        verdict = ADMITTED
+        if (
+            self.policy == "degrade"
+            and self.degrade_watermark is not None
+            and len(self._waiting) >= self.degrade_watermark
+        ):
+            verdict = ADMITTED_DEGRADED
+            self.stats.admitted_degraded += 1
+        self._waiting.append((request, now))
+        self.stats.admitted += 1
+        self.stats.peak_occupancy = max(self.stats.peak_occupancy, len(self._waiting))
+        return verdict, evicted
+
+    def pop(self, now_ns: float) -> Optional[Request]:
+        """Dequeue the oldest waiter at virtual time *now_ns*."""
+        self._advance(now_ns)
+        if not self._waiting:
+            return None
+        request, enqueued_ns = self._waiting.popleft()
+        self.stats.wait_ns += max(0.0, now_ns - enqueued_ns)
+        return request
+
+    def drain(self, now_ns: float) -> List[Request]:
+        """Remove and return every waiter (end-of-run cleanup)."""
+        self._advance(now_ns)
+        remaining = [r for r, _ in self._waiting]
+        self._waiting.clear()
+        return remaining

@@ -1,0 +1,658 @@
+"""The discrete-event serving runtime and its SLO report.
+
+The simulation runs in virtual nanoseconds over **two resources** — the
+SoC processor and the PIM units — each a single-server timeline
+(``free_at``).  A request's life:
+
+    arrival --offer--> [admission queue] --pop--> prefill --> decode
+
+with the deadline (a TTFT budget) enforced at the two phase boundaries:
+
+* **admission -> prefill**: a request whose service would only start
+  after its deadline is shed untouched (no resource is burned on it);
+* **prefill -> decode**: a request whose first token lands past the
+  deadline stops there — the client has given up, decode is not run.
+
+Transient faults hit phase attempts at per-component configured rates
+(seeded through the run's single ``random.Random``).  A faulted attempt
+burns its full phase on the resource (worst case: the fault surfaces at
+the end), then the request backs off ``base * 2^attempt`` scaled by
+seeded jitter and retries, up to ``max_retries`` — beyond that it is
+aborted.  Every outcome feeds the circuit breakers; the brown-out
+controller watches the PIM backlog and migrates decode to the SoC while
+saturated (and back under the low watermark).
+
+The :class:`ServingReport` aggregates the run: per-status counts, TTFT /
+TTLT percentiles of served requests, goodput, shed rate, SLO attainment,
+queue backpressure accounting, breaker transitions, and brown-out
+windows.  ``to_dict`` is the machine-readable form the CLI writes to
+``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.engine.metrics import LatencyStats
+from repro.engine.policies import InferenceEngine, decode_on_pim
+from repro.reliability.degrade import RETRY_BASE_BACKOFF_NS, HealthMonitor
+from repro.serving.breaker import BrownoutController, CircuitBreaker
+from repro.serving.queue import AdmissionQueue, QueueStats
+from repro.serving.workload import Request, TenantSpec
+
+__all__ = [
+    "RequestOutcome",
+    "ServingConfig",
+    "ServingReport",
+    "ServingRuntime",
+    "sustainable_qps",
+]
+
+#: terminal request statuses
+SERVED = "served"
+SERVED_DEGRADED = "served-degraded"
+REJECTED = "rejected"
+DROPPED = "dropped"
+TIMED_OUT = "timed-out"
+ABORTED = "aborted"
+
+
+@dataclass(frozen=True)
+class ServingConfig:
+    """Everything that shapes a serving run except the workload itself."""
+
+    seed: int = 0
+    queue_capacity: int = 8
+    shed_policy: str = "reject"
+    degrade_watermark: Optional[int] = None
+    #: decode budget for degraded admissions (tokens)
+    degraded_decode_tokens: int = 8
+    max_retries: int = 3
+    base_backoff_ns: float = RETRY_BASE_BACKOFF_NS
+    #: backoff jitter amplitude in [0, 1): each wait is scaled by
+    #: ``1 + jitter * uniform(-1, 1)`` from the run's seeded stream
+    jitter: float = 0.0
+    #: transient fault probability per phase attempt, by component
+    pim_fault_rate: float = 0.0
+    mapping_fault_rate: float = 0.0
+    soc_fault_rate: float = 0.0
+    #: circuit breaker tuning (see repro.serving.breaker)
+    breaker_threshold: float = 0.5
+    breaker_min_observations: int = 4
+    breaker_cooldown_ns: float = 5e6
+    breaker_probe_quota: int = 2
+    #: brown-out watermarks on the PIM backlog (ns of queued work; decode
+    #: phases run seconds, so saturation means several queued)
+    brownout_high_ns: float = 5e9
+    brownout_low_ns: float = 1e9
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError("jitter must be in [0, 1)")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        for rate in (self.pim_fault_rate, self.mapping_fault_rate, self.soc_fault_rate):
+            if not 0.0 <= rate < 1.0:
+                raise ValueError("fault rates must be in [0, 1)")
+        if self.degraded_decode_tokens <= 0:
+            raise ValueError("degraded_decode_tokens must be positive")
+
+
+@dataclass(frozen=True)
+class RequestOutcome:
+    """Terminal disposition of one request."""
+
+    req_id: int
+    tenant: str
+    status: str
+    policy_requested: str
+    policy_served: str = ""
+    wait_ns: float = 0.0
+    ttft_ns: float = 0.0  # 0 when no first token was produced
+    ttlt_ns: float = 0.0  # 0 when the request did not complete
+    decode_tokens_served: int = 0
+    retries: int = 0
+    backoff_ns: float = 0.0
+    fallbacks: Tuple[str, ...] = ()
+
+    @property
+    def served(self) -> bool:
+        return self.status in (SERVED, SERVED_DEGRADED)
+
+
+@dataclass(frozen=True)
+class _Route:
+    """Resource plan for one request, fixed at pop time.
+
+    Decode placement is finalized later, at the prefill -> decode
+    boundary, where both resource timelines are known (see
+    :meth:`ServingRuntime.run`)."""
+
+    policy: str
+    prefill_ns: float
+    prefill_resource: str
+    prefill_component: str
+    pim_allowed: bool  # breaker verdict for this request
+    brownout_active: bool
+    fallbacks: Tuple[str, ...]
+
+
+@dataclass
+class ServingReport:
+    """Aggregate outcome of one serving run."""
+
+    config: ServingConfig
+    outcomes: List[RequestOutcome] = field(default_factory=list)
+    queue_stats: QueueStats = field(default_factory=QueueStats)
+    duration_ns: float = 0.0
+    breaker_transitions: Dict[str, List[Tuple[float, str, str]]] = field(
+        default_factory=dict
+    )
+    brownout_intervals: List[Tuple[float, float]] = field(default_factory=list)
+    health: Dict[str, str] = field(default_factory=dict)
+
+    def _count(self, *statuses: str) -> int:
+        return sum(1 for o in self.outcomes if o.status in statuses)
+
+    @property
+    def offered(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def served(self) -> int:
+        return self._count(SERVED, SERVED_DEGRADED)
+
+    @property
+    def served_degraded(self) -> int:
+        return self._count(SERVED_DEGRADED)
+
+    @property
+    def rejected(self) -> int:
+        return self._count(REJECTED)
+
+    @property
+    def dropped(self) -> int:
+        return self._count(DROPPED)
+
+    @property
+    def timed_out(self) -> int:
+        return self._count(TIMED_OUT)
+
+    @property
+    def aborted(self) -> int:
+        return self._count(ABORTED)
+
+    @property
+    def unserved(self) -> int:
+        """Admitted requests that never completed — the failure count the
+        CLI gates its exit status on (shed requests are *decisions*, not
+        failures; these are broken promises)."""
+        return self.timed_out + self.aborted
+
+    @property
+    def shed_rate(self) -> float:
+        return (self.rejected + self.dropped) / self.offered if self.offered else 0.0
+
+    @property
+    def slo_attainment(self) -> float:
+        """Fraction of offered requests fully served within deadline (a
+        served request met its TTFT budget by construction — the
+        boundary check stops any that would not)."""
+        return self.served / self.offered if self.offered else 0.0
+
+    @property
+    def goodput_qps(self) -> float:
+        return self.served / (self.duration_ns / 1e9) if self.duration_ns else 0.0
+
+    @property
+    def ttft(self) -> LatencyStats:
+        return LatencyStats.from_values([o.ttft_ns for o in self.outcomes if o.served])
+
+    @property
+    def ttlt(self) -> LatencyStats:
+        return LatencyStats.from_values([o.ttlt_ns for o in self.outcomes if o.served])
+
+    @property
+    def ok(self) -> bool:
+        return self.unserved == 0
+
+    def to_dict(self) -> Dict:
+        return {
+            "seed": self.config.seed,
+            "shed_policy": self.config.shed_policy,
+            "queue_capacity": self.config.queue_capacity,
+            "duration_ms": self.duration_ns / 1e6,
+            "offered": self.offered,
+            "served": self.served,
+            "served_degraded": self.served_degraded,
+            "rejected": self.rejected,
+            "dropped": self.dropped,
+            "timed_out": self.timed_out,
+            "aborted": self.aborted,
+            "unserved": self.unserved,
+            "shed_rate": self.shed_rate,
+            "slo_attainment": self.slo_attainment,
+            "goodput_qps": self.goodput_qps,
+            "ttft": self.ttft.to_dict(),
+            "ttlt": self.ttlt.to_dict(),
+            "queue": {
+                "peak_occupancy": self.queue_stats.peak_occupancy,
+                "mean_occupancy": self.queue_stats.mean_occupancy(self.duration_ns),
+                "mean_wait_ms": (
+                    self.queue_stats.wait_ns / self.queue_stats.admitted / 1e6
+                    if self.queue_stats.admitted
+                    else 0.0
+                ),
+            },
+            "breakers": {
+                name: [(t, a, b) for t, a, b in trans]
+                for name, trans in self.breaker_transitions.items()
+            },
+            "brownout": {
+                "windows": len(self.brownout_intervals),
+                "total_ms": sum(e - s for s, e in self.brownout_intervals) / 1e6,
+            },
+            "health": dict(self.health),
+            "ok": self.ok,
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def render(self) -> str:
+        d = self.to_dict()
+        lines = [
+            f"serving run: seed={d['seed']} shed={d['shed_policy']} "
+            f"capacity={d['queue_capacity']} duration={d['duration_ms']:.1f} ms",
+            f"offered         : {d['offered']}",
+            f"served          : {d['served']} ({d['served_degraded']} degraded)",
+            f"shed            : {d['rejected']} rejected, {d['dropped']} dropped "
+            f"(rate {d['shed_rate']:.3f})",
+            f"unserved        : {d['timed_out']} timed-out, {d['aborted']} aborted",
+            f"SLO attainment  : {d['slo_attainment']:.3f}",
+            f"goodput         : {d['goodput_qps']:.1f} qps",
+            f"TTFT p50/p99    : {d['ttft']['p50_ms']:.3f} / {d['ttft']['p99_ms']:.3f} ms",
+            f"TTLT p50/p99    : {d['ttlt']['p50_ms']:.3f} / {d['ttlt']['p99_ms']:.3f} ms",
+            f"queue occupancy : peak {d['queue']['peak_occupancy']}, "
+            f"mean {d['queue']['mean_occupancy']:.2f}, "
+            f"mean wait {d['queue']['mean_wait_ms']:.3f} ms",
+            f"brown-out       : {d['brownout']['windows']} window(s), "
+            f"{d['brownout']['total_ms']:.1f} ms total",
+            "breaker events  : "
+            + (
+                "; ".join(
+                    f"{name}: " + ", ".join(f"{a}->{b}" for _, a, b in trans)
+                    for name, trans in d["breakers"].items()
+                    if trans
+                )
+                or "none"
+            ),
+        ]
+        return "\n".join(lines)
+
+
+class ServingRuntime:
+    """Push a workload through the engine under one :class:`ServingConfig`."""
+
+    def __init__(
+        self,
+        engine: InferenceEngine,
+        config: Optional[ServingConfig] = None,
+        monitor: Optional[HealthMonitor] = None,
+    ):
+        self.engine = engine
+        self.config = config if config is not None else ServingConfig()
+        cfg = self.config
+        self.monitor = monitor if monitor is not None else HealthMonitor()
+        breaker_args = dict(
+            monitor=self.monitor,
+            fault_rate_threshold=cfg.breaker_threshold,
+            min_observations=cfg.breaker_min_observations,
+            cooldown_ns=cfg.breaker_cooldown_ns,
+            probe_quota=cfg.breaker_probe_quota,
+        )
+        self.pim_breaker = CircuitBreaker("pim", **breaker_args)
+        self.mapping_breaker = CircuitBreaker("mapping", **breaker_args)
+        self.brownout = BrownoutController(cfg.brownout_high_ns, cfg.brownout_low_ns)
+        self._breakers = {"pim": self.pim_breaker, "mapping": self.mapping_breaker}
+
+    # -- routing ---------------------------------------------------------------
+
+    def _price_prefill(
+        self, policy: str, prefill_len: int, allow_pim: bool
+    ) -> Tuple[float, str]:
+        if allow_pim:
+            return self.engine.prefill_ns(policy, prefill_len)
+        if policy == "facil":
+            return self.engine.prefill_ns(policy, prefill_len, dynamic_offload=False)
+        if policy == "hybrid-dynamic":
+            ns = self.engine.relayout_total_ns() + self.engine.soc_prefill_ns(
+                prefill_len
+            )
+            return ns, "soc"
+        return self.engine.prefill_ns(policy, prefill_len)
+
+    def _route(self, request: Request, now_ns: float, pim_backlog_ns: float) -> _Route:
+        policy = request.policy
+        fallbacks: List[str] = []
+        if policy == "facil" and not self.mapping_breaker.allow(now_ns):
+            policy = "hybrid-static"
+            fallbacks.append("facil->hybrid-static (mapping breaker open)")
+
+        pim_allowed = True
+        brownout_active = False
+        if policy != "soc-only":
+            pim_allowed = self.pim_breaker.allow(now_ns)
+            if not pim_allowed:
+                fallbacks.append("pim->soc (pim breaker open)")
+            brownout_active = self.brownout.observe(pim_backlog_ns, now_ns)
+
+        # prefill goes to PIM only when it is both healthy and not
+        # saturated; decode placement is settled at the phase boundary
+        prefill_pim_ok = pim_allowed and not brownout_active
+        prefill_ns, prefill_resource = self._price_prefill(
+            policy, request.prefill_tokens, allow_pim=prefill_pim_ok
+        )
+        if prefill_resource == "pim":
+            prefill_component = "pim"
+        elif policy == "facil":
+            # SoC GEMM straight on the PIM layout: the flexible-mapping path
+            prefill_component = "mapping"
+        else:
+            prefill_component = "soc"
+        return _Route(
+            policy=policy,
+            prefill_ns=prefill_ns,
+            prefill_resource=prefill_resource,
+            prefill_component=prefill_component,
+            pim_allowed=pim_allowed,
+            brownout_active=brownout_active,
+            fallbacks=tuple(fallbacks),
+        )
+
+    # -- phase execution -------------------------------------------------------
+
+    def _fault_rate(self, component: str) -> float:
+        cfg = self.config
+        return {
+            "pim": cfg.pim_fault_rate,
+            "mapping": cfg.mapping_fault_rate,
+            "soc": cfg.soc_fault_rate,
+        }[component]
+
+    def _run_phase(
+        self, start_ns: float, work_ns: float, component: str, rng: random.Random
+    ) -> Tuple[float, bool, int, float]:
+        """Execute one phase with retry-on-transient-fault pricing.
+
+        Returns ``(end_ns, ok, retries, backoff_ns)``.  A faulted attempt
+        burns the full phase on the resource, then waits the jittered
+        exponential backoff before retrying.
+        """
+        cfg = self.config
+        rate = self._fault_rate(component)
+        breaker = self._breakers.get(component)
+        t = start_ns
+        retries = 0
+        backoff_total = 0.0
+        while True:
+            t += work_ns
+            if rate <= 0.0 or rng.random() >= rate:
+                if breaker is not None:
+                    breaker.record_success(t)
+                else:
+                    self.monitor.record_success(component)
+                return t, True, retries, backoff_total
+            if breaker is not None:
+                breaker.record_failure(t)
+            else:
+                self.monitor.record_fault(component)
+            if retries >= cfg.max_retries:
+                return t, False, retries, backoff_total
+            wait = cfg.base_backoff_ns * (2**retries)
+            if cfg.jitter:
+                wait *= 1.0 + cfg.jitter * rng.uniform(-1.0, 1.0)
+            backoff_total += wait
+            t += wait
+            retries += 1
+
+    # -- the event loop --------------------------------------------------------
+
+    def run(self, requests: Sequence[Request]) -> ServingReport:
+        cfg = self.config
+        rng = random.Random(cfg.seed)
+        queue = AdmissionQueue(
+            cfg.queue_capacity, cfg.shed_policy, cfg.degrade_watermark
+        )
+        free = {"soc": 0.0, "pim": 0.0}
+        pending = sorted(requests, key=lambda r: (r.arrival_ns, r.req_id))
+        next_arrival = 0
+        degraded: Dict[int, bool] = {}
+        outcomes: List[RequestOutcome] = []
+        clock = 0.0
+        last_event = 0.0
+
+        def admit(request: Request) -> None:
+            verdict, evicted = queue.offer(request)
+            if evicted is not None:
+                outcomes.append(
+                    RequestOutcome(
+                        req_id=evicted.req_id,
+                        tenant=evicted.tenant,
+                        status=DROPPED,
+                        policy_requested=evicted.policy,
+                        wait_ns=request.arrival_ns - evicted.arrival_ns,
+                    )
+                )
+                degraded.pop(evicted.req_id, None)
+            if verdict == "rejected":
+                outcomes.append(
+                    RequestOutcome(
+                        req_id=request.req_id,
+                        tenant=request.tenant,
+                        status=REJECTED,
+                        policy_requested=request.policy,
+                    )
+                )
+            else:
+                degraded[request.req_id] = verdict == "admitted-degraded"
+
+        while next_arrival < len(pending) or len(queue):
+            if not len(queue):
+                admit(pending[next_arrival])
+                next_arrival += 1
+                continue
+            head = queue.peek()
+            if head is None:  # unreachable: guarded by len(queue) above
+                raise RuntimeError("admission queue reported non-empty but has no head")
+            est = max(head.arrival_ns, clock)
+            # arrivals strictly before the earliest possible service come first
+            if (
+                next_arrival < len(pending)
+                and pending[next_arrival].arrival_ns <= est
+            ):
+                admit(pending[next_arrival])
+                next_arrival += 1
+                continue
+            route = self._route(head, est, max(0.0, free["pim"] - est))
+            start = max(est, free[route.prefill_resource])
+            # ... and arrivals while the head waits for its resource may
+            # still evict it (drop-oldest) or shed themselves: ingest, redo
+            if (
+                next_arrival < len(pending)
+                and pending[next_arrival].arrival_ns <= start
+            ):
+                admit(pending[next_arrival])
+                next_arrival += 1
+                continue
+
+            queue.pop(start)
+            clock = start
+            was_degraded = degraded.pop(head.req_id, False)
+            wait_ns = start - head.arrival_ns
+
+            # boundary 1: admission -> prefill
+            if start > head.deadline_abs_ns:
+                outcomes.append(
+                    RequestOutcome(
+                        req_id=head.req_id,
+                        tenant=head.tenant,
+                        status=TIMED_OUT,
+                        policy_requested=head.policy,
+                        policy_served=route.policy,
+                        wait_ns=wait_ns,
+                        fallbacks=route.fallbacks,
+                    )
+                )
+                last_event = max(last_event, start)
+                continue
+
+            prefill_end, ok, retries_p, backoff_p = self._run_phase(
+                start, route.prefill_ns, route.prefill_component, rng
+            )
+            free[route.prefill_resource] = prefill_end
+            last_event = max(last_event, prefill_end)
+            if not ok:
+                outcomes.append(
+                    RequestOutcome(
+                        req_id=head.req_id,
+                        tenant=head.tenant,
+                        status=ABORTED,
+                        policy_requested=head.policy,
+                        policy_served=route.policy,
+                        wait_ns=wait_ns,
+                        retries=retries_p,
+                        backoff_ns=backoff_p,
+                        fallbacks=route.fallbacks,
+                    )
+                )
+                continue
+            ttft_ns = prefill_end - head.arrival_ns
+
+            # boundary 2: prefill -> decode (first token must be in budget)
+            if prefill_end > head.deadline_abs_ns:
+                outcomes.append(
+                    RequestOutcome(
+                        req_id=head.req_id,
+                        tenant=head.tenant,
+                        status=TIMED_OUT,
+                        policy_requested=head.policy,
+                        policy_served=route.policy,
+                        wait_ns=wait_ns,
+                        ttft_ns=ttft_ns,
+                        retries=retries_p,
+                        backoff_ns=backoff_p,
+                        fallbacks=route.fallbacks,
+                    )
+                )
+                continue
+
+            decode_tokens = head.decode_tokens
+            if was_degraded:
+                decode_tokens = max(1, min(decode_tokens, cfg.degraded_decode_tokens))
+
+            # decode placement: policy resource unless the breaker forbids
+            # PIM; under brown-out, migrate to the SoC only when that
+            # finishes *sooner* (a blind migration would park a monster
+            # decode on the SoC and starve every following prefill)
+            fallbacks = route.fallbacks
+            decode_pim = decode_on_pim(route.policy) and route.pim_allowed
+            if decode_pim and route.brownout_active:
+                pim_ns = self.engine.decode_total_ns(
+                    head.prefill_tokens, decode_tokens, True
+                )
+                soc_ns = self.engine.decode_total_ns(
+                    head.prefill_tokens, decode_tokens, False
+                )
+                pim_done = max(prefill_end, free["pim"]) + pim_ns
+                soc_done = max(prefill_end, free["soc"]) + soc_ns
+                if soc_done < pim_done:
+                    decode_pim = False
+                    fallbacks = fallbacks + ("pim->soc (brown-out)",)
+            decode_ns = self.engine.decode_total_ns(
+                head.prefill_tokens, decode_tokens, decode_pim
+            )
+            decode_resource = "pim" if decode_pim else "soc"
+            decode_start = max(prefill_end, free[decode_resource])
+            decode_end, ok, retries_d, backoff_d = self._run_phase(
+                decode_start, decode_ns, decode_resource, rng
+            )
+            free[decode_resource] = decode_end
+            last_event = max(last_event, decode_end)
+            if not ok:
+                outcomes.append(
+                    RequestOutcome(
+                        req_id=head.req_id,
+                        tenant=head.tenant,
+                        status=ABORTED,
+                        policy_requested=head.policy,
+                        policy_served=route.policy,
+                        wait_ns=wait_ns,
+                        ttft_ns=ttft_ns,
+                        retries=retries_p + retries_d,
+                        backoff_ns=backoff_p + backoff_d,
+                        fallbacks=fallbacks,
+                    )
+                )
+                continue
+
+            outcomes.append(
+                RequestOutcome(
+                    req_id=head.req_id,
+                    tenant=head.tenant,
+                    status=SERVED_DEGRADED if was_degraded else SERVED,
+                    policy_requested=head.policy,
+                    policy_served=route.policy,
+                    wait_ns=wait_ns,
+                    ttft_ns=ttft_ns,
+                    ttlt_ns=decode_end - head.arrival_ns,
+                    decode_tokens_served=decode_tokens,
+                    retries=retries_p + retries_d,
+                    backoff_ns=backoff_p + backoff_d,
+                    fallbacks=fallbacks,
+                )
+            )
+
+        end_ns = max(
+            last_event, pending[-1].arrival_ns if pending else 0.0, clock
+        )
+        self.brownout.finish(end_ns)
+        outcomes.sort(key=lambda o: o.req_id)
+        return ServingReport(
+            config=cfg,
+            outcomes=outcomes,
+            queue_stats=queue.stats,
+            duration_ns=end_ns,
+            breaker_transitions={
+                name: [(t, a.value, b.value) for t, a, b in brk.transitions]
+                for name, brk in self._breakers.items()
+            },
+            brownout_intervals=list(self.brownout.intervals),
+            health=self.monitor.summary(),
+        )
+
+
+def sustainable_qps(
+    engine: InferenceEngine, tenant: TenantSpec, n: int = 200, seed: int = 0
+) -> float:
+    """Estimate the highest arrival rate the two-resource pipeline can
+    sustain for *tenant*'s traffic: the reciprocal of the mean work on the
+    **bottleneck** resource (prefill and decode pipeline across requests,
+    so the slower timeline sets the ceiling)."""
+    if n <= 0:
+        raise ValueError("n must be positive")
+    rng = random.Random(seed)
+    work = {"soc": 0.0, "pim": 0.0}
+    on_pim = decode_on_pim(tenant.policy)
+    for _ in range(n):
+        trace = tenant.dataset.sample_one(rng)
+        prefill_ns, resource = engine.prefill_ns(tenant.policy, trace.prefill_tokens)
+        work[resource] += prefill_ns
+        work["pim" if on_pim else "soc"] += engine.decode_total_ns(
+            trace.prefill_tokens, trace.decode_tokens, on_pim
+        )
+    bottleneck_ns = max(work.values()) / n
+    return 1e9 / bottleneck_ns

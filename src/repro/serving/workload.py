@@ -1,0 +1,138 @@
+"""Multi-tenant request streams for the serving runtime.
+
+A workload is a time-ordered list of :class:`Request`: each belongs to a
+tenant (an app sharing the device NPU/PIM — assistant chat, keyboard
+autocompletion, ...), carries its token counts sampled from the tenant's
+dataset model, and a per-request **deadline budget** on TTFT.
+
+Arrivals are Poisson per tenant (exponential inter-arrival times).  All
+randomness — arrival jitter and length sampling — flows through **one**
+``random.Random(seed)``, the same discipline as
+:class:`~repro.reliability.faults.FaultInjector`: one seed reproduces a
+whole serving run, byte for byte.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.engine.policies import POLICIES
+from repro.llm.datasets import ALPACA_LIKE, DatasetSpec, QueryTrace
+
+__all__ = ["Request", "TenantSpec", "poisson_workload", "trace_workload"]
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One request source sharing the serving stack."""
+
+    name: str
+    dataset: DatasetSpec = ALPACA_LIKE
+    policy: str = "facil"
+    qps: float = 50.0  # mean arrival rate (requests per second)
+    deadline_ms: float = 250.0  # TTFT budget per request
+
+    def __post_init__(self) -> None:
+        if self.policy not in POLICIES:
+            raise ValueError(f"unknown policy {self.policy!r}; known: {POLICIES}")
+        if self.qps <= 0:
+            raise ValueError("qps must be positive")
+        if self.deadline_ms <= 0:
+            raise ValueError("deadline_ms must be positive")
+
+
+@dataclass(frozen=True)
+class Request:
+    """One request as seen by the admission queue."""
+
+    req_id: int
+    tenant: str
+    policy: str
+    arrival_ns: float
+    prefill_tokens: int
+    decode_tokens: int
+    deadline_ns: float  # TTFT budget, relative to arrival
+
+    @property
+    def deadline_abs_ns(self) -> float:
+        return self.arrival_ns + self.deadline_ns
+
+
+def poisson_workload(
+    tenants: Sequence[TenantSpec],
+    duration_ms: float,
+    seed: int = 0,
+    rng: Optional[random.Random] = None,
+) -> List[Request]:
+    """Sample a merged multi-tenant Poisson arrival stream.
+
+    Tenants are drawn in the given order from a single stream, so the
+    result is fully determined by (*tenants*, *duration_ms*, *seed*).
+    """
+    if not tenants:
+        raise ValueError("need at least one tenant")
+    if duration_ms <= 0:
+        raise ValueError("duration_ms must be positive")
+    stream = rng if rng is not None else random.Random(seed)
+    horizon_ns = duration_ms * 1e6
+    requests: List[Request] = []
+    for tenant in tenants:
+        rate_per_ns = tenant.qps / 1e9
+        t = stream.expovariate(rate_per_ns)
+        while t < horizon_ns:
+            trace = tenant.dataset.sample_one(stream)
+            requests.append(
+                Request(
+                    req_id=-1,  # assigned after the merge sort below
+                    tenant=tenant.name,
+                    policy=tenant.policy,
+                    arrival_ns=t,
+                    prefill_tokens=trace.prefill_tokens,
+                    decode_tokens=trace.decode_tokens,
+                    deadline_ns=tenant.deadline_ms * 1e6,
+                )
+            )
+            t += stream.expovariate(rate_per_ns)
+    requests.sort(key=lambda r: (r.arrival_ns, r.tenant))
+    return [
+        Request(
+            req_id=i,
+            tenant=r.tenant,
+            policy=r.policy,
+            arrival_ns=r.arrival_ns,
+            prefill_tokens=r.prefill_tokens,
+            decode_tokens=r.decode_tokens,
+            deadline_ns=r.deadline_ns,
+        )
+        for i, r in enumerate(requests)
+    ]
+
+
+def trace_workload(
+    traces: Sequence[QueryTrace],
+    tenant: TenantSpec,
+    qps: Optional[float] = None,
+) -> List[Request]:
+    """Replay a fixed length trace at uniform spacing (no randomness) —
+    for experiments that want the queueing behaviour isolated from
+    arrival jitter."""
+    if not traces:
+        raise ValueError("need at least one trace")
+    rate = qps if qps is not None else tenant.qps
+    if rate <= 0:
+        raise ValueError("qps must be positive")
+    gap_ns = 1e9 / rate
+    return [
+        Request(
+            req_id=i,
+            tenant=tenant.name,
+            policy=tenant.policy,
+            arrival_ns=i * gap_ns,
+            prefill_tokens=trace.prefill_tokens,
+            decode_tokens=trace.decode_tokens,
+            deadline_ns=tenant.deadline_ms * 1e6,
+        )
+        for i, trace in enumerate(traces)
+    ]

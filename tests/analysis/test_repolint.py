@@ -68,6 +68,35 @@ class TestRl004Print:
         assert lint_source("print('hi')\n", "repro/cli.py") == []
 
 
+class TestRl005GlobalRandomness:
+    def test_fires_on_global_random_call(self):
+        findings = lint_source("x = random.randint(0, 3)\n", "repro/core/x.py")
+        assert _rule_ids(findings) == ["RL005"]
+
+    def test_fires_on_legacy_numpy_random(self):
+        findings = lint_source("x = np.random.rand(4)\n", "repro/core/x.py")
+        assert _rule_ids(findings) == ["RL005"]
+        findings = lint_source("x = numpy.random.normal()\n", "repro/core/x.py")
+        assert _rule_ids(findings) == ["RL005"]
+
+    def test_generator_constructors_allowed(self):
+        source = (
+            "rng = random.Random(7)\n"
+            "srng = random.SystemRandom()\n"
+            "nrng = np.random.default_rng(7)\n"
+            "x = rng.random()\n"
+        )
+        assert lint_source(source, "repro/core/x.py") == []
+
+    def test_bound_generator_methods_allowed(self):
+        # draws through an injected generator are the sanctioned form
+        assert lint_source("x = self.rng.randint(0, 3)\n", "repro/core/x.py") == []
+
+    def test_waiver_suppresses(self):
+        source = "x = random.random()  # lint: waive[RL005] -- seeding demo\n"
+        assert lint_source(source, "repro/core/x.py") == []
+
+
 class TestLiveTree:
     def test_src_tree_is_clean(self):
         findings, checked = lint_tree()

@@ -1,0 +1,38 @@
+"""Shared fixtures for the serving test suite."""
+
+import pytest
+
+from repro.engine.policies import InferenceEngine
+from repro.platforms.specs import IPHONE_15_PRO
+from repro.serving.workload import Request, TenantSpec
+
+
+@pytest.fixture(scope="session")
+def iphone_engine():
+    """One engine on the smallest model (cheap to construct, cached)."""
+    return InferenceEngine(IPHONE_15_PRO)
+
+
+@pytest.fixture
+def tenant():
+    return TenantSpec(name="chat", policy="facil", qps=2.0, deadline_ms=10_000.0)
+
+
+def make_request(
+    req_id=0,
+    arrival_ns=0.0,
+    prefill_tokens=32,
+    decode_tokens=8,
+    deadline_ns=10_000e6,
+    tenant="chat",
+    policy="facil",
+):
+    return Request(
+        req_id=req_id,
+        tenant=tenant,
+        policy=policy,
+        arrival_ns=arrival_ns,
+        prefill_tokens=prefill_tokens,
+        decode_tokens=decode_tokens,
+        deadline_ns=deadline_ns,
+    )

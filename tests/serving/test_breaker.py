@@ -1,0 +1,135 @@
+"""Circuit breaker state machine and brown-out hysteresis."""
+
+import pytest
+
+from repro.reliability.degrade import HealthMonitor
+from repro.serving.breaker import BreakerState, BrownoutController, CircuitBreaker
+
+
+def make_breaker(**overrides):
+    args = dict(
+        monitor=HealthMonitor(window=8),
+        fault_rate_threshold=0.5,
+        min_observations=4,
+        cooldown_ns=1000.0,
+        probe_quota=2,
+    )
+    args.update(overrides)
+    return CircuitBreaker("pim", **args)
+
+
+def trip(breaker, now=0.0):
+    """Drive enough failures through a CLOSED breaker to open it."""
+    for _ in range(breaker.min_observations):
+        breaker.record_failure(now)
+    assert breaker.state is BreakerState.OPEN
+    return breaker
+
+
+class TestClosedState:
+    def test_starts_closed_and_allows(self):
+        breaker = make_breaker()
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.allow(0.0)
+
+    def test_needs_min_observations_to_trip(self):
+        breaker = make_breaker(min_observations=4)
+        for _ in range(3):
+            breaker.record_failure(0.0)
+        assert breaker.state is BreakerState.CLOSED  # 100% faults, too few
+        breaker.record_failure(0.0)
+        assert breaker.state is BreakerState.OPEN
+
+    def test_low_fault_rate_stays_closed(self):
+        breaker = make_breaker(fault_rate_threshold=0.5)
+        for _ in range(6):
+            breaker.record_success(0.0)
+        breaker.record_failure(0.0)  # 1/7 < 0.5
+        assert breaker.state is BreakerState.CLOSED
+
+
+class TestOpenState:
+    def test_open_denies_until_cooldown(self):
+        breaker = trip(make_breaker(cooldown_ns=1000.0), now=100.0)
+        assert not breaker.allow(100.0)
+        assert not breaker.allow(1099.0)
+
+    def test_cooldown_moves_to_half_open(self):
+        breaker = trip(make_breaker(cooldown_ns=1000.0), now=100.0)
+        assert breaker.allow(1100.0)
+        assert breaker.state is BreakerState.HALF_OPEN
+
+    def test_allow_is_idempotent_in_half_open(self):
+        breaker = trip(make_breaker(cooldown_ns=1000.0), now=0.0)
+        breaker.allow(2000.0)
+        transitions_before = len(breaker.transitions)
+        breaker.allow(2001.0)
+        breaker.allow(2002.0)
+        assert len(breaker.transitions) == transitions_before
+
+
+class TestHalfOpenState:
+    def _half_open(self, **overrides):
+        breaker = trip(make_breaker(**overrides), now=0.0)
+        assert breaker.allow(breaker.cooldown_ns)
+        return breaker
+
+    def test_probe_quota_closes(self):
+        breaker = self._half_open(probe_quota=2)
+        breaker.record_success(2000.0)
+        assert breaker.state is BreakerState.HALF_OPEN
+        breaker.record_success(2100.0)
+        assert breaker.state is BreakerState.CLOSED
+
+    def test_one_failed_probe_reopens(self):
+        breaker = self._half_open()
+        breaker.record_failure(2000.0)
+        assert breaker.state is BreakerState.OPEN
+        assert breaker.opened_at_ns == 2000.0  # cooldown re-armed
+        assert not breaker.allow(2000.0 + breaker.cooldown_ns / 2)
+
+    def test_transition_log_records_full_cycle(self):
+        breaker = self._half_open(probe_quota=1)
+        breaker.record_success(5000.0)
+        states = [(a.value, b.value) for _, a, b in breaker.transitions]
+        assert states == [
+            ("closed", "open"),
+            ("open", "half-open"),
+            ("half-open", "closed"),
+        ]
+
+
+class TestValidation:
+    def test_bad_threshold(self):
+        with pytest.raises(ValueError, match="fault_rate_threshold"):
+            make_breaker(fault_rate_threshold=0.0)
+
+    def test_bad_cooldown(self):
+        with pytest.raises(ValueError, match="cooldown_ns"):
+            make_breaker(cooldown_ns=0.0)
+
+
+class TestBrownout:
+    def test_hysteresis_window(self):
+        ctl = BrownoutController(high_watermark_ns=100.0, low_watermark_ns=20.0)
+        assert not ctl.observe(50.0, 0.0)  # below high: off
+        assert ctl.observe(150.0, 10.0)  # crosses high: on
+        assert ctl.observe(50.0, 20.0)  # between watermarks: stays on
+        assert not ctl.observe(10.0, 30.0)  # under low: off
+        assert ctl.intervals == [(10.0, 30.0)]
+
+    def test_finish_closes_dangling_window(self):
+        ctl = BrownoutController(100.0, 20.0)
+        ctl.observe(500.0, 5.0)
+        ctl.finish(42.0)
+        assert ctl.intervals == [(5.0, 42.0)]
+        assert ctl.total_ns == pytest.approx(37.0)
+
+    def test_finish_is_a_noop_when_inactive(self):
+        ctl = BrownoutController(100.0, 20.0)
+        ctl.finish(42.0)
+        assert ctl.intervals == []
+
+    def test_rejects_inverted_watermarks(self):
+        with pytest.raises(ValueError, match="watermark"):
+            BrownoutController(10.0, 20.0)

@@ -1,0 +1,116 @@
+"""Bounded admission queue: shed policies and backpressure accounting."""
+
+import pytest
+
+from repro.serving.queue import AdmissionQueue, SHED_POLICIES
+
+from tests.serving.conftest import make_request
+
+
+def _fill(queue, n, start_id=0, gap_ns=10.0):
+    for i in range(n):
+        queue.offer(make_request(req_id=start_id + i, arrival_ns=(start_id + i) * gap_ns))
+
+
+class TestValidation:
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError, match="capacity"):
+            AdmissionQueue(0)
+
+    def test_rejects_unknown_policy(self):
+        with pytest.raises(ValueError, match="shed policy"):
+            AdmissionQueue(4, "lifo")
+
+    def test_rejects_bad_watermark(self):
+        with pytest.raises(ValueError, match="degrade_watermark"):
+            AdmissionQueue(4, "degrade", degrade_watermark=5)
+
+    def test_watermark_defaults_to_half_capacity(self):
+        assert AdmissionQueue(8, "degrade").degrade_watermark == 4
+
+
+class TestRejectPolicy:
+    def test_full_queue_rejects(self):
+        queue = AdmissionQueue(2, "reject")
+        _fill(queue, 2)
+        verdict, evicted = queue.offer(make_request(req_id=9, arrival_ns=100.0))
+        assert verdict == "rejected" and evicted is None
+        assert len(queue) == 2
+        assert queue.stats.rejected == 1
+
+    def test_occupancy_never_exceeds_capacity(self):
+        queue = AdmissionQueue(3, "reject")
+        _fill(queue, 10)
+        assert queue.stats.peak_occupancy == 3
+        assert queue.stats.offered == 10
+        assert queue.stats.admitted == 3
+        assert queue.stats.rejected == 7
+
+
+class TestDegradePolicy:
+    def test_below_watermark_admits_cleanly(self):
+        queue = AdmissionQueue(4, "degrade", degrade_watermark=2)
+        verdict, _ = queue.offer(make_request(req_id=0))
+        assert verdict == "admitted"
+
+    def test_at_watermark_admits_degraded(self):
+        queue = AdmissionQueue(4, "degrade", degrade_watermark=2)
+        _fill(queue, 2)
+        verdict, _ = queue.offer(make_request(req_id=5, arrival_ns=50.0))
+        assert verdict == "admitted-degraded"
+        assert queue.stats.admitted_degraded == 1
+
+    def test_full_still_rejects(self):
+        queue = AdmissionQueue(3, "degrade", degrade_watermark=1)
+        _fill(queue, 3)
+        verdict, _ = queue.offer(make_request(req_id=9, arrival_ns=90.0))
+        assert verdict == "rejected"
+
+
+class TestDropOldestPolicy:
+    def test_full_queue_evicts_head(self):
+        queue = AdmissionQueue(2, "drop-oldest")
+        _fill(queue, 2)
+        newcomer = make_request(req_id=7, arrival_ns=70.0)
+        verdict, evicted = queue.offer(newcomer)
+        assert verdict == "admitted"
+        assert evicted is not None and evicted.req_id == 0
+        assert queue.peek().req_id == 1  # FIFO order preserved
+        assert queue.stats.dropped == 1
+        assert len(queue) == 2
+
+
+class TestAccounting:
+    def test_time_weighted_occupancy_integral(self):
+        queue = AdmissionQueue(4)
+        queue.offer(make_request(req_id=0, arrival_ns=0.0))
+        queue.offer(make_request(req_id=1, arrival_ns=100.0))
+        # [0, 100): 1 waiter; [100, 300): 2 waiters
+        queue.pop(300.0)
+        assert queue.stats.occupancy_ns == pytest.approx(1 * 100.0 + 2 * 200.0)
+        assert queue.stats.mean_occupancy(300.0) == pytest.approx(500.0 / 300.0)
+
+    def test_pop_accumulates_wait(self):
+        queue = AdmissionQueue(4)
+        queue.offer(make_request(req_id=0, arrival_ns=10.0))
+        popped = queue.pop(250.0)
+        assert popped.req_id == 0
+        assert queue.stats.wait_ns == pytest.approx(240.0)
+
+    def test_pop_empty_returns_none(self):
+        assert AdmissionQueue(2).pop(5.0) is None
+
+    def test_drain_empties_the_queue(self):
+        queue = AdmissionQueue(4)
+        _fill(queue, 3)
+        remaining = queue.drain(500.0)
+        assert [r.req_id for r in remaining] == [0, 1, 2]
+        assert len(queue) == 0
+
+    @pytest.mark.parametrize("policy", SHED_POLICIES)
+    def test_offered_equals_admitted_plus_rejected(self, policy):
+        queue = AdmissionQueue(3, policy)
+        _fill(queue, 12)
+        stats = queue.stats
+        assert stats.offered == stats.admitted + stats.rejected
+        assert stats.shed == stats.rejected + stats.dropped

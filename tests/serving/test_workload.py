@@ -1,0 +1,83 @@
+"""Workload generators: determinism, ordering, deadline plumbing."""
+
+import pytest
+
+from repro.llm.datasets import ALPACA_LIKE, QueryTrace
+from repro.serving.workload import TenantSpec, poisson_workload, trace_workload
+
+
+class TestTenantSpec:
+    def test_rejects_unknown_policy(self):
+        with pytest.raises(ValueError, match="policy"):
+            TenantSpec(name="x", policy="greedy")
+
+    def test_rejects_nonpositive_qps(self):
+        with pytest.raises(ValueError, match="qps"):
+            TenantSpec(name="x", qps=0.0)
+
+
+class TestPoissonWorkload:
+    def test_same_seed_is_identical(self):
+        tenants = [TenantSpec(name="chat", qps=20.0)]
+        a = poisson_workload(tenants, duration_ms=2000.0, seed=3)
+        b = poisson_workload(tenants, duration_ms=2000.0, seed=3)
+        assert a == b
+        assert len(a) > 0
+
+    def test_different_seeds_differ(self):
+        tenants = [TenantSpec(name="chat", qps=20.0)]
+        a = poisson_workload(tenants, duration_ms=2000.0, seed=0)
+        b = poisson_workload(tenants, duration_ms=2000.0, seed=1)
+        assert a != b
+
+    def test_sorted_with_dense_req_ids(self):
+        tenants = [
+            TenantSpec(name="chat", qps=15.0),
+            TenantSpec(name="keyboard", qps=30.0, deadline_ms=50.0),
+        ]
+        requests = poisson_workload(tenants, duration_ms=2000.0, seed=0)
+        arrivals = [r.arrival_ns for r in requests]
+        assert arrivals == sorted(arrivals)
+        assert [r.req_id for r in requests] == list(range(len(requests)))
+        assert {r.tenant for r in requests} == {"chat", "keyboard"}
+
+    def test_rate_roughly_matches_qps(self):
+        tenants = [TenantSpec(name="chat", qps=40.0)]
+        requests = poisson_workload(tenants, duration_ms=10_000.0, seed=0)
+        # 40 qps for 10 s -> ~400 arrivals; Poisson 5 sigma is ~±100
+        assert 300 <= len(requests) <= 500
+
+    def test_lengths_respect_dataset_clip(self):
+        tenants = [TenantSpec(name="chat", dataset=ALPACA_LIKE, qps=50.0)]
+        for request in poisson_workload(tenants, duration_ms=2000.0, seed=2):
+            assert ALPACA_LIKE.prefill_min <= request.prefill_tokens <= ALPACA_LIKE.prefill_max
+            assert ALPACA_LIKE.decode_min <= request.decode_tokens <= ALPACA_LIKE.decode_max
+
+    def test_deadline_carried_from_tenant(self):
+        tenants = [TenantSpec(name="chat", qps=50.0, deadline_ms=123.0)]
+        requests = poisson_workload(tenants, duration_ms=1000.0, seed=0)
+        assert all(r.deadline_ns == pytest.approx(123.0e6) for r in requests)
+        first = requests[0]
+        assert first.deadline_abs_ns == pytest.approx(first.arrival_ns + 123.0e6)
+
+    def test_rejects_empty_tenants(self):
+        with pytest.raises(ValueError, match="tenant"):
+            poisson_workload([], duration_ms=100.0)
+
+
+class TestTraceWorkload:
+    def test_uniform_spacing_at_qps(self):
+        traces = [QueryTrace(prefill_tokens=16, decode_tokens=4)] * 5
+        tenant = TenantSpec(name="replay", qps=10.0)
+        requests = trace_workload(traces, tenant)
+        assert [r.arrival_ns for r in requests] == [i * 1e8 for i in range(5)]
+
+    def test_qps_override(self):
+        traces = [QueryTrace(prefill_tokens=16, decode_tokens=4)] * 3
+        tenant = TenantSpec(name="replay", qps=10.0)
+        requests = trace_workload(traces, tenant, qps=1000.0)
+        assert requests[1].arrival_ns == pytest.approx(1e6)
+
+    def test_rejects_empty_trace(self):
+        with pytest.raises(ValueError, match="trace"):
+            trace_workload([], TenantSpec(name="x"))

@@ -60,3 +60,52 @@ class TestCommands:
     def test_unknown_dataset_exits(self):
         with pytest.raises(SystemExit, match="unknown dataset"):
             main(["dataset", "--dataset", "imagenet"])
+
+
+class TestServeCommand:
+    def test_serve_writes_report_and_exits_zero(self, capsys, tmp_path):
+        out = tmp_path / "serve.json"
+        assert main([
+            "serve", "--seed", "0", "--duration-ms", "5000",
+            "--load", "0.3", "--out", str(out),
+        ]) == 0
+        text = capsys.readouterr().out
+        assert "sustainable" in text
+        assert "SLO attainment" in text
+        import json
+
+        report = json.loads(out.read_text())
+        assert report["ok"] is True
+        assert report["unserved"] == 0
+        assert report["offered"] == report["served"] + report["rejected"] \
+            + report["dropped"] + report["timed_out"] + report["aborted"]
+
+    def test_serve_exits_nonzero_when_queries_go_unserved(self, tmp_path):
+        # sub-millisecond TTFT budget: nothing can be served in time
+        with pytest.raises(SystemExit, match="unserved"):
+            main([
+                "serve", "--seed", "0", "--duration-ms", "3000",
+                "--qps", "2", "--deadline-ms", "0.001",
+                "--out", str(tmp_path / "serve.json"),
+            ])
+
+    def test_serve_rejects_unknown_shed_policy(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--shed", "lifo"])
+
+
+class TestChaosCommand:
+    def test_chaos_with_crash_injections_writes_report(self, capsys, tmp_path):
+        out = tmp_path / "chaos.json"
+        assert main([
+            "chaos", "--seed", "0", "--queries", "6",
+            "--crash-injections", "20", "--out", str(out),
+        ]) == 0
+        text = capsys.readouterr().out
+        assert "crash campaign" in text
+        import json
+
+        report = json.loads(out.read_text())
+        assert report["campaign"]["silent"] == 0
+        assert report["crash"]["ok"] is True
+        assert report["crash"]["n_injections"] == 20
