@@ -47,8 +47,10 @@ __all__ = [
     "verify_mapping",
     "verify_pim_mapping",
     "verify_selection",
+    "verify_kv_blocks",
     "verify_platform",
     "DEFAULT_MATRIX_BATTERY",
+    "KV_BLOCK_BATTERY",
 ]
 
 MAPVERIFY_RULES: Dict[str, str] = {
@@ -67,8 +69,20 @@ MAPVERIFY_RULES: Dict[str, str] = {
              "builder inconsistency)",
     "MV009": "selected MapID exceeds the theoretical maximum for the "
              "organization",
+    "MV010": "a KV-cache block is not aligned to the PIM chunk row: its "
+             "base or size is not a whole number of chunk rows",
+    "MV011": "a chunk-row window of a KV-cache block straddles a DRAM "
+             "row or processing unit (decoded placement is not one "
+             "contiguous run in one bank row)",
 }
 register_rules(MAPVERIFY_RULES)
+
+#: KV block shapes (block_tokens, kv_dim) the platform sweep exercises —
+#: a small chat-model slab and a large one (see repro.kvcache.KvSpec).
+KV_BLOCK_BATTERY: Tuple[Tuple[int, int], ...] = (
+    (16, 1024),
+    (32, 4096),
+)
 
 #: Matrix shapes the selector is exercised with per platform: the padded
 #: column counts cover sub-chunk rows, one-chunk rows, typical LLM layer
@@ -406,6 +420,75 @@ def verify_selection(
     return findings
 
 
+def verify_kv_blocks(
+    mapping: AddressMapping,
+    org: DramOrganization,
+    pim: PimConfig,
+    block_bytes: int,
+    n_blocks: int = 2,
+    base_offset: int = 0,
+    location: str = "",
+) -> List[Finding]:
+    """KV placement rules MV010/MV011 for a block pool arena.
+
+    A KV block is read by the PIM attention sweep one chunk row at a
+    time, so every block must start on a chunk-row boundary and be a
+    whole number of chunk rows (MV010), and each chunk-row-sized window
+    inside each block must decode — through the *actual* mapping — to a
+    single contiguous run of transfers inside one bank row (MV011).
+    Huge pages of one arena share a MapID, so placement is periodic in
+    the page and checking the first *n_blocks* blocks covers the pool.
+    """
+    findings: List[Finding] = []
+    loc = location or f"kv-blocks@{mapping.name}"
+    crb = pim.chunk_row_bytes
+    if block_bytes <= 0:
+        raise ValueError("block_bytes must be positive")
+    if block_bytes % crb != 0 or base_offset % crb != 0:
+        findings.append(
+            Finding(
+                "MV010",
+                LEVEL_ERROR,
+                f"KV block geometry is not chunk-row aligned: base offset "
+                f"{base_offset}, block {block_bytes} B, chunk row {crb} B",
+                location=loc,
+            )
+        )
+        return findings  # window walks below assume alignment
+    pa_mask = (1 << mapping.n_bits) - 1
+    step = org.transfer_bytes
+    for block in range(n_blocks):
+        base = base_offset + block * block_bytes
+        for window in range(base, base + block_bytes, crb):
+            coords = [
+                mapping.decode((window + off) & pa_mask)
+                for off in range(0, crb, step)
+            ]
+            units = {(c.channel, c.rank, c.bank, c.row) for c in coords}
+            cols = [c.col for c in coords]
+            contiguous = cols == list(range(cols[0], cols[0] + len(cols)))
+            if len(units) != 1 or not contiguous:
+                reason = (
+                    f"window at +{window - base} of block {block} touches "
+                    f"{len(units)} (ch,rank,bank,row) unit(s)"
+                    if len(units) != 1
+                    else f"window at +{window - base} of block {block} has "
+                    f"non-contiguous columns {cols[:4]}..."
+                )
+                findings.append(
+                    Finding(
+                        "MV011",
+                        LEVEL_ERROR,
+                        "KV chunk-row window is not one contiguous run in "
+                        "one bank row",
+                        location=loc,
+                        detail=reason,
+                    )
+                )
+                break  # one finding per block is enough signal
+    return findings
+
+
 def verify_platform(
     name: str,
     org: DramOrganization,
@@ -483,6 +566,46 @@ def verify_platform(
                     pim,
                     huge_page_bytes,
                     pte_map_id_bits,
+                ),
+                name,
+            )
+        )
+        checked += 1
+
+    # KV block pool arenas: the exact shapes repro.kvcache.KvSpec builds
+    for block_tokens, kv_dim in KV_BLOCK_BATTERY:
+        kv_matrix = MatrixConfig(rows=64 * block_tokens, cols=kv_dim)
+        try:
+            selection = select_mapping(kv_matrix, org, pim, huge_page_bytes)
+        except ValueError:
+            continue  # incompatible config rejected up front: not a bug
+        kv_location = f"kv{block_tokens}x{kv_dim}"
+        try:
+            mapping = pim_optimized_mapping(
+                org=org,
+                chunk_rows=pim.chunk_rows,
+                chunk_cols=pim.chunk_cols,
+                dtype_bytes=pim.dtype_bytes,
+                map_id=selection.map_id,
+                n_bits=n_bits,
+                pu_order=pu_order_for(selection),
+            )
+        except ValueError as exc:
+            findings.append(
+                Finding(
+                    "MV008",
+                    LEVEL_ERROR,
+                    f"builder rejects the KV arena's MapID "
+                    f"{selection.map_id}: {exc}",
+                    location=f"{name}:{kv_location}",
+                )
+            )
+            continue
+        block_bytes = block_tokens * selection.padded_row_bytes
+        findings.extend(
+            _tagged(
+                verify_kv_blocks(
+                    mapping, org, pim, block_bytes, location=kv_location
                 ),
                 name,
             )

@@ -167,7 +167,11 @@ def _cmd_chaos(args: argparse.Namespace) -> None:
     if args.crash_injections:
         from repro.serving.crashes import run_crash_campaign
 
-        crash = run_crash_campaign(n_injections=args.crash_injections, seed=args.seed)
+        crash = run_crash_campaign(
+            n_injections=args.crash_injections,
+            seed=args.seed,
+            kv_injections=args.kv_crash_injections,
+        )
         print()
         print(crash.render())
         payload["crash"] = crash.to_dict()
@@ -208,7 +212,8 @@ def _cmd_serve(args: argparse.Namespace) -> None:
     qps = args.qps if args.qps is not None else args.load * capacity_qps
     tenant = TenantSpec(
         name=spec.name, dataset=spec, policy=args.policy, qps=qps,
-        deadline_ms=args.deadline_ms,
+        deadline_ms=args.deadline_ms, mean_turns=args.mean_turns,
+        think_time_ms=args.think_time_ms,
     )
     requests = poisson_workload([tenant], duration_ms=args.duration_ms, seed=args.seed)
     # Brown-out watermarks scale with the platform: saturation means a
@@ -234,6 +239,9 @@ def _cmd_serve(args: argparse.Namespace) -> None:
         mapping_fault_rate=args.mapping_fault_rate,
         brownout_high_ns=4.0 * mean_decode_ns,
         brownout_low_ns=1.0 * mean_decode_ns,
+        kv_blocks=args.kv_blocks,
+        block_tokens=args.block_tokens,
+        prefix_sharing=args.prefix_sharing,
     )
     report = ServingRuntime(engine, config).run(requests)
     print(f"platform        : {platform.name} / {engine.model.name}")
@@ -334,6 +342,9 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--crash-injections", type=int, default=0,
                        help="also run N crash injections through the MapID "
                        "journal and merge the audit into the report")
+    chaos.add_argument("--kv-crash-injections", type=int, default=0,
+                       help="with --crash-injections: also sweep N crash "
+                       "injections through the KV block pool's journal")
     chaos.add_argument("--out", default=None, metavar="PATH",
                        help="JSON report path (default: benchmarks/results/)")
 
@@ -363,6 +374,20 @@ def build_parser() -> argparse.ArgumentParser:
                        help="P(transient fault) per PIM phase attempt")
     serve.add_argument("--mapping-fault-rate", type=float, default=0.0,
                        help="P(transient fault) per flexible-mapping prefill")
+    serve.add_argument("--kv-blocks", type=int, default=0,
+                       help="KV block pool size; > 0 switches to the paged-KV "
+                       "continuous-batching scheduler")
+    serve.add_argument("--block-tokens", type=int, default=16,
+                       help="tokens per KV block")
+    serve.add_argument("--prefix-sharing",
+                       action=argparse.BooleanOptionalAction, default=True,
+                       help="share full prefix blocks across turns of a "
+                       "conversation (--no-prefix-sharing to disable)")
+    serve.add_argument("--mean-turns", type=float, default=1.0,
+                       help="mean turns per conversation (> 1 emits "
+                       "multi-turn traffic)")
+    serve.add_argument("--think-time-ms", type=float, default=2000.0,
+                       help="mean think time between conversation turns")
     serve.add_argument("--out", default=None, metavar="PATH",
                        help="JSON report path (default: benchmarks/results/)")
 

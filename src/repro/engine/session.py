@@ -8,18 +8,30 @@ the gap grows linearly with conversation length.
 
 :class:`ChatSession` prices successive turns with cumulative context:
 turn *k*'s prefill GEMMs cover only the new user tokens, but attention
-spans the whole conversation so far.
+spans the whole conversation so far.  Each turn records the re-layout
+cost it actually paid (:attr:`TurnLatency.relayout_ns`), so
+:attr:`ChatSession.total_relayout_ns` stays correct across a mid-
+conversation :meth:`set_policy` switch.
+
+With a :class:`~repro.kvcache.manager.KvCacheManager` attached, the
+session prices turns against the *managed* cache instead of assuming
+perfect persistence: each turn admits a sequence keyed on the
+conversation, the prefix-tree hit covers the full blocks of earlier
+turns, and only the remainder (the new tokens plus the partial tail
+block) is recomputed — the block-granular reality of paged KV.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import TYPE_CHECKING, List, Optional
 
-from repro.engine.metrics import QueryLatency
 from repro.engine.policies import POLICIES, InferenceEngine, decode_on_pim
 from repro.llm.inference import attention_cost
 from repro.llm.layers import linear_specs
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.kvcache.manager import KvCacheManager
 
 __all__ = ["ChatSession", "TurnLatency"]
 
@@ -34,6 +46,13 @@ class TurnLatency:
     response_tokens: int
     ttft_ns: float
     ttlt_ns: float
+    #: re-layout cost this turn actually paid (0 unless the policy
+    #: serving *this turn* re-laid out the weights)
+    relayout_ns: float = 0.0
+    #: prefix-cache split of this turn's prefill (managed-KV mode only;
+    #: without a manager, ``recomputed_tokens == user_tokens``)
+    cached_tokens: int = 0
+    recomputed_tokens: int = 0
 
     @property
     def ttft_ms(self) -> float:
@@ -47,13 +66,21 @@ class TurnLatency:
 class ChatSession:
     """Prices a conversation under one policy, with persistent KV cache."""
 
-    def __init__(self, engine: InferenceEngine, policy: str):
+    def __init__(
+        self,
+        engine: InferenceEngine,
+        policy: str,
+        kv: Optional["KvCacheManager"] = None,
+        conversation_id: int = 0,
+    ):
         if policy not in POLICIES:
             raise ValueError(f"unknown policy {policy!r}; known: {POLICIES}")
         self.engine = engine
         self.policy = policy
         self.context = 0
         self.turns: List[TurnLatency] = []
+        self.kv = kv
+        self.conversation_id = conversation_id
 
     def set_policy(self, policy: str) -> None:
         """Switch the execution policy mid-conversation (the serving
@@ -65,9 +92,14 @@ class ChatSession:
 
     # -- pricing helpers ------------------------------------------------------
 
-    def _incremental_prefill_ns(self, n_new: int, pim_layout: bool) -> float:
-        """Prefill over *n_new* tokens attending to the whole context."""
+    def _incremental_prefill_ns(
+        self, n_new: int, pim_layout: bool, context: Optional[int] = None
+    ) -> float:
+        """Prefill over *n_new* tokens attending to the whole context
+        (*context* tokens of reusable KV ahead of them; defaults to the
+        session's committed context)."""
         engine = self.engine
+        prior = self.context if context is None else context
         gemm_ns = 0.0
         for spec in linear_specs(engine.model):
             n = engine._gemm_batch(spec, n_new)
@@ -76,27 +108,35 @@ class ChatSession:
             )
         if pim_layout:
             gemm_ns *= 1.0 + engine.platform.gemm_layout_slowdown
-        attention = attention_cost(
-            engine.model, n_new, self.context + n_new
-        )
+        attention = attention_cost(engine.model, n_new, prior + n_new)
         return gemm_ns + engine._attention_ns(attention)
 
-    def _prefill_ns(self, n_new: int) -> float:
+    def _prefill_cost(
+        self, n_new: int, context: Optional[int] = None
+    ) -> "tuple[float, float]":
+        """Price this turn's prefill under the current policy.
+
+        Returns ``(prefill_ns, relayout_ns)`` where the second term is
+        the re-layout share actually paid (contained in the first)."""
         engine = self.engine
         if self.policy == "soc-only":
-            return self._incremental_prefill_ns(n_new, pim_layout=False)
+            return self._incremental_prefill_ns(n_new, False, context), 0.0
         if self.policy == "hybrid-static":
-            return engine.relayout_total_ns() + self._incremental_prefill_ns(
-                n_new, pim_layout=False
+            relayout = engine.relayout_total_ns()
+            return (
+                relayout + self._incremental_prefill_ns(n_new, False, context),
+                relayout,
             )
         if self.policy == "hybrid-dynamic":
-            soc_path = engine.relayout_total_ns() + self._incremental_prefill_ns(
-                n_new, pim_layout=False
-            )
-            return min(soc_path, engine.pim_prefill_ns(n_new))
+            relayout = engine.relayout_total_ns()
+            soc_path = relayout + self._incremental_prefill_ns(n_new, False, context)
+            pim_path = engine.pim_prefill_ns(n_new)
+            if pim_path < soc_path:
+                return pim_path, 0.0
+            return soc_path, relayout
         # facil (dynamic offload on, as in the dataset experiments)
-        soc_path = self._incremental_prefill_ns(n_new, pim_layout=True)
-        return min(soc_path, engine.pim_prefill_ns(n_new))
+        soc_path = self._incremental_prefill_ns(n_new, True, context)
+        return min(soc_path, engine.pim_prefill_ns(n_new)), 0.0
 
     # -- public API ------------------------------------------------------------
 
@@ -105,13 +145,28 @@ class ChatSession:
         if user_tokens <= 0 or response_tokens <= 0:
             raise ValueError("token counts must be positive")
         engine = self.engine
-        ttft = self._prefill_ns(user_tokens)
+        total = self.context + user_tokens
+        cached = 0
+        recompute = user_tokens
+        seq_id = None
+        now = float(len(self.turns))
+        if self.kv is not None:
+            seq_id = (self.conversation_id << 16) | len(self.turns)
+            admission = self.kv.begin(seq_id, self.conversation_id, total, now)
+            cached = admission.cached_tokens
+            recompute = admission.recompute_tokens
+        ttft, relayout = self._prefill_cost(recompute, context=cached)
         on_pim = decode_on_pim(self.policy)
         step = engine.pim_decode_step_ns if on_pim else engine.soc_decode_step_ns
         decode = 0.0
-        base = self.context + user_tokens
+        base = total
         for t in range(1, response_tokens):
             decode += step(base + t)
+        if self.kv is not None and seq_id is not None:
+            self.kv.commit(seq_id, recompute, now)
+            self.kv.ensure_capacity(seq_id, response_tokens, now)
+            self.kv.commit(seq_id, response_tokens, now)
+            self.kv.release(seq_id, now, retain=True)
         result = TurnLatency(
             turn=len(self.turns) + 1,
             context_before=self.context,
@@ -119,6 +174,9 @@ class ChatSession:
             response_tokens=response_tokens,
             ttft_ns=ttft,
             ttlt_ns=ttft + decode,
+            relayout_ns=relayout,
+            cached_tokens=cached,
+            recomputed_tokens=recompute,
         )
         self.turns.append(result)
         self.context += user_tokens + response_tokens
@@ -130,7 +188,10 @@ class ChatSession:
 
     @property
     def total_relayout_ns(self) -> float:
-        """Cumulative re-layout cost paid so far (static baseline only)."""
-        if self.policy != "hybrid-static":
-            return 0.0
-        return len(self.turns) * self.engine.relayout_total_ns()
+        """Cumulative re-layout cost actually paid so far.
+
+        Summed from the per-turn records, so turns priced before a
+        :meth:`set_policy` switch keep the cost of the policy that
+        served them (the previous implementation re-priced history
+        against the *current* policy)."""
+        return sum(t.relayout_ns for t in self.turns)

@@ -1,0 +1,85 @@
+"""KV-cache block handles and the error taxonomy.
+
+A block is the unit of KV-cache allocation: ``block_tokens`` token
+rows, each padded to the selector's leading dimension, so one block is
+a whole number of PIM chunk rows.  Blocks never move; identity is the
+``block_id`` and *incarnation* is the ``generation`` counter, bumped
+every time the block returns to the free list.  A :class:`BlockRef`
+names one incarnation — any access through a ref whose generation no
+longer matches is a use-after-free and raises
+:class:`StaleBlockError` instead of silently reading another
+sequence's KV state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "BLOCK_FREE",
+    "BLOCK_LIVE",
+    "BlockRef",
+    "KvBlock",
+    "KvCacheError",
+    "KvPoolExhausted",
+    "SharedBlockWriteError",
+    "StaleBlockError",
+]
+
+#: block states: FREE blocks sit on the pool's free list with a zero
+#: refcount; LIVE blocks are held (refcount >= 1) by sequences, forks,
+#: or the prefix tree.
+BLOCK_FREE = "free"
+BLOCK_LIVE = "live"
+
+
+class KvCacheError(RuntimeError):
+    """Base class for KV-cache invariant violations."""
+
+
+class KvPoolExhausted(KvCacheError):
+    """No free block and nothing evictable — the caller must shed load,
+    defer, or preempt a sequence."""
+
+
+class StaleBlockError(KvCacheError):
+    """A block was accessed through a reference whose generation no
+    longer matches: the block was freed (and possibly reallocated) under
+    the holder — the paged-KV equivalent of a dangling pointer."""
+
+
+class SharedBlockWriteError(KvCacheError):
+    """A write targeted a block with refcount > 1.  Shared blocks are
+    immutable; appends must copy-on-write first."""
+
+
+@dataclass(frozen=True)
+class BlockRef:
+    """Capability to one block incarnation: ``(block_id, generation)``."""
+
+    block_id: int
+    generation: int
+
+
+@dataclass
+class KvBlock:
+    """One fixed-size KV block and its placement inside the pool arena.
+
+    ``page_index``/``page_offset`` locate the block inside the huge-page
+    run backing the pool (all pages of one ``pimalloc`` arena share one
+    MapID, so the placement is fully determined by the byte offset).
+    """
+
+    block_id: int
+    page_index: int = 0
+    page_offset: int = 0
+    state: str = BLOCK_FREE
+    ref_count: int = 0
+    generation: int = 0
+    #: committed tokens stored in this block (<= pool.block_tokens)
+    tokens: int = 0
+    last_use_ns: float = 0.0
+
+    @property
+    def ref(self) -> BlockRef:
+        return BlockRef(self.block_id, self.generation)

@@ -1,0 +1,170 @@
+"""Hash-chained prefix tree of cached full KV blocks.
+
+vLLM-style automatic prefix caching: a *full* block of a conversation
+is published under a chain key — a deterministic hash folding the
+parent block's key with the block's content key — so a later turn (or
+a fork) walking the same chain re-acquires the cached KV instead of
+recomputing it.  Only full blocks are shared; partial tails stay
+private to their sequence.
+
+Nodes carry a ``seq_refs`` count of the sequences currently attached.
+A node with ``seq_refs == 0`` is *cached but idle*: reclaimable.
+Eviction is LRU over idle **leaves** — interior nodes are pinned by
+their children, so chains evict tail-first and a shared prefix
+survives as long as any extension of it is warm.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.kvcache.block import BlockRef
+
+__all__ = ["PrefixNode", "PrefixTree", "chain_hash", "token_block_key"]
+
+_HASH_MASK = (1 << 62) - 1
+
+
+def chain_hash(parent_key: int, token_key: int) -> int:
+    """Fold one block's content key into its parent's chain key.
+
+    Deterministic across runs (no ``PYTHONHASHSEED`` dependence): plain
+    integer arithmetic, FNV-style."""
+    return ((parent_key * 1000003) ^ token_key) & _HASH_MASK
+
+
+def token_block_key(conv_key: int, block_index: int) -> int:
+    """Content key of block *block_index* of conversation *conv_key*.
+
+    The simulation does not materialize token ids, so the conversation
+    identity stands in for the token content: two sequences share KV
+    exactly when they belong to the same conversation prefix."""
+    return chain_hash((conv_key * 2654435761) & _HASH_MASK, block_index + 1)
+
+
+class PrefixNode:
+    """One cached full block in the chain tree."""
+
+    __slots__ = ("key", "parent", "children", "ref", "seq_refs", "last_use_ns")
+
+    def __init__(
+        self, key: int, parent: Optional["PrefixNode"], ref: BlockRef
+    ) -> None:
+        self.key = key
+        self.parent = parent
+        self.children: Dict[int, "PrefixNode"] = {}
+        self.ref = ref
+        self.seq_refs = 0
+        self.last_use_ns = 0.0
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+
+class PrefixTree:
+    """Chain-keyed tree of cached full blocks with LRU leaf eviction."""
+
+    def __init__(self) -> None:
+        # the root is a sentinel holding no block
+        self.root = PrefixNode(key=0, parent=None, ref=BlockRef(-1, -1))
+        self._n_nodes = 0
+
+    def __len__(self) -> int:
+        return self._n_nodes
+
+    # -- lookup / insert ---------------------------------------------------
+
+    def walk(self, token_keys: Iterable[int]) -> List[PrefixNode]:
+        """Longest cached chain matching *token_keys*, root-first."""
+        node = self.root
+        hits: List[PrefixNode] = []
+        for key in token_keys:
+            child = node.children.get(key)
+            if child is None:
+                break
+            hits.append(child)
+            node = child
+        return hits
+
+    def insert(
+        self,
+        parent: Optional[PrefixNode],
+        token_key: int,
+        ref: BlockRef,
+        now_ns: float,
+    ) -> PrefixNode:
+        """Publish a full block under *parent* (None = root).
+
+        The caller transfers its block hold to the tree; the tree frees
+        it at eviction time."""
+        base = parent if parent is not None else self.root
+        if token_key in base.children:
+            raise ValueError(f"chain key {token_key} already cached")
+        node = PrefixNode(key=token_key, parent=base, ref=ref)
+        node.last_use_ns = now_ns
+        base.children[token_key] = node
+        self._n_nodes += 1
+        return node
+
+    def lookup(self, parent: Optional[PrefixNode], token_key: int) -> Optional[PrefixNode]:
+        base = parent if parent is not None else self.root
+        return base.children.get(token_key)
+
+    # -- sequence attachment ----------------------------------------------
+
+    def acquire(self, node: PrefixNode, now_ns: float) -> None:
+        node.seq_refs += 1
+        node.last_use_ns = now_ns
+
+    def release(self, node: PrefixNode, now_ns: float) -> None:
+        if node.seq_refs <= 0:
+            raise ValueError(f"node {node.key} released more than acquired")
+        node.seq_refs -= 1
+        node.last_use_ns = now_ns
+
+    # -- eviction ----------------------------------------------------------
+
+    def _iter_nodes(self) -> Iterable[PrefixNode]:
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if node is not self.root:
+                yield node
+            stack.extend(node.children.values())
+
+    def nodes(self) -> List[PrefixNode]:
+        return list(self._iter_nodes())
+
+    def idle_nodes(self) -> List[PrefixNode]:
+        """Cached-but-unreferenced nodes: the reclaimable tail of the
+        pool's occupancy (feeds the pressure signal)."""
+        return [n for n in self._iter_nodes() if n.seq_refs == 0]
+
+    def lru_leaf(self) -> Optional[PrefixNode]:
+        """The least-recently-used idle leaf, or None."""
+        best: Optional[PrefixNode] = None
+        for node in self._iter_nodes():
+            if node.seq_refs != 0 or not node.is_leaf:
+                continue
+            if best is None or (node.last_use_ns, node.key) < (
+                best.last_use_ns,
+                best.key,
+            ):
+                best = node
+        return best
+
+    def evict(self, node: PrefixNode) -> BlockRef:
+        """Detach an idle leaf; returns the block hold for the caller to
+        free."""
+        if node.seq_refs != 0:
+            raise ValueError(f"node {node.key} is attached to {node.seq_refs} seq(s)")
+        if not node.is_leaf:
+            raise ValueError(f"node {node.key} has children; evict tail-first")
+        parent = node.parent
+        if parent is None:
+            raise ValueError("cannot evict the root sentinel")
+        del parent.children[node.key]
+        node.parent = None
+        self._n_nodes -= 1
+        return node.ref

@@ -31,10 +31,12 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.analysis.mapverify import verify_pim_mapping
-from repro.core.journal import CRASH_SITES, InjectedCrash
+from repro.core.journal import CRASH_SITES, InjectedCrash, MapJournal
 from repro.core.pimalloc import PimSystem, PimTensor
 from repro.core.selector import MatrixConfig
 from repro.dram.config import DramOrganization
+from repro.kvcache.block import BlockRef
+from repro.kvcache.pool import KV_CRASH_SITES, BlockPool, KvSpec, recover_pool
 from repro.pim.config import PimConfig
 from repro.reliability.campaign import TINY_CAMPAIGN_ORG
 from repro.reliability.faults import FaultInjector
@@ -69,6 +71,16 @@ class CrashReport:
     #: did the post-campaign teardown reach the pristine state?
     final_clean: bool = False
     failures: List[str] = field(default_factory=list)
+    #: KV block-pool campaign (see repro.kvcache): separate injector,
+    #: journal, and counters so the MapID sweep stays byte-identical
+    kv_injections: int = 0
+    kv_crashes_by_site: Dict[str, int] = field(default_factory=dict)
+    kv_rolled_back: int = 0
+    kv_rolled_forward: int = 0
+    kv_no_ops: int = 0
+    kv_leaked_refcounts: int = 0
+    kv_audit_failures: int = 0
+    kv_final_clean: bool = True
 
     @property
     def ok(self) -> bool:
@@ -79,6 +91,9 @@ class CrashReport:
             and self.crc_mismatches == 0
             and self.leaked_map_ids == 0
             and self.final_clean
+            and self.kv_leaked_refcounts == 0
+            and self.kv_audit_failures == 0
+            and self.kv_final_clean
         )
 
     def to_dict(self) -> Dict:
@@ -95,6 +110,14 @@ class CrashReport:
             "crc_mismatches": self.crc_mismatches,
             "leaked_map_ids": self.leaked_map_ids,
             "final_clean": self.final_clean,
+            "kv_injections": self.kv_injections,
+            "kv_crashes_by_site": dict(sorted(self.kv_crashes_by_site.items())),
+            "kv_rolled_back": self.kv_rolled_back,
+            "kv_rolled_forward": self.kv_rolled_forward,
+            "kv_no_ops": self.kv_no_ops,
+            "kv_leaked_refcounts": self.kv_leaked_refcounts,
+            "kv_audit_failures": self.kv_audit_failures,
+            "kv_final_clean": self.kv_final_clean,
             "failures": list(self.failures[:20]),
             "ok": self.ok,
         }
@@ -113,8 +136,22 @@ class CrashReport:
             f"CRC errors      : {self.crc_mismatches}",
             f"leaked MapIDs   : {self.leaked_map_ids}",
             f"final clean     : {self.final_clean}",
-            f"verdict         : {'OK' if self.ok else 'FAIL'}",
         ]
+        if self.kv_injections:
+            lines += [
+                f"kv injections   : {self.kv_injections} ("
+                + ", ".join(
+                    f"{k}={v}" for k, v in sorted(self.kv_crashes_by_site.items())
+                )
+                + ")",
+                f"kv recovery     : {self.kv_rolled_back} rolled back, "
+                f"{self.kv_rolled_forward} rolled forward, "
+                f"{self.kv_no_ops} no-ops",
+                f"kv leaked refs  : {self.kv_leaked_refcounts}",
+                f"kv audit errors : {self.kv_audit_failures}",
+                f"kv final clean  : {self.kv_final_clean}",
+            ]
+        lines.append(f"verdict         : {'OK' if self.ok else 'FAIL'}")
         return "\n".join(lines)
 
 
@@ -172,15 +209,99 @@ def _audit(
             )
 
 
+def _run_kv_campaign(report: CrashReport, kv_injections: int, seed: int) -> None:
+    """Seeded crash sweep over the KV block pool's journal.
+
+    Uses its own :class:`MapJournal` and :class:`FaultInjector` (seeded
+    ``seed + 1``) so the MapID campaign above reproduces byte-identically
+    whether or not this runs.  After every recovery the pool is audited
+    and its refcounts reconciled against the held refs — any block alive
+    without a holder is a leaked refcount."""
+    journal = MapJournal()
+    injector = FaultInjector(seed + 1)
+    journal.fault_hook = injector
+    pool = BlockPool(8, KvSpec(block_tokens=4, kv_dim=128), journal=journal)
+    rng = random.Random(seed + 1)
+    held: List[BlockRef] = []
+
+    def kv_audit(label: str) -> None:
+        violations = pool.audit()
+        if violations:
+            report.kv_audit_failures += 1
+            report.failures.append(f"{label}: pool audit: {violations[0]}")
+        expected = {ref.block_id: 1 for ref in held}
+        actual = pool.refcounts()
+        if expected != actual:
+            leaked = [
+                bid for bid, n in actual.items() if expected.get(bid, 0) != n
+            ]
+            report.kv_leaked_refcounts += max(len(leaked), 1)
+            report.failures.append(
+                f"{label}: live refcounts {actual} != held {expected}"
+            )
+
+    for index in range(kv_injections):
+        site = KV_CRASH_SITES[index % len(KV_CRASH_SITES)]
+        op = site.split(":", 1)[0]
+        label = f"kv injection {index} site {site}"
+
+        # stage the pool for the op (no crash armed yet)
+        if op == "kvalloc" and pool.free_blocks == 0:
+            pool.free(held.pop(rng.randrange(len(held))))
+        if op == "kvfree" and not held:
+            held.append(pool.alloc().ref)
+
+        injector.schedule_crash(site)
+        crashed = False
+        try:
+            if op == "kvalloc":
+                held.append(pool.alloc().ref)
+            else:  # kvfree: the holder drops its ref before the call, so
+                # a crash mid-free must roll forward, never resurrect it
+                ref = held.pop(rng.randrange(len(held)))
+                pool.free(ref)
+        except InjectedCrash:
+            crashed = True
+        injector._pending_crash = None  # disarm whatever did not fire
+        if not crashed:
+            report.failures.append(f"{label}: armed crash never fired")
+            continue
+        report.kv_injections += 1
+        report.kv_crashes_by_site[site] = (
+            report.kv_crashes_by_site.get(site, 0) + 1
+        )
+
+        recovery = recover_pool(pool)
+        report.kv_rolled_back += recovery.rolled_back
+        report.kv_rolled_forward += recovery.rolled_forward
+        report.kv_no_ops += sum(
+            1 for a in recovery.actions if a.resolution == "no-op"
+        )
+        kv_audit(label)
+        journal.truncate_committed()
+
+    for ref in held:
+        pool.free(ref)
+    held.clear()
+    report.kv_final_clean = pool.used == 0 and not pool.audit()
+
+
 def run_crash_campaign(
     n_injections: int = 500,
     seed: int = 0,
     org: Optional[DramOrganization] = None,
     pim: Optional[PimConfig] = None,
+    kv_injections: int = 0,
 ) -> CrashReport:
-    """Run *n_injections* seeded crash injections; see the module docstring."""
+    """Run *n_injections* seeded crash injections; see the module docstring.
+
+    With ``kv_injections > 0`` an independent sweep over the KV block
+    pool's :data:`~repro.kvcache.pool.KV_CRASH_SITES` runs afterwards
+    (see :func:`_run_kv_campaign`)."""
     if n_injections <= 0:
         raise ValueError("n_injections must be positive")
+    if kv_injections < 0:
+        raise ValueError("kv_injections must be >= 0")
     campaign_org = org if org is not None else TINY_CAMPAIGN_ORG
     if pim is None:
         from repro.pim.config import aim_config_for
@@ -267,4 +388,7 @@ def run_crash_campaign(
         and table.refcounts() == {0: 1}
     )
     injector.detach()
+
+    if kv_injections:
+        _run_kv_campaign(report, kv_injections, seed)
     return report

@@ -88,6 +88,16 @@ class ServingConfig:
     #: phases run seconds, so saturation means several queued)
     brownout_high_ns: float = 5e9
     brownout_low_ns: float = 1e9
+    #: paged KV cache: a positive ``kv_blocks`` switches :meth:`run` to
+    #: the continuous-batching scheduler over a bounded block pool
+    #: (see repro.kvcache.scheduler); 0 keeps the legacy loop
+    kv_blocks: int = 0
+    block_tokens: int = 16
+    prefix_sharing: bool = True
+    #: KV pressure governor watermarks (fraction of the pool that is
+    #: live and unreclaimable; admissions degrade while above)
+    kv_pressure_high: float = 0.9
+    kv_pressure_low: float = 0.7
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.jitter < 1.0:
@@ -99,6 +109,14 @@ class ServingConfig:
                 raise ValueError("fault rates must be in [0, 1)")
         if self.degraded_decode_tokens <= 0:
             raise ValueError("degraded_decode_tokens must be positive")
+        if self.kv_blocks < 0:
+            raise ValueError("kv_blocks must be >= 0")
+        if self.block_tokens <= 0:
+            raise ValueError("block_tokens must be positive")
+        if not 0.0 <= self.kv_pressure_low < self.kv_pressure_high <= 1.0:
+            raise ValueError(
+                "kv pressure watermarks must satisfy 0 <= low < high <= 1"
+            )
 
 
 @dataclass(frozen=True)
@@ -153,6 +171,9 @@ class ServingReport:
     )
     brownout_intervals: List[Tuple[float, float]] = field(default_factory=list)
     health: Dict[str, str] = field(default_factory=dict)
+    #: KV-cache counters (block occupancy, evictions, preemptions,
+    #: prefix hits, ...) when the run used the paged-KV scheduler
+    kv: Optional[Dict] = None
 
     def _count(self, *statuses: str) -> int:
         return sum(1 for o in self.outcomes if o.status in statuses)
@@ -256,6 +277,7 @@ class ServingReport:
                 "total_ms": sum(e - s for s, e in self.brownout_intervals) / 1e6,
             },
             "health": dict(self.health),
+            "kv": dict(self.kv) if self.kv is not None else None,
             "ok": self.ok,
         }
 
@@ -291,6 +313,26 @@ class ServingReport:
                 or "none"
             ),
         ]
+        kv = d.get("kv")
+        if kv:
+            lines += [
+                f"kv pool         : {kv['num_blocks']} blocks x "
+                f"{kv['block_tokens']} tokens, occupancy peak "
+                f"{kv['occupancy_peak']} / p99 {kv['occupancy_p99']:.1f}",
+                f"kv churn        : {kv['evictions']} evicted, "
+                f"{kv['preemptions']} preempted, {kv['cow_copies']} CoW, "
+                f"{kv['kv_rejections']} rejected, {kv['kv_clipped']} clipped, "
+                f"{kv['kv_degraded']} degraded",
+                f"prefix sharing  : "
+                + (
+                    f"hit rate {kv['prefix_hit_rate']:.3f} "
+                    f"({kv['prefill_tokens_saved']} prefill tokens saved)"
+                    if kv["prefix_sharing"]
+                    else "disabled"
+                ),
+                f"kv pressure     : {kv['pressure_windows']} window(s), "
+                f"{kv['pressure_total_ms']:.1f} ms total",
+            ]
         return "\n".join(lines)
 
 
@@ -335,8 +377,20 @@ class ServingRuntime:
             return ns, "soc"
         return self.engine.prefill_ns(policy, prefill_len)
 
-    def _route(self, request: Request, now_ns: float, pim_backlog_ns: float) -> _Route:
+    def _route(
+        self,
+        request: Request,
+        now_ns: float,
+        pim_backlog_ns: float,
+        prefill_tokens: Optional[int] = None,
+    ) -> _Route:
+        """Plan one request's resources.  *prefill_tokens* overrides the
+        request's own count — the KV scheduler prices only the tokens a
+        prefix-cache hit did not cover."""
         policy = request.policy
+        priced_tokens = (
+            prefill_tokens if prefill_tokens is not None else request.prefill_tokens
+        )
         fallbacks: List[str] = []
         if policy == "facil" and not self.mapping_breaker.allow(now_ns):
             policy = "hybrid-static"
@@ -354,7 +408,7 @@ class ServingRuntime:
         # saturated; decode placement is settled at the phase boundary
         prefill_pim_ok = pim_allowed and not brownout_active
         prefill_ns, prefill_resource = self._price_prefill(
-            policy, request.prefill_tokens, allow_pim=prefill_pim_ok
+            policy, priced_tokens, allow_pim=prefill_pim_ok
         )
         if prefill_resource == "pim":
             prefill_component = "pim"
@@ -422,6 +476,10 @@ class ServingRuntime:
     # -- the event loop --------------------------------------------------------
 
     def run(self, requests: Sequence[Request]) -> ServingReport:
+        if self.config.kv_blocks > 0:
+            from repro.kvcache.scheduler import run_kv_serving
+
+            return run_kv_serving(self, list(requests))
         cfg = self.config
         rng = random.Random(cfg.seed)
         queue = AdmissionQueue(

@@ -10,6 +10,14 @@ randomness — arrival jitter and length sampling — flows through **one**
 ``random.Random(seed)``, the same discipline as
 :class:`~repro.reliability.faults.FaultInjector`: one seed reproduces a
 whole serving run, byte for byte.
+
+Tenants with ``mean_turns > 1`` emit **multi-turn conversations**: each
+arrival seeds a conversation whose follow-up turns (geometric count,
+exponential think-time gaps) accumulate context — turn *k* prefills the
+whole history plus the new user tokens, which is exactly the traffic
+the paged KV cache's prefix sharing is for (see repro.kvcache).  The
+default ``mean_turns = 1.0`` takes none of the extra draws, so existing
+seeded workloads reproduce byte-identically.
 """
 
 from __future__ import annotations
@@ -23,6 +31,10 @@ from repro.llm.datasets import ALPACA_LIKE, DatasetSpec, QueryTrace
 
 __all__ = ["Request", "TenantSpec", "poisson_workload", "trace_workload"]
 
+#: hard cap on the geometric turn count, so a pathological stream cannot
+#: emit an unbounded conversation
+MAX_TURNS = 32
+
 
 @dataclass(frozen=True)
 class TenantSpec:
@@ -33,6 +45,11 @@ class TenantSpec:
     policy: str = "facil"
     qps: float = 50.0  # mean arrival rate (requests per second)
     deadline_ms: float = 250.0  # TTFT budget per request
+    #: mean turns per conversation (geometric); 1.0 = single-query
+    #: tenant, which draws nothing extra from the stream
+    mean_turns: float = 1.0
+    #: mean think time between a response and the next user turn
+    think_time_ms: float = 2000.0
 
     def __post_init__(self) -> None:
         if self.policy not in POLICIES:
@@ -41,6 +58,10 @@ class TenantSpec:
             raise ValueError("qps must be positive")
         if self.deadline_ms <= 0:
             raise ValueError("deadline_ms must be positive")
+        if self.mean_turns < 1.0:
+            raise ValueError("mean_turns must be >= 1")
+        if self.think_time_ms <= 0:
+            raise ValueError("think_time_ms must be positive")
 
 
 @dataclass(frozen=True)
@@ -54,6 +75,14 @@ class Request:
     prefill_tokens: int
     decode_tokens: int
     deadline_ns: float  # TTFT budget, relative to arrival
+    #: conversation identity (dense per workload) for multi-turn tenants;
+    #: None for single-query requests.  The KV scheduler keys prefix
+    #: sharing on this.
+    conversation_id: Optional[int] = None
+    #: which turn of the conversation this is (0 = opening turn)
+    turn_index: int = 0
+    #: tokens of conversation history included in ``prefill_tokens``
+    context_tokens: int = 0
 
     @property
     def deadline_abs_ns(self) -> float:
@@ -70,6 +99,9 @@ def poisson_workload(
 
     Tenants are drawn in the given order from a single stream, so the
     result is fully determined by (*tenants*, *duration_ms*, *seed*).
+    Conversations whose opening turn arrives inside the horizon keep
+    their follow-up turns even past it (truncating mid-conversation
+    would bias the turn-count distribution toward the horizon edge).
     """
     if not tenants:
         raise ValueError("need at least one tenant")
@@ -78,22 +110,56 @@ def poisson_workload(
     stream = rng if rng is not None else random.Random(seed)
     horizon_ns = duration_ms * 1e6
     requests: List[Request] = []
+    conversation_id = 0
     for tenant in tenants:
         rate_per_ns = tenant.qps / 1e9
+        multi_turn = tenant.mean_turns > 1.0
+        # geometric continuation probability with the given mean
+        p_more = 1.0 - 1.0 / tenant.mean_turns if multi_turn else 0.0
+        think_rate_per_ns = 1.0 / (tenant.think_time_ms * 1e6)
         t = stream.expovariate(rate_per_ns)
         while t < horizon_ns:
             trace = tenant.dataset.sample_one(stream)
-            requests.append(
-                Request(
-                    req_id=-1,  # assigned after the merge sort below
-                    tenant=tenant.name,
-                    policy=tenant.policy,
-                    arrival_ns=t,
-                    prefill_tokens=trace.prefill_tokens,
-                    decode_tokens=trace.decode_tokens,
-                    deadline_ns=tenant.deadline_ms * 1e6,
+            if not multi_turn:
+                requests.append(
+                    Request(
+                        req_id=-1,  # assigned after the merge sort below
+                        tenant=tenant.name,
+                        policy=tenant.policy,
+                        arrival_ns=t,
+                        prefill_tokens=trace.prefill_tokens,
+                        decode_tokens=trace.decode_tokens,
+                        deadline_ns=tenant.deadline_ms * 1e6,
+                    )
                 )
-            )
+            else:
+                conv = conversation_id
+                conversation_id += 1
+                turn_t = t
+                context = 0
+                turn = 0
+                while True:
+                    requests.append(
+                        Request(
+                            req_id=-1,
+                            tenant=tenant.name,
+                            policy=tenant.policy,
+                            arrival_ns=turn_t,
+                            prefill_tokens=context + trace.prefill_tokens,
+                            decode_tokens=trace.decode_tokens,
+                            deadline_ns=tenant.deadline_ms * 1e6,
+                            conversation_id=conv,
+                            turn_index=turn,
+                            context_tokens=context,
+                        )
+                    )
+                    context += trace.prefill_tokens + trace.decode_tokens
+                    turn += 1
+                    if turn >= MAX_TURNS or stream.random() >= p_more:
+                        break
+                    # think time to the next user turn, then a fresh draw
+                    turn_t += stream.expovariate(think_rate_per_ns)
+                    trace = tenant.dataset.sample_one(stream)
             t += stream.expovariate(rate_per_ns)
     requests.sort(key=lambda r: (r.arrival_ns, r.tenant))
     return [
@@ -105,6 +171,9 @@ def poisson_workload(
             prefill_tokens=r.prefill_tokens,
             decode_tokens=r.decode_tokens,
             deadline_ns=r.deadline_ns,
+            conversation_id=r.conversation_id,
+            turn_index=r.turn_index,
+            context_tokens=r.context_tokens,
         )
         for i, r in enumerate(requests)
     ]

@@ -9,6 +9,7 @@ from repro.analysis.mapverify import (
     gf2_rank,
     mapping_matrix,
     unsafe_mapping,
+    verify_kv_blocks,
     verify_mapping,
     verify_pim_mapping,
     verify_platform,
@@ -195,6 +196,50 @@ class TestPlatformSweep:
         )
         assert findings == []
         assert checked >= len(battery)
+
+
+class TestKvBlockRules:
+    """MV010/MV011: paged KV blocks must be whole, chunk-aligned runs."""
+
+    CRB = AIM_LPDDR5.chunk_row_bytes  # 2048
+
+    def test_aligned_blocks_clean(self, pim_mapping):
+        findings = verify_kv_blocks(
+            pim_mapping, ORG, AIM_LPDDR5, block_bytes=8 * self.CRB
+        )
+        assert findings == []
+
+    def test_misaligned_block_size_mv010(self, pim_mapping):
+        findings = verify_kv_blocks(
+            pim_mapping, ORG, AIM_LPDDR5, block_bytes=3 * self.CRB // 2
+        )
+        assert _rule_ids(findings) == ["MV010"]
+
+    def test_misaligned_base_offset_mv010(self, pim_mapping):
+        findings = verify_kv_blocks(
+            pim_mapping, ORG, AIM_LPDDR5,
+            block_bytes=2 * self.CRB, base_offset=64,
+        )
+        assert _rule_ids(findings) == ["MV010"]
+
+    def test_conventional_mapping_straddles_mv011(self):
+        # the conventional map interleaves channels at transfer
+        # granularity: a chunk-row window cannot stay on one PU
+        conv = conventional_mapping(ORG, N_BITS)
+        findings = verify_kv_blocks(
+            conv, ORG, AIM_LPDDR5, block_bytes=2 * self.CRB
+        )
+        assert "MV011" in _rule_ids(findings)
+
+    def test_platform_sweep_includes_kv_battery(self):
+        from repro.analysis.mapverify import KV_BLOCK_BATTERY
+
+        spec = ALL_PLATFORMS[0]
+        conv = conventional_mapping(spec.dram.org, N_BITS)
+        _, baseline = verify_platform(
+            spec.name, spec.dram.org, spec.pim, conv, matrices=[(64, 1024)]
+        )
+        assert baseline > len(KV_BLOCK_BATTERY)
 
 
 class TestSelectorVerification:

@@ -4,6 +4,7 @@ import pytest
 
 from repro.engine.policies import InferenceEngine
 from repro.engine.session import ChatSession
+from repro.kvcache import BlockPool, KvCacheManager, KvSpec
 from repro.platforms.specs import JETSON_ORIN
 
 
@@ -86,3 +87,82 @@ class TestSessionCosts:
             s = static.turn(4, 16)
             d = dynamic.turn(4, 16)
             assert d.ttft_ns <= s.ttft_ns + 1e-6
+
+
+class TestPolicySwitch:
+    def test_relayout_total_survives_mid_conversation_switch(self, engine):
+        """Regression: total_relayout_ns used to be re-priced against the
+        *current* policy (len(turns) * relayout), so switching away from
+        hybrid-static zeroed — and switching to it inflated — history."""
+        relayout = engine.relayout_total_ns()
+        session = ChatSession(engine, "hybrid-static")
+        session.turn(16, 32)
+        session.turn(16, 32)
+        assert session.total_relayout_ns == 2 * relayout
+        session.set_policy("facil")
+        session.turn(16, 32)
+        session.turn(16, 32)
+        # the two static turns keep their cost; the facil turns add none
+        assert session.total_relayout_ns == 2 * relayout
+
+    def test_switch_into_static_only_charges_new_turns(self, engine):
+        relayout = engine.relayout_total_ns()
+        session = ChatSession(engine, "soc-only")
+        session.turn(16, 32)
+        session.set_policy("hybrid-static")
+        session.turn(16, 32)
+        assert session.total_relayout_ns == relayout
+        assert session.turns[0].relayout_ns == 0.0
+        assert session.turns[1].relayout_ns == relayout
+
+    def test_bad_policy_switch_rejected(self, engine):
+        session = ChatSession(engine, "facil")
+        with pytest.raises(ValueError):
+            session.set_policy("quantum")
+
+
+class TestManagedKv:
+    def make_kv(self, num_blocks=64, block_tokens=16):
+        pool = BlockPool(num_blocks, KvSpec(block_tokens=block_tokens))
+        return KvCacheManager(pool)
+
+    def test_later_turns_hit_the_block_cache(self, engine):
+        kv = self.make_kv()
+        session = ChatSession(engine, "facil", kv=kv, conversation_id=3)
+        first = session.turn(32, 32)
+        assert first.cached_tokens == 0
+        assert first.recomputed_tokens == 32
+        second = session.turn(16, 16)
+        # turn 1's 64 tokens were published as four full 16-token blocks
+        assert second.cached_tokens == 64
+        assert second.recomputed_tokens == 16
+        assert kv.audit() == []
+
+    def test_partial_tail_blocks_are_recomputed(self, engine):
+        kv = self.make_kv()
+        session = ChatSession(engine, "facil", kv=kv, conversation_id=4)
+        session.turn(20, 20)  # 40 tokens: two full blocks + a partial
+        second = session.turn(8, 8)
+        assert second.cached_tokens == 32
+        assert second.recomputed_tokens == (40 - 32) + 8
+
+    def test_managed_cache_never_beats_perfect_persistence(self, engine):
+        """The unmanaged session assumes every past token stays cached;
+        the managed one recomputes partial tails — so its prefills can
+        only be equal or larger."""
+        kv = self.make_kv()
+        managed = ChatSession(engine, "facil", kv=kv, conversation_id=5)
+        perfect = ChatSession(engine, "facil")
+        for _ in range(4):
+            m = managed.turn(20, 20)
+            p = perfect.turn(20, 20)
+            assert m.ttft_ns >= p.ttft_ns - 1e-6
+
+    def test_conversations_do_not_cross_pollinate(self, engine):
+        kv = self.make_kv()
+        a = ChatSession(engine, "facil", kv=kv, conversation_id=1)
+        b = ChatSession(engine, "facil", kv=kv, conversation_id=2)
+        a.turn(32, 32)
+        first_b = b.turn(32, 32)
+        assert first_b.cached_tokens == 0
+        assert kv.audit() == []

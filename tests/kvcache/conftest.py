@@ -1,0 +1,12 @@
+"""Shared fixtures for the kvcache test suite."""
+
+import pytest
+
+from repro.engine.policies import InferenceEngine
+from repro.platforms.specs import IPHONE_15_PRO
+
+
+@pytest.fixture(scope="session")
+def iphone_engine():
+    """One engine on the smallest model (cheap to construct, cached)."""
+    return InferenceEngine(IPHONE_15_PRO)

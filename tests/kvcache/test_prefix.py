@@ -1,0 +1,99 @@
+"""Prefix tree: chain hashing, walk/insert, LRU leaf eviction."""
+
+import pytest
+
+from repro.kvcache.block import BlockRef
+from repro.kvcache.prefix import PrefixTree, chain_hash, token_block_key
+
+
+class TestHashing:
+    def test_deterministic_and_bounded(self):
+        assert chain_hash(7, 42) == chain_hash(7, 42)
+        assert 0 <= chain_hash(2**61, 2**40) < 2**62
+
+    def test_chain_order_matters(self):
+        a = chain_hash(chain_hash(0, 1), 2)
+        b = chain_hash(chain_hash(0, 2), 1)
+        assert a != b
+
+    def test_conversations_do_not_collide(self):
+        keys = {token_block_key(conv, i) for conv in range(50) for i in range(8)}
+        assert len(keys) == 50 * 8
+
+
+def make_chain(tree, keys, start_block=0):
+    nodes = []
+    parent = None
+    for i, key in enumerate(keys):
+        parent = tree.insert(parent, key, BlockRef(start_block + i, 0), now_ns=float(i))
+        nodes.append(parent)
+    return nodes
+
+
+class TestWalkInsert:
+    def test_walk_matches_longest_prefix(self):
+        tree = PrefixTree()
+        nodes = make_chain(tree, [10, 11, 12])
+        assert tree.walk([10, 11, 12, 13]) == nodes
+        assert tree.walk([10, 11]) == nodes[:2]
+        assert tree.walk([99]) == []
+        assert len(tree) == 3
+
+    def test_duplicate_insert_rejected(self):
+        tree = PrefixTree()
+        make_chain(tree, [10])
+        with pytest.raises(ValueError, match="already cached"):
+            tree.insert(None, 10, BlockRef(5, 0), now_ns=0.0)
+
+    def test_lookup(self):
+        tree = PrefixTree()
+        (node,) = make_chain(tree, [10])
+        assert tree.lookup(None, 10) is node
+        assert tree.lookup(node, 10) is None
+
+
+class TestAttachment:
+    def test_release_beyond_acquire_rejected(self):
+        tree = PrefixTree()
+        (node,) = make_chain(tree, [10])
+        tree.acquire(node, 1.0)
+        tree.release(node, 2.0)
+        with pytest.raises(ValueError, match="released more"):
+            tree.release(node, 3.0)
+
+    def test_idle_nodes_excludes_attached(self):
+        tree = PrefixTree()
+        a, b = make_chain(tree, [10, 11])
+        tree.acquire(b, 5.0)
+        assert tree.idle_nodes() == [a]
+
+
+class TestEviction:
+    def test_lru_leaf_prefers_oldest(self):
+        tree = PrefixTree()
+        make_chain(tree, [10, 11])  # chain: only the tail is a leaf
+        other = tree.insert(None, 20, BlockRef(9, 0), now_ns=-1.0)
+        assert tree.lru_leaf() is other
+
+    def test_attached_leaves_are_not_victims(self):
+        tree = PrefixTree()
+        a, b = make_chain(tree, [10, 11])
+        tree.acquire(b, 0.0)
+        assert tree.lru_leaf() is None  # a is interior, b is attached
+
+    def test_evict_detaches_and_returns_hold(self):
+        tree = PrefixTree()
+        a, b = make_chain(tree, [10, 11])
+        assert tree.evict(b) == BlockRef(1, 0)
+        assert len(tree) == 1
+        # the parent became the new evictable tail
+        assert tree.lru_leaf() is a
+
+    def test_evict_refuses_interior_and_attached(self):
+        tree = PrefixTree()
+        a, b = make_chain(tree, [10, 11])
+        with pytest.raises(ValueError, match="children"):
+            tree.evict(a)
+        tree.acquire(b, 0.0)
+        with pytest.raises(ValueError, match="attached"):
+            tree.evict(b)

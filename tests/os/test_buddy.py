@@ -107,6 +107,79 @@ class TestFmfi:
         assert buddy.fmfi(4) == 1.0
 
 
+class TestFragmentToEdges:
+    def test_max_order_arena_without_max_blocks(self):
+        """An arena too small to hold any max-order block is already at
+        FMFI 1.0 for that order; fragment_to pins nothing."""
+        buddy = BuddyAllocator(96, max_order=9)
+        assert buddy.fmfi(9) == 1.0
+        achieved = buddy.fragment_to(0.99, order=9, rng=random.Random(0))
+        assert achieved == 1.0
+        assert buddy.pinned == []
+
+    def test_fully_fragmented_pool_stops_without_candidates(self):
+        """Once every free block is pinned down to singles, the injector
+        runs out of candidates and returns instead of spinning."""
+        buddy = BuddyAllocator(16, max_order=4)
+        while True:
+            try:
+                frame = buddy.alloc(0)
+            except OutOfMemoryError:
+                break
+            buddy.pinned.append(frame)
+        achieved = buddy.fragment_to(0.99, order=4, rng=random.Random(0))
+        assert achieved == 1.0  # no free memory left at all
+        assert buddy.free_pages == 0
+
+    def test_target_zero_is_a_noop(self):
+        buddy = BuddyAllocator(1024, max_order=9)
+        achieved = buddy.fragment_to(0.0, order=9, rng=random.Random(0))
+        assert achieved == 0.0
+        assert buddy.pinned == []
+        assert buddy.free_pages == 1024
+
+
+class TestCompactionEdges:
+    def test_max_order_block_minted_from_fully_fragmented_pool(self):
+        """Every window shattered by movable pins: compaction at
+        order == max_order must still reconstitute a block."""
+        buddy = BuddyAllocator(1024, max_order=9)
+        buddy.fragment_to(0.99, order=9, rng=random.Random(11))
+        assert buddy.free_blocks(9) == 0
+        result = buddy.alloc_with_compaction(9)
+        assert result.frame % 512 == 0
+        assert result.pages_moved > 0
+        assert buddy.allocated[result.frame] == 9
+        # moved pins were rehomed, not lost
+        assert buddy.used_pages == 512 + len(buddy.pinned) + sum(
+            1 for f, o in buddy.allocated.items()
+            if o == 0 and f not in buddy.pinned
+        )
+
+    def test_evacuation_fails_when_residents_cannot_be_rehomed(self):
+        """Enough pages are free in total, but the displaced order-2
+        resident has no aligned home outside the window: the evacuation
+        itself runs out of memory."""
+        buddy = BuddyAllocator(32, max_order=4)
+        resident = buddy.alloc(2)  # pages 0-3, inside window [0, 16)
+        assert resident == 0
+        # shatter window [16, 32): pin the first page of every order-2
+        # group so no 4-page block survives there
+        for frame in (16, 20, 24, 28):
+            buddy._reserve_range(frame, 1)
+            buddy.allocated[frame] = 0
+        assert buddy.free_pages == 24  # >= the 16 the block needs
+        with pytest.raises(OutOfMemoryError):
+            buddy.alloc_with_compaction(4)
+
+    def test_compaction_with_insufficient_free_pages_names_the_gap(self):
+        buddy = BuddyAllocator(32, max_order=4)
+        buddy.alloc(4)
+        buddy.alloc(3)
+        with pytest.raises(OutOfMemoryError, match="pages free"):
+            buddy.alloc_with_compaction(4)
+
+
 class TestReserveRange:
     def test_reserves_exact_pages(self):
         buddy = BuddyAllocator(64, max_order=4)

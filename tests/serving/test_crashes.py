@@ -8,6 +8,7 @@ acceptance-scale campaign — 500 injections, the ISSUE criterion — is
 import pytest
 
 from repro.core.journal import CRASH_SITES
+from repro.kvcache import KV_CRASH_SITES
 from repro.serving.crashes import run_crash_campaign
 
 
@@ -49,6 +50,46 @@ class TestSmallCampaign:
             run_crash_campaign(n_injections=0)
 
 
+class TestKvCampaign:
+    def test_kv_injections_sweep_every_pool_site(self):
+        report = run_crash_campaign(n_injections=10, seed=0, kv_injections=8)
+        assert report.kv_injections == 8
+        assert report.kv_crashes_by_site == {site: 2 for site in KV_CRASH_SITES}
+        assert (
+            report.kv_rolled_back + report.kv_rolled_forward + report.kv_no_ops == 8
+        )
+        assert report.kv_leaked_refcounts == 0
+        assert report.kv_audit_failures == 0
+        assert report.kv_final_clean
+        assert_clean(report)
+
+    def test_kv_campaign_does_not_perturb_mapid_campaign(self):
+        """The KV sweep uses its own journal, injector, and rng stream:
+        the MapID-side counters must be byte-identical with it on/off."""
+        plain = run_crash_campaign(n_injections=20, seed=5)
+        with_kv = run_crash_campaign(n_injections=20, seed=5, kv_injections=12)
+        assert with_kv.crashes_by_site == plain.crashes_by_site
+        assert with_kv.rolled_back == plain.rolled_back
+        assert with_kv.rolled_forward == plain.rolled_forward
+        assert with_kv.no_ops == plain.no_ops
+
+    def test_kv_campaign_reproducible(self):
+        a = run_crash_campaign(n_injections=10, seed=2, kv_injections=16)
+        b = run_crash_campaign(n_injections=10, seed=2, kv_injections=16)
+        assert a.to_dict() == b.to_dict()
+
+    def test_kv_report_shape(self):
+        report = run_crash_campaign(n_injections=4, seed=0, kv_injections=4)
+        d = report.to_dict()
+        assert d["kv_injections"] == 4
+        assert sum(d["kv_crashes_by_site"].values()) == 4
+        assert "kv final clean" in report.render()
+
+    def test_rejects_negative_kv_injections(self):
+        with pytest.raises(ValueError, match="kv_injections"):
+            run_crash_campaign(n_injections=4, kv_injections=-1)
+
+
 @pytest.mark.chaos
 class TestAcceptanceCampaign:
     def test_five_hundred_injections_recover_clean(self):
@@ -63,3 +104,16 @@ class TestAcceptanceCampaign:
     @pytest.mark.parametrize("seed", [1, 2, 3])
     def test_clean_across_seeds(self, seed):
         assert_clean(run_crash_campaign(n_injections=100, seed=seed))
+
+    def test_five_hundred_kv_injections_zero_leaked_refcounts(self):
+        # the PR 4 acceptance criterion: 500 seeded crash injections
+        # through the KV block pool's journal, zero leaked refcounts
+        report = run_crash_campaign(n_injections=10, seed=0, kv_injections=500)
+        assert report.kv_injections == 500
+        assert report.kv_crashes_by_site == {
+            site: 125 for site in KV_CRASH_SITES
+        }
+        assert report.kv_leaked_refcounts == 0
+        assert report.kv_audit_failures == 0
+        assert report.kv_final_clean
+        assert_clean(report)

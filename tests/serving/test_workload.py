@@ -15,6 +15,14 @@ class TestTenantSpec:
         with pytest.raises(ValueError, match="qps"):
             TenantSpec(name="x", qps=0.0)
 
+    def test_rejects_sub_single_turn_mean(self):
+        with pytest.raises(ValueError, match="mean_turns"):
+            TenantSpec(name="x", mean_turns=0.5)
+
+    def test_rejects_nonpositive_think_time(self):
+        with pytest.raises(ValueError, match="think_time"):
+            TenantSpec(name="x", mean_turns=2.0, think_time_ms=0.0)
+
 
 class TestPoissonWorkload:
     def test_same_seed_is_identical(self):
@@ -63,6 +71,75 @@ class TestPoissonWorkload:
     def test_rejects_empty_tenants(self):
         with pytest.raises(ValueError, match="tenant"):
             poisson_workload([], duration_ms=100.0)
+
+
+class TestMultiTurnWorkload:
+    def tenant(self, **kw):
+        defaults = dict(name="chat", qps=5.0, mean_turns=3.0, think_time_ms=500.0)
+        defaults.update(kw)
+        return TenantSpec(**defaults)
+
+    def test_single_query_tenants_stay_byte_identical(self):
+        """mean_turns=1.0 (the default) must take the exact same draws
+        as before the multi-turn extension: explicit and default specs
+        produce identical streams, with no conversation fields set."""
+        plain = [TenantSpec(name="chat", qps=20.0)]
+        explicit = [TenantSpec(name="chat", qps=20.0, mean_turns=1.0)]
+        a = poisson_workload(plain, duration_ms=2000.0, seed=3)
+        b = poisson_workload(explicit, duration_ms=2000.0, seed=3)
+        assert a == b
+        assert all(r.conversation_id is None for r in a)
+        assert all(r.turn_index == 0 and r.context_tokens == 0 for r in a)
+
+    def test_conversations_have_dense_ids_and_ordered_turns(self):
+        requests = poisson_workload([self.tenant()], duration_ms=5000.0, seed=1)
+        assert all(r.conversation_id is not None for r in requests)
+        convs = {}
+        for r in requests:
+            convs.setdefault(r.conversation_id, []).append(r)
+        assert set(convs) == set(range(len(convs)))
+        for turns in convs.values():
+            turns.sort(key=lambda r: r.turn_index)
+            assert [r.turn_index for r in turns] == list(range(len(turns)))
+            arrivals = [r.arrival_ns for r in turns]
+            assert arrivals == sorted(arrivals)
+
+    def test_context_accumulates_inside_prefill(self):
+        requests = poisson_workload([self.tenant()], duration_ms=5000.0, seed=2)
+        convs = {}
+        for r in requests:
+            convs.setdefault(r.conversation_id, []).append(r)
+        for turns in convs.values():
+            turns.sort(key=lambda r: r.turn_index)
+            expected = 0
+            for r in turns:
+                assert r.context_tokens == expected
+                new_tokens = r.prefill_tokens - r.context_tokens
+                assert new_tokens > 0
+                expected += new_tokens + r.decode_tokens
+
+    def test_turn_count_is_capped(self):
+        from repro.serving.workload import MAX_TURNS
+
+        requests = poisson_workload(
+            [self.tenant(mean_turns=1000.0, qps=2.0)],
+            duration_ms=3000.0,
+            seed=0,
+        )
+        assert max(r.turn_index for r in requests) < MAX_TURNS
+
+    def test_mean_turn_count_roughly_matches(self):
+        requests = poisson_workload(
+            [self.tenant(qps=20.0)], duration_ms=10_000.0, seed=4
+        )
+        n_convs = len({r.conversation_id for r in requests})
+        mean = len(requests) / n_convs
+        assert 2.0 <= mean <= 4.5  # geometric with mean 3
+
+    def test_multi_turn_same_seed_identical(self):
+        a = poisson_workload([self.tenant()], duration_ms=3000.0, seed=9)
+        b = poisson_workload([self.tenant()], duration_ms=3000.0, seed=9)
+        assert a == b
 
 
 class TestTraceWorkload:

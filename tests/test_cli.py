@@ -93,6 +93,32 @@ class TestServeCommand:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["serve", "--shed", "lifo"])
 
+    def test_serve_with_kv_pool_reports_kv_section(self, capsys, tmp_path):
+        out = tmp_path / "serve_kv.json"
+        assert main([
+            "serve", "--seed", "0", "--duration-ms", "20000",
+            "--load", "0.3", "--kv-blocks", "256", "--mean-turns", "3",
+            "--think-time-ms", "200", "--out", str(out),
+        ]) == 0
+        text = capsys.readouterr().out
+        assert "kv pool" in text
+        assert "prefix sharing" in text
+        import json
+
+        report = json.loads(out.read_text())
+        assert report["kv"]["num_blocks"] == 256
+        assert report["kv"]["audit_failures"] == []
+
+    def test_serve_kv_flags_parse(self):
+        args = build_parser().parse_args([
+            "serve", "--kv-blocks", "128", "--block-tokens", "32",
+            "--no-prefix-sharing", "--mean-turns", "2.5",
+        ])
+        assert args.kv_blocks == 128
+        assert args.block_tokens == 32
+        assert args.prefix_sharing is False
+        assert args.mean_turns == 2.5
+
 
 class TestChaosCommand:
     def test_chaos_with_crash_injections_writes_report(self, capsys, tmp_path):
@@ -109,3 +135,19 @@ class TestChaosCommand:
         assert report["campaign"]["silent"] == 0
         assert report["crash"]["ok"] is True
         assert report["crash"]["n_injections"] == 20
+
+    def test_chaos_kv_crash_injections(self, capsys, tmp_path):
+        out = tmp_path / "chaos_kv.json"
+        assert main([
+            "chaos", "--seed", "0", "--queries", "4",
+            "--crash-injections", "10", "--kv-crash-injections", "12",
+            "--out", str(out),
+        ]) == 0
+        text = capsys.readouterr().out
+        assert "kv injections" in text
+        import json
+
+        report = json.loads(out.read_text())
+        assert report["crash"]["kv_injections"] == 12
+        assert report["crash"]["kv_leaked_refcounts"] == 0
+        assert report["crash"]["kv_final_clean"] is True
