@@ -9,14 +9,19 @@ footprint first, then replays the same seeded multi-turn stream against
 a pool sized at half that demand, with prefix sharing on and off.
 """
 
+import os
+
 from repro.serving import (
     ServingConfig,
     ServingRuntime,
     TenantSpec,
     poisson_workload,
 )
+from repro.telemetry.bench import BenchResult, hash_config, write_bench_result
 
 from report import emit, format_table
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
 SEED = 0
 DURATION_MS = 60_000.0
@@ -110,3 +115,29 @@ def test_kvcache_pressure(benchmark, engines):
     assert bounded.kv["prefill_tokens_saved"] > 0
     assert cold.kv["prefill_tokens_saved"] == 0
     assert bounded.served >= cold.served
+
+    config = {
+        "seed": SEED, "duration_ms": DURATION_MS,
+        "deadline_ms": DEADLINE_MS, "block_tokens": BLOCK_TOKENS,
+        "platform": "jetson-agx-orin", "probe_blocks": 4096,
+    }
+    write_bench_result(
+        os.path.join(_REPO_ROOT, "BENCH_kvcache.json"),
+        BenchResult(
+            name="kvcache_pressure",
+            seed=SEED,
+            config_hash=hash_config(config),
+            metrics={
+                "kv_demand_blocks": float(demand),
+                "bounded_pool_blocks": float(bounded.kv["num_blocks"]),
+                "bounded_served": float(bounded.served),
+                "bounded_prefix_hit_rate": bounded.kv["prefix_hit_rate"],
+                "bounded_prefill_tokens_saved": float(
+                    bounded.kv["prefill_tokens_saved"]
+                ),
+                "cold_served": float(cold.served),
+            },
+            notes="pool bounded at half the probed KV demand; sharing on "
+                  "vs off on the same seeded multi-turn stream",
+        ),
+    )

@@ -9,6 +9,8 @@ goodput, shed rate, SLO attainment, and served-tail latency; a 0.5x
 baseline run anchors what "healthy" looks like.
 """
 
+import os
+
 from repro.serving import (
     ServingConfig,
     ServingRuntime,
@@ -17,8 +19,12 @@ from repro.serving import (
     sustainable_qps,
 )
 from repro.serving.queue import SHED_POLICIES
+from repro.telemetry import Telemetry
+from repro.telemetry.bench import BenchResult, hash_config, write_bench_result
 
 from report import emit, format_table
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
 SEED = 0
 DURATION_MS = 120_000.0
@@ -30,7 +36,7 @@ DEADLINE_MS = 30_000.0
 QUEUE_CAPACITY = 8
 
 
-def _run(engine, load, shed_policy, capacity_qps):
+def _run(engine, load, shed_policy, capacity_qps, telemetry=None):
     tenant = TenantSpec(
         name="alpaca-like", policy="facil", qps=load * capacity_qps,
         deadline_ms=DEADLINE_MS,
@@ -39,7 +45,7 @@ def _run(engine, load, shed_policy, capacity_qps):
     config = ServingConfig(
         seed=SEED, queue_capacity=QUEUE_CAPACITY, shed_policy=shed_policy
     )
-    return ServingRuntime(engine, config).run(requests)
+    return ServingRuntime(engine, config, telemetry=telemetry).run(requests)
 
 
 def test_overload_shed_policies(benchmark, engines):
@@ -102,3 +108,44 @@ def test_overload_shed_policies(benchmark, engines):
     # degrade keeps more requests flowing than plain rejection
     degrade = reports[("2x overload", "degrade")]
     assert degrade.served_degraded > 0
+
+    # telemetry overhead gate: spans + metrics on a full-rate traced
+    # rerun of the hottest config must leave simulated throughput
+    # within 5% — telemetry consumes no randomness and advances no
+    # clocks, so the reports should in fact be byte-identical
+    baseline = reports[("2x overload", "reject")]
+    telemetry = Telemetry(sample_every=1)
+    traced = _run(engine, 2.0, "reject", capacity_qps, telemetry)
+    assert traced.to_json() == baseline.to_json()
+    overhead = abs(traced.goodput_qps - baseline.goodput_qps) / max(
+        baseline.goodput_qps, 1e-9
+    )
+    assert overhead <= 0.05
+    assert telemetry.tracer.spans_by_layer()["dram"] > 0
+
+    config = {
+        "seed": SEED, "duration_ms": DURATION_MS,
+        "deadline_ms": DEADLINE_MS, "queue_capacity": QUEUE_CAPACITY,
+        "platform": "jetson-agx-orin", "loads": ["0.5", "2.0"],
+        "shed_policies": list(SHED_POLICIES),
+    }
+    write_bench_result(
+        os.path.join(_REPO_ROOT, "BENCH_serving.json"),
+        BenchResult(
+            name="serving_overload",
+            seed=SEED,
+            config_hash=hash_config(config),
+            metrics={
+                "baseline_goodput_qps": reports[
+                    ("baseline", "reject")
+                ].goodput_qps,
+                "overload_reject_goodput_qps": baseline.goodput_qps,
+                "overload_degrade_goodput_qps": degrade.goodput_qps,
+                "overload_degrade_slo": degrade.slo_attainment,
+                "overload_reject_shed_rate": baseline.shed_rate,
+                "telemetry_goodput_delta": overhead,
+            },
+            notes="goodput in simulated qps; telemetry_goodput_delta is "
+                  "the traced-rerun overhead gate (<= 0.05)",
+        ),
+    )

@@ -44,6 +44,8 @@ from repro.analysis.repolint import lint_tree
 from repro.analysis.tracelint import (
     lint_commands,
     lint_requests,
+    lint_span_file,
+    lint_spans,
     lint_trace_file,
 )
 
@@ -66,6 +68,8 @@ __all__ = [
     "DEFAULT_MATRIX_BATTERY",
     "lint_commands",
     "lint_requests",
+    "lint_span_file",
+    "lint_spans",
     "lint_trace_file",
     "lint_tree",
     "run_ruff",
@@ -94,7 +98,9 @@ def _mapverify_pass(report: AnalysisReport) -> None:
 
 
 def _tracelint_pass(
-    report: AnalysisReport, trace_paths: Sequence[str]
+    report: AnalysisReport,
+    trace_paths: Sequence[str],
+    span_paths: Sequence[str] = (),
 ) -> None:
     from repro.dram.config import TINY_ORG
 
@@ -102,6 +108,9 @@ def _tracelint_pass(
     checked = 0
     for path in trace_paths:
         findings.extend(lint_trace_file(path, TINY_ORG))
+        checked += 1
+    for path in span_paths:
+        findings.extend(lint_span_file(path))
         checked += 1
     findings.extend(_simulator_self_check())
     checked += 1
@@ -177,6 +186,7 @@ def _gate_pass(report: AnalysisReport, repo_root: Path) -> None:
 def run_all(
     repo_root: Optional[Path] = None,
     trace_paths: Sequence[str] = (),
+    span_paths: Sequence[str] = (),
     passes: Tuple[str, ...] = ("mapverify", "tracelint", "repolint", "gate"),
 ) -> AnalysisReport:
     """Run the requested analysis passes and return the joint report."""
@@ -185,7 +195,7 @@ def run_all(
     if "mapverify" in passes:
         _mapverify_pass(report)
     if "tracelint" in passes:
-        _tracelint_pass(report, trace_paths)
+        _tracelint_pass(report, trace_paths, span_paths)
     if "repolint" in passes:
         _repolint_pass(report)
     if "gate" in passes:

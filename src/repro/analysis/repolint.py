@@ -20,12 +20,18 @@ linters don't know:
   (``random.Random(seed)`` / ``np.random.default_rng(seed)``) and pass
   it down — the discipline every campaign and the serving runtime
   follow.
+* ``RL006`` — no wall-clock reads (``time.time`` / ``time.perf_counter``
+  / ``time.monotonic`` and their ``_ns`` variants, argless
+  ``datetime.now()`` / ``utcnow()``) outside :mod:`repro.telemetry`:
+  every simulator and report runs on *simulated* time, and a stray wall
+  clock silently breaks reproducibility and the telemetry overhead
+  guarantee.  Benchmarks (outside ``src/``) time themselves freely.
 
 A violation can be waived in place with a trailing comment::
 
     assert invariant  # lint: waive[RL001] -- benchmark-only helper
 
-Rule IDs are ``RL001``-``RL005``; see ``docs/ANALYSIS.md``.
+Rule IDs are ``RL001``-``RL006``; see ``docs/ANALYSIS.md``.
 """
 
 from __future__ import annotations
@@ -52,6 +58,8 @@ REPOLINT_RULES: Dict[str, str] = {
     "RL004": "print() outside the CLI module",
     "RL005": "module-level randomness (global random.* / np.random.*) "
              "instead of an injected seeded generator",
+    "RL006": "wall-clock read (time.time / perf_counter / monotonic / "
+             "datetime.now) outside repro.telemetry",
 }
 register_rules(REPOLINT_RULES)
 
@@ -72,6 +80,17 @@ BITFIELD_MODULES = ("repro/core/bitfield.py",)
 
 #: Modules allowed to print (RL004).
 PRINT_MODULES = ("repro/cli.py",)
+
+#: Package prefix allowed to read wall clocks (RL006): the telemetry
+#: plane owns the boundary between simulated and host time.
+WALLCLOCK_PREFIX = "repro/telemetry/"
+
+#: ``time``-module attributes that read a host clock (RL006).
+_WALLCLOCK_TIME_FUNCS = (
+    "time", "time_ns",
+    "perf_counter", "perf_counter_ns",
+    "monotonic", "monotonic_ns",
+)
 
 #: random-module attributes that *construct* generators (fine) rather
 #: than draw from hidden global state (RL005)
@@ -131,6 +150,34 @@ def _global_random_call(node: ast.Call) -> str:
         and func.attr != "default_rng"
     ):
         return f"{owner.value.id}.random.{func.attr}()"
+    return ""
+
+
+def _wallclock_call(node: ast.Call) -> str:
+    """Return a description when *node* reads a host clock —
+    ``time.<fn>()`` for the clock functions, or an argless
+    ``datetime.now()`` / ``datetime.utcnow()`` (with or without the
+    module prefix) — else the empty string."""
+    func = node.func
+    if not isinstance(func, ast.Attribute):
+        return ""
+    owner = func.value
+    if (
+        isinstance(owner, ast.Name)
+        and owner.id == "time"
+        and func.attr in _WALLCLOCK_TIME_FUNCS
+    ):
+        return f"time.{func.attr}()"
+    if func.attr in ("now", "utcnow") and not node.args and not node.keywords:
+        if isinstance(owner, ast.Name) and owner.id == "datetime":
+            return f"datetime.{func.attr}()"
+        if (
+            isinstance(owner, ast.Attribute)
+            and owner.attr == "datetime"
+            and isinstance(owner.value, ast.Name)
+            and owner.value.id == "datetime"
+        ):
+            return f"datetime.datetime.{func.attr}()"
     return ""
 
 
@@ -215,6 +262,15 @@ def lint_source(source: str, rel_path: str) -> List[Finding]:
                     f"{drawn} draws from hidden global state; construct "
                     "a seeded generator (random.Random(seed) / "
                     "np.random.default_rng(seed)) and pass it down",
+                    node,
+                )
+            clocked = _wallclock_call(node)
+            if clocked and not posix.startswith(WALLCLOCK_PREFIX):
+                emit(
+                    "RL006",
+                    f"{clocked} reads the wall clock; simulated code "
+                    "takes its timestamps from the run's clocks (only "
+                    "repro.telemetry may touch host time)",
                     node,
                 )
     return findings

@@ -12,14 +12,19 @@ Two input shapes are linted:
   coordinate ranges against the :class:`DramOrganization`, reads to rows
   no write ever touched, and ECC-scrub reentrancy (a scrub pass — any
   request whose tag starts with ``"scrub"`` — must visit each row at
-  most once, or corrected words could be folded twice).
+  most once, or corrected words could be folded twice);
+* **telemetry span files** (Chrome-trace JSON or JSONL written by
+  :class:`repro.telemetry.tracer.Tracer`): the linter checks span
+  well-formedness against the layer catalog, interval nesting (a child
+  span must lie inside its parent), and parent references.
 
-Rule IDs are ``TL001``-``TL008``; see ``docs/ANALYSIS.md``.
+Rule IDs are ``TL001``-``TL011``; see ``docs/ANALYSIS.md``.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence, Set, Tuple
+import json
+from typing import Any, Dict, Iterable, List, Mapping, Sequence, Set, Tuple
 
 from repro.analysis.findings import (
     LEVEL_ERROR,
@@ -30,12 +35,15 @@ from repro.analysis.findings import (
 from repro.dram.command import CMD_OPS, DramCommand, Request
 from repro.dram.config import DramOrganization
 from repro.dram.trace import load_trace
+from repro.telemetry.tracer import LAYERS
 
 __all__ = [
     "TRACELINT_RULES",
     "lint_commands",
     "lint_requests",
     "lint_trace_file",
+    "lint_spans",
+    "lint_span_file",
 ]
 
 TRACELINT_RULES: Dict[str, str] = {
@@ -48,6 +56,10 @@ TRACELINT_RULES: Dict[str, str] = {
     "TL006": "ECC scrub pass re-enters a row it already scrubbed",
     "TL007": "command time goes backwards within one bank",
     "TL008": "redundant ACT: the target row is already open",
+    "TL009": "malformed telemetry span (missing field, unknown layer, "
+             "or negative duration)",
+    "TL010": "child span escapes its parent's time interval",
+    "TL011": "span references a parent that is absent or in another trace",
 }
 register_rules(TRACELINT_RULES)
 
@@ -248,3 +260,131 @@ def lint_trace_file(
 ) -> List[Finding]:
     """Lint a trace file in the :mod:`repro.dram.trace` text format."""
     return lint_requests(load_trace(path), org, require_writes=require_writes)
+
+
+# -- telemetry span linting (TL009-TL011) ----------------------------------
+
+_SPAN_FIELDS = ("trace_id", "span_id", "name", "layer", "start_ns")
+
+#: tolerance for float round-tripping through the Chrome exporter's
+#: microsecond units (1 ns of slack on each interval edge)
+_NEST_SLACK_NS = 1.0
+
+
+def _normalize_chrome_event(event: Mapping[str, Any]) -> Dict[str, Any]:
+    """A Chrome ``ph: "X"`` event as a span dict (ts/dur are in us)."""
+    args = event.get("args") or {}
+    ts = float(event.get("ts", 0.0))
+    dur = float(event.get("dur", 0.0))
+    return {
+        "trace_id": args.get("trace_id"),
+        "span_id": args.get("span_id"),
+        "parent_id": args.get("parent_id"),
+        "name": event.get("name"),
+        "layer": event.get("cat"),
+        "start_ns": ts * 1000.0,
+        "end_ns": (ts + dur) * 1000.0,
+        "args": dict(args),
+    }
+
+
+def lint_spans(spans: Iterable[Mapping[str, Any]]) -> List[Finding]:
+    """Lint telemetry span dicts (the :meth:`Span.to_dict` shape).
+
+    Checks each span for well-formedness (TL009), containment inside
+    its parent's interval (TL010), and parent resolution (TL011).
+    Spans left open by :meth:`Tracer.close_all` carry a ``force_closed``
+    arg and are exempt from containment — their end is synthetic.
+    """
+    bucket = _RuleBucket()
+    ordered = list(spans)
+    by_id: Dict[Tuple[Any, Any], Mapping[str, Any]] = {}
+    for span in ordered:
+        by_id[(span.get("trace_id"), span.get("span_id"))] = span
+
+    for index, span in enumerate(ordered):
+        where = f"span[{index}]"
+        missing = [f for f in _SPAN_FIELDS if span.get(f) is None]
+        if missing:
+            bucket.add(
+                "TL009", LEVEL_ERROR,
+                f"span is missing field(s) {', '.join(missing)}", where,
+            )
+            continue
+        layer = span["layer"]
+        if layer not in LAYERS:
+            bucket.add(
+                "TL009", LEVEL_ERROR,
+                f"unknown layer {layer!r}; known: {LAYERS}", where,
+            )
+            continue
+        start = float(span["start_ns"])
+        end = span.get("end_ns")
+        if end is not None and float(end) < start:
+            bucket.add(
+                "TL009", LEVEL_ERROR,
+                f"span {span['name']!r} ends at {float(end):.1f} ns "
+                f"before it starts at {start:.1f} ns",
+                where,
+            )
+            continue
+        parent_id = span.get("parent_id")
+        if parent_id is None:
+            continue
+        parent = by_id.get((span["trace_id"], parent_id))
+        if parent is None:
+            bucket.add(
+                "TL011", LEVEL_ERROR,
+                f"span {span['name']!r} references parent {parent_id} "
+                f"absent from trace {span['trace_id']}",
+                where,
+            )
+            continue
+        forced = (span.get("args") or {}).get("force_closed") or (
+            (parent.get("args") or {}).get("force_closed")
+        )
+        if forced:
+            continue  # synthetic end times: containment is meaningless
+        p_start = float(parent.get("start_ns", 0.0))
+        p_end = parent.get("end_ns")
+        child_end = float(end) if end is not None else None
+        escapes = start < p_start - _NEST_SLACK_NS or (
+            child_end is not None
+            and p_end is not None
+            and child_end > float(p_end) + _NEST_SLACK_NS
+        )
+        if escapes:
+            bucket.add(
+                "TL010", LEVEL_ERROR,
+                f"span {span['name']!r} [{start:.1f}, "
+                f"{child_end if child_end is not None else 'open'}] ns "
+                f"escapes parent {parent.get('name')!r} "
+                f"[{p_start:.1f}, {p_end}] ns",
+                where,
+            )
+    return bucket.findings
+
+
+def lint_span_file(path: str) -> List[Finding]:
+    """Lint a span file written by the tracer's exporters.
+
+    Autodetects the format: a JSON object with ``traceEvents`` is a
+    Chrome trace (``ph: "X"`` events are linted, metadata skipped);
+    anything else is treated as JSONL with one span dict per line.
+    """
+    with open(path, "r", encoding="utf-8") as fh:
+        text = fh.read()
+    stripped = text.lstrip()
+    if stripped.startswith("{") and '"traceEvents"' in stripped[:200]:
+        document = json.loads(text)
+        events = document.get("traceEvents", [])
+        spans = [
+            _normalize_chrome_event(event)
+            for event in events
+            if event.get("ph") == "X"
+        ]
+        return lint_spans(spans)
+    spans = [
+        json.loads(line) for line in text.splitlines() if line.strip()
+    ]
+    return lint_spans(spans)

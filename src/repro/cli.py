@@ -9,6 +9,7 @@ Subcommands::
     repro-facil dataset  --dataset alpaca-like    # Figs. 15/16 trace
     repro-facil chaos    --flip-rate 2.0 --seed 7 # reliability campaign
     repro-facil serve    --duration-ms 60000      # serving runtime + SLO report
+    repro-facil trace    --trace-out trace.json   # traced run + metrics snapshot
     repro-facil analyze  --format json            # static analysis gate
 
 ``chaos`` and ``serve`` write machine-readable JSON reports under
@@ -163,6 +164,10 @@ def _cmd_chaos(args: argparse.Namespace) -> None:
     report = run_campaign(spec, engine=engine)
     print(f"platform        : {platform.name} / {engine.engine.model.name}")
     print(report.render())
+    if args.metrics_out:
+        report.metrics.write_json(args.metrics_out)
+        print(f"metrics written to {args.metrics_out} "
+              f"({len(report.metrics)} families)")
     payload = {"campaign": report.to_dict()}
     if args.crash_injections:
         from repro.serving.crashes import run_crash_campaign
@@ -243,7 +248,12 @@ def _cmd_serve(args: argparse.Namespace) -> None:
         block_tokens=args.block_tokens,
         prefix_sharing=args.prefix_sharing,
     )
-    report = ServingRuntime(engine, config).run(requests)
+    telemetry = None
+    if args.trace_out or args.metrics_out:
+        from repro.telemetry import Telemetry
+
+        telemetry = Telemetry(sample_every=args.trace_sample)
+    report = ServingRuntime(engine, config, telemetry=telemetry).run(requests)
     print(f"platform        : {platform.name} / {engine.model.name}")
     print(f"sustainable     : {capacity_qps:.2f} qps; offered {qps:.2f} qps "
           f"({qps / capacity_qps:.2f}x)")
@@ -252,11 +262,97 @@ def _cmd_serve(args: argparse.Namespace) -> None:
     with open(out, "w") as handle:
         handle.write(report.to_json() + "\n")
     print(f"\nreport written to {out}")
+    if telemetry is not None:
+        _write_telemetry(telemetry, args.trace_out, args.metrics_out)
     if report.unserved:
         raise SystemExit(
             f"{report.unserved} admitted query(ies) went unserved "
             f"({report.timed_out} timed-out, {report.aborted} aborted)"
         )
+
+
+def _write_telemetry(telemetry, trace_out, metrics_out) -> None:
+    telemetry.write(trace_out, metrics_out)
+    stats = telemetry.tracer.stats()
+    if trace_out:
+        print(f"trace written to {trace_out} ({stats['spans']} spans, "
+              f"{stats['traces_sampled']}/{stats['traces_seen']} "
+              f"queries sampled)")
+    if metrics_out:
+        print(f"metrics written to {metrics_out} "
+              f"({len(telemetry.metrics)} families)")
+    for finding in telemetry.findings:
+        print(f"advisor {finding.rule_id} [{finding.level}] {finding.message}")
+
+
+def _cmd_trace(args: argparse.Namespace) -> None:
+    # Lazy imports: the serving and telemetry planes are only needed here.
+    from repro.serving import (
+        ServingConfig,
+        ServingRuntime,
+        TenantSpec,
+        poisson_workload,
+        sustainable_qps,
+    )
+    from repro.telemetry import Telemetry
+
+    platform = _platform_by_name(args.platform)
+    engine = InferenceEngine(platform)
+    spec = _DATASETS.get(args.dataset)
+    if spec is None:
+        raise SystemExit(
+            f"unknown dataset {args.dataset!r}; known: {sorted(_DATASETS)}"
+        )
+    tenant = TenantSpec(
+        name=spec.name, dataset=spec, policy=args.policy,
+        deadline_ms=args.deadline_ms,
+    )
+    qps = args.load * sustainable_qps(engine, tenant, seed=args.seed)
+    tenant = TenantSpec(
+        name=spec.name, dataset=spec, policy=args.policy, qps=qps,
+        deadline_ms=args.deadline_ms,
+    )
+    requests = poisson_workload(
+        [tenant], duration_ms=args.duration_ms, seed=args.seed
+    )
+    config = ServingConfig(
+        seed=args.seed,
+        queue_capacity=args.capacity,
+        shed_policy="degrade",
+        kv_blocks=args.kv_blocks,
+        block_tokens=args.block_tokens,
+    )
+    telemetry = Telemetry(sample_every=args.sample_every)
+    report = ServingRuntime(engine, config, telemetry=telemetry).run(requests)
+    print(f"platform        : {platform.name} / {engine.model.name}")
+    print(f"traced run      : {len(requests)} requests over "
+          f"{args.duration_ms:.0f} ms at {qps:.2f} qps")
+    by_layer = telemetry.tracer.spans_by_layer()
+    print("spans by layer  : "
+          + (", ".join(f"{k}={v}" for k, v in by_layer.items()) or "none"))
+    print(f"goodput         : {report.goodput_qps:.2f} qps "
+          f"({report.served} served)")
+    cal = telemetry.calibration
+    if cal is not None:
+        print(f"probe           : {cal.dram_ns_per_byte * 1e3:.3f} ps/B, "
+              f"bus util {cal.bus_utilization:.3f}, "
+              f"row-hit {cal.row_hit_rate:.3f}")
+        print(f"advisor         : agreement {cal.advisor_agreement:.3f} over "
+              f"{len(cal.probed_tensors)} probed tensor(s)")
+    _write_telemetry(telemetry, args.trace_out, args.metrics_out)
+    if args.advisor_sweep:
+        from repro.telemetry.advisor import agreement_sweep
+
+        sweep = agreement_sweep(metrics=telemetry.metrics)
+        print(f"advisor sweep   : {sweep.agreements}/{sweep.checks} agree "
+              f"(rate {sweep.agreement_rate:.3f}), "
+              f"{len(sweep.skipped)} shape(s) skipped")
+        for finding in sweep.findings:
+            print(f"advisor {finding.rule_id} [{finding.level}] "
+                  f"{finding.message}")
+        if args.metrics_out:
+            # refresh the snapshot so sweep counters are included
+            telemetry.metrics.write_json(args.metrics_out)
 
 
 def _cmd_analyze(args: argparse.Namespace) -> None:
@@ -272,6 +368,7 @@ def _cmd_analyze(args: argparse.Namespace) -> None:
     report = run_all(
         repo_root=Path.cwd(),
         trace_paths=args.trace or (),
+        span_paths=args.spans or (),
         passes=passes,
     )
     if args.waive:
@@ -347,6 +444,9 @@ def build_parser() -> argparse.ArgumentParser:
                        "injections through the KV block pool's journal")
     chaos.add_argument("--out", default=None, metavar="PATH",
                        help="JSON report path (default: benchmarks/results/)")
+    chaos.add_argument("--metrics-out", default=None, metavar="PATH",
+                       help="also write the campaign's telemetry metrics "
+                       "snapshot (JSON) to this path")
 
     serve = sub.add_parser(
         "serve", help="serving runtime: multi-tenant stream with SLO report"
@@ -390,6 +490,37 @@ def build_parser() -> argparse.ArgumentParser:
                        help="mean think time between conversation turns")
     serve.add_argument("--out", default=None, metavar="PATH",
                        help="JSON report path (default: benchmarks/results/)")
+    serve.add_argument("--trace-out", default=None, metavar="PATH",
+                       help="write a Chrome-trace JSON of the run's spans")
+    serve.add_argument("--metrics-out", default=None, metavar="PATH",
+                       help="write a metrics snapshot (JSON) of the run")
+    serve.add_argument("--trace-sample", type=int, default=8,
+                       help="head-sampling period: trace every Nth query")
+
+    trace = sub.add_parser(
+        "trace",
+        help="short traced serving run: Chrome trace + metrics snapshot",
+    )
+    trace.add_argument("--seed", type=int, default=0)
+    trace.add_argument("--dataset", default=ALPACA_LIKE.name,
+                       help=f"one of {sorted(_DATASETS)}")
+    trace.add_argument("--policy", choices=POLICIES, default="facil")
+    trace.add_argument("--duration-ms", type=float, default=10_000.0)
+    trace.add_argument("--load", type=float, default=0.7,
+                       help="arrival rate as a fraction of sustainable")
+    trace.add_argument("--deadline-ms", type=float, default=10_000.0)
+    trace.add_argument("--capacity", type=int, default=16)
+    trace.add_argument("--kv-blocks", type=int, default=256,
+                       help="KV block pool size (0: legacy serving loop)")
+    trace.add_argument("--block-tokens", type=int, default=16)
+    trace.add_argument("--sample-every", type=int, default=1,
+                       help="head-sampling period: trace every Nth query")
+    trace.add_argument("--trace-out", default="trace.json", metavar="PATH")
+    trace.add_argument("--metrics-out", default="metrics.json",
+                       metavar="PATH")
+    trace.add_argument("--advisor-sweep", action="store_true",
+                       help="also run the advisor/selector agreement sweep "
+                       "over every platform and report disagreements")
 
     analyze = sub.add_parser(
         "analyze",
@@ -409,11 +540,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="also lint this request-trace file (repeatable)",
     )
     analyze.add_argument(
+        "--spans", action="append", metavar="PATH",
+        help="also lint this telemetry span file — Chrome-trace JSON or "
+        "JSONL from the tracer (repeatable)",
+    )
+    analyze.add_argument(
         "--waive", action="append", metavar="RULE",
         help="drop findings of this rule ID (repeatable)",
     )
 
-    for sub_parser in (mapping, query, sweep, dataset, chaos, serve):
+    for sub_parser in (mapping, query, sweep, dataset, chaos, serve, trace):
         sub_parser.add_argument("--platform", default="jetson-agx-orin")
     return parser
 
@@ -426,6 +562,7 @@ _COMMANDS = {
     "dataset": _cmd_dataset,
     "chaos": _cmd_chaos,
     "serve": _cmd_serve,
+    "trace": _cmd_trace,
     "analyze": _cmd_analyze,
 }
 

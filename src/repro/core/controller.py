@@ -214,6 +214,60 @@ class MemoryController:
                     "all mappings over one organization must agree on the "
                     "in-page row width"
                 )
+        #: optional telemetry MetricsRegistry (duck-typed — the core
+        #: layer never imports the telemetry package)
+        self.metrics: Optional[object] = None
+        self._page_last_map_id: Dict[int, int] = {}
+        self._page_switch_counts: Dict[int, int] = {}
+
+    # -- telemetry -----------------------------------------------------------
+
+    def attach_metrics(self, registry: object) -> None:
+        """Count translations and per-page MapID-mux switches into
+        *registry* (a :class:`repro.telemetry.MetricsRegistry`)."""
+        self.metrics = registry
+
+    def _note_translations(
+        self, map_id: int, pages: Sequence[int], n_translations: int
+    ) -> None:
+        registry = self.metrics
+        if registry is None:
+            return
+        registry.counter(  # type: ignore[attr-defined]
+            "controller_translations_total",
+            "PA-to-DA translations by MapID",
+            labelnames=("map_id",),
+        ).inc(n_translations, map_id=str(map_id))
+        switches = 0
+        for page in pages:
+            last = self._page_last_map_id.get(page)
+            if last is not None and last != map_id:
+                switches += 1
+                self._page_switch_counts[page] = (
+                    self._page_switch_counts.get(page, 0) + 1
+                )
+            self._page_last_map_id[page] = map_id
+        if switches:
+            registry.counter(  # type: ignore[attr-defined]
+                "controller_mapid_mux_switches_total",
+                "per-page MapID mux reconfigurations",
+            ).inc(switches)
+
+    def finalize_metrics(self) -> None:
+        """Publish the per-page switch distribution (call at run end)."""
+        registry = self.metrics
+        if registry is None:
+            return
+        histogram = registry.histogram(  # type: ignore[attr-defined]
+            "controller_mapid_switches_per_page",
+            "MapID-mux switches observed per page",
+            buckets=(0, 1, 2, 5, 10, 20, 50, 100),
+        )
+        for page in sorted(self._page_switch_counts):
+            histogram.observe(self._page_switch_counts[page])
+        registry.gauge(  # type: ignore[attr-defined]
+            "controller_pages_tracked", "pages seen by the MapID mux"
+        ).set(len(self._page_last_map_id))
 
     # -- translation -----------------------------------------------------
 
@@ -226,6 +280,8 @@ class MemoryController:
         number as the row MSBs."""
         mapping = self.table[map_id]
         page_index, page_offset = divmod(pa, self.page_bytes)
+        if self.metrics is not None:
+            self._note_translations(map_id, (page_index,), 1)
         coord = mapping.decode(page_offset)
         row = (page_index << self._row_bits_in_page) | coord.row
         if row >= self.org.rows_per_bank:
@@ -250,6 +306,12 @@ class MemoryController:
         pas = np.asarray(pas, dtype=np.int64)
         mapping = self.table[map_id]
         page_index = pas >> np.int64(self.page_bits)
+        if self.metrics is not None:
+            self._note_translations(
+                map_id,
+                [int(p) for p in np.unique(page_index)],
+                int(pas.size),
+            )
         fields = mapping.decode_array(pas & np.int64(self.page_bytes - 1))
         fields[Field.ROW] = fields[Field.ROW] | (
             page_index << np.int64(self._row_bits_in_page)

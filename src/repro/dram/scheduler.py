@@ -314,3 +314,27 @@ class ChannelScheduler:
         stats.row_hits = sum(b.row_hits for b in self.banks.values())
         stats.row_misses = sum(b.row_misses for b in self.banks.values())
         stats.row_conflicts = sum(b.row_conflicts for b in self.banks.values())
+
+    def publish_metrics(self, registry: object) -> None:
+        """Publish this channel's counters into a telemetry registry
+        (duck-typed ``repro.telemetry.MetricsRegistry`` — the DRAM layer
+        never imports the telemetry package)."""
+        self.collect_bank_stats()
+        stats = self.stats
+        labels = {"channel": str(self.channel)}
+        for name, help_text, value in (
+            ("dram_reads_total", "column reads issued", stats.reads),
+            ("dram_writes_total", "column writes issued", stats.writes),
+            ("dram_row_hits_total", "row-buffer hits", stats.row_hits),
+            ("dram_row_misses_total", "row-buffer misses (bank idle)",
+             stats.row_misses),
+            ("dram_row_conflicts_total",
+             "bank conflicts (wrong row open)", stats.row_conflicts),
+        ):
+            registry.counter(  # type: ignore[attr-defined]
+                name, help_text, labelnames=("channel",)
+            ).inc(value, **labels)
+        registry.gauge(  # type: ignore[attr-defined]
+            "dram_bus_busy_ns", "data-bus busy time per channel",
+            labelnames=("channel",),
+        ).set(stats.bus_busy_ns, **labels)

@@ -32,6 +32,7 @@ from repro.llm.layers import linear_specs
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.kvcache.manager import KvCacheManager
+    from repro.telemetry.tracer import Tracer
 
 __all__ = ["ChatSession", "TurnLatency"]
 
@@ -72,6 +73,7 @@ class ChatSession:
         policy: str,
         kv: Optional["KvCacheManager"] = None,
         conversation_id: int = 0,
+        tracer: Optional["Tracer"] = None,
     ):
         if policy not in POLICIES:
             raise ValueError(f"unknown policy {policy!r}; known: {POLICIES}")
@@ -81,6 +83,9 @@ class ChatSession:
         self.turns: List[TurnLatency] = []
         self.kv = kv
         self.conversation_id = conversation_id
+        #: optional span sink: each turn lands on the session's own
+        #: back-to-back simulated timeline, trace id = conversation id
+        self.tracer = tracer
 
     def set_policy(self, policy: str) -> None:
         """Switch the execution policy mid-conversation (the serving
@@ -178,6 +183,25 @@ class ChatSession:
             cached_tokens=cached,
             recomputed_tokens=recompute,
         )
+        if self.tracer is not None:
+            start_ns = self.total_ns
+            root = self.tracer.begin(
+                self.conversation_id,
+                f"turn.{result.turn}",
+                "engine",
+                start_ns,
+                policy=self.policy,
+                context_before=self.context,
+                cached_tokens=cached,
+            )
+            if root is not None:
+                root.record("turn.prefill", "engine", start_ns, start_ns + ttft)
+                if decode > 0.0:
+                    root.record(
+                        "turn.decode", "engine",
+                        start_ns + ttft, start_ns + ttft + decode,
+                    )
+                root.close(start_ns + result.ttlt_ns)
         self.turns.append(result)
         self.context += user_tokens + response_tokens
         return result

@@ -352,6 +352,22 @@ class KvCacheManager:
             return 0.0
         return self.prefix_hit_tokens / self.prefix_lookup_tokens
 
+    def publish_metrics(self, registry: object) -> None:
+        """Publish pool/prefix counters into a telemetry registry
+        (duck-typed ``repro.telemetry.MetricsRegistry`` — the KV layer
+        never imports the telemetry package).  Reads :meth:`stats` only,
+        so the serving hot path is untouched."""
+        gauge = registry.gauge(  # type: ignore[attr-defined]
+            "kv_manager_stat", "paged KV pool counters", labelnames=("stat",)
+        )
+        for key, value in self.stats().items():
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                continue
+            gauge.set(float(value), stat=key)
+        registry.gauge(  # type: ignore[attr-defined]
+            "kv_pool_pressure", "fraction of KV blocks in use"
+        ).set(self.pressure())
+
     def stats(self) -> Dict:
         """Machine-readable counters (the runtime folds these into its
         SLO report)."""

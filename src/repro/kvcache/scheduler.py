@@ -114,6 +114,9 @@ def run_kv_serving(
 
     cfg = runtime.config
     engine = runtime.engine
+    tel = runtime.telemetry
+    if tel is not None:
+        tel.ensure_calibrated(engine)
     rng = random.Random(cfg.seed)
     B = cfg.block_tokens
     pool = BlockPool(cfg.kv_blocks, KvSpec(block_tokens=B))
@@ -157,6 +160,42 @@ def run_kv_serving(
                 fallbacks=seq.fallbacks,
             )
         )
+        if tel is not None:
+            # Reconstruct the phase boundaries from the per-sequence
+            # timing fields the outcome already carries — the span tree
+            # is derived data, never an extra clock.
+            request = seq.request
+            arrival = request.arrival_ns
+            start = arrival + seq.wait_ns if seq.policy_served else None
+            if seq.ttft_ns > 0.0:
+                prefill_end: Optional[float] = arrival + seq.ttft_ns
+            elif status == ABORTED and start is not None:
+                prefill_end = now  # the failed prefill itself
+            else:
+                prefill_end = None
+            decode_start = (
+                prefill_end
+                if prefill_end is not None and now > prefill_end
+                else None
+            )
+            tel.trace_query(
+                request.req_id,
+                request.tenant,
+                arrival,
+                status,
+                request.policy,
+                start_ns=start,
+                prefill_end_ns=prefill_end,
+                decode_start_ns=decode_start,
+                end_ns=now if decode_start is not None else None,
+                prefill_resource=seq.policy_served,
+                decode_resource=seq.policy_served,
+                context_tokens=seq.ctx,
+                decode_tokens=seq.served_tokens,
+                retries=seq.retries,
+                recomputes=seq.recomputes,
+                kv_loop=True,
+            )
 
     def admit(request: Request, now: float) -> None:
         nonlocal kv_rejections, kv_clipped, kv_degraded
@@ -172,6 +211,12 @@ def run_kv_serving(
                     policy_requested=request.policy,
                 )
             )
+            if tel is not None:
+                tel.trace_query(
+                    request.req_id, request.tenant, request.arrival_ns,
+                    REJECTED, request.policy, kv_loop=True,
+                    reason="kv-demand-exceeds-pool",
+                )
             return
         verdict, evicted = queue.offer(request)
         if evicted is not None:
@@ -185,6 +230,12 @@ def run_kv_serving(
                     wait_ns=request.arrival_ns - evicted.arrival_ns,
                 )
             )
+            if tel is not None:
+                tel.trace_query(
+                    evicted.req_id, evicted.tenant, evicted.arrival_ns,
+                    DROPPED, evicted.policy,
+                    start_ns=request.arrival_ns, kv_loop=True,
+                )
         if verdict == "rejected":
             outcomes.append(
                 RequestOutcome(
@@ -194,6 +245,11 @@ def run_kv_serving(
                     policy_requested=request.policy,
                 )
             )
+            if tel is not None:
+                tel.trace_query(
+                    request.req_id, request.tenant, request.arrival_ns,
+                    REJECTED, request.policy, kv_loop=True,
+                )
             return
         degraded = verdict == "admitted-degraded"
         if governor.observe(kv.pressure(), now) and not degraded:
@@ -503,7 +559,7 @@ def run_kv_serving(
             "audit_failures": list(audit_failures),
         }
     )
-    return ServingReport(
+    report = ServingReport(
         config=cfg,
         outcomes=outcomes,
         queue_stats=queue.stats,
@@ -516,3 +572,8 @@ def run_kv_serving(
         health=runtime.monitor.summary(),
         kv=kv_stats,
     )
+    if tel is not None:
+        kv.publish_metrics(tel.metrics)
+        tel.record_serving_report(report)
+        tel.tracer.close_all(end_ns)
+    return report

@@ -42,6 +42,8 @@ from repro.reliability.degrade import Health, ResilientEngine, ResilientQuery
 from repro.reliability.ecc import UncorrectableEccError
 from repro.reliability.faults import FaultInjector
 from repro.reliability.integrity import MappingIntegrityError
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.render import percentile_ms, render_text
 
 __all__ = ["CampaignSpec", "ReliabilityReport", "run_campaign", "TINY_CAMPAIGN_ORG"]
 
@@ -85,7 +87,10 @@ class ReliabilityReport:
     """Aggregate outcome of one campaign."""
 
     spec: CampaignSpec
-    injected: Dict[str, int] = field(default_factory=dict)
+    #: fault counters live in a telemetry registry (one sample per fault
+    #: kind on ``faults_injected_total``) instead of an ad-hoc dict; the
+    #: :attr:`injected` view keeps the report's public shape
+    metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
     corrected: int = 0  # single-bit flips fixed by ECC
     detected: int = 0  # surfaced + recovered faults
     silent: int = 0  # corruption that reached a consumer unnoticed
@@ -94,6 +99,17 @@ class ReliabilityReport:
     queries: List[ResilientQuery] = field(default_factory=list)
     fault_log_len: int = 0
     health: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def injected(self) -> Dict[str, int]:
+        """Injected-fault counts by kind (view over the registry)."""
+        counter = self.metrics.get("faults_injected_total")
+        if counter is None:
+            return {}
+        return {
+            sample["labels"]["kind"]: int(sample["value"])
+            for sample in counter.sample_dicts()
+        }
 
     @property
     def n_queries(self) -> int:
@@ -107,16 +123,17 @@ class ReliabilityReport:
     def total_injected(self) -> int:
         return sum(self.injected.values())
 
-    def _ttlts(self) -> np.ndarray:
-        return np.array([q.ttlt_ns for q in self.queries], dtype=np.float64)
+    def _ttlts(self) -> List[float]:
+        return [q.ttlt_ns for q in self.queries]
 
     @property
     def mean_ttlt_ns(self) -> float:
-        return float(self._ttlts().mean()) if self.queries else 0.0
+        ttlts = self._ttlts()
+        return sum(ttlts) / len(ttlts) if ttlts else 0.0
 
     @property
     def p99_ttlt_ns(self) -> float:
-        return float(np.percentile(self._ttlts(), 99)) if self.queries else 0.0
+        return percentile_ms(self._ttlts(), 99.0) * 1e6
 
     @property
     def mean_degradation_ns(self) -> float:
@@ -156,31 +173,38 @@ class ReliabilityReport:
         return json.dumps(self.to_dict(), indent=indent)
 
     def render(self) -> str:
-        lines = [
+        header = (
             f"chaos campaign: seed={self.spec.seed} policy={self.spec.policy} "
-            f"queries={self.n_queries}",
-            "injected faults : "
-            + (
+            f"queries={self.n_queries}"
+        )
+        pairs = [
+            (
+                "injected faults",
                 ", ".join(f"{k}={v}" for k, v in sorted(self.injected.items()))
-                or "none"
+                or "none",
             ),
-            f"corrected (ECC) : {self.corrected}",
-            f"detected        : {self.detected}",
-            f"silent          : {self.silent}",
-            f"aborted         : {self.aborted}",
-            f"availability    : {self.availability:.3f}",
-            f"degraded queries: {self.degraded_queries}",
-            f"mean TTLT       : {self.mean_ttlt_ns / 1e6:.3f} ms",
-            f"p99 TTLT        : {self.p99_ttlt_ns / 1e6:.3f} ms",
-            f"mean degradation: {self.mean_degradation_ns / 1e6:.3f} ms",
-            "component health: "
-            + (", ".join(f"{k}={v}" for k, v in self.health.items()) or "all healthy"),
+            ("corrected (ECC)", self.corrected),
+            ("detected", self.detected),
+            ("silent", self.silent),
+            ("aborted", self.aborted),
+            ("availability", f"{self.availability:.3f}"),
+            ("degraded queries", self.degraded_queries),
+            ("mean TTLT", f"{self.mean_ttlt_ns / 1e6:.3f} ms"),
+            ("p99 TTLT", f"{self.p99_ttlt_ns / 1e6:.3f} ms"),
+            ("mean degradation", f"{self.mean_degradation_ns / 1e6:.3f} ms"),
+            (
+                "component health",
+                ", ".join(f"{k}={v}" for k, v in self.health.items())
+                or "all healthy",
+            ),
         ]
-        return "\n".join(lines)
+        return render_text(header, pairs)
 
 
 def _count(report: ReliabilityReport, kind: str, n: int = 1) -> None:
-    report.injected[kind] = report.injected.get(kind, 0) + n
+    report.metrics.counter(
+        "faults_injected_total", "faults injected by kind", labelnames=("kind",)
+    ).inc(n, kind=kind)
 
 
 def _poisson_like(rng, rate: float) -> int:
@@ -353,4 +377,26 @@ def run_campaign(
     report.fault_log_len = len(injector.log)
     report.health = engine.monitor.summary()
     injector.detach()
+    registry = report.metrics
+    ladder = registry.counter(
+        "campaign_faults_total", "recovery-ladder outcomes",
+        labelnames=("bucket",),
+    )
+    for bucket, count in (
+        ("corrected", report.corrected),
+        ("detected", report.detected),
+        ("silent", report.silent),
+    ):
+        ladder.inc(count, bucket=bucket)
+    outcomes = registry.counter(
+        "campaign_queries_total", "query outcomes", labelnames=("status",)
+    )
+    outcomes.inc(report.served, status="served")
+    outcomes.inc(report.aborted, status="aborted")
+    registry.gauge(
+        "campaign_availability", "fraction of queries served"
+    ).set(report.availability)
+    ttlt_h = registry.histogram("campaign_ttlt_ns", "per-query TTLT")
+    for query in report.queries:
+        ttlt_h.observe(query.ttlt_ns)
     return report

@@ -34,7 +34,10 @@ from __future__ import annotations
 import json
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.telemetry import Telemetry
 
 from repro.engine.metrics import LatencyStats
 from repro.engine.policies import InferenceEngine, decode_on_pim
@@ -285,55 +288,87 @@ class ServingReport:
         return json.dumps(self.to_dict(), indent=indent)
 
     def render(self) -> str:
+        from repro.telemetry.render import render_text
+
         d = self.to_dict()
-        lines = [
+        header = (
             f"serving run: seed={d['seed']} shed={d['shed_policy']} "
-            f"capacity={d['queue_capacity']} duration={d['duration_ms']:.1f} ms",
-            f"offered         : {d['offered']}",
-            f"served          : {d['served']} ({d['served_degraded']} degraded)",
-            f"shed            : {d['rejected']} rejected, {d['dropped']} dropped "
-            f"(rate {d['shed_rate']:.3f})",
-            f"unserved        : {d['timed_out']} timed-out, {d['aborted']} aborted",
-            f"SLO attainment  : {d['slo_attainment']:.3f}",
-            f"goodput         : {d['goodput_qps']:.1f} qps",
-            f"TTFT p50/p99    : {d['ttft']['p50_ms']:.3f} / {d['ttft']['p99_ms']:.3f} ms",
-            f"TTLT p50/p99    : {d['ttlt']['p50_ms']:.3f} / {d['ttlt']['p99_ms']:.3f} ms",
-            f"queue occupancy : peak {d['queue']['peak_occupancy']}, "
-            f"mean {d['queue']['mean_occupancy']:.2f}, "
-            f"mean wait {d['queue']['mean_wait_ms']:.3f} ms",
-            f"brown-out       : {d['brownout']['windows']} window(s), "
-            f"{d['brownout']['total_ms']:.1f} ms total",
-            "breaker events  : "
-            + (
+            f"capacity={d['queue_capacity']} duration={d['duration_ms']:.1f} ms"
+        )
+        pairs = [
+            ("offered", d["offered"]),
+            ("served", f"{d['served']} ({d['served_degraded']} degraded)"),
+            (
+                "shed",
+                f"{d['rejected']} rejected, {d['dropped']} dropped "
+                f"(rate {d['shed_rate']:.3f})",
+            ),
+            (
+                "unserved",
+                f"{d['timed_out']} timed-out, {d['aborted']} aborted",
+            ),
+            ("SLO attainment", f"{d['slo_attainment']:.3f}"),
+            ("goodput", f"{d['goodput_qps']:.1f} qps"),
+            (
+                "TTFT p50/p99",
+                f"{d['ttft']['p50_ms']:.3f} / {d['ttft']['p99_ms']:.3f} ms",
+            ),
+            (
+                "TTLT p50/p99",
+                f"{d['ttlt']['p50_ms']:.3f} / {d['ttlt']['p99_ms']:.3f} ms",
+            ),
+            (
+                "queue occupancy",
+                f"peak {d['queue']['peak_occupancy']}, "
+                f"mean {d['queue']['mean_occupancy']:.2f}, "
+                f"mean wait {d['queue']['mean_wait_ms']:.3f} ms",
+            ),
+            (
+                "brown-out",
+                f"{d['brownout']['windows']} window(s), "
+                f"{d['brownout']['total_ms']:.1f} ms total",
+            ),
+            (
+                "breaker events",
                 "; ".join(
                     f"{name}: " + ", ".join(f"{a}->{b}" for _, a, b in trans)
                     for name, trans in d["breakers"].items()
                     if trans
                 )
-                or "none"
+                or "none",
             ),
         ]
         kv = d.get("kv")
         if kv:
-            lines += [
-                f"kv pool         : {kv['num_blocks']} blocks x "
-                f"{kv['block_tokens']} tokens, occupancy peak "
-                f"{kv['occupancy_peak']} / p99 {kv['occupancy_p99']:.1f}",
-                f"kv churn        : {kv['evictions']} evicted, "
-                f"{kv['preemptions']} preempted, {kv['cow_copies']} CoW, "
-                f"{kv['kv_rejections']} rejected, {kv['kv_clipped']} clipped, "
-                f"{kv['kv_degraded']} degraded",
-                f"prefix sharing  : "
-                + (
+            pairs += [
+                (
+                    "kv pool",
+                    f"{kv['num_blocks']} blocks x "
+                    f"{kv['block_tokens']} tokens, occupancy peak "
+                    f"{kv['occupancy_peak']} / p99 {kv['occupancy_p99']:.1f}",
+                ),
+                (
+                    "kv churn",
+                    f"{kv['evictions']} evicted, "
+                    f"{kv['preemptions']} preempted, {kv['cow_copies']} CoW, "
+                    f"{kv['kv_rejections']} rejected, "
+                    f"{kv['kv_clipped']} clipped, "
+                    f"{kv['kv_degraded']} degraded",
+                ),
+                (
+                    "prefix sharing",
                     f"hit rate {kv['prefix_hit_rate']:.3f} "
                     f"({kv['prefill_tokens_saved']} prefill tokens saved)"
                     if kv["prefix_sharing"]
-                    else "disabled"
+                    else "disabled",
                 ),
-                f"kv pressure     : {kv['pressure_windows']} window(s), "
-                f"{kv['pressure_total_ms']:.1f} ms total",
+                (
+                    "kv pressure",
+                    f"{kv['pressure_windows']} window(s), "
+                    f"{kv['pressure_total_ms']:.1f} ms total",
+                ),
             ]
-        return "\n".join(lines)
+        return render_text(header, pairs)
 
 
 class ServingRuntime:
@@ -344,9 +379,14 @@ class ServingRuntime:
         engine: InferenceEngine,
         config: Optional[ServingConfig] = None,
         monitor: Optional[HealthMonitor] = None,
+        telemetry: Optional["Telemetry"] = None,
     ):
         self.engine = engine
         self.config = config if config is not None else ServingConfig()
+        #: optional observability bundle; spans ride simulated time and
+        #: counters are pure derivations, so results are byte-identical
+        #: with telemetry on or off
+        self.telemetry = telemetry
         cfg = self.config
         self.monitor = monitor if monitor is not None else HealthMonitor()
         breaker_args = dict(
@@ -481,6 +521,12 @@ class ServingRuntime:
 
             return run_kv_serving(self, list(requests))
         cfg = self.config
+        tel = self.telemetry
+        if tel is not None:
+            # probe once per bundle: grounds controller/DRAM span
+            # durations and the advisor counters without touching the
+            # run's RNG or timelines
+            tel.ensure_calibrated(self.engine)
         rng = random.Random(cfg.seed)
         queue = AdmissionQueue(
             cfg.queue_capacity, cfg.shed_policy, cfg.degrade_watermark
@@ -506,6 +552,12 @@ class ServingRuntime:
                     )
                 )
                 degraded.pop(evicted.req_id, None)
+                if tel is not None:
+                    tel.trace_query(
+                        evicted.req_id, evicted.tenant, evicted.arrival_ns,
+                        DROPPED, evicted.policy,
+                        start_ns=request.arrival_ns,
+                    )
             if verdict == "rejected":
                 outcomes.append(
                     RequestOutcome(
@@ -515,6 +567,11 @@ class ServingRuntime:
                         policy_requested=request.policy,
                     )
                 )
+                if tel is not None:
+                    tel.trace_query(
+                        request.req_id, request.tenant, request.arrival_ns,
+                        REJECTED, request.policy,
+                    )
             else:
                 degraded[request.req_id] = verdict == "admitted-degraded"
 
@@ -565,6 +622,11 @@ class ServingRuntime:
                         fallbacks=route.fallbacks,
                     )
                 )
+                if tel is not None:
+                    tel.trace_query(
+                        head.req_id, head.tenant, head.arrival_ns,
+                        TIMED_OUT, route.policy, start_ns=start,
+                    )
                 last_event = max(last_event, start)
                 continue
 
@@ -587,6 +649,14 @@ class ServingRuntime:
                         fallbacks=route.fallbacks,
                     )
                 )
+                if tel is not None:
+                    tel.trace_query(
+                        head.req_id, head.tenant, head.arrival_ns,
+                        ABORTED, route.policy,
+                        start_ns=start, prefill_end_ns=prefill_end,
+                        prefill_resource=route.prefill_resource,
+                        retries=retries_p,
+                    )
                 continue
             ttft_ns = prefill_end - head.arrival_ns
 
@@ -606,6 +676,13 @@ class ServingRuntime:
                         fallbacks=route.fallbacks,
                     )
                 )
+                if tel is not None:
+                    tel.trace_query(
+                        head.req_id, head.tenant, head.arrival_ns,
+                        TIMED_OUT, route.policy,
+                        start_ns=start, prefill_end_ns=prefill_end,
+                        prefill_resource=route.prefill_resource,
+                    )
                 continue
 
             decode_tokens = head.decode_tokens
@@ -655,6 +732,16 @@ class ServingRuntime:
                         fallbacks=fallbacks,
                     )
                 )
+                if tel is not None:
+                    tel.trace_query(
+                        head.req_id, head.tenant, head.arrival_ns,
+                        ABORTED, route.policy,
+                        start_ns=start, prefill_end_ns=prefill_end,
+                        decode_start_ns=decode_start, end_ns=decode_end,
+                        prefill_resource=route.prefill_resource,
+                        decode_resource=decode_resource,
+                        context_tokens=head.prefill_tokens,
+                    )
                 continue
 
             outcomes.append(
@@ -673,13 +760,25 @@ class ServingRuntime:
                     fallbacks=fallbacks,
                 )
             )
+            if tel is not None:
+                tel.trace_query(
+                    head.req_id, head.tenant, head.arrival_ns,
+                    SERVED_DEGRADED if was_degraded else SERVED,
+                    route.policy,
+                    start_ns=start, prefill_end_ns=prefill_end,
+                    decode_start_ns=decode_start, end_ns=decode_end,
+                    prefill_resource=route.prefill_resource,
+                    decode_resource=decode_resource,
+                    context_tokens=head.prefill_tokens,
+                    decode_tokens=decode_tokens,
+                )
 
         end_ns = max(
             last_event, pending[-1].arrival_ns if pending else 0.0, clock
         )
         self.brownout.finish(end_ns)
         outcomes.sort(key=lambda o: o.req_id)
-        return ServingReport(
+        report = ServingReport(
             config=cfg,
             outcomes=outcomes,
             queue_stats=queue.stats,
@@ -691,6 +790,10 @@ class ServingRuntime:
             brownout_intervals=list(self.brownout.intervals),
             health=self.monitor.summary(),
         )
+        if tel is not None:
+            tel.record_serving_report(report)
+            tel.tracer.close_all(end_ns)
+        return report
 
 
 def sustainable_qps(

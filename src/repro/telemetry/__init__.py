@@ -1,0 +1,245 @@
+"""Cross-layer observability plane for the FACIL reproduction.
+
+Three pieces (see ``docs/TELEMETRY.md``):
+
+* :mod:`repro.telemetry.tracer` — nested spans on *simulated* time with
+  head-based sampling and Chrome-trace / JSONL exporters;
+* :mod:`repro.telemetry.metrics` — a registry of counters, gauges, and
+  histograms with Prometheus-text and JSON snapshot exporters;
+* :mod:`repro.telemetry.advisor` — a DReAM-spirit online MapID advisor
+  cross-checked against the static selector (imported lazily: it pulls
+  the analysis plane).
+
+The :class:`Telemetry` bundle is the object the serving stack passes
+around: a tracer plus a registry plus the probe calibration that grounds
+controller/DRAM span durations.  Everything here observes simulated
+time supplied by callers; nothing consumes the run's RNG or advances
+its clocks, so enabling telemetry never changes simulated results —
+the overhead gate in ``bench_serving_overload`` holds by construction
+and acts as a perturbation regression guard.
+
+This package is the only part of ``src/repro`` allowed to touch wall
+clocks (lint rule RL006), though nothing in it currently needs to.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.telemetry.bench import (
+    SCHEMA_VERSION,
+    BenchResult,
+    hash_config,
+    load_bench_result,
+    write_bench_result,
+)
+from repro.telemetry.metrics import (
+    DEFAULT_NS_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricError,
+    MetricsRegistry,
+)
+from repro.telemetry.render import kv_line, p50_p99_ms, percentile_ms
+from repro.telemetry.tracer import LAYERS, Span, SpanHandle, Tracer
+
+__all__ = [
+    "LAYERS",
+    "SCHEMA_VERSION",
+    "BenchResult",
+    "Counter",
+    "DEFAULT_NS_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricError",
+    "MetricsRegistry",
+    "Span",
+    "SpanHandle",
+    "Telemetry",
+    "Tracer",
+    "hash_config",
+    "kv_line",
+    "load_bench_result",
+    "p50_p99_ms",
+    "percentile_ms",
+    "write_bench_result",
+]
+
+
+class Telemetry:
+    """The bundle a run threads through its layers.
+
+    ``sample_every`` is the head-sampling period: query ``req_id`` is
+    traced iff ``req_id % sample_every == 0``.  Metrics are never
+    sampled — counters see every event.
+    """
+
+    def __init__(self, sample_every: int = 8, max_spans: int = 500_000) -> None:
+        self.tracer = Tracer(sample_every=sample_every, max_spans=max_spans)
+        self.metrics = MetricsRegistry()
+        #: probe calibration (set by :meth:`ensure_calibrated`); grounds
+        #: the per-query controller/DRAM span durations
+        self.calibration: Optional[Any] = None
+        #: advisor findings collected during the run (never applied)
+        self.findings: list = []
+
+    def ensure_calibrated(self, engine: Any) -> None:
+        """Run the DRAM micro-probe once per bundle (idempotent)."""
+        if self.calibration is None:
+            from repro.telemetry.probe import run_probe
+
+            self.calibration = run_probe(engine, self)
+
+    def write(
+        self,
+        trace_path: Optional[str] = None,
+        metrics_path: Optional[str] = None,
+    ) -> None:
+        if trace_path is not None:
+            self.tracer.write_chrome(trace_path)
+        if metrics_path is not None:
+            self.metrics.write_json(metrics_path)
+
+    # -- per-query span emission --------------------------------------
+
+    def trace_query(
+        self,
+        req_id: int,
+        tenant: str,
+        arrival_ns: float,
+        status: str,
+        policy: str,
+        start_ns: Optional[float] = None,
+        prefill_end_ns: Optional[float] = None,
+        decode_start_ns: Optional[float] = None,
+        end_ns: Optional[float] = None,
+        prefill_resource: str = "",
+        decode_resource: str = "",
+        context_tokens: int = 0,
+        **extra: Any,
+    ) -> None:
+        """Emit one query's span tree from its phase boundary times.
+
+        The serving loop calls this at each outcome site with whatever
+        boundaries the request reached; controller / DRAM / KV child
+        spans are attached at probe-calibrated fractions of the phase
+        they live in (see :mod:`repro.telemetry.probe`) — the engine
+        models those layers analytically, so their spans are grounded
+        attributions, not re-simulations.
+        """
+        close_ns = max(
+            t for t in (arrival_ns, start_ns, prefill_end_ns, end_ns)
+            if t is not None
+        )
+        root = self.tracer.begin(
+            req_id,
+            "request",
+            "serving",
+            arrival_ns,
+            tenant=tenant,
+            policy=policy,
+            status=status,
+            **extra,
+        )
+        if root is None:
+            return
+        cal = self.calibration
+        if start_ns is not None and start_ns > arrival_ns:
+            root.record("queue.wait", "serving", arrival_ns, start_ns)
+        if start_ns is not None and prefill_end_ns is not None:
+            prefill = root.child(
+                "prefill", "engine", start_ns, resource=prefill_resource
+            )
+            prefill.close(prefill_end_ns)
+            if cal is not None and prefill_end_ns > start_ns:
+                translate = prefill.child(
+                    "weights.translate", "controller", start_ns
+                )
+                translate.close(prefill_end_ns)
+                dram_end = start_ns + (
+                    (prefill_end_ns - start_ns) * cal.dram_fraction()
+                )
+                translate.record("weights.dram", "dram", start_ns, dram_end)
+        if decode_start_ns is not None and end_ns is not None:
+            decode = root.child(
+                "decode", "engine", decode_start_ns, resource=decode_resource
+            )
+            decode.close(end_ns)
+            if cal is not None and end_ns > decode_start_ns:
+                dur = end_ns - decode_start_ns
+                decode.record(
+                    "kv.read",
+                    "kvcache",
+                    decode_start_ns,
+                    decode_start_ns + dur * cal.kv_fraction(context_tokens),
+                    context_tokens=context_tokens,
+                )
+                translate = decode.child(
+                    "decode.translate", "controller", decode_start_ns
+                )
+                translate.close(end_ns)
+                translate.record(
+                    "decode.dram",
+                    "dram",
+                    decode_start_ns,
+                    decode_start_ns + dur * cal.dram_fraction(),
+                )
+        root.close(close_ns)
+
+    # -- end-of-run metrics -------------------------------------------
+
+    def record_serving_report(self, report: Any) -> None:
+        """Fold a :class:`~repro.serving.runtime.ServingReport` into the
+        registry — every counter the report derives from its outcome
+        list becomes a queryable metric sample."""
+        m = self.metrics
+        status_counter = m.counter(
+            "serving_requests_total", "terminal outcomes by status",
+            labelnames=("status",),
+        )
+        retries = m.counter("serving_retries_total", "phase retries")
+        fallbacks = m.counter("serving_fallbacks_total", "policy fallbacks")
+        wait_h = m.histogram("serving_wait_ns", "admission queue wait")
+        ttft_h = m.histogram("serving_ttft_ns", "time to first token")
+        ttlt_h = m.histogram("serving_ttlt_ns", "time to last token")
+        for outcome in report.outcomes:
+            status_counter.inc(status=outcome.status)
+            if outcome.retries:
+                retries.inc(outcome.retries)
+            if outcome.fallbacks:
+                fallbacks.inc(len(outcome.fallbacks))
+            if outcome.served:
+                wait_h.observe(outcome.wait_ns)
+                ttft_h.observe(outcome.ttft_ns)
+                ttlt_h.observe(outcome.ttlt_ns)
+        m.gauge("serving_queue_peak_occupancy", "peak queue depth").set(
+            report.queue_stats.peak_occupancy
+        )
+        m.gauge("serving_duration_ns", "simulated run duration").set(
+            report.duration_ns
+        )
+        m.gauge("serving_goodput_qps", "served queries per second").set(
+            report.goodput_qps
+        )
+        breaker_counter = m.counter(
+            "serving_breaker_transitions_total",
+            "circuit-breaker state changes", labelnames=("breaker",),
+        )
+        for name, transitions in report.breaker_transitions.items():
+            if transitions:
+                breaker_counter.inc(len(transitions), breaker=name)
+        m.counter("serving_brownout_windows_total", "brown-out windows").inc(
+            len(report.brownout_intervals)
+        )
+        if report.kv:
+            kv_gauge = m.gauge(
+                "kv_cache_stat", "KV-cache counters from the paged pool",
+                labelnames=("stat",),
+            )
+            for key, value in report.kv.items():
+                if isinstance(value, bool) or not isinstance(
+                    value, (int, float)
+                ):
+                    continue
+                kv_gauge.set(float(value), stat=key)

@@ -1,0 +1,536 @@
+"""Counter-driven online mapping advisor (DReAM-spirit, advisory only).
+
+DReAM showed DRAM address mappings can be *chosen from observed access
+behaviour* rather than configured statically.  FACIL's per-page MapID
+mux is exactly the actuator such a loop would drive, so this module
+closes the loop in shadow mode: it watches a tensor's physical-address
+stream, maintains per-candidate-MapID shadow counters (partial-sum PU
+crossings plus per-bank row-buffer hit / miss / conflict counts from a
+one-entry shadow row buffer per bank), and recommends a MapID — the
+smallest admissible one that minimizes accumulation-group PU crossings,
+i.e. the mapping that keeps every matrix row's partial sums inside one
+PU while preserving the most low-order interleave for the SoC.
+
+The recommendation is **never applied**.  It is cross-checked against
+:func:`repro.core.selector.select_mapping`'s static choice; agreement
+is reported, and every disagreement is surfaced as a structured
+``AD001`` finding through the analysis plane.
+
+Why crossings decide and the row counters advise: under a candidate
+MapID ``k`` below the ideal, each accumulation group (one matrix row)
+spans ``row_bytes / (chunk_row_bytes * 2^k)`` PUs, so crossings fall
+monotonically in ``k`` and hit zero exactly at the selector's MapID;
+when a row cannot fit in a bank's page share (the partitioned Fig. 10
+regime) crossings never reach zero and the minimum sits at the largest
+admissible MapID — again the selector's choice.  The row-buffer
+counters grade *confidence*: a recommendation backed by a high
+conflict rate on lower candidates is acting on real locality evidence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.findings import (
+    LEVEL_NOTE,
+    LEVEL_WARNING,
+    Finding,
+    register_rules,
+)
+from repro.core.bitfield import ilog2
+from repro.core.mapping import AddressMapping, Field, pim_optimized_mapping
+from repro.core.selector import MatrixConfig, select_mapping
+from repro.dram.config import DramOrganization
+from repro.pim.config import PimConfig
+from repro.telemetry.metrics import MetricsRegistry
+
+__all__ = [
+    "ADVISOR_RULES",
+    "AdvisorRecommendation",
+    "AdvisorSweep",
+    "AdvisorVerdict",
+    "CandidateCounters",
+    "MappingAdvisor",
+    "agreement_sweep",
+    "observe_matrix",
+]
+
+ADVISOR_RULES: Dict[str, str] = {
+    "AD001": "online mapping advisor disagrees with the static selector "
+             "(advisory only, never applied)",
+    "AD002": "online mapping advisor abstained: too few samples observed "
+             "to ground a recommendation",
+}
+register_rules(ADVISOR_RULES)
+
+
+@dataclass(frozen=True)
+class CandidateCounters:
+    """Shadow counters accumulated for one candidate MapID."""
+
+    map_id: int
+    pu_crossings: int
+    row_hits: int
+    row_misses: int
+    row_conflicts: int
+
+    @property
+    def row_hit_rate(self) -> float:
+        total = self.row_hits + self.row_misses + self.row_conflicts
+        return self.row_hits / total if total else 0.0
+
+    def to_dict(self) -> Dict:
+        return {
+            "map_id": self.map_id,
+            "pu_crossings": self.pu_crossings,
+            "row_hits": self.row_hits,
+            "row_misses": self.row_misses,
+            "row_conflicts": self.row_conflicts,
+            "row_hit_rate": self.row_hit_rate,
+        }
+
+
+@dataclass(frozen=True)
+class AdvisorRecommendation:
+    """The advisor's per-tensor output; ``map_id is None`` = abstained."""
+
+    tensor: str
+    map_id: Optional[int]
+    samples: int
+    counters: Tuple[CandidateCounters, ...]
+
+    def to_dict(self) -> Dict:
+        return {
+            "tensor": self.tensor,
+            "map_id": self.map_id,
+            "samples": self.samples,
+            "counters": [c.to_dict() for c in self.counters],
+        }
+
+
+@dataclass(frozen=True)
+class AdvisorVerdict:
+    """One cross-check of the advisor against the static selector."""
+
+    tensor: str
+    recommended: Optional[int]
+    selected: int
+    agrees: bool
+    finding: Optional[Finding]
+
+    def to_dict(self) -> Dict:
+        return {
+            "tensor": self.tensor,
+            "recommended": self.recommended,
+            "selected": self.selected,
+            "agrees": self.agrees,
+            "finding": (
+                {
+                    "rule_id": self.finding.rule_id,
+                    "level": self.finding.level,
+                    "message": self.finding.message,
+                    "location": self.finding.location,
+                    "detail": self.finding.detail,
+                }
+                if self.finding
+                else None
+            ),
+        }
+
+
+class _CandidateState:
+    """Mutable shadow state for one (tensor, candidate MapID) pair."""
+
+    __slots__ = (
+        "mapping", "pu_crossings", "row_hits", "row_misses",
+        "row_conflicts", "open_rows", "last_pu",
+    )
+
+    def __init__(self, mapping: AddressMapping) -> None:
+        self.mapping = mapping
+        self.pu_crossings = 0
+        self.row_hits = 0
+        self.row_misses = 0
+        self.row_conflicts = 0
+        self.open_rows: Dict[int, int] = {}
+        self.last_pu: Optional[int] = None
+
+
+class _TensorState:
+    __slots__ = ("candidates", "samples", "last_group", "partitioned")
+
+    def __init__(
+        self, candidates: Dict[int, _CandidateState], partitioned: bool
+    ) -> None:
+        self.candidates = candidates
+        self.samples = 0
+        self.last_group: Optional[int] = None
+        self.partitioned = partitioned
+
+
+class MappingAdvisor:
+    """Online, shadow-mode MapID advisor over one DRAM organization.
+
+    ``observe`` feeds a tensor's access stream as ``(physical address,
+    accumulation group)`` pairs — for GEMV weight streams the group is
+    the matrix-row index, the unit whose partial sums one PU must hold.
+    All counter updates are vectorized and candidate-parallel; nothing
+    here touches the simulated machine state, so advising is free of
+    side effects by construction.
+    """
+
+    def __init__(
+        self,
+        org: DramOrganization,
+        pim: PimConfig,
+        huge_page_bytes: int = 2 << 20,
+        metrics: Optional[MetricsRegistry] = None,
+        min_samples: int = 1024,
+    ) -> None:
+        self.org = org
+        self.pim = pim
+        self.huge_page_bytes = huge_page_bytes
+        self.metrics = metrics
+        self.min_samples = min_samples
+        self._page_bits = ilog2(huge_page_bytes)
+        chunk_bits = ilog2(max(pim.chunk_bytes // org.transfer_bytes, 1))
+        # the builder's chunk-constrained MapID bound (mirrors
+        # repro.analysis.mapverify.chunk_max_map_id)
+        self.max_map_id = max(
+            self._page_bits - org.offset_bits - org.interleave_bits()
+            - chunk_bits,
+            0,
+        )
+        self._tensors: Dict[str, _TensorState] = {}
+
+    # -- candidate construction ---------------------------------------
+
+    def _build_candidates(self, partitioned: bool) -> Dict[int, _CandidateState]:
+        pu_order = (
+            (Field.CHANNEL, Field.RANK, Field.BANK)
+            if partitioned
+            else (Field.BANK, Field.RANK, Field.CHANNEL)
+        )
+        candidates: Dict[int, _CandidateState] = {}
+        for map_id in range(self.max_map_id + 1):
+            try:
+                mapping = pim_optimized_mapping(
+                    org=self.org,
+                    chunk_rows=self.pim.chunk_rows,
+                    chunk_cols=self.pim.chunk_cols,
+                    dtype_bytes=self.pim.dtype_bytes,
+                    map_id=map_id,
+                    n_bits=self._page_bits,
+                    pu_order=pu_order,
+                )
+            except ValueError:
+                continue  # candidate not buildable on this geometry
+            candidates[map_id] = _CandidateState(mapping)
+        return candidates
+
+    def needs_partition(self, matrix: MatrixConfig) -> bool:
+        memory_per_bank = self.huge_page_bytes // self.org.total_banks
+        row_bytes = max(matrix.padded_row_bytes, self.pim.chunk_row_bytes)
+        return memory_per_bank < self.pim.chunk_rows * row_bytes
+
+    # -- online observation -------------------------------------------
+
+    def observe(
+        self,
+        tensor: str,
+        pas: np.ndarray,
+        groups: np.ndarray,
+        partitioned: bool = False,
+    ) -> None:
+        """Feed one batch of ``(pa, accumulation-group)`` observations."""
+        pas = np.asarray(pas, dtype=np.int64)
+        groups = np.asarray(groups, dtype=np.int64)
+        if pas.shape != groups.shape:
+            raise ValueError("pas and groups must have matching shapes")
+        if pas.size == 0:
+            return
+        state = self._tensors.get(tensor)
+        if state is None:
+            state = _TensorState(self._build_candidates(partitioned), partitioned)
+            self._tensors[tensor] = state
+
+        in_page = pas & (self.huge_page_bytes - 1)
+        page_index = pas >> self._page_bits
+        same_group = groups[1:] == groups[:-1]
+        ranks = self.org.ranks_per_channel
+        banks = self.org.banks_per_rank
+
+        for map_id, cand in state.candidates.items():
+            fields = cand.mapping.decode_array(in_page)
+            pu = (
+                fields[Field.CHANNEL].astype(np.int64) * ranks
+                + fields[Field.RANK]
+            ) * banks + fields[Field.BANK]
+            # distinct pages land in distinct DRAM rows (the controller
+            # prepends the page frame as row MSBs)
+            row = (page_index << cand.mapping.row_bits) | fields[Field.ROW]
+
+            crossings = int(np.count_nonzero(same_group & (pu[1:] != pu[:-1])))
+            if (
+                state.last_group is not None
+                and cand.last_pu is not None
+                and int(groups[0]) == state.last_group
+                and int(pu[0]) != cand.last_pu
+            ):
+                crossings += 1
+            cand.pu_crossings += crossings
+            cand.last_pu = int(pu[-1])
+
+            hits, misses, conflicts = self._shadow_row_buffer(cand, pu, row)
+            cand.row_hits += hits
+            cand.row_misses += misses
+            cand.row_conflicts += conflicts
+
+            if self.metrics is not None:
+                labels = {"tensor": tensor, "map_id": str(map_id)}
+                self._counter("advisor_pu_crossings_total").inc(
+                    crossings, **labels
+                )
+                self._counter("advisor_row_hits_total").inc(hits, **labels)
+                self._counter("advisor_row_misses_total").inc(misses, **labels)
+                self._counter("advisor_row_conflicts_total").inc(
+                    conflicts, **labels
+                )
+
+        state.last_group = int(groups[-1])
+        state.samples += int(pas.size)
+
+    def _counter(self, name: str):
+        return self.metrics.counter(  # type: ignore[union-attr]
+            name, "advisor shadow counter", labelnames=("tensor", "map_id")
+        )
+
+    @staticmethod
+    def _shadow_row_buffer(
+        cand: _CandidateState, pu: np.ndarray, row: np.ndarray
+    ) -> Tuple[int, int, int]:
+        """One-entry-per-bank shadow row buffer, vectorized.
+
+        A stable sort by PU preserves each bank's temporal order, so
+        within-segment adjacency gives hits/conflicts; segment heads are
+        judged against the open row carried from earlier batches.
+        """
+        order = np.argsort(pu, kind="stable")
+        pu_s = pu[order]
+        row_s = row[order]
+        same_pu = pu_s[1:] == pu_s[:-1]
+        same_row = row_s[1:] == row_s[:-1]
+        hits = int(np.count_nonzero(same_pu & same_row))
+        conflicts = int(np.count_nonzero(same_pu & ~same_row))
+        misses = 0
+        starts = np.flatnonzero(
+            np.concatenate(([True], ~same_pu))
+        )
+        ends = np.concatenate((starts[1:], [pu_s.size])) - 1
+        for start, end in zip(starts, ends):
+            bank = int(pu_s[start])
+            first_row = int(row_s[start])
+            open_row = cand.open_rows.get(bank)
+            if open_row is None:
+                misses += 1
+            elif open_row == first_row:
+                hits += 1
+            else:
+                conflicts += 1
+            cand.open_rows[bank] = int(row_s[end])
+        return hits, misses, conflicts
+
+    # -- recommendation and cross-check -------------------------------
+
+    def counters(self, tensor: str) -> Tuple[CandidateCounters, ...]:
+        state = self._tensors.get(tensor)
+        if state is None:
+            return ()
+        return tuple(
+            CandidateCounters(
+                map_id=map_id,
+                pu_crossings=cand.pu_crossings,
+                row_hits=cand.row_hits,
+                row_misses=cand.row_misses,
+                row_conflicts=cand.row_conflicts,
+            )
+            for map_id, cand in sorted(state.candidates.items())
+        )
+
+    def recommend(self, tensor: str) -> AdvisorRecommendation:
+        state = self._tensors.get(tensor)
+        counters = self.counters(tensor)
+        samples = state.samples if state is not None else 0
+        if state is None or not counters or samples < self.min_samples:
+            return AdvisorRecommendation(tensor, None, samples, counters)
+        best_crossings = min(c.pu_crossings for c in counters)
+        # smallest admissible MapID among the crossing minimizers: zero
+        # crossings means every accumulation group already fits one PU,
+        # and the smallest such MapID keeps the most SoC interleave
+        map_id = min(
+            c.map_id for c in counters if c.pu_crossings == best_crossings
+        )
+        return AdvisorRecommendation(tensor, map_id, samples, counters)
+
+    def cross_check(self, tensor: str, matrix: MatrixConfig) -> AdvisorVerdict:
+        """Compare the online recommendation with the static selector."""
+        selection = select_mapping(
+            matrix, self.org, self.pim, self.huge_page_bytes
+        )
+        rec = self.recommend(tensor)
+        location = f"{tensor}@{self.org.total_banks}banks"
+        if rec.map_id is None:
+            finding = Finding(
+                rule_id="AD002",
+                level=LEVEL_NOTE,
+                message=(
+                    f"advisor abstained for {tensor}: {rec.samples} samples "
+                    f"< min_samples={self.min_samples}"
+                ),
+                location=location,
+            )
+            return AdvisorVerdict(tensor, None, selection.map_id, False, finding)
+        if rec.map_id == selection.map_id:
+            return AdvisorVerdict(
+                tensor, rec.map_id, selection.map_id, True, None
+            )
+        finding = Finding(
+            rule_id="AD001",
+            level=LEVEL_WARNING,
+            message=(
+                f"advisor recommends MapID {rec.map_id} for {tensor}, "
+                f"selector chose {selection.map_id} (advisory only)"
+            ),
+            location=location,
+            detail="; ".join(
+                f"map_id={c.map_id} crossings={c.pu_crossings} "
+                f"hit_rate={c.row_hit_rate:.3f}"
+                for c in rec.counters
+            ),
+        )
+        return AdvisorVerdict(
+            tensor, rec.map_id, selection.map_id, False, finding
+        )
+
+
+def observe_matrix(
+    advisor: MappingAdvisor,
+    tensor: str,
+    matrix: MatrixConfig,
+    max_rows: int = 128,
+) -> int:
+    """Feed the advisor a GEMV weight-stream for *matrix*.
+
+    The stream walks the stored (padded) matrix row-major at transfer
+    granularity, tagging every access with its matrix-row index — the
+    accumulation group a PIM command stream carries.  Rows are sampled
+    evenly (never truncating a row: crossings are intra-row) so large
+    matrices stay cheap to observe.  Returns the number of samples fed.
+    """
+    lda = max(matrix.padded_row_bytes, advisor.pim.chunk_row_bytes)
+    transfer = advisor.org.transfer_bytes
+    transfers_per_row = lda // transfer
+    n_rows = min(matrix.rows, max_rows)
+    row_idx = (
+        np.arange(n_rows, dtype=np.int64) * matrix.rows // n_rows
+    )
+    pas = (
+        row_idx[:, None] * lda
+        + np.arange(transfers_per_row, dtype=np.int64)[None, :] * transfer
+    ).ravel()
+    groups = np.repeat(row_idx, transfers_per_row)
+    advisor.observe(
+        tensor, pas, groups, partitioned=advisor.needs_partition(matrix)
+    )
+    return int(pas.size)
+
+
+@dataclass(frozen=True)
+class AdvisorSweep:
+    """Outcome of :func:`agreement_sweep`."""
+
+    verdicts: Tuple[AdvisorVerdict, ...]
+    skipped: Tuple[str, ...]
+
+    @property
+    def checks(self) -> int:
+        return len(self.verdicts)
+
+    @property
+    def agreements(self) -> int:
+        return sum(1 for v in self.verdicts if v.agrees)
+
+    @property
+    def agreement_rate(self) -> float:
+        return self.agreements / self.checks if self.verdicts else 0.0
+
+    @property
+    def findings(self) -> Tuple[Finding, ...]:
+        return tuple(v.finding for v in self.verdicts if v.finding is not None)
+
+    def to_dict(self) -> Dict:
+        return {
+            "checks": self.checks,
+            "agreements": self.agreements,
+            "agreement_rate": self.agreement_rate,
+            "skipped": list(self.skipped),
+            "verdicts": [v.to_dict() for v in self.verdicts],
+        }
+
+
+def agreement_sweep(
+    platforms: Optional[Sequence] = None,
+    shapes: Optional[Sequence[Tuple[int, int]]] = None,
+    huge_page_bytes: int = 2 << 20,
+    max_rows: int = 128,
+    min_samples: int = 64,
+    metrics: Optional[MetricsRegistry] = None,
+) -> AdvisorSweep:
+    """Cross-check the advisor on every platform x matrix-battery pair.
+
+    This is the "default platform sweep" of the acceptance bar: all four
+    Table II platforms against the mapping verifier's matrix battery.
+    """
+    from repro.analysis.mapverify import DEFAULT_MATRIX_BATTERY
+    from repro.platforms import ALL_PLATFORMS
+
+    if platforms is None:
+        platforms = ALL_PLATFORMS
+    if shapes is None:
+        shapes = DEFAULT_MATRIX_BATTERY
+    verdicts: List[AdvisorVerdict] = []
+    skipped: List[str] = []
+    for platform in platforms:
+        advisor = MappingAdvisor(
+            platform.dram.org,
+            platform.pim,
+            huge_page_bytes=huge_page_bytes,
+            metrics=metrics,
+            min_samples=min_samples,
+        )
+        for rows, cols in shapes:
+            matrix = MatrixConfig(rows=rows, cols=cols)
+            tensor = f"{platform.name}/{rows}x{cols}"
+            try:
+                select_mapping(matrix, platform.dram.org, platform.pim,
+                               huge_page_bytes)
+            except ValueError:
+                skipped.append(tensor)
+                continue
+            observe_matrix(advisor, tensor, matrix, max_rows=max_rows)
+            verdicts.append(advisor.cross_check(tensor, matrix))
+    sweep = AdvisorSweep(tuple(verdicts), tuple(skipped))
+    if metrics is not None:
+        metrics.counter(
+            "advisor_checks_total", "advisor/selector cross-checks"
+        ).inc(sweep.checks)
+        metrics.counter(
+            "advisor_disagreements_total", "cross-checks that disagreed"
+        ).inc(sweep.checks - sweep.agreements)
+        metrics.gauge(
+            "advisor_agreement_rate", "advisor/selector agreement fraction"
+        ).set(sweep.agreement_rate)
+    return sweep

@@ -1,0 +1,71 @@
+"""Machine-readable perf trajectory: the ``BENCH_*.json`` schema.
+
+Benchmarks write one :class:`BenchResult` per suite to the repo root
+(``BENCH_serving.json``, ``BENCH_kvcache.json``) so future changes can
+diff simulated-performance numbers against a committed baseline.  The
+config hash pins the workload: a metric delta only means something when
+the hashes match.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Mapping
+
+__all__ = ["SCHEMA_VERSION", "BenchResult", "hash_config",
+           "load_bench_result", "write_bench_result"]
+
+SCHEMA_VERSION = 1
+
+
+def hash_config(config: Mapping) -> str:
+    """Short stable hash of a benchmark's configuration knobs."""
+    canon = json.dumps(dict(config), sort_keys=True, default=str)
+    return hashlib.sha256(canon.encode("utf-8")).hexdigest()[:12]
+
+
+@dataclass(frozen=True)
+class BenchResult:
+    """One benchmark suite's summary metrics."""
+
+    name: str
+    seed: int
+    config_hash: str
+    metrics: Dict[str, float] = field(default_factory=dict)
+    schema_version: int = SCHEMA_VERSION
+    notes: str = ""
+
+    def to_dict(self) -> Dict:
+        return {
+            "schema_version": self.schema_version,
+            "name": self.name,
+            "seed": self.seed,
+            "config_hash": self.config_hash,
+            "metrics": {k: self.metrics[k] for k in sorted(self.metrics)},
+            "notes": self.notes,
+        }
+
+
+def write_bench_result(path: str, result: BenchResult) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(result.to_dict(), fh, indent=2)
+        fh.write("\n")
+
+
+def load_bench_result(path: str) -> BenchResult:
+    with open(path, "r", encoding="utf-8") as fh:
+        raw = json.load(fh)
+    if raw.get("schema_version") != SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported BenchResult schema_version {raw.get('schema_version')!r}"
+        )
+    return BenchResult(
+        name=raw["name"],
+        seed=raw["seed"],
+        config_hash=raw["config_hash"],
+        metrics=dict(raw["metrics"]),
+        schema_version=raw["schema_version"],
+        notes=raw.get("notes", ""),
+    )

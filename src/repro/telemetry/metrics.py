@@ -1,0 +1,374 @@
+"""Metrics plane: counters, gauges, and histograms on simulated time.
+
+The registry is the one sink for cross-layer counters — bank conflicts,
+row-buffer hits, MapID-mux switches, queue depth, KV occupancy, shed /
+retry / breaker events — replacing the ad-hoc dicts that grew inside
+``ServingReport`` and ``repro.reliability.campaign``.  Metrics carry no
+clock of their own: every observation is stamped by the caller with
+simulated time (or is a plain count), so attaching a registry never
+perturbs a run.
+
+Two exporters are provided: the Prometheus text exposition format
+(``# HELP`` / ``# TYPE`` plus one line per sample, histograms as
+cumulative ``_bucket{le=...}`` / ``_sum`` / ``_count`` series) and a
+stable JSON snapshot for machine diffing.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+from bisect import bisect_left
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = [
+    "DEFAULT_NS_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricError",
+    "MetricsRegistry",
+]
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: Default histogram buckets for nanosecond latencies: 1/2/5 decades from
+#: 1 us up to 1000 s of simulated time.
+DEFAULT_NS_BUCKETS: Tuple[float, ...] = tuple(
+    float(m * 10 ** e) for e in range(3, 13) for m in (1, 2, 5)
+)
+
+
+class MetricError(ValueError):
+    """Raised on metric name, kind, or label misuse."""
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    as_float = float(value)
+    if as_float.is_integer() and abs(as_float) < 1e15:
+        return str(int(as_float))
+    return repr(as_float)
+
+
+class _Metric:
+    """Base: a named family of samples keyed by label values."""
+
+    kind = "untyped"
+
+    def __init__(
+        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+    ) -> None:
+        if not _NAME_RE.match(name):
+            raise MetricError(f"invalid metric name {name!r}")
+        for label in labelnames:
+            if not _LABEL_RE.match(label):
+                raise MetricError(
+                    f"invalid label name {label!r} on metric {name!r}"
+                )
+        self.name = name
+        self.help = help
+        self.labelnames: Tuple[str, ...] = tuple(labelnames)
+
+    def _key(self, labels: Mapping[str, Any]) -> Tuple[str, ...]:
+        if set(labels) != set(self.labelnames):
+            raise MetricError(
+                f"metric {self.name!r} expects labels {self.labelnames}, "
+                f"got {tuple(sorted(labels))}"
+            )
+        return tuple(str(labels[name]) for name in self.labelnames)
+
+    def _labels_dict(self, key: Tuple[str, ...]) -> Dict[str, str]:
+        return dict(zip(self.labelnames, key))
+
+    def sample_dicts(self) -> List[Dict[str, Any]]:
+        raise NotImplementedError
+
+    def prometheus_lines(self) -> List[str]:
+        raise NotImplementedError
+
+    def _sample_name(self, key: Tuple[str, ...], suffix: str = "") -> str:
+        name = self.name + suffix
+        if not key:
+            return name
+        labels = ",".join(
+            f'{label}="{_escape_label(value)}"'
+            for label, value in zip(self.labelnames, key)
+        )
+        return f"{name}{{{labels}}}"
+
+
+class Counter(_Metric):
+    """Monotonically increasing count (events, bytes, faults)."""
+
+    kind = "counter"
+
+    def __init__(
+        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+    ) -> None:
+        super().__init__(name, help, labelnames)
+        self._values: Dict[Tuple[str, ...], float] = {}
+
+    def inc(self, amount: float = 1.0, **labels: Any) -> None:
+        if amount < 0:
+            raise MetricError(
+                f"counter {self.name!r} cannot decrease (amount={amount})"
+            )
+        key = self._key(labels)
+        self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: Any) -> float:
+        return self._values.get(self._key(labels), 0.0)
+
+    def total(self) -> float:
+        return sum(self._values.values())
+
+    def sample_dicts(self) -> List[Dict[str, Any]]:
+        return [
+            {"labels": self._labels_dict(key), "value": value}
+            for key, value in sorted(self._values.items())
+        ]
+
+    def prometheus_lines(self) -> List[str]:
+        return [
+            f"{self._sample_name(key)} {_format_value(value)}"
+            for key, value in sorted(self._values.items())
+        ]
+
+
+class Gauge(_Metric):
+    """Point-in-time value (queue depth, occupancy, agreement rate)."""
+
+    kind = "gauge"
+
+    def __init__(
+        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+    ) -> None:
+        super().__init__(name, help, labelnames)
+        self._values: Dict[Tuple[str, ...], float] = {}
+
+    def set(self, value: float, **labels: Any) -> None:
+        self._values[self._key(labels)] = float(value)
+
+    def add(self, amount: float, **labels: Any) -> None:
+        key = self._key(labels)
+        self._values[key] = self._values.get(key, 0.0) + amount
+
+    def set_max(self, value: float, **labels: Any) -> None:
+        key = self._key(labels)
+        current = self._values.get(key)
+        if current is None or value > current:
+            self._values[key] = float(value)
+
+    def value(self, **labels: Any) -> float:
+        return self._values.get(self._key(labels), 0.0)
+
+    def sample_dicts(self) -> List[Dict[str, Any]]:
+        return [
+            {"labels": self._labels_dict(key), "value": value}
+            for key, value in sorted(self._values.items())
+        ]
+
+    def prometheus_lines(self) -> List[str]:
+        return [
+            f"{self._sample_name(key)} {_format_value(value)}"
+            for key, value in sorted(self._values.items())
+        ]
+
+
+class Histogram(_Metric):
+    """Bucketed distribution with Prometheus ``le`` (inclusive) semantics.
+
+    An observation equal to a bucket boundary lands in that bucket; the
+    implicit ``+Inf`` bucket catches the rest.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_NS_BUCKETS,
+    ) -> None:
+        super().__init__(name, help, labelnames)
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if not bounds:
+            raise MetricError(f"histogram {name!r} needs at least one bucket")
+        if len(set(bounds)) != len(bounds):
+            raise MetricError(f"histogram {name!r} has duplicate buckets")
+        if any(not math.isfinite(b) for b in bounds):
+            raise MetricError(
+                f"histogram {name!r} buckets must be finite (+Inf is implicit)"
+            )
+        self.buckets = bounds
+        self._counts: Dict[Tuple[str, ...], List[int]] = {}
+        self._sums: Dict[Tuple[str, ...], float] = {}
+
+    def observe(self, value: float, **labels: Any) -> None:
+        key = self._key(labels)
+        counts = self._counts.setdefault(key, [0] * (len(self.buckets) + 1))
+        counts[bisect_left(self.buckets, float(value))] += 1
+        self._sums[key] = self._sums.get(key, 0.0) + float(value)
+
+    def count(self, **labels: Any) -> int:
+        return sum(self._counts.get(self._key(labels), ()))
+
+    def sum(self, **labels: Any) -> float:
+        return self._sums.get(self._key(labels), 0.0)
+
+    def cumulative_buckets(self, **labels: Any) -> List[Tuple[float, int]]:
+        """``(le, cumulative_count)`` pairs, ending with ``(+Inf, count)``."""
+        counts = self._counts.get(self._key(labels), [0] * (len(self.buckets) + 1))
+        out: List[Tuple[float, int]] = []
+        running = 0
+        for bound, n in zip(self.buckets, counts):
+            running += n
+            out.append((bound, running))
+        out.append((math.inf, running + counts[-1]))
+        return out
+
+    def sample_dicts(self) -> List[Dict[str, Any]]:
+        out: List[Dict[str, Any]] = []
+        for key in sorted(self._counts):
+            labels = self._labels_dict(key)
+            cumulative = self.cumulative_buckets(**labels)
+            out.append(
+                {
+                    "labels": labels,
+                    "count": cumulative[-1][1],
+                    "sum": self._sums.get(key, 0.0),
+                    "buckets": [
+                        ["+Inf" if bound == math.inf else bound, n]
+                        for bound, n in cumulative
+                    ],
+                }
+            )
+        return out
+
+    def prometheus_lines(self) -> List[str]:
+        lines: List[str] = []
+        for key in sorted(self._counts):
+            labels = self._labels_dict(key)
+            for bound, n in self.cumulative_buckets(**labels):
+                le = "+Inf" if bound == math.inf else _format_value(bound)
+                with_le = key + (le,)
+                name = self.name + "_bucket"
+                parts = [
+                    f'{label}="{_escape_label(value)}"'
+                    for label, value in zip(self.labelnames + ("le",), with_le)
+                ]
+                lines.append(f"{name}{{{','.join(parts)}}} {n}")
+            lines.append(
+                f"{self._sample_name(key, '_sum')} "
+                f"{_format_value(self._sums.get(key, 0.0))}"
+            )
+            lines.append(
+                f"{self._sample_name(key, '_count')} "
+                f"{self.cumulative_buckets(**labels)[-1][1]}"
+            )
+        return lines
+
+
+class MetricsRegistry:
+    """Get-or-create registry of metric families with stable ordering."""
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, _Metric] = {}
+
+    def _get_or_create(
+        self, cls: type, name: str, help: str, labelnames: Sequence[str],
+        **kwargs: Any,
+    ) -> Any:
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if not isinstance(existing, cls):
+                raise MetricError(
+                    f"metric {name!r} already registered as {existing.kind}"
+                )
+            if existing.labelnames != tuple(labelnames):
+                raise MetricError(
+                    f"metric {name!r} already registered with labels "
+                    f"{existing.labelnames}, requested {tuple(labelnames)}"
+                )
+            return existing
+        metric = cls(name, help, labelnames, **kwargs)
+        self._metrics[name] = metric
+        return metric
+
+    def counter(
+        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+    ) -> Counter:
+        return self._get_or_create(Counter, name, help, labelnames)
+
+    def gauge(
+        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+    ) -> Gauge:
+        return self._get_or_create(Gauge, name, help, labelnames)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_NS_BUCKETS,
+    ) -> Histogram:
+        return self._get_or_create(
+            Histogram, name, help, labelnames, buckets=buckets
+        )
+
+    def get(self, name: str) -> Optional[_Metric]:
+        return self._metrics.get(name)
+
+    def __iter__(self) -> Iterator[_Metric]:
+        return iter(self._metrics.values())
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Stable JSON-serializable view of every family and sample."""
+        return {
+            "schema_version": 1,
+            "metrics": [
+                {
+                    "name": metric.name,
+                    "kind": metric.kind,
+                    "help": metric.help,
+                    "labelnames": list(metric.labelnames),
+                    "samples": metric.sample_dicts(),
+                }
+                for metric in self._metrics.values()
+            ],
+        }
+
+    def render_prometheus(self) -> str:
+        lines: List[str] = []
+        for metric in self._metrics.values():
+            if metric.help:
+                lines.append(f"# HELP {metric.name} {metric.help}")
+            lines.append(f"# TYPE {metric.name} {metric.kind}")
+            lines.extend(metric.prometheus_lines())
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def render_json(self, indent: int = 2) -> str:
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=False)
+
+    def write_json(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.render_json())
+            fh.write("\n")
+
+    def write_prometheus(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.render_prometheus())

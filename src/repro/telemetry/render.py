@@ -1,0 +1,54 @@
+"""Shared text renderer for report summaries.
+
+Every human-facing report in the repo (serving runs, chaos campaigns,
+trace summaries) renders through these helpers so the column layout is
+defined exactly once: a label padded to :data:`LABEL_WIDTH` characters,
+a colon, a space, then the value.  Percentiles always come from
+:func:`repro.engine.metrics.percentile` — the single percentile
+implementation in the repo.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, List, Sequence, Tuple
+
+from repro.engine.metrics import percentile
+
+__all__ = [
+    "LABEL_WIDTH",
+    "kv_line",
+    "render_lines",
+    "render_text",
+    "percentile_ms",
+    "p50_p99_ms",
+]
+
+#: Label column width shared by every report.
+LABEL_WIDTH = 16
+
+
+def kv_line(label: str, value: Any) -> str:
+    """One report line: ``label`` padded to the shared column, then value."""
+    return f"{label:<{LABEL_WIDTH}}: {value}"
+
+
+def render_lines(
+    header: str, pairs: Iterable[Tuple[str, Any]]
+) -> List[str]:
+    """A header line followed by one :func:`kv_line` per pair."""
+    return [header] + [kv_line(label, value) for label, value in pairs]
+
+
+def render_text(header: str, pairs: Iterable[Tuple[str, Any]]) -> str:
+    return "\n".join(render_lines(header, pairs))
+
+
+def percentile_ms(values_ns: Sequence[float], p: float) -> float:
+    """The *p*-th percentile of nanosecond samples, in milliseconds."""
+    if not values_ns:
+        return 0.0
+    return percentile(list(values_ns), p) / 1e6
+
+
+def p50_p99_ms(values_ns: Sequence[float]) -> Tuple[float, float]:
+    return percentile_ms(values_ns, 50), percentile_ms(values_ns, 99)

@@ -1,0 +1,263 @@
+"""Nested spans on simulated time, one trace per query.
+
+A :class:`Tracer` owns every span of a run.  Call sites open a root span
+per query (``begin``) and grow children as the query crosses layers:
+serving admission -> engine prefill/decode -> KV cache -> memory
+controller -> DRAM channel.  All timestamps are *simulated* nanoseconds
+supplied by the caller — the tracer never reads a wall clock, consumes
+no randomness, and therefore cannot perturb a run.
+
+Head-based sampling keeps full-fidelity runs cheap: a query is traced
+iff ``trace_id % sample_every == 0``, decided once at the root so a
+sampled trace is always complete.
+
+Exporters: Chrome-trace JSON (``chrome://tracing`` / Perfetto, complete
+``ph:"X"`` events with one thread lane per layer) and JSONL (one span
+per line, the adapter format ``repro.analysis.tracelint.lint_span_file``
+consumes).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+__all__ = ["LAYERS", "Span", "SpanHandle", "Tracer"]
+
+#: The five layers a query crosses, in stack order.  ``layer`` doubles as
+#: the Chrome-trace category and picks the export thread lane.
+LAYERS: Tuple[str, ...] = ("serving", "engine", "kvcache", "controller", "dram")
+
+
+@dataclass
+class Span:
+    """One timed interval in a query's life, on simulated time."""
+
+    trace_id: int
+    span_id: int
+    parent_id: Optional[int]
+    name: str
+    layer: str
+    start_ns: float
+    end_ns: Optional[float] = None
+    args: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration_ns(self) -> float:
+        if self.end_ns is None:
+            return 0.0
+        return self.end_ns - self.start_ns
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "layer": self.layer,
+            "start_ns": self.start_ns,
+            "end_ns": self.end_ns,
+            "args": dict(self.args),
+        }
+
+
+class SpanHandle:
+    """Live handle for an open (or just-closed) span.
+
+    Handles are how span context propagates: a layer that receives a
+    handle opens children on it; a layer that receives ``None`` (query
+    not sampled) skips tracing entirely.
+    """
+
+    __slots__ = ("_tracer", "span")
+
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
+        self._tracer = tracer
+        self.span = span
+
+    def child(
+        self, name: str, layer: str, start_ns: float, **args: Any
+    ) -> "SpanHandle":
+        return self._tracer._open(
+            self.span.trace_id, self.span.span_id, name, layer, start_ns, args
+        )
+
+    def record(
+        self,
+        name: str,
+        layer: str,
+        start_ns: float,
+        end_ns: float,
+        **args: Any,
+    ) -> "SpanHandle":
+        """Open and immediately close a child over a known interval."""
+        handle = self.child(name, layer, start_ns, **args)
+        handle.close(end_ns)
+        return handle
+
+    def close(self, end_ns: float, **args: Any) -> None:
+        if args:
+            self.span.args.update(args)
+        self.span.end_ns = float(end_ns)
+
+    def annotate(self, **args: Any) -> None:
+        self.span.args.update(args)
+
+
+class Tracer:
+    """Span store with deterministic head sampling and bounded growth."""
+
+    def __init__(self, sample_every: int = 8, max_spans: int = 500_000) -> None:
+        if sample_every < 1:
+            raise ValueError(f"sample_every must be >= 1, got {sample_every}")
+        if max_spans < 1:
+            raise ValueError(f"max_spans must be >= 1, got {max_spans}")
+        self.sample_every = sample_every
+        self.max_spans = max_spans
+        self.spans: List[Span] = []
+        self.traces_seen = 0
+        self.traces_sampled = 0
+        self.dropped_spans = 0
+        self._next_span_id = 1
+
+    # -- span creation -------------------------------------------------
+
+    def sampled(self, trace_id: int) -> bool:
+        return trace_id % self.sample_every == 0
+
+    def begin(
+        self, trace_id: int, name: str, layer: str, start_ns: float, **args: Any
+    ) -> Optional[SpanHandle]:
+        """Root a new trace; ``None`` means the query was not sampled."""
+        self.traces_seen += 1
+        if not self.sampled(trace_id):
+            return None
+        self.traces_sampled += 1
+        return self._open(trace_id, None, name, layer, start_ns, args)
+
+    def record(
+        self,
+        trace_id: int,
+        name: str,
+        layer: str,
+        start_ns: float,
+        end_ns: float,
+        **args: Any,
+    ) -> Optional[SpanHandle]:
+        """Root-level closed span (e.g. probe intervals), still sampled."""
+        handle = self.begin(trace_id, name, layer, start_ns, **args)
+        if handle is not None:
+            handle.close(end_ns)
+        return handle
+
+    def _open(
+        self,
+        trace_id: int,
+        parent_id: Optional[int],
+        name: str,
+        layer: str,
+        start_ns: float,
+        args: Dict[str, Any],
+    ) -> SpanHandle:
+        if layer not in LAYERS:
+            raise ValueError(f"unknown layer {layer!r}; expected one of {LAYERS}")
+        span = Span(
+            trace_id=trace_id,
+            span_id=self._next_span_id,
+            parent_id=parent_id,
+            name=name,
+            layer=layer,
+            start_ns=float(start_ns),
+            args=dict(args),
+        )
+        self._next_span_id += 1
+        if len(self.spans) < self.max_spans:
+            self.spans.append(span)
+        else:
+            # keep handing out usable handles so call sites stay uniform;
+            # the span just is not retained
+            self.dropped_spans += 1
+        return SpanHandle(self, span)
+
+    # -- bookkeeping ---------------------------------------------------
+
+    def close_all(self, end_ns: float) -> int:
+        """Close every still-open span at ``end_ns``; returns how many."""
+        closed = 0
+        for span in self.spans:
+            if span.end_ns is None:
+                span.end_ns = float(end_ns)
+                span.args.setdefault("force_closed", True)
+                closed += 1
+        return closed
+
+    def spans_by_layer(self) -> Dict[str, int]:
+        out: Dict[str, int] = {layer: 0 for layer in LAYERS}
+        for span in self.spans:
+            out[span.layer] += 1
+        return out
+
+    def stats(self) -> Dict[str, Any]:
+        return {
+            "traces_seen": self.traces_seen,
+            "traces_sampled": self.traces_sampled,
+            "sample_every": self.sample_every,
+            "spans": len(self.spans),
+            "dropped_spans": self.dropped_spans,
+            "spans_by_layer": self.spans_by_layer(),
+        }
+
+    # -- exporters -----------------------------------------------------
+
+    def chrome_trace(self) -> Dict[str, Any]:
+        """Chrome-trace JSON object: complete events, one lane per layer."""
+        events: List[Dict[str, Any]] = []
+        present = sorted(
+            {span.layer for span in self.spans}, key=LAYERS.index
+        )
+        for layer in present:
+            events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": 1,
+                    "tid": LAYERS.index(layer) + 1,
+                    "args": {"name": layer},
+                }
+            )
+        for span in sorted(self.spans, key=lambda s: (s.start_ns, s.span_id)):
+            end_ns = span.end_ns if span.end_ns is not None else span.start_ns
+            events.append(
+                {
+                    "name": span.name,
+                    "cat": span.layer,
+                    "ph": "X",
+                    "pid": 1,
+                    "tid": LAYERS.index(span.layer) + 1,
+                    "ts": span.start_ns / 1000.0,
+                    "dur": max(end_ns - span.start_ns, 0.0) / 1000.0,
+                    "args": {
+                        **span.args,
+                        "trace_id": span.trace_id,
+                        "span_id": span.span_id,
+                        "parent_id": span.parent_id,
+                    },
+                }
+            )
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+    def jsonl_lines(self) -> Iterator[str]:
+        for span in self.spans:
+            yield json.dumps(span.to_dict(), sort_keys=False)
+
+    def write_chrome(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.chrome_trace(), fh, indent=1)
+            fh.write("\n")
+
+    def write_jsonl(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            for line in self.jsonl_lines():
+                fh.write(line)
+                fh.write("\n")

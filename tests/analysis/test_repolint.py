@@ -97,6 +97,40 @@ class TestRl005GlobalRandomness:
         assert lint_source(source, "repro/core/x.py") == []
 
 
+class TestRl006WallClock:
+    def test_time_time_fires(self):
+        findings = lint_source("t = time.time()\n", "repro/serving/x.py")
+        assert _rule_ids(findings) == ["RL006"]
+
+    def test_perf_counter_variants_fire(self):
+        for fn in ("perf_counter", "perf_counter_ns",
+                   "monotonic", "monotonic_ns", "time_ns"):
+            findings = lint_source(f"t = time.{fn}()\n", "repro/dram/x.py")
+            assert _rule_ids(findings) == ["RL006"], fn
+
+    def test_argless_datetime_now_fires(self):
+        for call in ("datetime.now()", "datetime.utcnow()",
+                     "datetime.datetime.now()"):
+            findings = lint_source(f"t = {call}\n", "repro/core/x.py")
+            assert _rule_ids(findings) == ["RL006"], call
+
+    def test_tz_aware_now_allowed(self):
+        # an explicit timezone argument marks a deliberate wall-time use
+        source = "t = datetime.now(timezone.utc)\n"
+        assert lint_source(source, "repro/core/x.py") == []
+
+    def test_allowed_in_telemetry_package(self):
+        source = "t = time.perf_counter()\n"
+        assert lint_source(source, "repro/telemetry/tracer.py") == []
+
+    def test_other_time_attrs_allowed(self):
+        assert lint_source("t = time.sleep(1)\n", "repro/core/x.py") == []
+
+    def test_waiver_suppresses(self):
+        source = "t = time.time()  # lint: waive[RL006] -- boot banner\n"
+        assert lint_source(source, "repro/cli.py") == []
+
+
 class TestLiveTree:
     def test_src_tree_is_clean(self):
         findings, checked = lint_tree()

@@ -8,6 +8,8 @@ import pytest
 from repro.analysis.tracelint import (
     lint_commands,
     lint_requests,
+    lint_span_file,
+    lint_spans,
     lint_trace_file,
 )
 from repro.dram.address import DramCoord
@@ -177,3 +179,132 @@ class TestTraceFile:
         )
         findings = lint_trace_file(str(path), TINY_ORG)
         assert "TL004" in _rule_ids(findings)
+
+
+def _span(trace_id=0, span_id=1, parent_id=None, name="s", layer="serving",
+          start_ns=0.0, end_ns=100.0, **args):
+    return {
+        "trace_id": trace_id,
+        "span_id": span_id,
+        "parent_id": parent_id,
+        "name": name,
+        "layer": layer,
+        "start_ns": start_ns,
+        "end_ns": end_ns,
+        "args": args,
+    }
+
+
+class TestSpanLint:
+    def test_well_formed_tree_is_clean(self):
+        spans = [
+            _span(span_id=1, name="request", start_ns=0.0, end_ns=1000.0),
+            _span(span_id=2, parent_id=1, name="prefill", layer="engine",
+                  start_ns=10.0, end_ns=500.0),
+            _span(span_id=3, parent_id=2, name="weights.dram", layer="dram",
+                  start_ns=20.0, end_ns=400.0),
+        ]
+        assert lint_spans(spans) == []
+
+    def test_missing_field_fires_tl009(self):
+        span = _span()
+        del span["layer"]
+        assert _rule_ids(lint_spans([span])) == ["TL009"]
+
+    def test_unknown_layer_fires_tl009(self):
+        findings = lint_spans([_span(layer="plasma")])
+        assert _rule_ids(findings) == ["TL009"]
+
+    def test_negative_duration_fires_tl009(self):
+        findings = lint_spans([_span(start_ns=100.0, end_ns=50.0)])
+        assert _rule_ids(findings) == ["TL009"]
+
+    def test_open_span_allowed(self):
+        assert lint_spans([_span(end_ns=None)]) == []
+
+    def test_child_escaping_parent_fires_tl010(self):
+        spans = [
+            _span(span_id=1, start_ns=0.0, end_ns=100.0),
+            _span(span_id=2, parent_id=1, layer="engine",
+                  start_ns=50.0, end_ns=200.0),
+        ]
+        assert _rule_ids(lint_spans(spans)) == ["TL010"]
+
+    def test_subnanosecond_slack_tolerated(self):
+        # the Chrome exporter round-trips through microseconds; edges may
+        # wobble by well under a nanosecond
+        spans = [
+            _span(span_id=1, start_ns=0.0, end_ns=100.0),
+            _span(span_id=2, parent_id=1, layer="engine",
+                  start_ns=-0.5, end_ns=100.5),
+        ]
+        assert lint_spans(spans) == []
+
+    def test_force_closed_exempt_from_containment(self):
+        spans = [
+            _span(span_id=1, start_ns=0.0, end_ns=100.0),
+            _span(span_id=2, parent_id=1, layer="engine",
+                  start_ns=50.0, end_ns=200.0, force_closed=True),
+        ]
+        assert lint_spans(spans) == []
+
+    def test_dangling_parent_fires_tl011(self):
+        findings = lint_spans([_span(parent_id=99)])
+        assert _rule_ids(findings) == ["TL011"]
+
+    def test_cross_trace_parent_fires_tl011(self):
+        spans = [
+            _span(trace_id=0, span_id=1),
+            _span(trace_id=8, span_id=2, parent_id=1, layer="engine",
+                  start_ns=10.0, end_ns=50.0),
+        ]
+        assert _rule_ids(lint_spans(spans)) == ["TL011"]
+
+
+class TestSpanFile:
+    def _tracer(self):
+        from repro.telemetry.tracer import Tracer
+
+        tracer = Tracer(sample_every=1)
+        root = tracer.begin(0, "request", "serving", 0.0, tenant="chat")
+        prefill = root.child("prefill", "engine", 1_000.0)
+        prefill.record("weights.dram", "dram", 2_000.0, 400_000.0)
+        prefill.close(500_000.0)
+        root.record("decode", "engine", 500_000.0, 900_000.0)
+        root.close(1_000_000.0)
+        return tracer
+
+    def test_jsonl_export_lints_clean(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        self._tracer().write_jsonl(str(path))
+        assert lint_span_file(str(path)) == []
+
+    def test_chrome_export_lints_clean(self, tmp_path):
+        path = tmp_path / "trace.json"
+        self._tracer().write_chrome(str(path))
+        assert lint_span_file(str(path)) == []
+
+    def test_force_closed_survives_chrome_roundtrip(self, tmp_path):
+        from repro.telemetry.tracer import Tracer
+
+        tracer = Tracer(sample_every=1)
+        root = tracer.begin(0, "request", "serving", 0.0)
+        root.child("prefill", "engine", 10.0)  # never closed
+        root.close(100.0)
+        assert tracer.close_all(5_000.0) == 1
+        path = tmp_path / "trace.json"
+        tracer.write_chrome(str(path))
+        # the forced child ends after its parent, but carries the
+        # force_closed marker through the Chrome args -> exempt
+        assert lint_span_file(str(path)) == []
+
+    def test_seeded_bad_jsonl_found(self, tmp_path):
+        import json
+
+        path = tmp_path / "spans.jsonl"
+        lines = [
+            json.dumps(_span(span_id=1)),
+            json.dumps(_span(span_id=2, parent_id=7, layer="engine")),
+        ]
+        path.write_text("\n".join(lines) + "\n")
+        assert "TL011" in _rule_ids(lint_span_file(str(path)))

@@ -1,0 +1,132 @@
+"""Online mapping advisor: shadow counters, recommendations, and the
+selector agreement bar (>= 90% on the default platform sweep)."""
+
+import numpy as np
+import pytest
+
+from repro.core.selector import MatrixConfig, select_mapping
+from repro.platforms.specs import ALL_PLATFORMS, IPHONE_15_PRO
+from repro.telemetry.advisor import (
+    MappingAdvisor,
+    agreement_sweep,
+    observe_matrix,
+)
+from repro.telemetry.metrics import MetricsRegistry
+
+
+def _advisor(min_samples=16, metrics=None):
+    return MappingAdvisor(
+        IPHONE_15_PRO.dram.org,
+        IPHONE_15_PRO.pim,
+        metrics=metrics,
+        min_samples=min_samples,
+    )
+
+
+class TestObservation:
+    def test_abstains_below_min_samples(self):
+        advisor = _advisor(min_samples=10_000)
+        matrix = MatrixConfig(rows=64, cols=64)
+        observe_matrix(advisor, "w", matrix, max_rows=4)
+        rec = advisor.recommend("w")
+        assert rec.map_id is None
+        assert rec.samples > 0
+
+    def test_unobserved_tensor_abstains(self):
+        rec = _advisor().recommend("never-seen")
+        assert rec.map_id is None
+        assert rec.samples == 0
+        assert rec.counters == ()
+
+    def test_shape_mismatch_rejected(self):
+        advisor = _advisor()
+        with pytest.raises(ValueError, match="matching shapes"):
+            advisor.observe("w", np.arange(4), np.arange(3))
+
+    def test_counters_accumulate_across_batches(self):
+        advisor = _advisor(min_samples=1)
+        matrix = MatrixConfig(rows=32, cols=64)
+        n1 = observe_matrix(advisor, "w", matrix, max_rows=8)
+        before = {c.map_id: c.pu_crossings for c in advisor.counters("w")}
+        n2 = observe_matrix(advisor, "w", matrix, max_rows=8)
+        after = {c.map_id: c.pu_crossings for c in advisor.counters("w")}
+        assert advisor.recommend("w").samples == n1 + n2
+        assert all(after[k] >= before[k] for k in before)
+
+    def test_ideal_mapid_has_zero_crossings(self):
+        advisor = _advisor(min_samples=1)
+        matrix = MatrixConfig(rows=64, cols=256)
+        selection = select_mapping(
+            matrix, advisor.org, advisor.pim, advisor.huge_page_bytes
+        )
+        observe_matrix(advisor, "w", matrix, max_rows=16)
+        by_id = {c.map_id: c for c in advisor.counters("w")}
+        assert by_id[selection.map_id].pu_crossings == 0
+        # crossings fall monotonically toward the selector's MapID
+        crossings = [
+            by_id[k].pu_crossings
+            for k in sorted(by_id)
+            if k <= selection.map_id
+        ]
+        assert crossings == sorted(crossings, reverse=True)
+
+    def test_metrics_registry_sees_shadow_counters(self):
+        registry = MetricsRegistry()
+        advisor = _advisor(min_samples=1, metrics=registry)
+        observe_matrix(advisor, "w", MatrixConfig(rows=32, cols=64), max_rows=4)
+        crossings = registry.get("advisor_pu_crossings_total")
+        assert crossings is not None
+        assert crossings.labelnames == ("tensor", "map_id")
+        hits = registry.get("advisor_row_hits_total")
+        assert hits.total() > 0
+
+
+class TestCrossCheck:
+    def test_agreement_yields_no_finding(self):
+        advisor = _advisor(min_samples=16)
+        matrix = MatrixConfig(rows=64, cols=256)
+        observe_matrix(advisor, "w", matrix, max_rows=16)
+        verdict = advisor.cross_check("w", matrix)
+        assert verdict.agrees
+        assert verdict.finding is None
+        assert verdict.recommended == verdict.selected
+
+    def test_abstention_is_an_ad002_note(self):
+        advisor = _advisor(min_samples=10**9)
+        matrix = MatrixConfig(rows=64, cols=256)
+        observe_matrix(advisor, "w", matrix, max_rows=4)
+        verdict = advisor.cross_check("w", matrix)
+        assert not verdict.agrees
+        assert verdict.finding.rule_id == "AD002"
+        assert verdict.to_dict()["finding"]["rule_id"] == "AD002"
+
+
+class TestAgreementSweep:
+    def test_default_sweep_meets_the_bar(self):
+        # the acceptance bar: >= 90% agreement across all Table II
+        # platforms x the verifier's matrix battery, every disagreement
+        # surfaced as a structured finding
+        sweep = agreement_sweep(max_rows=32, min_samples=16)
+        assert sweep.checks >= 4 * len(ALL_PLATFORMS)
+        assert sweep.agreement_rate >= 0.9
+        disagreements = sweep.checks - sweep.agreements
+        assert len(sweep.findings) == disagreements
+        assert all(f.rule_id in ("AD001", "AD002") for f in sweep.findings)
+
+    def test_sweep_publishes_metrics(self):
+        registry = MetricsRegistry()
+        sweep = agreement_sweep(
+            platforms=[IPHONE_15_PRO],
+            shapes=[(64, 256), (128, 512)],
+            max_rows=16,
+            min_samples=16,
+            metrics=registry,
+        )
+        assert registry.get("advisor_checks_total").total() == sweep.checks
+        assert (
+            registry.get("advisor_agreement_rate").value()
+            == sweep.agreement_rate
+        )
+        d = sweep.to_dict()
+        assert d["checks"] == sweep.checks
+        assert len(d["verdicts"]) == sweep.checks

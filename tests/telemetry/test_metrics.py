@@ -1,0 +1,163 @@
+"""Metrics plane: bucket semantics, exporters, registry invariants."""
+
+import json
+import math
+
+import pytest
+
+from repro.telemetry.metrics import (
+    DEFAULT_NS_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricError,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_inc_and_total(self):
+        c = Counter("reqs_total", labelnames=("status",))
+        c.inc(status="served")
+        c.inc(2, status="served")
+        c.inc(status="shed")
+        assert c.value(status="served") == 3.0
+        assert c.total() == 4.0
+
+    def test_cannot_decrease(self):
+        c = Counter("reqs_total")
+        with pytest.raises(MetricError, match="cannot decrease"):
+            c.inc(-1)
+
+    def test_label_mismatch_rejected(self):
+        c = Counter("reqs_total", labelnames=("status",))
+        with pytest.raises(MetricError, match="expects labels"):
+            c.inc(tenant="chat")
+        with pytest.raises(MetricError, match="expects labels"):
+            c.inc()
+
+    def test_invalid_names_rejected(self):
+        with pytest.raises(MetricError, match="invalid metric name"):
+            Counter("bad-name")
+        with pytest.raises(MetricError, match="invalid label name"):
+            Counter("ok_name", labelnames=("bad-label",))
+
+
+class TestGauge:
+    def test_set_add_max(self):
+        g = Gauge("depth")
+        g.set(4.0)
+        g.add(2.0)
+        assert g.value() == 6.0
+        g.set_max(3.0)
+        assert g.value() == 6.0
+        g.set_max(9.0)
+        assert g.value() == 9.0
+
+
+class TestHistogramBuckets:
+    def test_boundary_is_le_inclusive(self):
+        h = Histogram("lat_ns", buckets=(10.0, 100.0))
+        h.observe(10.0)  # lands in le=10, not le=100
+        cumulative = dict(h.cumulative_buckets())
+        assert cumulative[10.0] == 1
+        assert cumulative[100.0] == 1
+        assert cumulative[math.inf] == 1
+
+    def test_overflow_lands_in_inf(self):
+        h = Histogram("lat_ns", buckets=(10.0,))
+        h.observe(11.0)
+        cumulative = dict(h.cumulative_buckets())
+        assert cumulative[10.0] == 0
+        assert cumulative[math.inf] == 1
+
+    def test_cumulative_monotone(self):
+        h = Histogram("lat_ns", buckets=(1.0, 10.0, 100.0))
+        for v in (0.5, 5.0, 50.0, 500.0, 5.0):
+            h.observe(v)
+        counts = [n for _, n in h.cumulative_buckets()]
+        assert counts == sorted(counts)
+        assert counts[-1] == h.count() == 5
+        assert h.sum() == pytest.approx(560.5)
+
+    def test_default_buckets_sorted_unique(self):
+        assert list(DEFAULT_NS_BUCKETS) == sorted(set(DEFAULT_NS_BUCKETS))
+
+    def test_bad_bucket_specs_rejected(self):
+        with pytest.raises(MetricError, match="at least one"):
+            Histogram("h", buckets=())
+        with pytest.raises(MetricError, match="duplicate"):
+            Histogram("h", buckets=(1.0, 1.0))
+        with pytest.raises(MetricError, match="finite"):
+            Histogram("h", buckets=(1.0, math.inf))
+
+
+class TestRegistry:
+    def test_get_or_create_is_idempotent(self):
+        reg = MetricsRegistry()
+        a = reg.counter("x_total", labelnames=("k",))
+        b = reg.counter("x_total", labelnames=("k",))
+        assert a is b
+        assert len(reg) == 1
+
+    def test_kind_conflict_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x_total")
+        with pytest.raises(MetricError, match="already registered as counter"):
+            reg.gauge("x_total")
+
+    def test_label_conflict_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x_total", labelnames=("a",))
+        with pytest.raises(MetricError, match="already registered with labels"):
+            reg.counter("x_total", labelnames=("b",))
+
+
+class TestExporters:
+    def _registry(self):
+        reg = MetricsRegistry()
+        reg.counter(
+            "dram_row_hits_total", "row-buffer hits", labelnames=("channel",)
+        ).inc(7, channel="0")
+        reg.gauge("queue_depth", "admission queue depth").set(3)
+        h = reg.histogram("wait_ns", "queue wait", buckets=(10.0, 100.0))
+        h.observe(5.0)
+        h.observe(50.0)
+        return reg
+
+    def test_prometheus_text_shape(self):
+        text = self._registry().render_prometheus()
+        assert "# TYPE dram_row_hits_total counter" in text
+        assert 'dram_row_hits_total{channel="0"} 7' in text
+        assert "# TYPE wait_ns histogram" in text
+        assert 'wait_ns_bucket{le="10"} 1' in text
+        assert 'wait_ns_bucket{le="+Inf"} 2' in text
+        assert "wait_ns_sum 55" in text
+        assert "wait_ns_count 2" in text
+
+    def test_json_snapshot_roundtrip(self):
+        snapshot = json.loads(self._registry().render_json())
+        assert snapshot["schema_version"] == 1
+        by_name = {m["name"]: m for m in snapshot["metrics"]}
+        assert by_name["dram_row_hits_total"]["kind"] == "counter"
+        assert by_name["dram_row_hits_total"]["samples"] == [
+            {"labels": {"channel": "0"}, "value": 7.0}
+        ]
+        hist = by_name["wait_ns"]["samples"][0]
+        assert hist["count"] == 2
+        assert hist["buckets"][-1] == ["+Inf", 2]
+
+    def test_write_files(self, tmp_path):
+        reg = self._registry()
+        json_path = tmp_path / "metrics.json"
+        prom_path = tmp_path / "metrics.prom"
+        reg.write_json(str(json_path))
+        reg.write_prometheus(str(prom_path))
+        assert json.loads(json_path.read_text())["schema_version"] == 1
+        assert "# TYPE queue_depth gauge" in prom_path.read_text()
+
+    def test_label_escaping(self):
+        reg = MetricsRegistry()
+        reg.counter("c_total", labelnames=("t",)).inc(t='a"b\\c\nd')
+        line = reg.render_prometheus().splitlines()[-1]
+        assert line == 'c_total{t="a\\"b\\\\c\\nd"} 1'

@@ -1,0 +1,136 @@
+"""Tracer: nesting, sampling, exporters, and the span-lint round trip."""
+
+import json
+
+import pytest
+
+from repro.analysis.tracelint import lint_spans
+from repro.telemetry.tracer import LAYERS, Tracer
+
+
+def _query_trace(tracer, trace_id, t0=0.0):
+    root = tracer.begin(trace_id, "request", "serving", t0, tenant="chat")
+    if root is None:
+        return None
+    root.record("queue.wait", "serving", t0, t0 + 100.0)
+    prefill = root.child("prefill", "engine", t0 + 100.0)
+    prefill.record("weights.dram", "dram", t0 + 150.0, t0 + 700.0)
+    prefill.close(t0 + 800.0)
+    root.close(t0 + 1_000.0)
+    return root
+
+
+class TestSpanTree:
+    def test_nesting_and_parent_links(self):
+        tracer = Tracer(sample_every=1)
+        root = _query_trace(tracer, 0)
+        spans = {s.name: s for s in tracer.spans}
+        assert spans["request"].parent_id is None
+        assert spans["queue.wait"].parent_id == spans["request"].span_id
+        assert spans["prefill"].parent_id == spans["request"].span_id
+        assert spans["weights.dram"].parent_id == spans["prefill"].span_id
+        assert root.span.end_ns == 1_000.0
+        assert lint_spans([s.to_dict() for s in tracer.spans]) == []
+
+    def test_unknown_layer_rejected(self):
+        tracer = Tracer(sample_every=1)
+        with pytest.raises(ValueError, match="unknown layer"):
+            tracer.begin(0, "x", "plasma", 0.0)
+
+    def test_spans_by_layer_counts(self):
+        tracer = Tracer(sample_every=1)
+        _query_trace(tracer, 0)
+        counts = tracer.spans_by_layer()
+        assert set(counts) == set(LAYERS)
+        assert counts["serving"] == 2
+        assert counts["engine"] == 1
+        assert counts["dram"] == 1
+        assert counts["kvcache"] == 0
+
+    def test_close_all_marks_force_closed(self):
+        tracer = Tracer(sample_every=1)
+        root = tracer.begin(0, "request", "serving", 0.0)
+        root.child("prefill", "engine", 10.0)  # left open
+        assert tracer.close_all(500.0) == 2
+        assert all(s.end_ns == 500.0 for s in tracer.spans)
+        assert all(s.args.get("force_closed") for s in tracer.spans)
+        # idempotent: nothing left open
+        assert tracer.close_all(900.0) == 0
+
+    def test_annotate_merges_args(self):
+        tracer = Tracer(sample_every=1)
+        root = tracer.begin(0, "request", "serving", 0.0, tenant="chat")
+        root.annotate(status="served")
+        root.close(10.0, decode_tokens=8)
+        assert root.span.args == {
+            "tenant": "chat", "status": "served", "decode_tokens": 8,
+        }
+
+
+class TestSampling:
+    def test_head_sampling_is_deterministic(self):
+        tracer = Tracer(sample_every=4)
+        handles = [_query_trace(tracer, i) for i in range(16)]
+        sampled = [i for i, h in enumerate(handles) if h is not None]
+        assert sampled == [0, 4, 8, 12]
+        assert tracer.traces_seen == 16
+        assert tracer.traces_sampled == 4
+        # a sampled trace is complete: 4 spans each, none partial
+        assert len(tracer.spans) == 4 * 4
+
+    def test_sample_every_one_keeps_everything(self):
+        tracer = Tracer(sample_every=1)
+        for i in range(5):
+            assert _query_trace(tracer, i) is not None
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ValueError, match="sample_every"):
+            Tracer(sample_every=0)
+        with pytest.raises(ValueError, match="max_spans"):
+            Tracer(max_spans=0)
+
+    def test_max_spans_drops_but_keeps_handles_usable(self):
+        tracer = Tracer(sample_every=1, max_spans=2)
+        _query_trace(tracer, 0)  # wants 4 spans
+        assert len(tracer.spans) == 2
+        assert tracer.dropped_spans == 2
+        assert tracer.stats()["dropped_spans"] == 2
+
+
+class TestExporters:
+    def test_chrome_trace_shape(self):
+        tracer = Tracer(sample_every=1)
+        _query_trace(tracer, 0)
+        doc = tracer.chrome_trace()
+        events = doc["traceEvents"]
+        meta = [e for e in events if e["ph"] == "M"]
+        complete = [e for e in events if e["ph"] == "X"]
+        assert {e["args"]["name"] for e in meta} == {"serving", "engine", "dram"}
+        assert len(complete) == 4
+        for event in complete:
+            assert event["pid"] == 1
+            assert event["tid"] == LAYERS.index(event["cat"]) + 1
+            assert event["dur"] >= 0.0
+            assert "trace_id" in event["args"]
+        dram = next(e for e in complete if e["cat"] == "dram")
+        assert dram["ts"] == pytest.approx(0.150)  # ns -> us
+        assert dram["dur"] == pytest.approx(0.550)
+
+    def test_jsonl_roundtrip(self, tmp_path):
+        tracer = Tracer(sample_every=1)
+        _query_trace(tracer, 0)
+        path = tmp_path / "spans.jsonl"
+        tracer.write_jsonl(str(path))
+        lines = path.read_text().splitlines()
+        assert len(lines) == 4
+        decoded = [json.loads(line) for line in lines]
+        assert decoded == [s.to_dict() for s in tracer.spans]
+
+    def test_chrome_file_is_valid_json(self, tmp_path):
+        tracer = Tracer(sample_every=1)
+        _query_trace(tracer, 0)
+        path = tmp_path / "trace.json"
+        tracer.write_chrome(str(path))
+        doc = json.loads(path.read_text())
+        assert doc["displayTimeUnit"] == "ms"
+        assert len(doc["traceEvents"]) == 7  # 3 lane names + 4 spans

@@ -151,3 +151,76 @@ class TestChaosCommand:
         assert report["crash"]["kv_injections"] == 12
         assert report["crash"]["kv_leaked_refcounts"] == 0
         assert report["crash"]["kv_final_clean"] is True
+
+
+class TestTraceCommand:
+    def test_trace_writes_both_artifacts(self, capsys, tmp_path):
+        trace_out = tmp_path / "trace.json"
+        metrics_out = tmp_path / "metrics.json"
+        assert main([
+            "trace", "--seed", "0", "--duration-ms", "20000",
+            "--platform", "iphone-15-pro", "--load", "1.0",
+            "--trace-out", str(trace_out),
+            "--metrics-out", str(metrics_out),
+        ]) == 0
+        text = capsys.readouterr().out
+        assert "spans by layer" in text
+        assert "trace written to" in text
+        assert "metrics written to" in text
+        import json
+
+        trace = json.loads(trace_out.read_text())
+        layers = {
+            e["cat"] for e in trace["traceEvents"] if e.get("ph") == "X"
+        }
+        assert layers == {"serving", "engine", "kvcache", "controller", "dram"}
+        snapshot = json.loads(metrics_out.read_text())
+        names = {m["name"] for m in snapshot["metrics"]}
+        assert "dram_row_hits_total" in names
+        assert "controller_mapid_mux_switches_total" in names
+        assert "serving_requests_total" in names
+
+    def test_trace_defaults_parse(self):
+        args = build_parser().parse_args(["trace"])
+        assert args.trace_out == "trace.json"
+        assert args.metrics_out == "metrics.json"
+        assert args.sample_every == 1
+        assert args.kv_blocks == 256
+        assert args.advisor_sweep is False
+
+    def test_serve_trace_flags_write_artifacts(self, capsys, tmp_path):
+        trace_out = tmp_path / "trace.json"
+        metrics_out = tmp_path / "metrics.json"
+        assert main([
+            "serve", "--seed", "0", "--duration-ms", "3000",
+            "--load", "0.3", "--out", str(tmp_path / "serve.json"),
+            "--trace-out", str(trace_out),
+            "--metrics-out", str(metrics_out),
+            "--trace-sample", "2",
+        ]) == 0
+        import json
+
+        assert json.loads(trace_out.read_text())["traceEvents"]
+        assert json.loads(metrics_out.read_text())["schema_version"] == 1
+
+    def test_chaos_metrics_out(self, capsys, tmp_path):
+        metrics_out = tmp_path / "chaos_metrics.json"
+        assert main([
+            "chaos", "--seed", "0", "--queries", "4",
+            "--out", str(tmp_path / "chaos.json"),
+            "--metrics-out", str(metrics_out),
+        ]) == 0
+        import json
+
+        names = {
+            m["name"]
+            for m in json.loads(metrics_out.read_text())["metrics"]
+        }
+        assert "faults_injected_total" in names
+        assert "campaign_availability" in names
+
+    def test_analyze_accepts_span_files(self, tmp_path):
+        args = build_parser().parse_args([
+            "analyze", "--spans", "a.jsonl", "--spans", "b.json",
+        ])
+        assert args.spans == ["a.jsonl", "b.json"]
