@@ -1,0 +1,203 @@
+"""The adaptive controller's hot weight arena: real pages, real journal.
+
+The serving runtime prices phases analytically — it holds no tensors —
+so adaptive remapping needs a *bridge* between the priced world and the
+functional one.  The arena is that bridge: a small functional, journaled
+:class:`~repro.core.pimalloc.PimSystem` holding one multi-huge-page
+weight tensor with CRC ground truth.  Every migration the controller
+decides runs for real against this system through
+:meth:`~repro.core.pimalloc.PimAllocator.migrate_pages` (a two-phase
+MIGRATE journal transaction), so canary, promotion, rollback, and
+crash-in-flight recovery all exercise the same PTE/refcount/byte
+machinery the chaos campaign audits.
+
+The performance bridge runs the other way: each serving request has a
+*hot shape* (its prefill length padded to a power of two), which has an
+ideal FACIL MapID on the arena geometry; the gap between a request's
+ideal MapID and the MapIDs its arena pages actually carry prices a
+PU-crossing penalty on the request's PIM phases (see
+:meth:`AdaptiveArena.penalty`).  The penalty is two-sided — a page
+mapped *below* the ideal splits accumulation groups across PUs (the
+paper's crossings_per_row, ~``2^(ideal-page) - 1``), one mapped *above*
+it wastes interleave the SoC needed (one crossing-equivalent per excess
+PU bit) — so the optimum tracks the workload, and drifting traffic
+gives the controller real ground to act on.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import replace
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.analysis.mapverify import verify_pim_mapping
+from repro.core.bitfield import ilog2
+from repro.core.pimalloc import PimSystem, PimTensor
+from repro.core.relayout import relayout_cost_ns
+from repro.core.selector import MatrixConfig
+from repro.dram.config import LPDDR5_6400_TIMINGS, TINY_ORG, DramConfig
+from repro.pim.config import aim_config_for
+
+__all__ = ["ADAPTIVE_ARENA_ORG", "AdaptiveArena"]
+
+#: Arena geometry: the chaos campaign's tiny organization with twice the
+#: rows — 16 MiB, eight huge pages — so a four-page arena tensor always
+#: leaves room for a migration's staging copy.
+ADAPTIVE_ARENA_ORG = replace(TINY_ORG, rows_per_bank=8192)
+
+#: arena tensor shape: 4096 x 1024 x 2 B = 8 MiB = four huge pages; the
+#: static selector places it at MapID 3 on the arena geometry
+_ARENA_ROWS = 4096
+_ARENA_COLS = 1024
+
+
+class AdaptiveArena:
+    """One migratable weight arena over a functional journaled system."""
+
+    def __init__(self, seed: int = 0, name: str = "adaptive/arena") -> None:
+        self.name = name
+        self.org = ADAPTIVE_ARENA_ORG
+        self.pim = aim_config_for(self.org)
+        self.dram = DramConfig(self.org, LPDDR5_6400_TIMINGS)
+        self.system = PimSystem.build(self.org, self.pim, functional=True, journal=True)
+        self.tensor: PimTensor = self.system.pimalloc(
+            MatrixConfig(rows=_ARENA_ROWS, cols=_ARENA_COLS, dtype_bytes=2)
+        )
+        rng = np.random.default_rng(seed)
+        self.data = rng.integers(
+            0, 1 << 16, size=(_ARENA_ROWS, _ARENA_COLS), dtype=np.uint16
+        )
+        self.tensor.store(self.data)
+        self.crc = zlib.crc32(self.data.tobytes())
+        # per-page ground truth, so an audit after a bounded migration
+        # only reads the pages that could have moved (the cols are chunk
+        # aligned, so the padded layout is exactly the array's bytes)
+        if self.tensor.lda != _ARENA_COLS:
+            raise RuntimeError("arena layout must be unpadded")
+        rows_per_page = self.huge_page_bytes // (_ARENA_COLS * 2)
+        self.page_crcs = [
+            zlib.crc32(
+                self.data[p * rows_per_page:(p + 1) * rows_per_page].tobytes()
+            )
+            for p in range(self.n_pages)
+        ]
+        #: FACIL MapID (the mapping-spec parameter, not a table slot)
+        #: carried by each huge page; the controller is the only mutator
+        #: on the serving path, so this mirror of the PTEs stays exact
+        self.page_k: List[int] = [self.tensor.selection.map_id] * self.n_pages
+        #: largest FACIL MapID a hot shape can demand on this geometry
+        #: (cols capped at the page's worth of chunk rows)
+        self.max_map_id = ilog2(
+            self.huge_page_bytes // self.org.total_banks // self.pim.chunk_row_bytes
+        )
+        #: full-arena relayout cost (read + write at peak bandwidth) —
+        #: the cost side of the controller's cost/benefit model
+        self.full_migration_cost_ns = relayout_cost_ns(
+            self.tensor.nbytes_padded, self.dram
+        ).total_ns
+
+    # -- geometry -------------------------------------------------------
+
+    @property
+    def huge_page_bytes(self) -> int:
+        return self.system.huge_page_bytes
+
+    @property
+    def n_pages(self) -> int:
+        return self.system.space.areas[self.tensor.va].n_pages
+
+    @property
+    def nbytes(self) -> int:
+        return self.tensor.nbytes_padded
+
+    def ideal_map_id(self, prefill_tokens: int) -> int:
+        """The FACIL MapID a request's hot shape wants on this geometry:
+        prefill length padded to a power of two becomes the GEMV row
+        (accumulation-group) size, and the ideal MapID is the smallest
+        one keeping that row's partial sums inside one PU — exactly the
+        static selector's rule, in closed form."""
+        row_bytes = max(prefill_tokens, 1) * self.pim.dtype_bytes
+        chunk_row = self.pim.chunk_row_bytes
+        k = 0
+        while (chunk_row << k) < row_bytes and k < self.max_map_id:
+            k += 1
+        return k
+
+    def hot_matrix(self, k: int) -> MatrixConfig:
+        """A small matrix whose rows span ``2^k`` chunk rows — the shape
+        fed to the advisor to represent one request with ideal MapID *k*."""
+        cols = (self.pim.chunk_row_bytes << k) // self.pim.dtype_bytes
+        return MatrixConfig(rows=4, cols=cols, dtype_bytes=self.pim.dtype_bytes)
+
+    # -- the penalty model ---------------------------------------------
+
+    @staticmethod
+    def penalty(k_req: int, k_page: int) -> float:
+        """Crossing-equivalents for serving a request with ideal MapID
+        *k_req* from a page mapped at *k_page* (zero iff they match)."""
+        if k_page < k_req:
+            return float((1 << (k_req - k_page)) - 1)
+        return float(k_page - k_req)
+
+    def mean_penalty(self, k_req: int, page_ks: Optional[List[int]] = None) -> float:
+        ks = self.page_k if page_ks is None else page_ks
+        return sum(self.penalty(k_req, k) for k in ks) / len(ks)
+
+    # -- migration ------------------------------------------------------
+
+    def migrate(self, map_id: int, page_start: int = 0,
+                page_count: Optional[int] = None) -> Dict:
+        """Migrate a page range to FACIL MapID *map_id* (journaled
+        two-phase MIGRATE; see ``PimAllocator.migrate_pages``) and keep
+        the ``page_k`` mirror exact."""
+        result = self.system.allocator.migrate_pages(
+            self.tensor, map_id, page_start=page_start, page_count=page_count
+        )
+        count = result["pages"]
+        for index in range(page_start, page_start + count):
+            self.page_k[index] = map_id
+        self.system.journal.truncate_committed()
+        return result
+
+    # -- audit ----------------------------------------------------------
+
+    def verify(self, pages: Optional[Sequence[int]] = None) -> List[str]:
+        """The AD003 audit: every distinct live mapping passes the static
+        verifier, table refcounts reconcile with the PTEs (one reference
+        per distinct MapID in use, plus the conventional pin), no stray
+        areas, and the arena bytes still CRC-match their ground truth.
+
+        *pages* bounds the CRC read to the given huge pages (e.g. the
+        range a migration touched); the default checks every page.  The
+        structural checks always cover the whole arena."""
+        problems: List[str] = []
+        table = self.system.controller.table
+        page_ids = self.system.space.area_page_map_ids(self.tensor.va)
+        for slot in sorted(set(page_ids)):
+            findings = verify_pim_mapping(table[slot], self.org, self.pim)
+            if findings:
+                problems.append(
+                    f"mapping slot {slot}: {len(findings)} verifier finding(s): "
+                    f"{findings[0].rule_id} {findings[0].message}"
+                )
+        expected = {0: 1}
+        for slot in set(page_ids):
+            expected[slot] = expected.get(slot, 0) + 1
+        actual = dict(table.refcounts())
+        if actual != expected:
+            problems.append(f"refcounts {actual} != expected {expected}")
+        areas = set(self.system.space.areas)
+        if areas != {self.tensor.va}:
+            problems.append(f"stray mapped areas: {sorted(areas)}")
+        page_bytes = self.huge_page_bytes
+        for page in (range(self.n_pages) if pages is None else pages):
+            raw = self.system.allocator.read_virtual(
+                self.tensor.va + page * page_bytes, page_bytes
+            )
+            if zlib.crc32(raw.tobytes()) != self.page_crcs[page]:
+                problems.append(
+                    f"arena page {page} bytes fail CRC against ground truth"
+                )
+        return problems

@@ -169,13 +169,18 @@ def _cmd_chaos(args: argparse.Namespace) -> None:
         print(f"metrics written to {args.metrics_out} "
               f"({len(report.metrics)} families)")
     payload = {"campaign": report.to_dict()}
-    if args.crash_injections:
+    if (
+        args.crash_injections
+        or args.kv_crash_injections
+        or args.migration_crash_injections
+    ):
         from repro.serving.crashes import run_crash_campaign
 
         crash = run_crash_campaign(
             n_injections=args.crash_injections,
             seed=args.seed,
             kv_injections=args.kv_crash_injections,
+            migration_injections=args.migration_crash_injections,
         )
         print()
         print(crash.render())
@@ -188,8 +193,19 @@ def _cmd_chaos(args: argparse.Namespace) -> None:
         raise SystemExit(f"{report.silent} silent corruption(s) escaped")
     if report.aborted:
         raise SystemExit(f"{report.aborted} query(ies) went unserved")
-    if args.crash_injections and not payload["crash"]["ok"]:
-        raise SystemExit("crash-recovery campaign failed its audit")
+    if "crash" in payload:
+        # Exit nonzero on ANY post-recovery audit finding — a campaign
+        # whose aggregate counters look clean can still carry individual
+        # failures (e.g. an armed crash that never fired), and silence
+        # here would let a broken sweep pass CI.
+        crash_failures = payload["crash"]["failures"]
+        if not payload["crash"]["ok"]:
+            raise SystemExit("crash-recovery campaign failed its audit")
+        if crash_failures:
+            raise SystemExit(
+                f"crash-recovery campaign logged {len(crash_failures)} "
+                f"finding(s): {crash_failures[0]}"
+            )
 
 
 def _cmd_serve(args: argparse.Namespace) -> None:
@@ -208,6 +224,10 @@ def _cmd_serve(args: argparse.Namespace) -> None:
     if spec is None:
         raise SystemExit(
             f"unknown dataset {args.dataset!r}; known: {sorted(_DATASETS)}"
+        )
+    if args.adaptive != "off" and args.kv_blocks:
+        raise SystemExit(
+            "--adaptive requires the legacy scheduler (drop --kv-blocks)"
         )
     probe = TenantSpec(
         name="probe", dataset=spec, policy=args.policy,
@@ -247,6 +267,8 @@ def _cmd_serve(args: argparse.Namespace) -> None:
         kv_blocks=args.kv_blocks,
         block_tokens=args.block_tokens,
         prefix_sharing=args.prefix_sharing,
+        adaptive=args.adaptive,
+        adaptive_pinned_map_id=args.adaptive_pin,
     )
     telemetry = None
     if args.trace_out or args.metrics_out:
@@ -442,6 +464,10 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--kv-crash-injections", type=int, default=0,
                        help="with --crash-injections: also sweep N crash "
                        "injections through the KV block pool's journal")
+    chaos.add_argument("--migration-crash-injections", type=int, default=0,
+                       help="also sweep N crash injections through two-phase "
+                       "MIGRATE transactions on the adaptive arena and audit "
+                       "the never-torn invariant")
     chaos.add_argument("--out", default=None, metavar="PATH",
                        help="JSON report path (default: benchmarks/results/)")
     chaos.add_argument("--metrics-out", default=None, metavar="PATH",
@@ -479,6 +505,15 @@ def build_parser() -> argparse.ArgumentParser:
                        "continuous-batching scheduler")
     serve.add_argument("--block-tokens", type=int, default=16,
                        help="tokens per KV block")
+    serve.add_argument("--adaptive", choices=("off", "static", "active"),
+                       default="off",
+                       help="online adaptive remapping: 'static' watches the "
+                       "advisor without migrating, 'active' migrates the hot "
+                       "arena behind a canary (legacy scheduler only)")
+    serve.add_argument("--adaptive-pin", type=int, default=None,
+                       metavar="MAPID",
+                       help="force the advisor recommendation to this MapID "
+                       "(bad-advisor drill: the canary must roll it back)")
     serve.add_argument("--prefix-sharing",
                        action=argparse.BooleanOptionalAction, default=True,
                        help="share full prefix blocks across turns of a "

@@ -90,19 +90,65 @@ def deposit_bits(field_value: int, positions: Sequence[int]) -> int:
     return result
 
 
+#: LUT chunk width for the vectorised bit movers: each 8-bit slice of the
+#: input is one table lookup, so a 21-bit page offset needs 3 gathers
+#: instead of one full-array pass per bit
+_LUT_BITS = 8
+_LUT_SIZE = 1 << _LUT_BITS
+_LUT_MASK = np.int64(_LUT_SIZE - 1)
+
+#: cached (shift, table) pairs keyed by the kind of move and the exact
+#: bit-position tuple; tables are tiny (2 KiB) and position tuples are
+#: one-per-mapping-field, so the cache stays small
+_MOVE_LUTS: dict = {}
+
+
+def _move_luts(positions: Tuple[int, ...], deposit: bool):
+    """Tables for a vectorised bit gather/scatter: chunk ``c`` of the
+    input maps through ``table[c]`` to its contribution to the output."""
+    key = (deposit, positions)
+    cached = _MOVE_LUTS.get(key)
+    if cached is not None:
+        return cached
+    # for extract, the input is the value whose bits live at *positions*;
+    # for deposit, the input is the packed field (bit i at position i)
+    pairs = (
+        [(in_pos, out_pos) for out_pos, in_pos in enumerate(positions)]
+        if deposit
+        else [(out_pos, in_pos) for out_pos, in_pos in enumerate(positions)]
+    )
+    luts = []
+    span = max((src for _, src in pairs), default=-1) + 1
+    for lo in range(0, span, _LUT_BITS):
+        sel = [(dst, src - lo) for dst, src in pairs if lo <= src < lo + _LUT_BITS]
+        if not sel:
+            continue
+        index = np.arange(_LUT_SIZE, dtype=np.int64)
+        table = np.zeros(_LUT_SIZE, dtype=np.int64)
+        for dst, src in sel:
+            table |= ((index >> np.int64(src)) & np.int64(1)) << np.int64(dst)
+        luts.append((np.int64(lo), table))
+    _MOVE_LUTS[key] = luts
+    return luts
+
+
+def _apply_luts(values: np.ndarray, luts) -> np.ndarray:
+    if not luts:
+        return np.zeros_like(values)
+    shift, table = luts[0]
+    result = table[(values >> shift) & _LUT_MASK]
+    for shift, table in luts[1:]:
+        result |= table[(values >> shift) & _LUT_MASK]
+    return result
+
+
 def extract_bits_array(values: np.ndarray, positions: Sequence[int]) -> np.ndarray:
     """Vectorised :func:`extract_bits` over a numpy integer array."""
     values = np.asarray(values, dtype=np.int64)
-    result = np.zeros_like(values)
-    for out_pos, in_pos in enumerate(positions):
-        result |= ((values >> np.int64(in_pos)) & np.int64(1)) << np.int64(out_pos)
-    return result
+    return _apply_luts(values, _move_luts(tuple(positions), deposit=False))
 
 
 def deposit_bits_array(values: np.ndarray, positions: Sequence[int]) -> np.ndarray:
     """Vectorised :func:`deposit_bits` over a numpy integer array."""
     values = np.asarray(values, dtype=np.int64)
-    result = np.zeros_like(values)
-    for out_pos, in_pos in enumerate(positions):
-        result |= ((values >> np.int64(out_pos)) & np.int64(1)) << np.int64(in_pos)
-    return result
+    return _apply_luts(values, _move_luts(tuple(positions), deposit=True))

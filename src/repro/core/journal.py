@@ -38,6 +38,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 __all__ = [
     "CRASH_SITES",
+    "MIGRATE_CRASH_SITES",
     "InjectedCrash",
     "JournalTxn",
     "MapJournal",
@@ -73,6 +74,23 @@ CRASH_SITES = (
     "switch:registered",
     "switch:pte",
     "switch:rewritten",
+)
+
+#: Checkpoints of the two-phase MIGRATE operation (adaptive remapping's
+#: partial-range page migration).  Kept out of :data:`CRASH_SITES` so
+#: the existing campaign sweep stays byte-identical; the migration
+#: campaign sweeps these.  The commit point is the ``committed`` journal
+#: step: a crash strictly before it rolls the migrated range **back** to
+#: the old MapID, a crash at or after it rolls **forward** — recovery
+#: never leaves the range torn between the two.
+MIGRATE_CRASH_SITES = (
+    "migrate:begin",
+    "migrate:staged",
+    "migrate:registered",
+    "migrate:page",
+    "migrate:rewritten",
+    "migrate:committed",
+    "migrate:cleanup",
 )
 
 
@@ -254,6 +272,91 @@ def _redo_switch(allocator: "PimAllocator", txn: JournalTxn) -> Dict[str, Any]:
     return detail
 
 
+def _resolve_migrate(allocator: "PimAllocator", txn: JournalTxn) -> Dict[str, Any]:
+    """Resolve an interrupted partial-range page migration.
+
+    The ``committed`` journal step is the commit point.  Before it the
+    migration rolls **back**: every flipped PTE is restored to its
+    recorded old MapID, the range's bytes are rewritten from the staging
+    copy through the restored mapping, and the new mapping's table
+    reference is dropped.  At or after it the migration rolls
+    **forward**: the PTE walk is already complete (the step is only
+    written after the data rewrite), so recovery just finishes the
+    reference releases and drops the staging region.  Either way the
+    range lands uniformly in one mapping — never torn.
+    """
+    detail: Dict[str, Any] = {}
+    va = txn.intent["va"]
+    page_start = txn.intent["page_start"]
+    page_bytes = txn.intent["page_bytes"]
+    nbytes = txn.intent["nbytes"]
+    old_ids: List[int] = txn.intent["old_page_map_ids"]
+    staged = txn.find_step("staged")
+    registered = txn.find_step("registered")
+
+    if registered is None:
+        # The shared mapping table was never touched: drop the staging
+        # copy (if any) and keep the range exactly as it was.
+        if staged is not None and staged["staging_va"] in allocator.space.areas:
+            allocator.space.munmap(staged["staging_va"])
+            detail["dropped_staging_va"] = staged["staging_va"]
+        detail["kept_map_ids"] = sorted(set(old_ids))
+        return detail
+
+    new_map_id = registered["map_id"]
+    if txn.find_step("committed") is None:
+        # -- roll back: restore flipped PTEs, then the bytes ------------
+        flipped = [
+            step_detail["index"]
+            for step_name, step_detail in txn.steps
+            if step_name == "page"
+        ]
+        for index in flipped:
+            allocator.space.set_area_map_id(
+                va, index, old_ids[index - page_start]
+            )
+        detail["ptes_restored"] = len(flipped)
+        if staged is not None:
+            data = allocator.read_virtual(staged["staging_va"], nbytes)
+            allocator.write_virtual(va + page_start * page_bytes, data)
+            detail["restored_bytes"] = nbytes
+            if staged["staging_va"] in allocator.space.areas:
+                allocator.space.munmap(staged["staging_va"])
+        allocator.controller.table.release(new_map_id)
+        detail["released_map_id"] = new_map_id
+        detail["kept_map_ids"] = sorted(set(old_ids))
+        return detail
+
+    # -- roll forward: the range already reads through the new mapping --
+    # Reference discipline (one table reference per distinct MapID the
+    # area's pages use): ids the migration erased from the area lose
+    # their reference, and when the new id was already present the
+    # registration's extra reference is surplus.
+    before = set(txn.intent["area_map_ids_before"])
+    after = set(allocator.space.area_page_map_ids(va))
+    planned = sorted(before - after)
+    if new_map_id in before:
+        planned.append(new_map_id)
+    already = [
+        step_detail["map_id"]
+        for step_name, step_detail in txn.steps
+        if step_name == "released"
+    ]
+    released = []
+    for map_id in planned:
+        if map_id in already:
+            already.remove(map_id)
+            continue
+        allocator.controller.table.release(map_id)
+        released.append(map_id)
+    if staged is not None and staged["staging_va"] in allocator.space.areas:
+        allocator.space.munmap(staged["staging_va"])
+        detail["dropped_staging_va"] = staged["staging_va"]
+    detail["released_map_ids"] = released
+    detail["promoted_map_id"] = new_map_id
+    return detail
+
+
 def recover(allocator: "PimAllocator") -> RecoveryReport:
     """Replay the allocator's journal after a (simulated) crash.
 
@@ -279,6 +382,11 @@ def recover(allocator: "PimAllocator") -> RecoveryReport:
             detail = _redo_switch(allocator, txn)
             resolution = (
                 "rolled-forward" if "new_map_id" in detail else "rolled-back"
+            )
+        elif txn.op == "migrate":
+            detail = _resolve_migrate(allocator, txn)
+            resolution = (
+                "rolled-forward" if "promoted_map_id" in detail else "rolled-back"
             )
         else:
             raise ValueError(f"journal holds unknown op {txn.op!r}")

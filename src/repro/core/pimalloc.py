@@ -307,6 +307,129 @@ class PimAllocator:
         tensor.map_id = new_map_id
         return tensor
 
+    def migrate_pages(
+        self,
+        tensor: PimTensor,
+        map_id: int,
+        page_start: int = 0,
+        page_count: Optional[int] = None,
+        pu_order: Optional[Tuple[str, str, str]] = None,
+    ) -> dict:
+        """Migrate a contiguous huge-page range of *tensor* to the FACIL
+        MapID *map_id* (the mapping-spec parameter the advisor
+        recommends, not a table slot) — the adaptive controller's canary
+        and promotion primitive.
+
+        Unlike :meth:`switch_mapping`, the range may be a strict subset
+        of the area, leaving the area *mixed*: some pages translate
+        through the old mapping, some through the new.  The PTEs (read
+        via ``AddressSpace.area_page_map_ids``) are the ground truth for
+        the split.  The table-reference discipline is one reference per
+        distinct MapID the area's pages use.
+
+        With a journal attached the operation is a two-phase MIGRATE
+        transaction: intent (old per-page MapIDs) is recorded first,
+        each PTE flip is a journaled step, and the ``committed`` step —
+        written only after the data rewrite — is the commit point.  A
+        crash before it rolls the range back to the old mapping; at or
+        after it, forward to the new one; never torn (see
+        :func:`repro.core.journal._resolve_migrate`).
+        """
+        area = self.space.areas.get(tensor.va)
+        if area is None:
+            raise ValueError(f"tensor va {tensor.va:#x} is not mapped")
+        if page_count is None:
+            page_count = area.n_pages - page_start
+        if page_count <= 0 or not (
+            0 <= page_start and page_start + page_count <= area.n_pages
+        ):
+            raise ValueError(
+                f"page range [{page_start}, {page_start + page_count}) outside "
+                f"area of {area.n_pages} pages"
+            )
+        new_mapping = pim_optimized_mapping(
+            org=self.org,
+            chunk_rows=self.pim.chunk_rows,
+            chunk_cols=self.pim.chunk_cols,
+            dtype_bytes=self.pim.dtype_bytes,
+            map_id=map_id,
+            n_bits=ilog2(self.huge_page_bytes),
+            pu_order=pu_order if pu_order is not None else pu_order_for(tensor.selection),
+        )
+        page_bytes = area.page_bytes
+        nbytes = page_count * page_bytes
+        range_va = tensor.va + page_start * page_bytes
+        area_ids_before = self.space.area_page_map_ids(tensor.va)
+        old_ids = area_ids_before[page_start : page_start + page_count]
+        functional = self.controller.memory is not None
+
+        txn = None
+        if self.journal is not None:
+            txn = self.journal.begin(
+                "migrate",
+                va=tensor.va,
+                page_start=page_start,
+                n_pages=page_count,
+                page_bytes=page_bytes,
+                nbytes=nbytes,
+                old_page_map_ids=list(old_ids),
+                area_map_ids_before=list(area_ids_before),
+                facil_map_id=map_id,
+            )
+        self._jcheckpoint("migrate:begin")
+
+        staging_va = None
+        if functional:
+            staging_va = self.space.mmap(nbytes, huge=True, map_id=0)
+            self.write_virtual(staging_va, self.read_virtual(range_va, nbytes))
+            self._jstep(txn, "staged", staging_va=staging_va, nbytes=nbytes)
+        self._jcheckpoint("migrate:staged")
+
+        new_map_id = self.controller.table.register(new_mapping)
+        self._jstep(txn, "registered", map_id=new_map_id)
+        self._jcheckpoint("migrate:registered")
+
+        for index in range(page_start, page_start + page_count):
+            self.space.set_area_map_id(tensor.va, index, new_map_id)
+            self._jstep(txn, "page", index=index)
+            self._jcheckpoint("migrate:page")
+
+        if staging_va is not None:
+            self.write_virtual(range_va, self.read_virtual(staging_va, nbytes))
+            self._jstep(txn, "rewritten")
+        self._jcheckpoint("migrate:rewritten")
+
+        self._jstep(txn, "committed")
+        self._jcheckpoint("migrate:committed")
+
+        # Reference reconciliation: ids the migration erased from the
+        # area lose their reference; when the new id was already present
+        # the registration's extra reference is surplus.
+        after = set(area_ids_before[:page_start]) | set(
+            area_ids_before[page_start + page_count :]
+        ) | {new_map_id}
+        released = sorted(set(area_ids_before) - after)
+        if new_map_id in area_ids_before:
+            released.append(new_map_id)
+        for released_id in released:
+            self.controller.table.release(released_id)
+            self._jstep(txn, "released", map_id=released_id)
+            self._jcheckpoint("migrate:cleanup")
+        if staging_va is not None:
+            self.space.munmap(staging_va)
+        self._jcheckpoint("migrate:cleanup")
+        if txn is not None and self.journal is not None:
+            self.journal.commit(txn)
+
+        if all(pid == new_map_id for pid in self.space.area_page_map_ids(tensor.va)):
+            tensor.mapping = new_mapping
+            tensor.map_id = new_map_id
+        return {
+            "new_map_id": new_map_id,
+            "pages": page_count,
+            "released_map_ids": released,
+        }
+
     def malloc(self, nbytes: int, huge: bool = False) -> int:
         """Plain allocation with the conventional mapping (MapID 0)."""
         return self.space.mmap(nbytes, huge=huge, map_id=0)

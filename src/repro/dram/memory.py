@@ -99,7 +99,7 @@ class PhysicalMemory:
         """Read one byte per element of the coordinate arrays."""
         out = np.empty(len(byte_index), dtype=np.uint8)
         bank_id = self._bank_ids(channel, rank, bank)
-        for key_id in np.unique(bank_id):
+        for key_id in self._present_bank_ids(bank_id):
             mask = bank_id == key_id
             key = self._key_from_id(int(key_id))
             flat = self.bank(*key).reshape(-1)
@@ -117,7 +117,7 @@ class PhysicalMemory:
         """Write one byte per element of the coordinate arrays."""
         bank_id = self._bank_ids(channel, rank, bank)
         values = np.asarray(values, dtype=np.uint8)
-        for key_id in np.unique(bank_id):
+        for key_id in self._present_bank_ids(bank_id):
             mask = bank_id == key_id
             key = self._key_from_id(int(key_id))
             flat = self.bank(*key).reshape(-1)
@@ -132,6 +132,12 @@ class PhysicalMemory:
             + rank * org.banks_per_rank
             + bank
         )
+
+    def _present_bank_ids(self, bank_id: np.ndarray) -> np.ndarray:
+        """Distinct bank ids present in *bank_id* — the domain is tiny
+        (total_banks), so one bincount pass beats a sort/hash unique."""
+        counts = np.bincount(bank_id, minlength=self.org.total_banks)
+        return np.nonzero(counts)[0]
 
     def _key_from_id(self, key_id: int) -> _BankKey:
         org = self.org

@@ -28,7 +28,15 @@ from typing import List, Tuple
 
 import numpy as np
 
-__all__ = ["QueryTrace", "DatasetSpec", "ALPACA_LIKE", "HUMANEVAL_AUTOCOMPLETE_LIKE", "sample_trace"]
+__all__ = [
+    "QueryTrace",
+    "DatasetSpec",
+    "DriftingDatasetSpec",
+    "ALPACA_LIKE",
+    "HUMANEVAL_AUTOCOMPLETE_LIKE",
+    "CHAT_TO_LONG_CONTEXT_DRIFT",
+    "sample_trace",
+]
 
 
 @dataclass(frozen=True)
@@ -80,6 +88,88 @@ class DatasetSpec:
         return QueryTrace(prefill, decode)
 
 
+@dataclass(frozen=True)
+class DriftingDatasetSpec:
+    """A dataset whose length distribution *drifts* over the trace.
+
+    Real on-device traffic is non-stationary: a keyboard session turns
+    into document summarization, a chat accumulates context through the
+    day.  This spec models the simplest such shift — a linear crossfade
+    of the lognormal parameters from ``before`` to ``after`` across the
+    window ``[drift_start_ms, drift_end_ms]`` of trace time.  It is the
+    workload the adaptive remapping controller (see repro.adaptive)
+    exists for: the ideal FACIL MapID of the hot shapes moves mid-run,
+    so a statically selected mapping goes stale.
+
+    Duck-types :class:`DatasetSpec`'s sampling surface and adds
+    :meth:`sample_at`; time-blind callers that only use
+    :meth:`sample_one` see the pre-drift distribution, so the spec is
+    safe to hand to any existing workload generator (it just won't
+    drift there).  Draw discipline matches :class:`DatasetSpec` exactly
+    — two lognormal draws per query, no extra stream consumption — so
+    swapping a static spec for a drifting one with the same ``before``
+    parameters reproduces the same pre-drift queries byte for byte.
+    """
+
+    name: str
+    before: DatasetSpec
+    after: DatasetSpec
+    drift_start_ms: float
+    drift_end_ms: float
+
+    def __post_init__(self) -> None:
+        if not self.drift_end_ms > self.drift_start_ms >= 0.0:
+            raise ValueError("need drift_end_ms > drift_start_ms >= 0")
+
+    def weight_after(self, t_ns: float) -> float:
+        """Mixing weight of the ``after`` phase at trace time *t_ns*
+        (0 before the drift window, 1 past it, linear inside)."""
+        start_ns = self.drift_start_ms * 1e6
+        end_ns = self.drift_end_ms * 1e6
+        if t_ns <= start_ns:
+            return 0.0
+        if t_ns >= end_ns:
+            return 1.0
+        return (t_ns - start_ns) / (end_ns - start_ns)
+
+    def spec_at(self, t_ns: float) -> DatasetSpec:
+        """The stationary :class:`DatasetSpec` in effect at *t_ns*."""
+        w = self.weight_after(t_ns)
+        if w <= 0.0:
+            return self.before
+        if w >= 1.0:
+            return self.after
+        b, a = self.before, self.after
+
+        def lerp(x: float, y: float) -> float:
+            return x + (y - x) * w
+
+        return DatasetSpec(
+            name=f"{self.name}@{w:.3f}",
+            prefill_mu=lerp(b.prefill_mu, a.prefill_mu),
+            prefill_sigma=lerp(b.prefill_sigma, a.prefill_sigma),
+            prefill_min=round(lerp(b.prefill_min, a.prefill_min)),
+            prefill_max=round(lerp(b.prefill_max, a.prefill_max)),
+            decode_mu=lerp(b.decode_mu, a.decode_mu),
+            decode_sigma=lerp(b.decode_sigma, a.decode_sigma),
+            decode_min=round(lerp(b.decode_min, a.decode_min)),
+            decode_max=round(lerp(b.decode_max, a.decode_max)),
+        )
+
+    def sample_at(self, rng: random.Random, t_ns: float) -> QueryTrace:
+        """Draw one query as of trace time *t_ns* (same two-draw
+        discipline as :meth:`DatasetSpec.sample_one`)."""
+        return self.spec_at(t_ns).sample_one(rng)
+
+    def sample_one(self, rng: random.Random) -> QueryTrace:
+        """Time-blind draw — the pre-drift distribution."""
+        return self.sample_at(rng, 0.0)
+
+    def sample(self, n: int, seed: int = 0, t_ns: float = 0.0) -> List[QueryTrace]:
+        """Deterministic batch draw frozen at trace time *t_ns*."""
+        return self.spec_at(t_ns).sample(n, seed)
+
+
 #: Conversation assistant (Alpaca-like): short prompts, long answers.
 ALPACA_LIKE = DatasetSpec(
     name="alpaca-like",
@@ -105,6 +195,46 @@ HUMANEVAL_AUTOCOMPLETE_LIKE = DatasetSpec(
     decode_sigma=0.7,
     decode_min=2,
     decode_max=64,
+)
+
+
+#: Canonical drifting workload for the adaptive-remapping experiments: a
+#: chat tenant whose prompts grow from short instructions (~800 tokens
+#: with accumulated context, ideal FACIL MapID 3 on the adaptive-arena
+#: geometry — exactly what the static selector picked) into long-context
+#: document turns (~3000 tokens, ideal MapID 5) across minute two of the
+#: trace.  The tight sigmas keep each phase's ideal MapID unambiguous,
+#: so the drift is a clean regime change rather than noise.  The long
+#: turns also draw long answers (summaries), so post-drift traffic is
+#: decode-heavy — PIM-bound — and a stale mapping's PU-crossing penalty
+#: lands on the bottleneck resource instead of hiding behind the SoC
+#: prefill.  Use ``dataclasses.replace`` to move the drift window.
+CHAT_TO_LONG_CONTEXT_DRIFT = DriftingDatasetSpec(
+    name="chat-to-long-context",
+    before=DatasetSpec(
+        name="chat-short-context",
+        prefill_mu=np.log(800.0),
+        prefill_sigma=0.12,
+        prefill_min=520,
+        prefill_max=1024,
+        decode_mu=np.log(24.0),
+        decode_sigma=0.5,
+        decode_min=8,
+        decode_max=64,
+    ),
+    after=DatasetSpec(
+        name="chat-long-context",
+        prefill_mu=np.log(3000.0),
+        prefill_sigma=0.12,
+        prefill_min=2100,
+        prefill_max=4096,
+        decode_mu=np.log(96.0),
+        decode_sigma=0.5,
+        decode_min=16,
+        decode_max=256,
+    ),
+    drift_start_ms=60_000.0,
+    drift_end_ms=120_000.0,
 )
 
 

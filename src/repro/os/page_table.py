@@ -255,6 +255,30 @@ class PageTable:
             return updated
         raise PageFaultError(f"va {va:#x}: walk reached depth without a leaf")
 
+    def map_id_of(self, va: int) -> int:
+        """MapID field of the leaf PTE covering *va*, read without MMU
+        side effects — no walk counter, no TLB, no fault hook.
+
+        A partial migration (see ``PimAllocator.migrate_pages``) leaves
+        an area whose pages carry *different* MapIDs; the PTEs are the
+        only truthful record of the split, so audits and the adaptive
+        controller read them through this instead of ``VmArea.map_id``.
+
+        Raises:
+            PageFaultError: when no leaf covers *va*.
+        """
+        indices = self._indices(va)
+        node = self._root
+        for level in range(N_LEVELS):
+            entry = node.get(indices[level])
+            if entry is None:
+                raise PageFaultError(f"va {va:#x} not mapped (level {level})")
+            if isinstance(entry, dict):
+                node = entry
+                continue
+            return unpack_pte(entry).map_id
+        raise PageFaultError(f"va {va:#x}: walk reached depth without a leaf")
+
     def corrupt_pte(self, va: int, xor_mask: int) -> int:
         """Fault-injection backdoor: XOR *xor_mask* into the leaf PTE
         covering *va* (e.g. flip a MapID bit, paper Fig. 11's worry).

@@ -177,6 +177,24 @@ class AddressSpace:
 
     # -- queries ---------------------------------------------------------------
 
+    def area_page_map_ids(self, va: int) -> List[int]:
+        """Per-huge-page MapIDs of the area at *va*, read from the PTEs.
+
+        ``VmArea.map_id`` records the id of the last full-area rewrite;
+        after a partial migration the area is *mixed* and only the PTEs
+        describe it truthfully.  Recovery, the mapping audits, and the
+        adaptive controller all use this as ground truth.
+        """
+        area = self.areas.get(va)
+        if area is None:
+            raise ValueError(f"va {va:#x} is not the start of a mapped area")
+        if area.page_shift != HUGE_SHIFT:
+            raise ValueError("MapID requires huge pages (paper §V-A)")
+        return [
+            self.page_table.map_id_of(va + index * area.page_bytes)
+            for index in range(area.n_pages)
+        ]
+
     def area_of(self, va: int) -> VmArea:
         for area in self.areas.values():
             if area.va <= va < area.end:

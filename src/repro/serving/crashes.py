@@ -31,7 +31,12 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.analysis.mapverify import verify_pim_mapping
-from repro.core.journal import CRASH_SITES, InjectedCrash, MapJournal
+from repro.core.journal import (
+    CRASH_SITES,
+    MIGRATE_CRASH_SITES,
+    InjectedCrash,
+    MapJournal,
+)
 from repro.core.pimalloc import PimSystem, PimTensor
 from repro.core.selector import MatrixConfig
 from repro.dram.config import DramOrganization
@@ -81,6 +86,17 @@ class CrashReport:
     kv_leaked_refcounts: int = 0
     kv_audit_failures: int = 0
     kv_final_clean: bool = True
+    #: adaptive-migration campaign (two-phase MIGRATE transactions on an
+    #: AdaptiveArena): separate injector and system, counters below
+    migration_injections: int = 0
+    migration_crashes_by_site: Dict[str, int] = field(default_factory=dict)
+    migration_rolled_back: int = 0
+    migration_rolled_forward: int = 0
+    #: recoveries that left a page range half-migrated (the invariant the
+    #: two-phase MIGRATE record exists to rule out)
+    torn_mappings: int = 0
+    migration_audit_failures: int = 0
+    migration_final_clean: bool = True
 
     @property
     def ok(self) -> bool:
@@ -94,6 +110,9 @@ class CrashReport:
             and self.kv_leaked_refcounts == 0
             and self.kv_audit_failures == 0
             and self.kv_final_clean
+            and self.torn_mappings == 0
+            and self.migration_audit_failures == 0
+            and self.migration_final_clean
         )
 
     def to_dict(self) -> Dict:
@@ -118,6 +137,15 @@ class CrashReport:
             "kv_leaked_refcounts": self.kv_leaked_refcounts,
             "kv_audit_failures": self.kv_audit_failures,
             "kv_final_clean": self.kv_final_clean,
+            "migration_injections": self.migration_injections,
+            "migration_crashes_by_site": dict(
+                sorted(self.migration_crashes_by_site.items())
+            ),
+            "migration_rolled_back": self.migration_rolled_back,
+            "migration_rolled_forward": self.migration_rolled_forward,
+            "torn_mappings": self.torn_mappings,
+            "migration_audit_failures": self.migration_audit_failures,
+            "migration_final_clean": self.migration_final_clean,
             "failures": list(self.failures[:20]),
             "ok": self.ok,
         }
@@ -150,6 +178,20 @@ class CrashReport:
                 f"kv leaked refs  : {self.kv_leaked_refcounts}",
                 f"kv audit errors : {self.kv_audit_failures}",
                 f"kv final clean  : {self.kv_final_clean}",
+            ]
+        if self.migration_injections:
+            lines += [
+                f"mig injections  : {self.migration_injections} ("
+                + ", ".join(
+                    f"{k}={v}"
+                    for k, v in sorted(self.migration_crashes_by_site.items())
+                )
+                + ")",
+                f"mig recovery    : {self.migration_rolled_back} rolled back, "
+                f"{self.migration_rolled_forward} rolled forward",
+                f"torn mappings   : {self.torn_mappings}",
+                f"mig audit errors: {self.migration_audit_failures}",
+                f"mig final clean : {self.migration_final_clean}",
             ]
         lines.append(f"verdict         : {'OK' if self.ok else 'FAIL'}")
         return "\n".join(lines)
@@ -286,22 +328,128 @@ def _run_kv_campaign(report: CrashReport, kv_injections: int, seed: int) -> None
     report.kv_final_clean = pool.used == 0 and not pool.audit()
 
 
+def _run_migration_campaign(
+    report: CrashReport, migration_injections: int, seed: int
+) -> None:
+    """Seeded crash sweep over two-phase MIGRATE transactions.
+
+    Runs on its own :class:`~repro.adaptive.arena.AdaptiveArena` with its
+    own :class:`FaultInjector` (seeded ``seed + 2``), so the MapID and KV
+    campaigns reproduce byte-identically whether or not this runs.  Each
+    injection picks a page range, a target MapID, and a crash site —
+    varying the ``after=`` depth on the per-page and cleanup sites so the
+    crash lands at every stage of the PTE walk — then recovers and audits
+    the **never-torn invariant**: every page of the migrated range
+    carries either its old mapping or the new one, uniformly, with
+    refcounts, areas, and the arena CRC reconciled (the AD003 audit)."""
+    from repro.adaptive.arena import AdaptiveArena
+
+    arena = AdaptiveArena(seed=seed + 2, name="chaos/arena")
+    injector = FaultInjector(seed + 2).attach(arena.system)
+    rng = random.Random(seed + 2)
+    n_pages = arena.n_pages
+
+    for index in range(migration_injections):
+        site = MIGRATE_CRASH_SITES[index % len(MIGRATE_CRASH_SITES)]
+        page_start = rng.randrange(n_pages)
+        page_count = rng.randrange(1, n_pages - page_start + 1)
+        in_range = set(arena.page_k[page_start:page_start + page_count])
+        target_k = rng.choice(
+            [k for k in range(arena.max_map_id + 1) if k not in in_range]
+        )
+        # vary the crash depth on the per-page site, so the PTE walk dies
+        # on every possible page (cleanup fires once per release plus a
+        # final time, but a range migration may have zero releases, so
+        # only depth 0 is always armed safely there)
+        after = rng.randrange(page_count) if site == "migrate:page" else 0
+        label = (
+            f"migration injection {index} site {site} after={after} "
+            f"pages [{page_start}, {page_start + page_count}) -> k={target_k}"
+        )
+
+        before_slots = arena.system.space.area_page_map_ids(arena.tensor.va)
+        injector.schedule_crash(site, after=after)
+        crashed = False
+        try:
+            arena.system.allocator.migrate_pages(
+                arena.tensor, target_k,
+                page_start=page_start, page_count=page_count,
+            )
+        except InjectedCrash:
+            crashed = True
+        injector._pending_crash = None  # disarm whatever did not fire
+        if not crashed:
+            report.failures.append(f"{label}: armed crash never fired")
+            continue
+        report.migration_injections += 1
+        report.migration_crashes_by_site[site] = (
+            report.migration_crashes_by_site.get(site, 0) + 1
+        )
+
+        recovery = arena.system.recover()
+        action = next((a for a in recovery.actions if a.op == "migrate"), None)
+        if action is None:
+            report.migration_audit_failures += 1
+            report.failures.append(f"{label}: recovery saw no migrate txn")
+            continue
+        forward = action.resolution == "rolled-forward"
+        if forward:
+            report.migration_rolled_forward += 1
+            for page in range(page_start, page_start + page_count):
+                arena.page_k[page] = target_k
+        else:
+            report.migration_rolled_back += 1
+
+        # never-torn: outside the range nothing moved; inside, either
+        # every page kept its old slot or every page carries the one
+        # slot the recovery promoted
+        after_slots = arena.system.space.area_page_map_ids(arena.tensor.va)
+        expected = list(before_slots)
+        if forward:
+            promoted = action.detail["promoted_map_id"]
+            expected[page_start:page_start + page_count] = [promoted] * page_count
+        if after_slots != expected:
+            report.torn_mappings += 1
+            report.failures.append(
+                f"{label}: torn mapping after "
+                f"{action.resolution}: slots {after_slots} != {expected}"
+            )
+        problems = arena.verify(
+            pages=range(page_start, page_start + page_count)
+        )
+        if problems:
+            report.migration_audit_failures += 1
+            report.failures.append(f"{label}: {problems[0]}")
+        arena.system.journal.truncate_committed()
+
+    report.migration_final_clean = not arena.verify()
+    injector.detach()
+
+
 def run_crash_campaign(
     n_injections: int = 500,
     seed: int = 0,
     org: Optional[DramOrganization] = None,
     pim: Optional[PimConfig] = None,
     kv_injections: int = 0,
+    migration_injections: int = 0,
 ) -> CrashReport:
     """Run *n_injections* seeded crash injections; see the module docstring.
 
     With ``kv_injections > 0`` an independent sweep over the KV block
     pool's :data:`~repro.kvcache.pool.KV_CRASH_SITES` runs afterwards
-    (see :func:`_run_kv_campaign`)."""
-    if n_injections <= 0:
-        raise ValueError("n_injections must be positive")
+    (see :func:`_run_kv_campaign`); with ``migration_injections > 0``, a
+    sweep over the adaptive arena's two-phase MIGRATE transactions
+    (:data:`~repro.core.journal.MIGRATE_CRASH_SITES`; see
+    :func:`_run_migration_campaign`)."""
+    if n_injections < 0:
+        raise ValueError("n_injections must be >= 0")
     if kv_injections < 0:
         raise ValueError("kv_injections must be >= 0")
+    if migration_injections < 0:
+        raise ValueError("migration_injections must be >= 0")
+    if n_injections == 0 and kv_injections == 0 and migration_injections == 0:
+        raise ValueError("at least one injection count must be positive")
     campaign_org = org if org is not None else TINY_CAMPAIGN_ORG
     if pim is None:
         from repro.pim.config import aim_config_for
@@ -391,4 +539,6 @@ def run_crash_campaign(
 
     if kv_injections:
         _run_kv_campaign(report, kv_injections, seed)
+    if migration_injections:
+        _run_migration_campaign(report, migration_injections, seed)
     return report

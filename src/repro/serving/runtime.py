@@ -101,6 +101,23 @@ class ServingConfig:
     #: live and unreclaimable; admissions degrade while above)
     kv_pressure_high: float = 0.9
     kv_pressure_low: float = 0.7
+    #: adaptive remapping (see repro.adaptive): ``off`` keeps the run
+    #: byte-identical to before the feature existed; ``static`` prices
+    #: the MapID/workload mismatch penalty but never migrates (the
+    #: static-selector baseline); ``active`` closes the loop — canary
+    #: migrations, promotion, rollback.  Legacy loop only (kv_blocks=0).
+    adaptive: str = "off"
+    adaptive_window: int = 32
+    adaptive_canary_window: int = 16
+    adaptive_cooldown: int = 64
+    adaptive_hysteresis: float = 2.0
+    adaptive_canary_fraction: float = 0.25
+    adaptive_max_migrations: int = 8
+    adaptive_penalty_coeff: float = 0.05
+    adaptive_slo_margin: float = 0.10
+    #: forced-bad-advisor knob: pin the recommendation to this MapID
+    #: (bypasses the cost/benefit gate; the canary must catch it)
+    adaptive_pinned_map_id: Optional[int] = None
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.jitter < 1.0:
@@ -119,6 +136,16 @@ class ServingConfig:
         if not 0.0 <= self.kv_pressure_low < self.kv_pressure_high <= 1.0:
             raise ValueError(
                 "kv pressure watermarks must satisfy 0 <= low < high <= 1"
+            )
+        if self.adaptive not in ("off", "static", "active"):
+            raise ValueError(
+                f"adaptive must be 'off', 'static', or 'active', "
+                f"got {self.adaptive!r}"
+            )
+        if self.adaptive != "off" and self.kv_blocks > 0:
+            raise ValueError(
+                "adaptive remapping runs on the legacy loop only; "
+                "it cannot be combined with kv_blocks > 0"
             )
 
 
@@ -177,6 +204,9 @@ class ServingReport:
     #: KV-cache counters (block occupancy, evictions, preemptions,
     #: prefix hits, ...) when the run used the paged-KV scheduler
     kv: Optional[Dict] = None
+    #: adaptive-remapping controller summary (state, migrations, events,
+    #: final arena MapIDs) when the run had adaptive != "off"
+    adaptive: Optional[Dict] = None
 
     def _count(self, *statuses: str) -> int:
         return sum(1 for o in self.outcomes if o.status in statuses)
@@ -281,6 +311,7 @@ class ServingReport:
             },
             "health": dict(self.health),
             "kv": dict(self.kv) if self.kv is not None else None,
+            "adaptive": dict(self.adaptive) if self.adaptive is not None else None,
             "ok": self.ok,
         }
 
@@ -368,6 +399,26 @@ class ServingReport:
                     f"{kv['pressure_total_ms']:.1f} ms total",
                 ),
             ]
+        adaptive = d.get("adaptive")
+        if adaptive:
+            pairs += [
+                (
+                    "adaptive",
+                    f"mode {adaptive['mode']}, state {adaptive['state']}, "
+                    f"{adaptive['migrations_started']}/{adaptive['budget']} "
+                    f"migration(s): {adaptive['promotions']} promoted, "
+                    f"{adaptive['rollbacks']} rolled back",
+                ),
+                (
+                    "arena MapIDs",
+                    " ".join(str(k) for k in adaptive["page_map_ids"])
+                    + (
+                        f" (audit findings: {adaptive['audit_findings']})"
+                        if adaptive["audit_findings"]
+                        else ""
+                    ),
+                ),
+            ]
         return render_text(header, pairs)
 
 
@@ -400,6 +451,29 @@ class ServingRuntime:
         self.mapping_breaker = CircuitBreaker("mapping", **breaker_args)
         self.brownout = BrownoutController(cfg.brownout_high_ns, cfg.brownout_low_ns)
         self._breakers = {"pim": self.pim_breaker, "mapping": self.mapping_breaker}
+        #: adaptive remapping controller (None when cfg.adaptive == "off";
+        #: the import is lazy so the base serving stack stays free of the
+        #: functional-system dependency)
+        self.adaptive = None
+        if cfg.adaptive != "off":
+            from repro.adaptive import AdaptiveConfig, AdaptiveController
+
+            self.adaptive = AdaptiveController(
+                AdaptiveConfig(
+                    mode=cfg.adaptive,
+                    window_requests=cfg.adaptive_window,
+                    canary_window=cfg.adaptive_canary_window,
+                    cooldown_requests=cfg.adaptive_cooldown,
+                    hysteresis=cfg.adaptive_hysteresis,
+                    canary_fraction=cfg.adaptive_canary_fraction,
+                    max_migrations=cfg.adaptive_max_migrations,
+                    penalty_coeff=cfg.adaptive_penalty_coeff,
+                    slo_margin=cfg.adaptive_slo_margin,
+                    pinned_map_id=cfg.adaptive_pinned_map_id,
+                ),
+                telemetry=telemetry,
+                seed=cfg.seed,
+            )
 
     # -- routing ---------------------------------------------------------------
 
@@ -609,6 +683,37 @@ class ServingRuntime:
             was_degraded = degraded.pop(head.req_id, False)
             wait_ns = start - head.arrival_ns
 
+            # adaptive remapping: price the request's MapID/arena mismatch
+            # on its PIM phases, and let the controller observe the round
+            # (possibly migrating between rounds on the PIM timeline).
+            # With adaptive off the multiplier is exactly 1.0 and the tick
+            # is a no-op, so the run stays byte-identical.
+            ada = self.adaptive
+            k_req = ada.ideal_map_id(head.prefill_tokens) if ada is not None else 0
+            pim_mult = ada.pim_multiplier(k_req) if ada is not None else 1.0
+
+            def adaptive_tick(
+                served: bool, ttft: float, pim_base_ns: float,
+                route=route, head=head, k_req=k_req, pim_mult=pim_mult,
+            ) -> None:
+                nonlocal last_event
+                if ada is None:
+                    return
+                migration_ns = ada.tick(
+                    head.req_id,
+                    last_event,
+                    k_req,
+                    served,
+                    ttft,
+                    pim_base_ns,
+                    pim_obs_ns=pim_base_ns * pim_mult,
+                    pim_ok=route.pim_allowed,
+                    brownout=route.brownout_active,
+                )
+                if migration_ns > 0.0:
+                    free["pim"] = max(free["pim"], last_event) + migration_ns
+                    last_event = free["pim"]
+
             # boundary 1: admission -> prefill
             if start > head.deadline_abs_ns:
                 outcomes.append(
@@ -628,10 +733,16 @@ class ServingRuntime:
                         TIMED_OUT, route.policy, start_ns=start,
                     )
                 last_event = max(last_event, start)
+                adaptive_tick(False, 0.0, 0.0)
                 continue
 
+            prefill_base_ns = route.prefill_ns
+            prefill_pim = route.prefill_resource == "pim"
             prefill_end, ok, retries_p, backoff_p = self._run_phase(
-                start, route.prefill_ns, route.prefill_component, rng
+                start,
+                prefill_base_ns * pim_mult if prefill_pim else prefill_base_ns,
+                route.prefill_component,
+                rng,
             )
             free[route.prefill_resource] = prefill_end
             last_event = max(last_event, prefill_end)
@@ -657,6 +768,7 @@ class ServingRuntime:
                         prefill_resource=route.prefill_resource,
                         retries=retries_p,
                     )
+                adaptive_tick(False, 0.0, prefill_base_ns if prefill_pim else 0.0)
                 continue
             ttft_ns = prefill_end - head.arrival_ns
 
@@ -683,6 +795,7 @@ class ServingRuntime:
                         start_ns=start, prefill_end_ns=prefill_end,
                         prefill_resource=route.prefill_resource,
                     )
+                adaptive_tick(False, 0.0, prefill_base_ns if prefill_pim else 0.0)
                 continue
 
             decode_tokens = head.decode_tokens
@@ -696,8 +809,11 @@ class ServingRuntime:
             fallbacks = route.fallbacks
             decode_pim = decode_on_pim(route.policy) and route.pim_allowed
             if decode_pim and route.brownout_active:
-                pim_ns = self.engine.decode_total_ns(
-                    head.prefill_tokens, decode_tokens, True
+                pim_ns = (
+                    self.engine.decode_total_ns(
+                        head.prefill_tokens, decode_tokens, True
+                    )
+                    * pim_mult
                 )
                 soc_ns = self.engine.decode_total_ns(
                     head.prefill_tokens, decode_tokens, False
@@ -707,9 +823,10 @@ class ServingRuntime:
                 if soc_done < pim_done:
                     decode_pim = False
                     fallbacks = fallbacks + ("pim->soc (brown-out)",)
-            decode_ns = self.engine.decode_total_ns(
+            decode_base_ns = self.engine.decode_total_ns(
                 head.prefill_tokens, decode_tokens, decode_pim
             )
+            decode_ns = decode_base_ns * pim_mult if decode_pim else decode_base_ns
             decode_resource = "pim" if decode_pim else "soc"
             decode_start = max(prefill_end, free[decode_resource])
             decode_end, ok, retries_d, backoff_d = self._run_phase(
@@ -742,6 +859,12 @@ class ServingRuntime:
                         decode_resource=decode_resource,
                         context_tokens=head.prefill_tokens,
                     )
+                adaptive_tick(
+                    False,
+                    0.0,
+                    (prefill_base_ns if prefill_pim else 0.0)
+                    + (decode_base_ns if decode_pim else 0.0),
+                )
                 continue
 
             outcomes.append(
@@ -772,6 +895,14 @@ class ServingRuntime:
                     context_tokens=head.prefill_tokens,
                     decode_tokens=decode_tokens,
                 )
+            # the controller sees *service* TTFT (queue wait excluded):
+            # its canary judges the mapping, not the admission backlog
+            adaptive_tick(
+                True,
+                ttft_ns - wait_ns,
+                (prefill_base_ns if prefill_pim else 0.0)
+                + (decode_base_ns if decode_pim else 0.0),
+            )
 
         end_ns = max(
             last_event, pending[-1].arrival_ns if pending else 0.0, clock
@@ -789,6 +920,7 @@ class ServingRuntime:
             },
             brownout_intervals=list(self.brownout.intervals),
             health=self.monitor.summary(),
+            adaptive=self.adaptive.report() if self.adaptive is not None else None,
         )
         if tel is not None:
             tel.record_serving_report(report)

@@ -102,6 +102,12 @@ def poisson_workload(
     Conversations whose opening turn arrives inside the horizon keep
     their follow-up turns even past it (truncating mid-conversation
     would bias the turn-count distribution toward the horizon edge).
+
+    A tenant dataset exposing ``sample_at(rng, t_ns)`` (e.g.
+    :class:`~repro.llm.datasets.DriftingDatasetSpec`) is sampled at each
+    request's arrival time, so non-stationary workloads drift along the
+    trace; plain :class:`~repro.llm.datasets.DatasetSpec` tenants are
+    unaffected.
     """
     if not tenants:
         raise ValueError("need at least one tenant")
@@ -117,9 +123,16 @@ def poisson_workload(
         # geometric continuation probability with the given mean
         p_more = 1.0 - 1.0 / tenant.mean_turns if multi_turn else 0.0
         think_rate_per_ns = 1.0 / (tenant.think_time_ms * 1e6)
+        sample_at = getattr(tenant.dataset, "sample_at", None)
+
+        def draw(at_ns: float) -> QueryTrace:
+            if sample_at is not None:
+                return sample_at(stream, at_ns)
+            return tenant.dataset.sample_one(stream)
+
         t = stream.expovariate(rate_per_ns)
         while t < horizon_ns:
-            trace = tenant.dataset.sample_one(stream)
+            trace = draw(t)
             if not multi_turn:
                 requests.append(
                     Request(
@@ -159,7 +172,7 @@ def poisson_workload(
                         break
                     # think time to the next user turn, then a fresh draw
                     turn_t += stream.expovariate(think_rate_per_ns)
-                    trace = tenant.dataset.sample_one(stream)
+                    trace = draw(turn_t)
             t += stream.expovariate(rate_per_ns)
     requests.sort(key=lambda r: (r.arrival_ns, r.tenant))
     return [

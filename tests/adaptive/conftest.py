@@ -1,0 +1,91 @@
+"""Shared fixtures for the adaptive-remapping suite.
+
+Real :class:`~repro.adaptive.arena.AdaptiveArena` instances carry an
+8 MiB functional system — building one costs ~1.5 s and every migration
+~1-5 s — so only the tests whose *point* is the real PTE/byte machinery
+use one.  Controller-behaviour and property tests drive the controller
+against :class:`FakeArena`, which mirrors the arena's decision surface
+(geometry, penalty model, MapID mirror) with free migrations.
+"""
+
+from typing import List, Optional
+
+import pytest
+
+from repro.adaptive.arena import ADAPTIVE_ARENA_ORG, AdaptiveArena
+from repro.pim.config import aim_config_for
+
+
+class FakeArena:
+    """The controller-facing surface of an AdaptiveArena, minus the
+    functional system: migrations are instant ledger updates, and the
+    audit reports whatever the test scripts via ``verify_problems``."""
+
+    # decision-model methods shared verbatim with the real arena, so the
+    # fake cannot drift from what the controller actually prices
+    ideal_map_id = AdaptiveArena.ideal_map_id
+    hot_matrix = AdaptiveArena.hot_matrix
+    penalty = staticmethod(AdaptiveArena.penalty)
+    mean_penalty = AdaptiveArena.mean_penalty
+
+    def __init__(self, n_pages: int = 4, start_k: int = 3) -> None:
+        self.name = "fake/arena"
+        self.org = ADAPTIVE_ARENA_ORG
+        self.pim = aim_config_for(self.org)
+        self.huge_page_bytes = 1 << 21
+        self.page_k: List[int] = [start_k] * n_pages
+        self.max_map_id = 10
+        self.full_migration_cost_ns = 655_360.0
+        self.migrations: List[tuple] = []
+        self.verify_problems: List[str] = []
+        self.verify_calls: List[Optional[tuple]] = []
+
+    @property
+    def n_pages(self) -> int:
+        return len(self.page_k)
+
+    def migrate(self, map_id: int, page_start: int = 0,
+                page_count: Optional[int] = None) -> dict:
+        if page_count is None:
+            page_count = self.n_pages - page_start
+        assert 0 <= page_start and page_start + page_count <= self.n_pages
+        self.migrations.append((map_id, page_start, page_count))
+        for index in range(page_start, page_start + page_count):
+            self.page_k[index] = map_id
+        return {"new_map_id": map_id, "pages": page_count,
+                "released_map_ids": []}
+
+    def verify(self, pages=None) -> List[str]:
+        self.verify_calls.append(None if pages is None else tuple(pages))
+        return list(self.verify_problems)
+
+
+def drive(controller, prefill_tokens: int, n: int = 1, *, served: bool = True,
+          pim_base_ns: float = 2e6, ttft_ns: float = 1e6, pim_ok: bool = True,
+          brownout: bool = False, start_req: int = 0) -> float:
+    """Tick *n* requests of one hot shape through *controller*, pricing
+    the observed PIM time with the controller's own multiplier — exactly
+    the serving loop's contract.  Request ids double as the clock (one
+    tick per ns), so event timestamps count requests.  Returns the total
+    migration ns charged."""
+    charged = 0.0
+    for i in range(start_req, start_req + n):
+        k_req = controller.ideal_map_id(prefill_tokens)
+        mult = controller.pim_multiplier(k_req)
+        charged += controller.tick(
+            i, float(i), k_req, served, ttft_ns, pim_base_ns,
+            pim_obs_ns=pim_base_ns * mult, pim_ok=pim_ok, brownout=brownout,
+        )
+    return charged
+
+
+@pytest.fixture
+def fake_arena():
+    return FakeArena()
+
+
+@pytest.fixture(scope="module")
+def real_arena():
+    """One real arena per module — tests sharing it must leave every
+    page back at the selector's MapID 3 (assert it on entry)."""
+    return AdaptiveArena(seed=0, name="test/arena")

@@ -1,0 +1,224 @@
+"""Controller behaviour against the fake arena (see conftest).
+
+The contract under test is the guarded WATCHING → CANARY → COOLDOWN
+cycle: triggers only fire on a full window that clears the cost/benefit
+bar with a healthy PIM, every migration starts as a bounded canary,
+verdicts promote or roll back against the pre-migration baseline, and
+every decision starts a cooldown.  Traffic is described by prefill
+length: 800 tokens is the pre-drift hot shape (ideal MapID 3 — the
+pages' starting MapID, zero penalty) and 3000 tokens the post-drift one
+(ideal MapID 5, penalty 3 per page while the pages sit at 3).
+"""
+
+import pytest
+
+from repro.adaptive.controller import (
+    CANARY,
+    COOLDOWN,
+    WATCHING,
+    AdaptiveConfig,
+    AdaptiveController,
+)
+
+from tests.adaptive.conftest import drive
+
+PRE_DRIFT = 800  # ideal MapID 3
+POST_DRIFT = 3000  # ideal MapID 5
+
+
+def make_controller(fake_arena, **overrides):
+    defaults = dict(
+        mode="active", window_requests=8, canary_window=4,
+        cooldown_requests=10, hysteresis=2.0, canary_fraction=0.25,
+        max_migrations=8, penalty_coeff=0.05, slo_margin=0.10,
+    )
+    defaults.update(overrides)
+    return AdaptiveController(AdaptiveConfig(**defaults), arena=fake_arena)
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize("bad", [
+        dict(mode="aggressive"),
+        dict(window_requests=0),
+        dict(canary_window=0),
+        dict(cooldown_requests=-1),
+        dict(hysteresis=0.0),
+        dict(canary_fraction=0.0),
+        dict(canary_fraction=1.0),
+        dict(max_migrations=-1),
+        dict(penalty_coeff=-0.1),
+        dict(slo_margin=-0.1),
+    ])
+    def test_rejects_bad_knobs(self, bad):
+        with pytest.raises(ValueError):
+            AdaptiveConfig(**bad)
+
+
+class TestTriggering:
+    def test_no_trigger_before_window_fills(self, fake_arena):
+        ctrl = make_controller(fake_arena)
+        drive(ctrl, POST_DRIFT, n=7)
+        assert ctrl.state == WATCHING
+        assert fake_arena.migrations == []
+        drive(ctrl, POST_DRIFT, n=1, start_req=7)
+        assert ctrl.state == CANARY
+        # a canary never migrates the whole arena: 25% of 4 pages = 1
+        assert fake_arena.migrations == [(5, 0, 1)]
+        assert ctrl.migrations_started == 1
+
+    def test_matched_workload_never_triggers(self, fake_arena):
+        ctrl = make_controller(fake_arena)
+        drive(ctrl, PRE_DRIFT, n=40)
+        assert fake_arena.migrations == []
+        assert ctrl.state == WATCHING
+
+    def test_cost_benefit_gate_blocks_small_benefit(self, fake_arena):
+        # drifted traffic, but with so little PIM time per window that
+        # the projected saving cannot clear hysteresis x relayout cost
+        ctrl = make_controller(fake_arena)
+        drive(ctrl, POST_DRIFT, n=40, pim_base_ns=10.0)
+        assert fake_arena.migrations == []
+        assert ctrl.report()["last_recommendation"] == 5
+
+    def test_static_mode_observes_but_never_migrates(self, fake_arena):
+        ctrl = make_controller(fake_arena, mode="static")
+        drive(ctrl, POST_DRIFT, n=40)
+        assert fake_arena.migrations == []
+        assert ctrl.report()["last_recommendation"] == 5
+        assert ctrl.report()["page_map_ids"] == [3, 3, 3, 3]
+
+    def test_brownout_blocks_the_trigger_tick(self, fake_arena):
+        ctrl = make_controller(fake_arena)
+        drive(ctrl, POST_DRIFT, n=8, brownout=True)
+        assert fake_arena.migrations == []
+        assert ctrl.state == WATCHING
+
+    def test_pim_breaker_trip_poisons_the_window(self, fake_arena):
+        ctrl = make_controller(fake_arena)
+        # one unhealthy tick anywhere in the window blocks its trigger
+        drive(ctrl, POST_DRIFT, n=1, pim_ok=False)
+        drive(ctrl, POST_DRIFT, n=7, start_req=1)
+        assert fake_arena.migrations == []
+        # the next, fully healthy window triggers normally
+        drive(ctrl, POST_DRIFT, n=8, start_req=8)
+        assert ctrl.state == CANARY
+
+    def test_budget_bounds_total_migrations(self, fake_arena):
+        ctrl = make_controller(fake_arena, max_migrations=1)
+        drive(ctrl, POST_DRIFT, n=12)  # canary + promote
+        assert ctrl.promotions == 1
+        # the workload swings back: re-migrating would want MapID 3,
+        # but the global budget is spent
+        drive(ctrl, PRE_DRIFT, n=60, start_req=12)
+        assert ctrl.migrations_started == 1
+        assert fake_arena.page_k == [5, 5, 5, 5]
+
+
+class TestCanaryVerdict:
+    def test_healthy_canary_promotes(self, fake_arena):
+        ctrl = make_controller(fake_arena)
+        charged = drive(ctrl, POST_DRIFT, n=12)
+        assert ctrl.promotions == 1
+        assert ctrl.rollbacks == 0
+        assert fake_arena.page_k == [5, 5, 5, 5]
+        assert [e.kind for e in ctrl.events] == ["canary", "promote"]
+        # canary (1 page) plus promotion (3 pages) charge the full
+        # relayout cost to the PIM timeline, pro-rated by pages
+        assert charged == pytest.approx(fake_arena.full_migration_cost_ns)
+        assert ctrl.state == COOLDOWN
+
+    def test_audits_are_bounded_to_migrated_pages(self, fake_arena):
+        ctrl = make_controller(fake_arena)
+        drive(ctrl, POST_DRIFT, n=12)
+        assert fake_arena.verify_calls == [(0,), (1, 2, 3)]
+
+    def test_pinned_pessimal_advisor_rolls_back_once(self, fake_arena):
+        # the forced-bad-advisor drill: recommendation pinned to MapID 0
+        # bypasses the cost/benefit gate; the canary must catch it
+        ctrl = make_controller(fake_arena, pinned_map_id=0)
+        drive(ctrl, POST_DRIFT, n=12)
+        assert ctrl.rollbacks == 1
+        assert ctrl.promotions == 0
+        # rollback restored the MapID mirror byte for byte
+        assert fake_arena.page_k == [3, 3, 3, 3]
+        assert [e.kind for e in ctrl.events] == ["canary", "rollback"]
+        assert "breached" in ctrl.events[-1].reason
+        # flap damping: the rejected MapID never gets a second canary
+        # while the (pinned) recommendation stays the same
+        drive(ctrl, POST_DRIFT, n=100, start_req=12)
+        assert ctrl.migrations_started == 1
+
+    def test_different_recommendation_clears_rejected_block(self, fake_arena):
+        ctrl = make_controller(fake_arena)
+        ctrl._rejected_map_id = 5  # as if a canary to 5 just rolled back
+        drive(ctrl, POST_DRIFT, n=10)
+        assert fake_arena.migrations == []  # still blocked
+        # a different hot shape (ideal MapID 4) is a fresh answer; its
+        # smaller penalty (1 vs 3 per page) needs more PIM demand per
+        # window to clear the unchanged cost/benefit bar
+        drive(ctrl, 1500, n=24, start_req=10, pim_base_ns=8e6)
+        assert fake_arena.migrations
+        assert fake_arena.migrations[0][0] == 4
+
+    def test_empty_canary_window_rolls_back(self, fake_arena):
+        ctrl = make_controller(fake_arena)
+        drive(ctrl, POST_DRIFT, n=8)
+        assert ctrl.state == CANARY
+        drive(ctrl, POST_DRIFT, n=4, start_req=8, served=False)
+        assert ctrl.rollbacks == 1
+        assert fake_arena.page_k == [3, 3, 3, 3]
+        assert ctrl.events[-1].reason == "no served requests in canary window"
+
+    def test_breaker_trip_mid_canary_rolls_back(self, fake_arena):
+        ctrl = make_controller(fake_arena)
+        drive(ctrl, POST_DRIFT, n=8)
+        drive(ctrl, POST_DRIFT, n=4, start_req=8, pim_ok=False)
+        assert ctrl.rollbacks == 1
+        assert ctrl.events[-1].reason == "PIM breaker tripped during canary"
+
+
+class TestCooldownAndAudit:
+    def test_cooldown_blocks_retriggering(self, fake_arena):
+        ctrl = make_controller(fake_arena, cooldown_requests=10)
+        drive(ctrl, POST_DRIFT, n=12)  # promote at tick 11
+        assert ctrl.state == COOLDOWN
+        # swing the workload back: 9 cooldown ticks + 7 window ticks
+        # can never re-trigger (needs 10 + a full window of 8)
+        drive(ctrl, PRE_DRIFT, n=16, start_req=12)
+        assert ctrl.migrations_started == 1
+        # ... but 10 + 8 can
+        drive(ctrl, PRE_DRIFT, n=2, start_req=28)
+        assert ctrl.migrations_started == 2
+        assert fake_arena.migrations[-1][0] == 3
+
+    def test_audit_failure_is_a_finding(self, fake_arena):
+        ctrl = make_controller(fake_arena)
+        fake_arena.verify_problems = ["arena page 0 bytes fail CRC"]
+        drive(ctrl, POST_DRIFT, n=12)
+        assert ctrl.findings
+        assert all(f.rule_id == "AD003" for f in ctrl.findings)
+        assert ctrl.report()["audit_findings"] == len(ctrl.findings)
+
+    def test_controller_is_deterministic(self, fake_arena):
+        def run():
+            ctrl = make_controller(fake_arena.__class__())
+            drive(ctrl, POST_DRIFT, n=30)
+            drive(ctrl, PRE_DRIFT, n=30, start_req=30)
+            return ctrl.report()
+
+        assert run() == run()
+
+    def test_report_shape(self, fake_arena):
+        ctrl = make_controller(fake_arena)
+        drive(ctrl, POST_DRIFT, n=12)
+        report = ctrl.report()
+        assert report["mode"] == "active"
+        assert report["migrations_started"] == 1
+        assert report["promotions"] == 1
+        assert report["budget"] == 8
+        assert report["page_map_ids"] == [5, 5, 5, 5]
+        event = report["events"][0]
+        assert set(event) == {
+            "t_ms", "kind", "from_map_id", "to_map_id", "pages",
+            "cost_ms", "baseline_ttft_ms", "observed_ttft_ms", "reason",
+        }

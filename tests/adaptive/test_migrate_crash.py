@@ -1,0 +1,72 @@
+"""Crash-in-flight migration: every site recovers whole, never torn.
+
+Each test arms one checkpoint of the two-phase MIGRATE transaction,
+crashes a partial-range migration there, recovers, and asserts the
+never-torn invariant at PTE level: the migrated range is either
+entirely the old slots (rolled back — any crash strictly before the
+``committed`` journal step) or entirely the promoted slot (rolled
+forward — at or after it), and pages outside the range never move.
+The bounded CRC audit then proves the bytes read back intact through
+whichever mapping recovery chose.
+"""
+
+import pytest
+
+from repro.adaptive.arena import AdaptiveArena
+from repro.core.journal import MIGRATE_CRASH_SITES, InjectedCrash
+from repro.reliability.faults import FaultInjector
+
+#: commit point: "committed" and later roll forward, everything else back
+_ROLLS_FORWARD = {"migrate:committed": True, "migrate:cleanup": True}
+
+
+@pytest.fixture(scope="module")
+def crash_rig():
+    arena = AdaptiveArena(seed=1, name="crash/arena")
+    injector = FaultInjector(1).attach(arena.system)
+    yield arena, injector
+    injector.detach()
+
+
+def crash_and_recover(arena, injector, site, after=0,
+                      page_start=1, page_count=2):
+    """Crash one migration at *site*, recover, assert never-torn, and
+    return whether recovery rolled forward."""
+    # a target MapID no current page carries, so slot changes are visible
+    target = next(k for k in (5, 4, 6) if k not in arena.page_k)
+    before = list(arena.system.space.area_page_map_ids(arena.tensor.va))
+    injector.schedule_crash(site, after=after)
+    with pytest.raises(InjectedCrash):
+        arena.system.allocator.migrate_pages(
+            arena.tensor, target, page_start=page_start, page_count=page_count
+        )
+    recovery = arena.system.recover()
+    action = next(a for a in recovery.actions if a.op == "migrate")
+    forward = action.resolution == "rolled-forward"
+    assert forward == _ROLLS_FORWARD.get(site, False)
+
+    after_slots = list(arena.system.space.area_page_map_ids(arena.tensor.va))
+    expected = list(before)
+    if forward:
+        promoted = action.detail["promoted_map_id"]
+        expected[page_start:page_start + page_count] = [promoted] * page_count
+        for index in range(page_start, page_start + page_count):
+            arena.page_k[index] = target
+    assert after_slots == expected  # never torn, outside pages untouched
+    assert arena.verify(pages=range(page_start, page_start + page_count)) == []
+    arena.system.journal.truncate_committed()
+    return forward
+
+
+@pytest.mark.parametrize("site", MIGRATE_CRASH_SITES)
+def test_crash_at_site_recovers_whole(crash_rig, site):
+    arena, injector = crash_rig
+    crash_and_recover(arena, injector, site)
+
+
+def test_crash_mid_page_walk_rolls_back_every_flip(crash_rig):
+    # the second PTE flip of a two-page range: one page already points
+    # at the new mapping when the crash lands — recovery must restore it
+    arena, injector = crash_rig
+    forward = crash_and_recover(arena, injector, "migrate:page", after=1)
+    assert not forward

@@ -1,0 +1,98 @@
+"""Property tests for the adaptive controller's flap-damping contracts.
+
+Three properties the docs promise, checked over arbitrary drifting /
+alternating workloads (hot-shape blocks of varying length):
+
+* **Pacing (no oscillation)**: two canaries can never start closer than
+  ``canary_window + cooldown + window`` requests apart — a full verdict,
+  a full cooldown, and a full fresh decision window sit between them.
+* **Cooldown strictly enforced**: after any decision (promote or
+  rollback), no new canary starts for ``cooldown + window`` requests.
+* **Rollback restores the MapID mirror byte-identically**: a pinned
+  pessimal advisor (the forced-bad-advisor drill) is always caught by
+  the canary, every rollback lands the page MapIDs exactly where they
+  started, and nothing is ever promoted.
+
+The fake arena's request ids double as the clock (one tick per ns), so
+event timestamps count requests directly.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.adaptive.controller import AdaptiveConfig, AdaptiveController
+
+from tests.adaptive.conftest import FakeArena, drive
+
+_SETTINGS = dict(max_examples=20, deadline=None)
+
+WINDOW = 8
+CANARY = 4
+COOLDOWN = 10
+
+#: blocks of (hot-shape prefill, repeat count): 800 tokens wants MapID 3
+#: (the pages' start), 1500 wants 4, 3000 wants 5
+workloads = st.lists(
+    st.tuples(st.sampled_from([800, 1500, 3000]), st.integers(1, 20)),
+    min_size=1,
+    max_size=10,
+)
+
+
+def run_workload(blocks, **overrides):
+    defaults = dict(
+        mode="active", window_requests=WINDOW, canary_window=CANARY,
+        cooldown_requests=COOLDOWN, hysteresis=2.0, canary_fraction=0.25,
+        max_migrations=8, penalty_coeff=0.05, slo_margin=0.10,
+    )
+    defaults.update(overrides)
+    arena = FakeArena()
+    ctrl = AdaptiveController(AdaptiveConfig(**defaults), arena=arena)
+    tick = 0
+    for prefill, count in blocks:
+        drive(ctrl, prefill, n=count, start_req=tick)
+        tick += count
+    return ctrl, arena, tick
+
+
+class TestPacing:
+    @given(blocks=workloads)
+    @settings(**_SETTINGS)
+    def test_canaries_never_oscillate(self, blocks):
+        ctrl, _, ticks = run_workload(blocks)
+        canaries = [e.t_ns for e in ctrl.events if e.kind == "canary"]
+        for earlier, later in zip(canaries, canaries[1:]):
+            assert later - earlier >= CANARY + COOLDOWN + WINDOW
+        # pacing also bounds the total: one canary per full cycle
+        assert len(canaries) <= 1 + ticks // (CANARY + COOLDOWN + WINDOW)
+
+    @given(blocks=workloads, cooldown=st.integers(0, 40))
+    @settings(**_SETTINGS)
+    def test_cooldown_strictly_enforced(self, blocks, cooldown):
+        ctrl, _, _ = run_workload(blocks, cooldown_requests=cooldown)
+        for i, event in enumerate(ctrl.events):
+            if event.kind not in ("promote", "rollback"):
+                continue
+            for later in ctrl.events[i + 1:]:
+                if later.kind == "canary":
+                    assert later.t_ns - event.t_ns >= cooldown + WINDOW
+                    break
+
+
+class TestRollbackRestores:
+    @given(blocks=workloads)
+    @settings(**_SETTINGS)
+    def test_pinned_pessimal_advisor_always_rolls_back_clean(self, blocks):
+        # MapID 0 degrades every hot shape; a 2% margin catches even the
+        # mildest one (800 tokens: +8.75% PIM slowdown)
+        ctrl, arena, ticks = run_workload(
+            blocks, pinned_map_id=0, slo_margin=0.02
+        )
+        # flush any canary still in flight at the end of the workload
+        drive(ctrl, blocks[-1][0], n=2 * CANARY + COOLDOWN, start_req=ticks)
+        assert ctrl.promotions == 0
+        assert ctrl.rollbacks == ctrl.migrations_started
+        # every rollback restored the MapID mirror byte for byte
+        assert arena.page_k == [3, 3, 3, 3]
+        # and the one-canary-per-answer damping held: the pinned MapID
+        # was canaried at most once
+        assert ctrl.migrations_started <= 1

@@ -2,10 +2,14 @@
 
 import numpy as np
 
+import pytest
+
 from repro.llm.datasets import (
     ALPACA_LIKE,
+    CHAT_TO_LONG_CONTEXT_DRIFT,
     HUMANEVAL_AUTOCOMPLETE_LIKE,
     DatasetSpec,
+    DriftingDatasetSpec,
     sample_trace,
 )
 
@@ -52,6 +56,67 @@ class TestDistributionShape:
         trace = sample_trace(ALPACA_LIKE, 1000, seed=2)
         decodes = [q.decode_tokens for q in trace]
         assert max(decodes) > 4 * np.median(decodes)
+
+
+class TestDriftingSpec:
+    DRIFT = CHAT_TO_LONG_CONTEXT_DRIFT
+
+    def test_weight_ramps_linearly_across_the_window(self):
+        start_ns = self.DRIFT.drift_start_ms * 1e6
+        end_ns = self.DRIFT.drift_end_ms * 1e6
+        assert self.DRIFT.weight_after(0.0) == 0.0
+        assert self.DRIFT.weight_after(start_ns) == 0.0
+        mid = (start_ns + end_ns) / 2
+        assert self.DRIFT.weight_after(mid) == pytest.approx(0.5)
+        assert self.DRIFT.weight_after(end_ns) == 1.0
+        assert self.DRIFT.weight_after(end_ns * 10) == 1.0
+
+    def test_spec_at_returns_the_phases_outside_the_window(self):
+        assert self.DRIFT.spec_at(0.0) is self.DRIFT.before
+        assert self.DRIFT.spec_at(self.DRIFT.drift_end_ms * 1e6) is self.DRIFT.after
+        mid = (self.DRIFT.drift_start_ms + self.DRIFT.drift_end_ms) / 2 * 1e6
+        blended = self.DRIFT.spec_at(mid)
+        lo = min(self.DRIFT.before.prefill_mu, self.DRIFT.after.prefill_mu)
+        hi = max(self.DRIFT.before.prefill_mu, self.DRIFT.after.prefill_mu)
+        assert lo < blended.prefill_mu < hi
+
+    def test_time_blind_sampling_matches_the_before_phase(self):
+        """Same draw discipline: a drifting spec handed to a time-blind
+        caller reproduces the static 'before' spec byte for byte."""
+        import random
+
+        a = [self.DRIFT.sample_one(random.Random(5)) for _ in range(3)]
+        b = [self.DRIFT.before.sample_one(random.Random(5)) for _ in range(3)]
+        assert a == b
+
+    def test_samples_drift_from_short_to_long(self):
+        import random
+
+        rng = random.Random(0)
+        pre = [self.DRIFT.sample_at(rng, 0.0) for _ in range(200)]
+        post = [
+            self.DRIFT.sample_at(rng, self.DRIFT.drift_end_ms * 1e6)
+            for _ in range(200)
+        ]
+        assert max(q.prefill_tokens for q in pre) <= self.DRIFT.before.prefill_max
+        assert min(q.prefill_tokens for q in post) >= self.DRIFT.after.prefill_min
+        assert np.mean([q.prefill_tokens for q in post]) > 2 * np.mean(
+            [q.prefill_tokens for q in pre]
+        )
+
+    def test_batch_sample_frozen_at_a_time(self):
+        frozen = self.DRIFT.sample(50, seed=1, t_ns=self.DRIFT.drift_end_ms * 1e6)
+        assert frozen == self.DRIFT.after.sample(50, seed=1)
+
+    def test_rejects_inverted_drift_window(self):
+        with pytest.raises(ValueError, match="drift_end_ms"):
+            DriftingDatasetSpec(
+                name="bad",
+                before=ALPACA_LIKE,
+                after=HUMANEVAL_AUTOCOMPLETE_LIKE,
+                drift_start_ms=100.0,
+                drift_end_ms=100.0,
+            )
 
 
 class TestCustomSpec:

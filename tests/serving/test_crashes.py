@@ -7,7 +7,7 @@ acceptance-scale campaign — 500 injections, the ISSUE criterion — is
 
 import pytest
 
-from repro.core.journal import CRASH_SITES
+from repro.core.journal import CRASH_SITES, MIGRATE_CRASH_SITES
 from repro.kvcache import KV_CRASH_SITES
 from repro.serving.crashes import run_crash_campaign
 
@@ -90,6 +90,44 @@ class TestKvCampaign:
             run_crash_campaign(n_injections=4, kv_injections=-1)
 
 
+class TestMigrationCampaign:
+    def test_migration_sweep_every_site_never_torn(self):
+        # one full lap of the two-phase MIGRATE checkpoints: recovery
+        # lands entirely old or entirely new, audited page by page
+        report = run_crash_campaign(migration_injections=7, seed=3)
+        assert report.migration_injections == 7
+        assert report.migration_crashes_by_site == {
+            site: 1 for site in MIGRATE_CRASH_SITES
+        }
+        assert report.migration_rolled_back + report.migration_rolled_forward == 7
+        assert report.torn_mappings == 0
+        assert report.migration_audit_failures == 0
+        assert report.migration_final_clean
+        assert "torn mappings" in report.render()
+        assert_clean(report)
+
+    def test_migration_campaign_reproducible(self):
+        a = run_crash_campaign(migration_injections=2, seed=9)
+        b = run_crash_campaign(migration_injections=2, seed=9)
+        assert a.to_dict() == b.to_dict()
+
+    def test_migration_campaign_does_not_perturb_base_or_kv(self):
+        """The migration sweep seeds its own arena, injector, and rng
+        (seed + 2): the other campaigns stay byte-identical with it on."""
+        plain = run_crash_campaign(n_injections=10, seed=5, kv_injections=4)
+        mixed = run_crash_campaign(
+            n_injections=10, seed=5, kv_injections=4, migration_injections=2
+        )
+        assert mixed.crashes_by_site == plain.crashes_by_site
+        assert mixed.rolled_back == plain.rolled_back
+        assert mixed.rolled_forward == plain.rolled_forward
+        assert mixed.kv_crashes_by_site == plain.kv_crashes_by_site
+
+    def test_rejects_negative_migration_injections(self):
+        with pytest.raises(ValueError, match="migration_injections"):
+            run_crash_campaign(n_injections=4, migration_injections=-1)
+
+
 @pytest.mark.chaos
 class TestAcceptanceCampaign:
     def test_five_hundred_injections_recover_clean(self):
@@ -104,6 +142,25 @@ class TestAcceptanceCampaign:
     @pytest.mark.parametrize("seed", [1, 2, 3])
     def test_clean_across_seeds(self, seed):
         assert_clean(run_crash_campaign(n_injections=100, seed=seed))
+
+    def test_five_hundred_migration_injections_never_torn(self):
+        # the PR 6 acceptance criterion: >= 500 seeded crash injections
+        # across every two-phase MIGRATE site, zero torn mappings, zero
+        # audit findings, pristine final arena
+        report = run_crash_campaign(migration_injections=500, seed=0)
+        assert report.migration_injections == 500
+        assert all(
+            report.migration_crashes_by_site[site] >= 71
+            for site in MIGRATE_CRASH_SITES
+        )
+        assert (
+            report.migration_rolled_back + report.migration_rolled_forward
+            == 500
+        )
+        assert report.torn_mappings == 0
+        assert report.migration_audit_failures == 0
+        assert report.migration_final_clean
+        assert_clean(report)
 
     def test_five_hundred_kv_injections_zero_leaked_refcounts(self):
         # the PR 4 acceptance criterion: 500 seeded crash injections

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.llm.datasets import ALPACA_LIKE, QueryTrace
+from repro.llm.datasets import ALPACA_LIKE, CHAT_TO_LONG_CONTEXT_DRIFT, QueryTrace
 from repro.serving.workload import TenantSpec, poisson_workload, trace_workload
 
 
@@ -140,6 +140,56 @@ class TestMultiTurnWorkload:
         a = poisson_workload([self.tenant()], duration_ms=3000.0, seed=9)
         b = poisson_workload([self.tenant()], duration_ms=3000.0, seed=9)
         assert a == b
+
+
+class TestDriftingWorkload:
+    def tenant(self, dataset, qps=1.0):
+        return TenantSpec(name="chat", dataset=dataset, qps=qps,
+                          deadline_ms=10_000.0)
+
+    def test_lengths_drift_with_arrival_time(self):
+        drift = CHAT_TO_LONG_CONTEXT_DRIFT
+        requests = poisson_workload(
+            [self.tenant(drift)], duration_ms=300_000.0, seed=3
+        )
+        early = [r.prefill_tokens for r in requests
+                 if r.arrival_ns < drift.drift_start_ms * 1e6]
+        late = [r.prefill_tokens for r in requests
+                if r.arrival_ns > drift.drift_end_ms * 1e6]
+        assert early and late
+        assert max(early) <= drift.before.prefill_max
+        assert min(late) >= drift.after.prefill_min
+
+    def test_pre_drift_identical_to_static_before_spec(self):
+        """Same stream discipline: before the drift window starts, a
+        drifting tenant reproduces its static 'before' tenant exactly."""
+        drift = CHAT_TO_LONG_CONTEXT_DRIFT
+        horizon = drift.drift_start_ms / 2
+        a = poisson_workload([self.tenant(drift)], duration_ms=horizon, seed=3)
+        b = poisson_workload(
+            [self.tenant(drift.before)], duration_ms=horizon, seed=3
+        )
+        assert a == b
+
+    def test_multi_turn_follow_ups_sample_at_their_turn_time(self):
+        """A conversation opened before the drift whose think-time gaps
+        reach past it draws its later turns from the drifted phase."""
+        drift = CHAT_TO_LONG_CONTEXT_DRIFT
+        tenant = TenantSpec(
+            name="chat", dataset=drift, qps=2.0, deadline_ms=10_000.0,
+            mean_turns=8.0, think_time_ms=60_000.0,
+        )
+        requests = poisson_workload([tenant], duration_ms=30_000.0, seed=1)
+        late_turns = [
+            r for r in requests
+            if r.turn_index > 0 and r.arrival_ns > drift.drift_end_ms * 1e6
+        ]
+        assert late_turns
+        # fresh tokens this turn = prefill minus accumulated context
+        assert any(
+            r.prefill_tokens - r.context_tokens >= drift.after.prefill_min
+            for r in late_turns
+        )
 
 
 class TestTraceWorkload:

@@ -119,6 +119,37 @@ class TestServeCommand:
         assert args.prefix_sharing is False
         assert args.mean_turns == 2.5
 
+    def test_serve_adaptive_flags_parse(self):
+        args = build_parser().parse_args([
+            "serve", "--adaptive", "active", "--adaptive-pin", "0",
+        ])
+        assert args.adaptive == "active"
+        assert args.adaptive_pin == 0
+        assert build_parser().parse_args(["serve"]).adaptive == "off"
+
+    def test_serve_adaptive_rejects_kv_scheduler(self, tmp_path):
+        with pytest.raises(SystemExit, match="legacy"):
+            main([
+                "serve", "--adaptive", "active", "--kv-blocks", "64",
+                "--duration-ms", "1000",
+                "--out", str(tmp_path / "serve.json"),
+            ])
+
+    def test_serve_adaptive_reports_adaptive_section(self, capsys, tmp_path):
+        out = tmp_path / "serve_adaptive.json"
+        assert main([
+            "serve", "--seed", "0", "--duration-ms", "5000",
+            "--platform", "iphone-15-pro", "--load", "0.3",
+            "--adaptive", "static", "--out", str(out),
+        ]) == 0
+        text = capsys.readouterr().out
+        assert "adaptive" in text
+        import json
+
+        report = json.loads(out.read_text())
+        assert report["adaptive"]["mode"] == "static"
+        assert report["adaptive"]["migrations_started"] == 0
+
 
 class TestChaosCommand:
     def test_chaos_with_crash_injections_writes_report(self, capsys, tmp_path):
@@ -151,6 +182,66 @@ class TestChaosCommand:
         assert report["crash"]["kv_injections"] == 12
         assert report["crash"]["kv_leaked_refcounts"] == 0
         assert report["crash"]["kv_final_clean"] is True
+
+    def test_chaos_migration_crash_injections(self, capsys, tmp_path):
+        out = tmp_path / "chaos_migration.json"
+        assert main([
+            "chaos", "--seed", "0", "--queries", "4",
+            "--migration-crash-injections", "2", "--out", str(out),
+        ]) == 0
+        text = capsys.readouterr().out
+        assert "mig injections" in text
+        import json
+
+        report = json.loads(out.read_text())
+        assert report["crash"]["migration_injections"] == 2
+        assert report["crash"]["torn_mappings"] == 0
+        assert report["crash"]["migration_final_clean"] is True
+        assert report["crash"]["ok"] is True
+
+    def test_chaos_migration_flag_parses(self):
+        args = build_parser().parse_args([
+            "chaos", "--migration-crash-injections", "500",
+        ])
+        assert args.migration_crash_injections == 500
+
+    def test_chaos_exits_nonzero_on_audit_finding(self, tmp_path, monkeypatch):
+        """ANY post-recovery finding must fail the run, even when the
+        aggregate counters look clean."""
+        import repro.serving.crashes as crashes
+
+        real = crashes.run_crash_campaign
+
+        def rigged(**kwargs):
+            report = real(**kwargs)
+            report.failures.append("injection 3: armed crash never fired")
+            return report
+
+        monkeypatch.setattr(crashes, "run_crash_campaign", rigged)
+        with pytest.raises(SystemExit, match="finding"):
+            main([
+                "chaos", "--seed", "0", "--queries", "4",
+                "--migration-crash-injections", "1",
+                "--out", str(tmp_path / "chaos.json"),
+            ])
+
+    def test_chaos_exits_nonzero_on_torn_mapping(self, tmp_path, monkeypatch):
+        import repro.serving.crashes as crashes
+
+        real = crashes.run_crash_campaign
+
+        def rigged(**kwargs):
+            report = real(**kwargs)
+            report.torn_mappings = 1
+            return report
+
+        monkeypatch.setattr(crashes, "run_crash_campaign", rigged)
+        with pytest.raises(SystemExit, match="audit"):
+            main([
+                "chaos", "--seed", "0", "--queries", "4",
+                "--migration-crash-injections", "1",
+                "--out", str(tmp_path / "chaos.json"),
+            ])
 
 
 class TestTraceCommand:
