@@ -161,6 +161,27 @@ class AdaptiveArena:
         self.system.journal.truncate_committed()
         return result
 
+    # -- replay barriers ------------------------------------------------
+
+    def barrier_state(self, full: bool = False) -> Dict:
+        """State components for a replay-diff barrier (see
+        :mod:`repro.analysis.replay`): the per-page MapID mirror, the
+        PTE ground truth, and the journal cursor.  *full* adds the
+        whole-arena CRC — an O(arena) read, so only the final barrier
+        asks for it."""
+        journal = self.system.journal
+        state: Dict = {
+            "arena_page_k": tuple(self.page_k),
+            "arena_ptes": tuple(
+                self.system.space.area_page_map_ids(self.tensor.va)
+            ),
+            "arena_journal": None if journal is None else journal.cursor(),
+        }
+        if full:
+            raw = self.system.allocator.read_virtual(self.tensor.va, self.nbytes)
+            state["arena_crc"] = f"{zlib.crc32(raw.tobytes()):08x}"
+        return state
+
     # -- audit ----------------------------------------------------------
 
     def verify(self, pages: Optional[Sequence[int]] = None) -> List[str]:
@@ -183,7 +204,7 @@ class AdaptiveArena:
                     f"{findings[0].rule_id} {findings[0].message}"
                 )
         expected = {0: 1}
-        for slot in set(page_ids):
+        for slot in sorted(set(page_ids)):
             expected[slot] = expected.get(slot, 0) + 1
         actual = dict(table.refcounts())
         if actual != expected:

@@ -1,6 +1,6 @@
 """Static analysis for the FACIL reproduction (``repro-facil analyze``).
 
-Three passes:
+The passes:
 
 * :mod:`repro.analysis.mapverify` — proves every reachable address
   mapping is a bijective bit permutation with the paper's PIM placement
@@ -9,7 +9,11 @@ Three passes:
   request traces against the protocol state machine (rules ``TLxxx``);
 * :mod:`repro.analysis.repolint` + :mod:`repro.analysis.gate` — repo
   conventions as AST rules (``RLxxx``) plus ruff/mypy when installed
-  (``GTxxx``).
+  (``GTxxx``);
+* :mod:`repro.analysis.sanitize` — the journal-discipline dataflow
+  rules (``JDxxx``) over the journaled modules plus the determinism
+  rules ``RL007``-``RL010`` (the replay-diff oracle ``RDxxx`` lives in
+  :mod:`repro.analysis.replay` and runs under ``serve --replay-check``).
 
 :func:`run_all` composes them into one :class:`AnalysisReport`.
 """
@@ -40,7 +44,14 @@ from repro.analysis.mapverify import (
     verify_platform,
     verify_selection,
 )
-from repro.analysis.repolint import lint_tree
+from repro.analysis.repolint import lint_determinism_tree, lint_tree
+from repro.analysis.replay import (
+    BarrierRecorder,
+    ReplayReport,
+    replay_diff,
+    state_hash,
+)
+from repro.analysis.sanitize import run_sanitize, sanitize_sources, sanitize_tree
 from repro.analysis.tracelint import (
     lint_commands,
     lint_requests,
@@ -72,10 +83,24 @@ __all__ = [
     "lint_spans",
     "lint_trace_file",
     "lint_tree",
+    "lint_determinism_tree",
+    "run_sanitize",
+    "sanitize_sources",
+    "sanitize_tree",
+    "BarrierRecorder",
+    "ReplayReport",
+    "replay_diff",
+    "state_hash",
     "run_ruff",
     "run_mypy",
     "run_all",
+    "KNOWN_PASSES",
 ]
+
+#: every pass name ``run_all``/``analyze --pass`` accepts
+KNOWN_PASSES: Tuple[str, ...] = (
+    "mapverify", "tracelint", "repolint", "gate", "sanitize",
+)
 
 
 def _mapverify_pass(report: AnalysisReport) -> None:
@@ -170,6 +195,11 @@ def _repolint_pass(report: AnalysisReport) -> None:
     report.extend("repolint", findings, checked)
 
 
+def _sanitize_pass(report: AnalysisReport) -> None:
+    findings, checked = run_sanitize()
+    report.extend("sanitize", findings, checked)
+
+
 def _gate_pass(report: AnalysisReport, repo_root: Path) -> None:
     ruff_findings = run_ruff(repo_root)
     if ruff_findings is None:
@@ -187,9 +217,19 @@ def run_all(
     repo_root: Optional[Path] = None,
     trace_paths: Sequence[str] = (),
     span_paths: Sequence[str] = (),
-    passes: Tuple[str, ...] = ("mapverify", "tracelint", "repolint", "gate"),
+    passes: Tuple[str, ...] = KNOWN_PASSES,
 ) -> AnalysisReport:
-    """Run the requested analysis passes and return the joint report."""
+    """Run the requested analysis passes and return the joint report.
+
+    An unknown pass name raises :class:`ValueError` — a typo must never
+    silently analyze nothing and exit 0.
+    """
+    unknown = sorted(set(passes) - set(KNOWN_PASSES))
+    if unknown:
+        raise ValueError(
+            f"unknown analysis pass(es) {', '.join(unknown)}; "
+            f"known: {', '.join(KNOWN_PASSES)}"
+        )
     root = repo_root if repo_root is not None else Path.cwd()
     report = AnalysisReport()
     if "mapverify" in passes:
@@ -200,4 +240,6 @@ def run_all(
         _repolint_pass(report)
     if "gate" in passes:
         _gate_pass(report, root)
+    if "sanitize" in passes:
+        _sanitize_pass(report)
     return report

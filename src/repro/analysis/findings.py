@@ -10,8 +10,9 @@ so reports and docs never drift from the implementation.
 from __future__ import annotations
 
 import json
+import re
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Sequence, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 __all__ = [
     "LEVEL_ERROR",
@@ -78,11 +79,31 @@ class Finding:
         return f"{self.rule_id} {self.level}{where}: {self.message}{tail}"
 
 
+#: ``path:line`` location (the repo-lint / sanitize convention); anything
+#: else renders as a SARIF logical location.
+_PATH_LINE_RE = re.compile(r"^(?P<path>[^\s:][^:]*\.[A-Za-z0-9_]+):(?P<line>\d+)$")
+
+
+def _split_location(location: str) -> Tuple[Optional[str], int]:
+    """``(path, line)`` when *location* is ``path:line``, else ``(path, 0)``
+    when it is a bare file path, else ``(None, 0)``."""
+    match = _PATH_LINE_RE.match(location)
+    if match:
+        return match.group("path"), int(match.group("line"))
+    if "/" in location or location.endswith((".py", ".json", ".jsonl")):
+        if ":" not in location and " " not in location:
+            return location, 0
+    return None, 0
+
+
 @dataclass
 class AnalysisReport:
     """Aggregated outcome of one ``repro-facil analyze`` run."""
 
     findings: List[Finding] = field(default_factory=list)
+    #: findings moved aside by :meth:`waive` — kept in the rendered and
+    #: SARIF output (as suppressed results) but never gate-failing
+    waived: List[Finding] = field(default_factory=list)
     #: pass name -> short status line ("ok", "skipped: ...", "N findings")
     passes: Dict[str, str] = field(default_factory=dict)
     #: number of objects each pass inspected (mappings, commands, files)
@@ -100,8 +121,12 @@ class AnalysisReport:
         self.passes[pass_name] = f"skipped: {reason}"
 
     def waive(self, rule_ids: Sequence[str]) -> None:
-        """Drop findings of the given rules (CLI ``--waive``)."""
+        """Move findings of the given rules to :attr:`waived` (CLI
+        ``--waive``).  Waived findings stay visible in the text report and
+        become suppressed SARIF results, but never contribute to
+        :attr:`errors` — and therefore never to a nonzero exit."""
         waived = set(rule_ids)
+        self.waived.extend(f for f in self.findings if f.rule_id in waived)
         self.findings = [f for f in self.findings if f.rule_id not in waived]
 
     @property
@@ -125,15 +150,67 @@ class AnalysisReport:
             lines.append("")
             for finding in self.findings:
                 lines.append(finding.render())
+        if self.waived:
+            lines.append("")
+            for finding in self.waived:
+                lines.append(f"waived {finding.render()}")
         lines.append("")
         verdict = "PASS" if self.ok else f"FAIL ({len(self.errors)} error(s))"
+        if self.waived:
+            verdict += f" [{len(self.waived)} waived]"
         lines.append(f"analysis: {verdict}")
         return "\n".join(lines)
 
     def to_sarif(self) -> Dict[str, Any]:
-        """SARIF-style dict: one run, one result per finding."""
-        used = sorted({f.rule_id for f in self.findings})
+        """Real SARIF 2.1.0: one run; rule metadata under
+        ``tool.driver.rules``; file-located findings become physical
+        locations over a deduplicated ``artifacts`` table (URIs relative
+        to the ``SRCROOT`` base); everything else becomes a logical
+        location.  Waived findings are emitted as suppressed results."""
+        everything = list(self.findings) + list(self.waived)
+        used = sorted({f.rule_id for f in everything})
+        rule_index = {rule_id: i for i, rule_id in enumerate(used)}
+        artifact_index: Dict[str, int] = {}
+
+        def result(finding: Finding, suppressed: bool) -> Dict[str, Any]:
+            out: Dict[str, Any] = {
+                "ruleId": finding.rule_id,
+                "ruleIndex": rule_index[finding.rule_id],
+                "level": finding.level,
+                "message": {"text": finding.message},
+            }
+            path, line = _split_location(finding.location)
+            if path is not None:
+                if path not in artifact_index:
+                    artifact_index[path] = len(artifact_index)
+                physical: Dict[str, Any] = {
+                    "artifactLocation": {
+                        "uri": path,
+                        "uriBaseId": "SRCROOT",
+                        "index": artifact_index[path],
+                    }
+                }
+                if line:
+                    physical["region"] = {"startLine": line}
+                out["locations"] = [{"physicalLocation": physical}]
+            elif finding.location:
+                out["locations"] = [
+                    {"logicalLocations": [{"name": finding.location}]}
+                ]
+            else:
+                out["locations"] = []
+            if finding.detail:
+                out["properties"] = {"detail": finding.detail}
+            if suppressed:
+                out["suppressions"] = [
+                    {"kind": "external", "justification": "waived via --waive"}
+                ]
+            return out
+
+        results = [result(f, False) for f in self.findings]
+        results += [result(f, True) for f in self.waived]
         return {
+            "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
             "version": "2.1.0",
             "runs": [
                 {
@@ -144,29 +221,25 @@ class AnalysisReport:
                                 {
                                     "id": rule_id,
                                     "shortDescription": {"text": RULES[rule_id]},
+                                    "defaultConfiguration": {"level": "error"},
                                 }
                                 for rule_id in used
                             ],
                         }
                     },
-                    "results": [
-                        {
-                            "ruleId": f.rule_id,
-                            "level": f.level,
-                            "message": {"text": f.message},
-                            "locations": [
-                                {
-                                    "physicalLocation": {
-                                        "artifactLocation": {"uri": f.location}
-                                    }
-                                }
-                            ]
-                            if f.location
-                            else [],
-                            "properties": {"detail": f.detail} if f.detail else {},
+                    "originalUriBaseIds": {
+                        "SRCROOT": {
+                            "description": {
+                                "text": "the repository's src/ directory "
+                                "(bound by the consuming CI annotator)"
+                            }
                         }
-                        for f in self.findings
+                    },
+                    "artifacts": [
+                        {"location": {"uri": uri, "uriBaseId": "SRCROOT"}}
+                        for uri in artifact_index
                     ],
+                    "results": results,
                     "properties": {
                         "passes": dict(self.passes),
                         "checked": dict(self.checked),

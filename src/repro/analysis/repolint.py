@@ -27,11 +27,33 @@ linters don't know:
   clock silently breaks reproducibility and the telemetry overhead
   guarantee.  Benchmarks (outside ``src/``) time themselves freely.
 
+Four further **determinism** rules guard the byte-identical replay
+guarantee every bench and campaign relies on.  They are registered here
+but executed by the ``sanitize`` pass (see
+:mod:`repro.analysis.sanitize`), so plain ``repolint`` stays what it
+always was:
+
+* ``RL007`` — no iteration over an unordered ``set`` (literal,
+  constructor, comprehension, or set-algebra result) without
+  ``sorted()``: set order is salted per process, so any state it feeds
+  differs between two runs at the same seed.  ``dict`` views are
+  insertion-ordered and exempt.
+* ``RL008`` — no ``sorted(..., key=id)`` / ``key=hash`` (or ``id()`` /
+  ``hash()`` inside the key): memory addresses and salted hashes order
+  differently every run.
+* ``RL009`` — no unseeded generator construction: an argless
+  ``random.Random()`` / ``default_rng()`` seeds from the OS, and
+  ``SystemRandom`` is OS entropy by definition.
+* ``RL010`` — no ``os.environ`` / ``os.getenv`` reads or
+  filesystem-order enumeration (``os.listdir`` / ``os.scandir`` /
+  ``iterdir`` / ``glob``) outside the CLI unless wrapped in
+  ``sorted()``: the environment and directory order are host state.
+
 A violation can be waived in place with a trailing comment::
 
     assert invariant  # lint: waive[RL001] -- benchmark-only helper
 
-Rule IDs are ``RL001``-``RL006``; see ``docs/ANALYSIS.md``.
+Rule IDs are ``RL001``-``RL010``; see ``docs/ANALYSIS.md``.
 """
 
 from __future__ import annotations
@@ -45,8 +67,11 @@ from repro.analysis.findings import LEVEL_ERROR, Finding, register_rules
 
 __all__ = [
     "REPOLINT_RULES",
+    "DETERMINISM_RULES",
     "lint_source",
     "lint_tree",
+    "lint_determinism_source",
+    "lint_determinism_tree",
     "default_source_root",
 ]
 
@@ -62,6 +87,19 @@ REPOLINT_RULES: Dict[str, str] = {
              "datetime.now) outside repro.telemetry",
 }
 register_rules(REPOLINT_RULES)
+
+#: Determinism rules: registered here, run by the ``sanitize`` pass.
+DETERMINISM_RULES: Dict[str, str] = {
+    "RL007": "iteration over an unordered set without sorted(); set "
+             "order is salted per process",
+    "RL008": "sort keyed on id()/hash(); memory-address order differs "
+             "every run",
+    "RL009": "unseeded RNG construction (argless random.Random() / "
+             "default_rng(), or SystemRandom)",
+    "RL010": "os.environ / filesystem-order read outside the CLI "
+             "without sorted()",
+}
+register_rules(DETERMINISM_RULES)
 
 #: Modules whose dataclasses define mappings or hardware configuration
 #: and therefore must be immutable (RL003), relative to the source root.
@@ -290,5 +328,216 @@ def lint_tree(source_root: Path | None = None) -> Tuple[List[Finding], int]:
     for path in sorted(root.rglob("*.py")):
         rel = path.relative_to(root).as_posix()
         findings.extend(lint_source(path.read_text(encoding="utf-8"), rel))
+        checked += 1
+    return findings, checked
+
+
+# -- determinism rules (RL007-RL010, run by the sanitize pass) ------------
+
+#: Calls whose result does not expose iteration order, so an unordered
+#: enumeration fed *directly* into one of them is harmless.
+_ORDER_INSENSITIVE_WRAPPERS = frozenset(
+    {"sorted", "len", "min", "max", "sum", "any", "all", "set", "frozenset"}
+)
+
+#: Set-algebra operators whose operands keep the result a set.
+_SET_BINOPS = (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+
+#: ``os``-module enumerations whose order is the filesystem's (RL010).
+_FS_ORDER_OS_FUNCS = frozenset({"listdir", "scandir"})
+
+#: attribute calls that enumerate a directory in filesystem order.
+_FS_ORDER_ATTR_FUNCS = frozenset({"iterdir", "glob", "iglob", "rglob"})
+
+
+def _is_set_expr(node: ast.expr) -> bool:
+    """Whether *node* evaluates to a ``set`` (statically recognizable
+    forms: literal, comprehension, constructor, set algebra)."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in ("set", "frozenset")
+    if isinstance(node, ast.BinOp) and isinstance(node.op, _SET_BINOPS):
+        return _is_set_expr(node.left) or _is_set_expr(node.right)
+    return False
+
+
+def _hash_order_key(key: ast.expr) -> bool:
+    """Whether a sort *key* orders by ``id()`` or ``hash()``."""
+    if isinstance(key, ast.Name) and key.id in ("id", "hash"):
+        return True
+    for node in ast.walk(key):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in ("id", "hash")
+        ):
+            return True
+    return False
+
+
+def _unseeded_rng(node: ast.Call) -> str:
+    """Describe an unseeded/OS-entropy generator construction, or ''."""
+    func = node.func
+    name = ""
+    if isinstance(func, ast.Name):
+        name = func.id
+    elif isinstance(func, ast.Attribute):
+        name = func.attr
+    if name == "SystemRandom":
+        return "SystemRandom(...)"
+    if name in ("Random", "default_rng") and not node.args and not node.keywords:
+        return f"{name}()"
+    return ""
+
+
+def _fs_order_read(node: ast.Call) -> str:
+    """Describe a filesystem-order enumeration call, or ''."""
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        owner = func.value
+        if (
+            isinstance(owner, ast.Name)
+            and owner.id == "os"
+            and func.attr in _FS_ORDER_OS_FUNCS
+        ):
+            return f"os.{func.attr}()"
+        if (
+            isinstance(owner, ast.Name)
+            and owner.id == "glob"
+            and func.attr in ("glob", "iglob")
+        ):
+            return f"glob.{func.attr}()"
+        if func.attr in _FS_ORDER_ATTR_FUNCS:
+            return f".{func.attr}()"
+    return ""
+
+
+def lint_determinism_source(source: str, rel_path: str) -> List[Finding]:
+    """Run the RL007-RL010 determinism rules over one module."""
+    findings: List[Finding] = []
+    try:
+        tree = ast.parse(source, filename=rel_path)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                "RL007",
+                LEVEL_ERROR,
+                f"file does not parse: {exc.msg}",
+                location=f"{rel_path}:{exc.lineno or 0}",
+            )
+        ]
+    waivers = _waivers(source.splitlines())
+    posix = rel_path.replace("\\", "/")
+
+    def emit(rule_id: str, message: str, node: ast.AST, detail: str = "") -> None:
+        line = getattr(node, "lineno", 0)
+        if rule_id in waivers.get(line, ()):
+            return
+        findings.append(
+            Finding(rule_id, LEVEL_ERROR, message,
+                    location=f"{rel_path}:{line}", detail=detail)
+        )
+
+    # direct arguments of order-insensitive wrappers are exempt from the
+    # "must be sorted" rules (``sorted(p.rglob(...))`` is the idiom)
+    wrapped: set[int] = set()
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in _ORDER_INSENSITIVE_WRAPPERS
+        ):
+            for arg in node.args:
+                wrapped.add(id(arg))
+
+    for node in ast.walk(tree):
+        if isinstance(node, ast.For) and _is_set_expr(node.iter):
+            emit(
+                "RL007",
+                "for-loop over an unordered set; wrap the iterable in "
+                "sorted()",
+                node.iter,
+            )
+        elif isinstance(node, ast.comprehension) and _is_set_expr(node.iter):
+            emit(
+                "RL007",
+                "comprehension over an unordered set; wrap the iterable "
+                "in sorted()",
+                node.iter,
+            )
+        elif isinstance(node, ast.Call):
+            func = node.func
+            is_sort = (
+                isinstance(func, ast.Name) and func.id == "sorted"
+            ) or (isinstance(func, ast.Attribute) and func.attr == "sort")
+            if is_sort:
+                for keyword in node.keywords:
+                    if keyword.arg == "key" and _hash_order_key(keyword.value):
+                        emit(
+                            "RL008",
+                            "sort keyed on id()/hash(); order by a stable "
+                            "field instead",
+                            node,
+                        )
+            drawn = _unseeded_rng(node)
+            if drawn:
+                emit(
+                    "RL009",
+                    f"{drawn} seeds from the OS; pass an explicit seed "
+                    "so replays reproduce the stream",
+                    node,
+                )
+            if posix not in PRINT_MODULES:
+                enumerated = _fs_order_read(node)
+                if enumerated and id(node) not in wrapped:
+                    emit(
+                        "RL010",
+                        f"{enumerated} enumerates in filesystem order; "
+                        "wrap it in sorted() (only the CLI may read "
+                        "host-ordered state)",
+                        node,
+                    )
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr in ("get", "__getitem__")
+                    and isinstance(func.value, ast.Attribute)
+                    and func.value.attr == "environ"
+                    and isinstance(func.value.value, ast.Name)
+                    and func.value.value.id == "os"
+                ):
+                    emit("RL010", "os.environ read outside the CLI", node)
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr == "getenv"
+                    and isinstance(func.value, ast.Name)
+                    and func.value.id == "os"
+                ):
+                    emit("RL010", "os.getenv read outside the CLI", node)
+        elif (
+            isinstance(node, ast.Subscript)
+            and isinstance(node.value, ast.Attribute)
+            and node.value.attr == "environ"
+            and isinstance(node.value.value, ast.Name)
+            and node.value.value.id == "os"
+            and posix not in PRINT_MODULES
+        ):
+            emit("RL010", "os.environ read outside the CLI", node)
+    return findings
+
+
+def lint_determinism_tree(
+    source_root: Path | None = None,
+) -> Tuple[List[Finding], int]:
+    """Run the determinism rules over every ``.py`` file under
+    *source_root* (default: the live ``src/`` tree)."""
+    root = source_root if source_root is not None else default_source_root()
+    findings: List[Finding] = []
+    checked = 0
+    for path in sorted(root.rglob("*.py")):
+        rel = path.relative_to(root).as_posix()
+        findings.extend(
+            lint_determinism_source(path.read_text(encoding="utf-8"), rel)
+        )
         checked += 1
     return findings, checked

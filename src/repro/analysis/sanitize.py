@@ -1,0 +1,399 @@
+"""Journal-discipline sanitizer: the JD dataflow rules + determinism lint.
+
+The crash campaigns (PRs 3/4/6) prove *dynamically* that every declared
+crash site recovers cleanly — but nothing stops a new mutation of
+journaled state from landing outside a transaction, or a declared site
+string from drifting away from the code that checkpoints it.  This pass
+closes that hole statically: it walks the ASTs of the journaled modules
+(:data:`JOURNAL_MODULES`) and checks the write-ahead discipline the
+journal's recovery replay depends on.
+
+**What counts as journaled state.**  The mutations recovery must be able
+to undo or redo: address-space calls (``.space.mmap`` / ``.munmap`` /
+``.set_area_map_id``), mapping-table references (``.table.register`` /
+``.release``), the KV free list (``._free.popleft`` / ``.append`` /
+``.appendleft`` / ``.remove``), block reclamation (``._reclaim()``), and
+attribute writes to ``ref_count`` / ``state`` / ``generation``.
+
+**The rules** (waivable in place with ``# lint: waive[JDxxx]``):
+
+* ``JD001`` — a journaled-state mutation outside any journal
+  transaction: recovery cannot see it, so a crash next to it is
+  unrecoverable by construction.
+* ``JD002`` — a mutation inside a transaction with no journal record
+  (``begin`` / ``step`` / ``checkpoint``) since the previous mutation:
+  two unrecorded mutations in a row mean recovery cannot tell how far
+  the operation got.  A run of consecutive attribute-state writes
+  counts as one step (they model one logical activation), and
+  ``except``-handler bodies are exempt (synchronous unwind paths).
+* ``JD003`` — a checkpoint whose site literal is not declared in any
+  ``*_CRASH_SITES`` registry (or a non-literal site outside the
+  checkpoint forwarders): the chaos campaign would never schedule a
+  crash there.
+* ``JD004`` — a declared crash site no scanned module ever checkpoints:
+  a dead site string silently shrinks campaign coverage.
+* ``JD005`` — a transaction begun but never committed on any path.
+
+Declared sites are parsed from the scanned sources themselves (the
+module-level ``*_CRASH_SITES`` tuple assignments), so the pass runs
+unchanged on scratch copies — the seeded mutation tests rely on that.
+
+Recovery replay functions mutate state *by design* (they are the redo
+log) and are exempt by name per module (:data:`EXEMPT_FUNCTIONS`).
+
+The determinism rules RL007-RL010 (registered by
+:mod:`repro.analysis.repolint`) also run under this pass, over the whole
+source tree; :func:`run_sanitize` combines both.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.findings import LEVEL_ERROR, Finding, register_rules
+from repro.analysis.repolint import (
+    _waivers,
+    default_source_root,
+    lint_determinism_tree,
+)
+
+__all__ = [
+    "SANITIZE_RULES",
+    "JOURNAL_MODULES",
+    "EXEMPT_FUNCTIONS",
+    "sanitize_sources",
+    "sanitize_tree",
+    "run_sanitize",
+]
+
+SANITIZE_RULES: Dict[str, str] = {
+    "JD001": "journaled-state mutation outside any journal transaction",
+    "JD002": "mutation inside a transaction with no journal record since "
+             "the previous mutation",
+    "JD003": "checkpoint site not declared in any *_CRASH_SITES registry "
+             "(or non-literal site outside a checkpoint forwarder)",
+    "JD004": "declared crash site never checkpointed by any scanned module",
+    "JD005": "journal transaction begun but never committed",
+}
+register_rules(SANITIZE_RULES)
+
+#: The modules whose state the journals govern, relative to ``src/``.
+JOURNAL_MODULES: Tuple[str, ...] = (
+    "repro/core/journal.py",
+    "repro/core/pimalloc.py",
+    "repro/adaptive/arena.py",
+    "repro/kvcache/block.py",
+    "repro/kvcache/manager.py",
+    "repro/kvcache/pool.py",
+    "repro/kvcache/prefix.py",
+    "repro/kvcache/scheduler.py",
+)
+
+#: Recovery replay / txn-inlined helpers: they mutate journaled state by
+#: design (they *are* the redo log), so JD001/JD002/JD005 skip them.
+EXEMPT_FUNCTIONS: Dict[str, Tuple[str, ...]] = {
+    "repro/core/journal.py": (
+        "_undo_alloc", "_redo_free", "_redo_switch", "_resolve_migrate",
+        "recover",
+    ),
+    "repro/kvcache/pool.py": ("recover_pool", "_reclaim"),
+}
+
+#: Functions that forward a *parameter* to ``journal.checkpoint`` — the
+#: one place a non-literal site argument is legitimate (JD003).
+_CHECKPOINT_FORWARDERS = frozenset({"checkpoint", "_jcheckpoint", "_checkpoint"})
+
+#: ``(receiver-attr, method)`` tails whose calls mutate journaled state.
+_MUTATOR_TAILS = frozenset({
+    ("space", "mmap"),
+    ("space", "munmap"),
+    ("space", "set_area_map_id"),
+    ("table", "register"),
+    ("table", "release"),
+    ("_free", "popleft"),
+    ("_free", "append"),
+    ("_free", "appendleft"),
+    ("_free", "remove"),
+})
+
+#: Attribute writes that mutate journaled block state.
+_MUTATOR_ATTRS = frozenset({"ref_count", "state", "generation"})
+
+
+def _attr_tail(node: ast.expr) -> Tuple[str, ...]:
+    """Dotted names of an attribute chain (``self.space.mmap`` ->
+    ``('self', 'space', 'mmap')``); empty when not a plain chain base."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+    return tuple(reversed(parts))
+
+
+@dataclass
+class _StmtEvents:
+    """Journal-relevant events inside one simple statement."""
+
+    begins: int = 0
+    commits: int = 0
+    records: int = 0
+    #: ``(line, site-literal-or-None)`` per checkpoint call
+    checkpoints: List[Tuple[int, Optional[str]]] = field(default_factory=list)
+    #: ``(line, description, is-attr-write)`` per mutation
+    mutations: List[Tuple[int, str, bool]] = field(default_factory=list)
+
+
+def _classify(stmt: ast.stmt) -> _StmtEvents:
+    events = _StmtEvents()
+    for node in ast.walk(stmt):
+        if isinstance(node, ast.Call):
+            func = node.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            tail = _attr_tail(func)
+            if not tail:
+                continue
+            last = tail[-1]
+            if last == "_reclaim":
+                events.mutations.append((node.lineno, "._reclaim()", False))
+            elif len(tail) >= 2 and (tail[-2], last) in _MUTATOR_TAILS:
+                events.mutations.append(
+                    (node.lineno, f".{tail[-2]}.{last}()", False)
+                )
+            elif last in _CHECKPOINT_FORWARDERS:
+                site: Optional[str] = None
+                if node.args and isinstance(node.args[0], ast.Constant) and \
+                        isinstance(node.args[0].value, str):
+                    site = node.args[0].value
+                events.checkpoints.append((node.lineno, site))
+                events.records += 1
+            elif last == "_jstep":
+                events.records += 1
+            elif len(tail) >= 2 and tail[-2] == "journal":
+                if last == "begin":
+                    events.begins += 1
+                elif last == "commit":
+                    events.commits += 1
+                elif last == "step":
+                    events.records += 1
+        elif isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            targets: Sequence[ast.expr]
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+            else:
+                targets = [node.target]
+            for target in targets:
+                if isinstance(target, ast.Attribute) and \
+                        target.attr in _MUTATOR_ATTRS:
+                    events.mutations.append(
+                        (node.lineno, f".{target.attr} write", True)
+                    )
+    return events
+
+
+def _linearize(
+    body: Sequence[ast.stmt],
+    in_handler: bool,
+    out: List[Tuple[ast.stmt, bool]],
+) -> None:
+    """Flatten a function body into ``(simple statement, in-handler)``
+    pairs in source order.  Compound statements contribute their nested
+    bodies (a branch is analyzed as if taken); ``except`` handlers are
+    marked; nested function/class definitions are analyzed separately."""
+    for stmt in body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            continue
+        if isinstance(stmt, ast.Try):
+            _linearize(stmt.body, in_handler, out)
+            for handler in stmt.handlers:
+                _linearize(handler.body, True, out)
+            _linearize(stmt.orelse, in_handler, out)
+            _linearize(stmt.finalbody, in_handler, out)
+        elif isinstance(stmt, (ast.If, ast.While, ast.For, ast.AsyncFor)):
+            _linearize(stmt.body, in_handler, out)
+            _linearize(stmt.orelse, in_handler, out)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            _linearize(stmt.body, in_handler, out)
+        else:
+            out.append((stmt, in_handler))
+
+
+def _declared_sites(tree: ast.Module) -> List[Tuple[str, int, str]]:
+    """``(site, line, registry-name)`` for every string in a module-level
+    ``*_CRASH_SITES`` tuple assignment."""
+    out: List[Tuple[str, int, str]] = []
+    for stmt in tree.body:
+        if not (isinstance(stmt, ast.Assign) and len(stmt.targets) == 1):
+            continue
+        target = stmt.targets[0]
+        if not (isinstance(target, ast.Name)
+                and (target.id == "CRASH_SITES"
+                     or target.id.endswith("_CRASH_SITES"))):
+            continue
+        if isinstance(stmt.value, ast.Tuple):
+            for elt in stmt.value.elts:
+                if isinstance(elt, ast.Constant) and isinstance(elt.value, str):
+                    out.append((elt.value, elt.lineno, target.id))
+    return out
+
+
+def sanitize_sources(sources: Dict[str, str]) -> List[Finding]:
+    """Run JD001-JD005 over *sources* (``relative path -> text``).
+
+    Pass the full journaled-module set together: site declarations and
+    the checkpoints that discharge them live in different files
+    (``CRASH_SITES`` in journal.py, its checkpoints in pimalloc.py), so
+    JD004 only means something over the whole set.
+    """
+    findings: List[Finding] = []
+    declared: Dict[str, Tuple[str, int, str]] = {}
+    checkpointed: Dict[str, str] = {}
+    parsed: List[Tuple[str, ast.Module, Dict[int, Tuple[str, ...]]]] = []
+
+    for rel in sorted(sources):
+        source = sources[rel]
+        try:
+            tree = ast.parse(source, filename=rel)
+        except SyntaxError as exc:
+            findings.append(Finding(
+                "JD001", LEVEL_ERROR,
+                f"file does not parse: {exc.msg}",
+                location=f"{rel}:{exc.lineno or 0}",
+            ))
+            continue
+        parsed.append((rel, tree, _waivers(source.splitlines())))
+        for site, line, registry in _declared_sites(tree):
+            declared.setdefault(site, (rel, line, registry))
+
+    for rel, tree, waivers in parsed:
+        exempt = set(EXEMPT_FUNCTIONS.get(rel, ()))
+
+        def emit(rule_id: str, message: str, line: int,
+                 detail: str = "") -> None:
+            if rule_id in waivers.get(line, ()):
+                return
+            findings.append(Finding(
+                rule_id, LEVEL_ERROR, message,
+                location=f"{rel}:{line}", detail=detail,
+            ))
+
+        for func in ast.walk(tree):
+            if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            flat: List[Tuple[ast.stmt, bool]] = []
+            _linearize(func.body, False, flat)
+            is_exempt = func.name in exempt
+            is_forwarder = func.name in _CHECKPOINT_FORWARDERS
+            in_txn = False
+            covered = False
+            attr_run = False
+            begins = 0
+            commits = 0
+            for stmt, in_handler in flat:
+                events = _classify(stmt)
+                for line, site in events.checkpoints:
+                    if site is None:
+                        if not is_forwarder:
+                            emit(
+                                "JD003",
+                                "checkpoint with a non-literal site "
+                                "outside a checkpoint forwarder",
+                                line,
+                                detail=f"in {func.name}()",
+                            )
+                    else:
+                        checkpointed.setdefault(site, f"{rel}:{line}")
+                        if site not in declared:
+                            emit(
+                                "JD003",
+                                f"checkpoint site {site!r} is not declared "
+                                "in any *_CRASH_SITES registry",
+                                line,
+                                detail=f"in {func.name}()",
+                            )
+                for line, what, is_attr in events.mutations:
+                    if in_handler or is_exempt:
+                        continue
+                    if not in_txn:
+                        emit(
+                            "JD001",
+                            f"{what} mutates journaled state outside any "
+                            "journal transaction",
+                            line,
+                            detail=f"in {func.name}()",
+                        )
+                    elif covered:
+                        covered = False
+                        attr_run = is_attr
+                    elif attr_run and is_attr:
+                        pass  # one logical activation step
+                    else:
+                        emit(
+                            "JD002",
+                            f"{what} follows another mutation with no "
+                            "journal record in between",
+                            line,
+                            detail=f"in {func.name}()",
+                        )
+                if events.begins and not in_handler:
+                    in_txn = True
+                    covered = True
+                    attr_run = False
+                    begins += events.begins
+                if events.records and not in_handler:
+                    covered = True
+                    attr_run = False
+                if events.commits:
+                    commits += events.commits
+                    if not in_handler:
+                        in_txn = False
+            if begins > 0 and commits == 0 and not is_exempt:
+                emit(
+                    "JD005",
+                    f"{func.name}() begins a journal transaction but never "
+                    "commits it",
+                    func.lineno,
+                )
+
+    for site in sorted(declared):
+        if site in checkpointed:
+            continue
+        rel, line, registry = declared[site]
+        waivers = next((w for r, _, w in parsed if r == rel), {})
+        if "JD004" in waivers.get(line, ()):
+            continue
+        findings.append(Finding(
+            "JD004", LEVEL_ERROR,
+            f"declared crash site {site!r} ({registry}) is never "
+            "checkpointed by any scanned module",
+            location=f"{rel}:{line}",
+        ))
+    return findings
+
+
+def sanitize_tree(source_root: Path | None = None) -> Tuple[List[Finding], int]:
+    """Run the JD rules over the journaled modules under *source_root*
+    (default: the live ``src/`` tree)."""
+    root = source_root if source_root is not None else default_source_root()
+    sources: Dict[str, str] = {}
+    for rel in JOURNAL_MODULES:
+        path = root / rel
+        if path.exists():
+            sources[rel] = path.read_text(encoding="utf-8")
+    return sanitize_sources(sources), len(sources)
+
+
+def run_sanitize(source_root: Path | None = None) -> Tuple[List[Finding], int]:
+    """The full sanitize pass: JD001-JD005 over the journaled modules
+    plus RL007-RL010 over the whole tree.  Returns ``(findings,
+    files_checked)`` where the count is the determinism sweep's (a
+    superset of the journaled modules)."""
+    jd_findings, _ = sanitize_tree(source_root)
+    rl_findings, checked = lint_determinism_tree(source_root)
+    return jd_findings + rl_findings, checked

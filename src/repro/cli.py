@@ -275,7 +275,28 @@ def _cmd_serve(args: argparse.Namespace) -> None:
         from repro.telemetry import Telemetry
 
         telemetry = Telemetry(sample_every=args.trace_sample)
-    report = ServingRuntime(engine, config, telemetry=telemetry).run(requests)
+    replay = None
+    if args.replay_check:
+        if telemetry is not None:
+            raise SystemExit(
+                "--replay-check runs the workload twice; drop "
+                "--trace-out/--metrics-out"
+            )
+        from repro.analysis.replay import replay_diff, state_hash
+
+        def _run_once(recorder):
+            return ServingRuntime(
+                engine, config, barriers=recorder
+            ).run(list(requests))
+
+        replay = replay_diff(
+            _run_once,
+            every=args.replay_barrier,
+            final_hash=lambda r: state_hash(r.to_json()),
+        )
+        report = replay.result
+    else:
+        report = ServingRuntime(engine, config, telemetry=telemetry).run(requests)
     print(f"platform        : {platform.name} / {engine.model.name}")
     print(f"sustainable     : {capacity_qps:.2f} qps; offered {qps:.2f} qps "
           f"({qps / capacity_qps:.2f}x)")
@@ -286,6 +307,13 @@ def _cmd_serve(args: argparse.Namespace) -> None:
     print(f"\nreport written to {out}")
     if telemetry is not None:
         _write_telemetry(telemetry, args.trace_out, args.metrics_out)
+    if replay is not None:
+        print(replay.render())
+        if not replay.ok:
+            raise SystemExit(
+                "replay-diff found nondeterminism: two runs at seed "
+                f"{args.seed} diverged"
+            )
     if report.unserved:
         raise SystemExit(
             f"{report.unserved} admitted query(ies) went unserved "
@@ -382,20 +410,21 @@ def _cmd_analyze(args: argparse.Namespace) -> None:
     # never need.
     from pathlib import Path
 
-    from repro.analysis import run_all
+    from repro.analysis import KNOWN_PASSES, run_all
 
-    passes = tuple(args.passes) if args.passes else (
-        "mapverify", "tracelint", "repolint", "gate"
-    )
-    report = run_all(
-        repo_root=Path.cwd(),
-        trace_paths=args.trace or (),
-        span_paths=args.spans or (),
-        passes=passes,
-    )
+    passes = tuple(args.passes) if args.passes else KNOWN_PASSES
+    try:
+        report = run_all(
+            repo_root=Path.cwd(),
+            trace_paths=args.trace or (),
+            span_paths=args.spans or (),
+            passes=passes,
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc))
     if args.waive:
         report.waive(args.waive)
-    if args.format == "json":
+    if args.format in ("json", "sarif"):
         print(report.render_json())
     else:
         print(report.render_text())
@@ -531,6 +560,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write a metrics snapshot (JSON) of the run")
     serve.add_argument("--trace-sample", type=int, default=8,
                        help="head-sampling period: trace every Nth query")
+    serve.add_argument("--replay-check", action="store_true",
+                       help="replay-diff oracle: run the workload twice at "
+                       "the same seed with state-hash barriers and exit "
+                       "nonzero on the first diverging barrier")
+    serve.add_argument("--replay-barrier", type=int, default=16,
+                       help="barrier cadence in completed requests "
+                       "(with --replay-check)")
 
     trace = sub.add_parser(
         "trace",
@@ -562,12 +598,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="static analysis: mapping verifier, trace linter, repo lint",
     )
     analyze.add_argument(
-        "--format", choices=("text", "json"), default="text",
-        help="text report or SARIF-style JSON",
+        "--format", choices=("text", "json", "sarif"), default="text",
+        help="text report or SARIF 2.1.0 JSON (json and sarif are "
+        "synonyms)",
     )
     analyze.add_argument(
         "--pass", dest="passes", action="append",
-        choices=("mapverify", "tracelint", "repolint", "gate"),
+        choices=("mapverify", "tracelint", "repolint", "gate", "sanitize"),
         help="run only the given pass(es); default: all",
     )
     analyze.add_argument(

@@ -153,6 +153,13 @@ class MapJournal:
     def uncommitted(self) -> List[JournalTxn]:
         return [txn for txn in self._txns if not txn.committed]
 
+    def cursor(self) -> Tuple[int, int, int]:
+        """Cheap progress fingerprint for the replay-diff oracle:
+        ``(next txn id, live txns, uncommitted txns)``.  Two replays of
+        the same workload must agree on all three at every barrier."""
+        open_txns = sum(1 for txn in self._txns if not txn.committed)
+        return (self._next_id, len(self._txns), open_txns)
+
     def transactions(self) -> List[JournalTxn]:
         return list(self._txns)
 

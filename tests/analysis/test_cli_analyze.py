@@ -47,3 +47,57 @@ class TestAnalyzeCommand:
         assert main(["analyze", "--pass", "mapverify"]) == 0
         out = capsys.readouterr().out
         assert "mapverify" in out and "PASS" in out
+
+    def test_sanitize_pass_clean(self, capsys):
+        assert main(["analyze", "--pass", "sanitize"]) == 0
+        out = capsys.readouterr().out
+        assert "sanitize" in out and "PASS" in out
+
+    def test_sarif_format_synonym(self, capsys):
+        assert main(["analyze", "--pass", "sanitize",
+                     "--format", "sarif"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["version"] == "2.1.0"
+        assert "sanitize" in doc["runs"][0]["properties"]["passes"]
+
+
+class TestExitCodeSemantics:
+    def test_unknown_pass_is_rejected_by_the_cli(self, capsys):
+        """A typo'd pass name must error, never silently analyze
+        nothing and exit zero."""
+        with pytest.raises(SystemExit) as excinfo:
+            main(["analyze", "--pass", "bogus"])
+        assert excinfo.value.code != 0
+        assert "bogus" in capsys.readouterr().err
+
+    def test_unknown_pass_is_rejected_by_the_api(self):
+        from repro.analysis import run_all
+
+        with pytest.raises(ValueError, match="unknown analysis pass"):
+            run_all(passes=("repolint", "bogus"))
+
+    def test_waived_findings_do_not_fail_but_stay_visible(
+            self, tmp_path, capsys):
+        bad = tmp_path / "bad.txt"
+        bad.write_text("0 0 99 5 0 R\n")
+        assert main([
+            "analyze", "--pass", "tracelint", "--trace", str(bad),
+            "--waive", "TL004",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "waived TL004" in out
+        assert "waived]" in out  # the verdict line counts them
+
+    def test_waived_findings_suppressed_in_sarif(self, tmp_path, capsys):
+        bad = tmp_path / "bad.txt"
+        bad.write_text("0 0 99 5 0 R\n")
+        assert main([
+            "analyze", "--pass", "tracelint", "--trace", str(bad),
+            "--waive", "TL004", "--format", "sarif",
+        ]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        suppressed = [
+            r for r in doc["runs"][0]["results"] if "suppressions" in r
+        ]
+        assert suppressed
+        assert all(r["ruleId"] == "TL004" for r in suppressed)

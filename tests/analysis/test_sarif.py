@@ -1,0 +1,136 @@
+"""SARIF 2.1.0 schema-shape regression: the exact document structure CI
+annotators consume — rule metadata, physical vs logical locations, the
+deduplicated artifacts table, and suppressed (waived) results."""
+
+import json
+
+from repro.analysis.findings import (
+    LEVEL_ERROR,
+    LEVEL_WARNING,
+    RULES,
+    AnalysisReport,
+    Finding,
+    register_rules,
+)
+
+register_rules({
+    "SS001": "sarif shape rule one",
+    "SS002": "sarif shape rule two",
+})
+
+
+def _report():
+    report = AnalysisReport()
+    report.extend("shape", [
+        Finding("SS002", LEVEL_ERROR, "late rule, early finding",
+                location="repro/core/a.py:12", detail="context"),
+        Finding("SS001", LEVEL_WARNING, "same file again",
+                location="repro/core/a.py:40"),
+        Finding("SS001", LEVEL_ERROR, "bare path",
+                location="repro/core/b.py"),
+        Finding("SS001", LEVEL_ERROR, "logical place",
+                location="mapping slot 3"),
+        Finding("SS001", LEVEL_ERROR, "nowhere"),
+    ], checked=5)
+    return report
+
+
+class TestSarifShape:
+    def test_header_and_schema(self):
+        doc = _report().to_sarif()
+        assert doc["$schema"] == (
+            "https://json.schemastore.org/sarif-2.1.0.json"
+        )
+        assert doc["version"] == "2.1.0"
+        assert len(doc["runs"]) == 1
+
+    def test_driver_rules_sorted_with_descriptions(self):
+        driver = _report().to_sarif()["runs"][0]["tool"]["driver"]
+        assert driver["name"] == "repro-facil-analyze"
+        assert [r["id"] for r in driver["rules"]] == ["SS001", "SS002"]
+        for rule in driver["rules"]:
+            assert rule["shortDescription"]["text"] == RULES[rule["id"]]
+            assert rule["defaultConfiguration"] == {"level": "error"}
+
+    def test_rule_index_points_into_rules_array(self):
+        run = _report().to_sarif()["runs"][0]
+        rules = [r["id"] for r in run["tool"]["driver"]["rules"]]
+        for result in run["results"]:
+            assert rules[result["ruleIndex"]] == result["ruleId"]
+
+    def test_physical_location_with_region(self):
+        run = _report().to_sarif()["runs"][0]
+        physical = run["results"][0]["locations"][0]["physicalLocation"]
+        assert physical["artifactLocation"]["uri"] == "repro/core/a.py"
+        assert physical["artifactLocation"]["uriBaseId"] == "SRCROOT"
+        assert physical["region"] == {"startLine": 12}
+
+    def test_bare_path_has_no_region(self):
+        run = _report().to_sarif()["runs"][0]
+        physical = run["results"][2]["locations"][0]["physicalLocation"]
+        assert physical["artifactLocation"]["uri"] == "repro/core/b.py"
+        assert "region" not in physical
+
+    def test_artifacts_deduplicated_and_indexed(self):
+        run = _report().to_sarif()["runs"][0]
+        uris = [a["location"]["uri"] for a in run["artifacts"]]
+        assert uris == ["repro/core/a.py", "repro/core/b.py"]
+        # both a.py results point at the same artifact index
+        indexes = [
+            r["locations"][0]["physicalLocation"]["artifactLocation"]["index"]
+            for r in run["results"][:2]
+        ]
+        assert indexes == [0, 0]
+        assert run["originalUriBaseIds"]["SRCROOT"]["description"]["text"]
+
+    def test_non_path_location_is_logical(self):
+        run = _report().to_sarif()["runs"][0]
+        locations = run["results"][3]["locations"]
+        assert locations == [
+            {"logicalLocations": [{"name": "mapping slot 3"}]}
+        ]
+
+    def test_missing_location_is_empty_list(self):
+        run = _report().to_sarif()["runs"][0]
+        assert run["results"][4]["locations"] == []
+
+    def test_detail_lands_in_properties(self):
+        run = _report().to_sarif()["runs"][0]
+        assert run["results"][0]["properties"] == {"detail": "context"}
+        assert "properties" not in run["results"][1]
+
+    def test_pass_bookkeeping_in_run_properties(self):
+        run = _report().to_sarif()["runs"][0]
+        assert run["properties"]["checked"] == {"shape": 5}
+        assert "shape" in run["properties"]["passes"]
+
+    def test_render_json_round_trips(self):
+        report = _report()
+        assert json.loads(report.render_json()) == json.loads(
+            json.dumps(report.to_sarif(), sort_keys=True)
+        )
+
+
+class TestWaivedResults:
+    def test_waived_findings_are_suppressed_not_dropped(self):
+        report = _report()
+        report.waive(["SS002"])
+        assert report.ok is False  # SS001 errors remain
+        run = report.to_sarif()["runs"][0]
+        suppressed = [r for r in run["results"] if "suppressions" in r]
+        assert [r["ruleId"] for r in suppressed] == ["SS002"]
+        assert suppressed[0]["suppressions"] == [
+            {"kind": "external", "justification": "waived via --waive"}
+        ]
+        # the waived rule still appears in the driver metadata
+        rules = [r["id"] for r in run["tool"]["driver"]["rules"]]
+        assert "SS002" in rules
+
+    def test_waiving_every_error_turns_the_report_ok(self):
+        report = _report()
+        report.waive(["SS001", "SS002"])
+        assert report.ok
+        text = report.render_text()
+        assert "PASS" in text
+        assert "[5 waived]" in text
+        assert text.count("waived SS") == 5

@@ -150,6 +150,38 @@ class TestServeCommand:
         assert report["adaptive"]["mode"] == "static"
         assert report["adaptive"]["migrations_started"] == 0
 
+    def test_serve_replay_check_passes_on_deterministic_run(
+            self, capsys, tmp_path):
+        out = tmp_path / "serve_replay.json"
+        assert main([
+            "serve", "--seed", "0", "--duration-ms", "5000",
+            "--load", "0.3", "--replay-check", "--replay-barrier", "4",
+            "--out", str(out),
+        ]) == 0
+        text = capsys.readouterr().out
+        assert "replay-diff: OK" in text
+        assert "barriers identical" in text
+        import json
+
+        # the report written is the first run's, and it is still complete
+        report = json.loads(out.read_text())
+        assert report["ok"] is True
+
+    def test_serve_replay_check_rejects_telemetry_flags(self, tmp_path):
+        with pytest.raises(SystemExit, match="replay-check"):
+            main([
+                "serve", "--duration-ms", "1000", "--replay-check",
+                "--trace-out", str(tmp_path / "trace.json"),
+            ])
+
+    def test_serve_replay_flags_parse(self):
+        args = build_parser().parse_args([
+            "serve", "--replay-check", "--replay-barrier", "8",
+        ])
+        assert args.replay_check is True
+        assert args.replay_barrier == 8
+        assert build_parser().parse_args(["serve"]).replay_check is False
+
 
 class TestChaosCommand:
     def test_chaos_with_crash_injections_writes_report(self, capsys, tmp_path):
