@@ -482,6 +482,43 @@ class AdaptiveController:
         self._reset_window()
         return cost_ns
 
+    def abort_canary(self, req_id: int, now_ns: float, reason: str = "") -> float:
+        """Roll back an in-flight canary unconditionally (no verdict).
+
+        The administrative counterpart of a breached canary: a device
+        being drained or quarantined must not park its arena half-way
+        between MapIDs, so the migrated prefix returns to the
+        pre-canary MapID, the audit (AD003) runs over those pages, and
+        the controller cools down exactly as after a rollback.  The
+        aborted target MapID is *not* flap-damped — the canary was
+        innocent; the same recommendation may retry once the device is
+        back.  Returns the rollback migration cost (ns); 0.0 when no
+        canary was in flight (the call is idempotent).
+        """
+        if self.state != CANARY:
+            return 0.0
+        pages = self.arena.n_pages
+        cost_ns = self.arena.full_migration_cost_ns * self._canary_pages / pages
+        self.arena.migrate(
+            self._canary_from_k, page_start=0, page_count=self._canary_pages
+        )
+        self._audit(
+            f"aborted canary back to MapID {self._canary_from_k}",
+            range(self._canary_pages),
+        )
+        self.rollbacks += 1
+        self._record_event(
+            req_id, now_ns, "rollback", self._canary_to_k,
+            self._canary_from_k, self._canary_pages, cost_ns,
+            baseline_ttft_ns=self._baseline_ttft_ns,
+            observed_ttft_ns=self._window.mean_ttft_ns,
+            reason=reason or "canary aborted",
+        )
+        self.state = COOLDOWN
+        self._cooldown_left = self.config.cooldown_requests
+        self._reset_window()
+        return cost_ns
+
     # -- audit, telemetry, report --------------------------------------
 
     def _audit(self, context: str, pages=None) -> None:

@@ -9,11 +9,14 @@ Subcommands::
     repro-facil dataset  --dataset alpaca-like    # Figs. 15/16 trace
     repro-facil chaos    --flip-rate 2.0 --seed 7 # reliability campaign
     repro-facil serve    --duration-ms 60000      # serving runtime + SLO report
+    repro-facil fleet    --devices 4 --kills 40   # fleet run with device losses
     repro-facil trace    --trace-out trace.json   # traced run + metrics snapshot
     repro-facil analyze  --format json            # static analysis gate
 
-``chaos`` and ``serve`` write machine-readable JSON reports under
-``benchmarks/results/`` and exit nonzero when any query went unserved.
+``chaos``, ``serve``, and ``fleet`` write machine-readable JSON reports
+under ``benchmarks/results/`` and exit nonzero when any query went
+unserved (for ``fleet``: when any request was lost or any post-recovery
+audit found damage).
 
 All commands take ``--platform`` (default ``jetson-agx-orin``).  Install
 exposes the ``repro-facil`` script; the module also runs directly as
@@ -38,6 +41,56 @@ _DATASETS = {
     ALPACA_LIKE.name: ALPACA_LIKE,
     HUMANEVAL_AUTOCOMPLETE_LIKE.name: HUMANEVAL_AUTOCOMPLETE_LIKE,
 }
+
+
+# -- argparse numeric validators ------------------------------------------
+# Bad counts and rates should die at the parser with a flag-specific
+# message, not hundreds of frames deep in the event loop.
+
+def _positive_int(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not an integer")
+    if value <= 0:
+        raise argparse.ArgumentTypeError(
+            f"must be a positive integer (got {value})"
+        )
+    return value
+
+
+def _nonneg_int(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not an integer")
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            f"must be a non-negative integer (got {value})"
+        )
+    return value
+
+
+def _positive_float(text: str) -> float:
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not a number")
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"must be positive (got {value})")
+    return value
+
+
+def _nonneg_float(text: str) -> float:
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not a number")
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            f"must be non-negative (got {value})"
+        )
+    return value
 
 
 def _platform_by_name(name: str) -> PlatformSpec:
@@ -405,6 +458,136 @@ def _cmd_trace(args: argparse.Namespace) -> None:
             telemetry.metrics.write_json(args.metrics_out)
 
 
+def _cmd_fleet(args: argparse.Namespace) -> None:
+    # Lazy import: the fleet layer pulls in serving + kvcache + adaptive.
+    import json
+    import random as _random
+
+    from repro.fleet import (
+        BURSTY_OVERLOAD,
+        DIURNAL,
+        FleetChaosSpec,
+        FleetConfig,
+        FleetRuntime,
+        SteadyShape,
+        run_fleet_chaos,
+        shaped_workload,
+    )
+    from repro.serving.workload import TenantSpec
+
+    recovery_ms = args.recovery_ms
+    if recovery_ms is None:
+        recovery_ms = 10.0 if args.campaign else 50.0
+    if args.campaign:
+        spec = FleetChaosSpec(
+            n_devices=args.devices,
+            kills=args.kills if args.kills else 300,
+            seed=args.seed,
+            kill_gap_ms=args.kill_gap_ms,
+            recovery_ms=recovery_ms,
+            qps=args.qps if args.qps is not None else 200.0,
+            deadline_ms=args.deadline_ms,
+            mean_turns=args.mean_turns,
+            queue_capacity=args.capacity,
+            shed_policy=args.shed,
+        )
+        report = run_fleet_chaos(spec)
+        d = report.to_dict()
+        print(f"fleet chaos campaign: seed={d['seed']} "
+              f"devices={d['n_devices']} kills={d['kills_applied']}"
+              f"/{d['kills_requested']}")
+        print(f"crashes by site : " + ", ".join(
+            f"{site}={n}" for site, n in sorted(d["crashes_by_site"].items())
+        ))
+        print(f"offered         : {d['offered']} ({d['served']} served, "
+              f"{d['shed']} shed, {d['unserved']} unserved)")
+        print(f"failover reqs   : {d['failover_requests']}")
+        print(f"audit findings  : {len(d['audit_findings'])}")
+        print(f"ok              : {d['ok']}")
+        out = (
+            args.out if args.out
+            else _results_path(f"fleet_chaos_seed{args.seed}.json")
+        )
+        with open(out, "w") as handle:
+            handle.write(json.dumps(d, indent=2) + "\n")
+        print(f"\nreport written to {out}")
+        if not report.ok:
+            raise SystemExit(
+                f"fleet chaos campaign failed: {report.failures[0]}"
+            )
+        return
+
+    shapes = {
+        "steady": SteadyShape(),
+        "diurnal": DIURNAL,
+        "bursty": BURSTY_OVERLOAD,
+    }
+    shape = shapes[args.shape]
+    spec = _DATASETS.get(args.dataset)
+    if spec is None:
+        raise SystemExit(
+            f"unknown dataset {args.dataset!r}; known: {sorted(_DATASETS)}"
+        )
+    config = FleetConfig(
+        n_devices=args.devices,
+        standby_devices=args.standby,
+        seed=args.seed,
+        queue_capacity=args.capacity,
+        shed_policy=args.shed,
+        pim_fault_rate=args.pim_fault_rate,
+        mapping_fault_rate=args.mapping_fault_rate,
+        kv_blocks=args.kv_blocks,
+        block_tokens=args.block_tokens,
+        recovery_ms=recovery_ms,
+        autoscale=args.autoscale,
+    )
+    tenant = TenantSpec(
+        name=spec.name, dataset=spec, policy=args.policy,
+        qps=args.qps if args.qps is not None else 100.0,
+        deadline_ms=args.deadline_ms, mean_turns=args.mean_turns,
+    )
+    requests = shaped_workload(
+        [tenant], args.duration_ms, shape=shape, seed=args.seed
+    )
+    kills = []
+    if args.kills:
+        # Round-robin jittered schedule on the chaos RNG stream.  Unlike
+        # the campaign there is no kill-count oracle here, so a kill that
+        # lands on a still-quarantined device is simply skipped by the
+        # runtime instead of retargeted.
+        kill_rng = _random.Random(args.seed * 9973 + 65537)
+        gap_ns = args.kill_gap_ms * 1e6
+        t = gap_ns
+        for index in range(args.kills):
+            t += gap_ns * (kill_rng.random() - 0.5)
+            kills.append((t, index % args.devices))
+            t += gap_ns
+        kills.sort()
+    telemetry = None
+    if args.metrics_out:
+        from repro.telemetry import Telemetry
+
+        telemetry = Telemetry()
+    runtime = FleetRuntime(config, telemetry=telemetry)
+    report = runtime.run(requests, kills=kills)
+    print(report.render())
+    out = args.out if args.out else _results_path(f"fleet_seed{args.seed}.json")
+    with open(out, "w") as handle:
+        handle.write(report.to_json() + "\n")
+    print(f"\nreport written to {out}")
+    if telemetry is not None:
+        telemetry.metrics.write_json(args.metrics_out)
+        print(f"metrics written to {args.metrics_out} "
+              f"({len(telemetry.metrics)} families)")
+    if not report.none_lost:
+        raise SystemExit("a request was silently lost or double-counted")
+    if report.audit_findings:
+        raise SystemExit(
+            f"{len(report.audit_findings)} post-recovery audit finding(s): "
+            f"{report.audit_findings[0]}"
+        )
+
+
 def _cmd_analyze(args: argparse.Namespace) -> None:
     # Lazy import: the analysis layer is tooling the runtime commands
     # never need.
@@ -443,57 +626,57 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("platforms", help="list the Table II platform catalog")
 
     mapping = sub.add_parser("mapping", help="show the selector's decision")
-    mapping.add_argument("--rows", type=int, required=True)
-    mapping.add_argument("--cols", type=int, required=True)
-    mapping.add_argument("--dtype-bytes", type=int, default=2)
+    mapping.add_argument("--rows", type=_positive_int, required=True)
+    mapping.add_argument("--cols", type=_positive_int, required=True)
+    mapping.add_argument("--dtype-bytes", type=_positive_int, default=2)
 
     query = sub.add_parser("query", help="price one query under the policies")
-    query.add_argument("--prefill", type=int, default=24)
-    query.add_argument("--decode", type=int, default=64)
+    query.add_argument("--prefill", type=_positive_int, default=24)
+    query.add_argument("--decode", type=_positive_int, default=64)
     query.add_argument("--policy", choices=POLICIES, default=None)
 
     sweep = sub.add_parser("sweep", help="Fig. 13 TTFT speedup series")
     sweep.add_argument(
-        "--prefill-lengths", type=int, nargs="+", default=[8, 16, 32, 64, 128]
+        "--prefill-lengths", type=_positive_int, nargs="+", default=[8, 16, 32, 64, 128]
     )
-    sweep.add_argument("--decode", type=int, default=64)
+    sweep.add_argument("--decode", type=_positive_int, default=64)
 
     dataset = sub.add_parser("dataset", help="Figs. 15/16 dataset trace")
     dataset.add_argument(
         "--dataset", default=ALPACA_LIKE.name, help=f"one of {sorted(_DATASETS)}"
     )
-    dataset.add_argument("--queries", type=int, default=100)
+    dataset.add_argument("--queries", type=_positive_int, default=100)
     dataset.add_argument("--seed", type=int, default=0)
 
     chaos = sub.add_parser(
         "chaos", help="seeded fault-injection campaign with reliability report"
     )
     chaos.add_argument("--seed", type=int, default=0)
-    chaos.add_argument("--queries", type=int, default=20)
+    chaos.add_argument("--queries", type=_positive_int, default=20)
     chaos.add_argument("--policy", choices=POLICIES, default="facil")
-    chaos.add_argument("--prefill", type=int, default=64)
-    chaos.add_argument("--decode", type=int, default=16)
-    chaos.add_argument("--flip-rate", type=float, default=1.0,
+    chaos.add_argument("--prefill", type=_positive_int, default=64)
+    chaos.add_argument("--decode", type=_positive_int, default=16)
+    chaos.add_argument("--flip-rate", type=_nonneg_float, default=1.0,
                        help="expected transient single-bit flips per query")
-    chaos.add_argument("--double-flip-rate", type=float, default=0.0,
+    chaos.add_argument("--double-flip-rate", type=_nonneg_float, default=0.0,
                        help="P(uncorrectable double flip) per query")
-    chaos.add_argument("--pte-corrupt-rate", type=float, default=0.0,
+    chaos.add_argument("--pte-corrupt-rate", type=_nonneg_float, default=0.0,
                        help="P(MapID bit flip in a live PTE) per query")
-    chaos.add_argument("--mapping-corrupt-rate", type=float, default=0.0,
+    chaos.add_argument("--mapping-corrupt-rate", type=_nonneg_float, default=0.0,
                        help="P(scrambled mapping-table entry) per query")
-    chaos.add_argument("--stale-tlb-rate", type=float, default=0.0,
+    chaos.add_argument("--stale-tlb-rate", type=_nonneg_float, default=0.0,
                        help="P(swallowed TLB shootdown) per query")
-    chaos.add_argument("--alloc-fail-rate", type=float, default=0.0,
+    chaos.add_argument("--alloc-fail-rate", type=_nonneg_float, default=0.0,
                        help="P(injected allocation failure) per query")
-    chaos.add_argument("--pu-fail-at", type=int, default=None,
+    chaos.add_argument("--pu-fail-at", type=_nonneg_int, default=None,
                        help="query index at which one PIM unit fails for good")
-    chaos.add_argument("--crash-injections", type=int, default=0,
+    chaos.add_argument("--crash-injections", type=_nonneg_int, default=0,
                        help="also run N crash injections through the MapID "
                        "journal and merge the audit into the report")
-    chaos.add_argument("--kv-crash-injections", type=int, default=0,
+    chaos.add_argument("--kv-crash-injections", type=_nonneg_int, default=0,
                        help="with --crash-injections: also sweep N crash "
                        "injections through the KV block pool's journal")
-    chaos.add_argument("--migration-crash-injections", type=int, default=0,
+    chaos.add_argument("--migration-crash-injections", type=_nonneg_int, default=0,
                        help="also sweep N crash injections through two-phase "
                        "MIGRATE transactions on the adaptive arena and audit "
                        "the never-torn invariant")
@@ -510,29 +693,29 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--dataset", default=ALPACA_LIKE.name,
                        help=f"one of {sorted(_DATASETS)}")
     serve.add_argument("--policy", choices=POLICIES, default="facil")
-    serve.add_argument("--duration-ms", type=float, default=60_000.0)
-    serve.add_argument("--qps", type=float, default=None,
+    serve.add_argument("--duration-ms", type=_positive_float, default=60_000.0)
+    serve.add_argument("--qps", type=_positive_float, default=None,
                        help="arrival rate; default: --load x sustainable rate")
-    serve.add_argument("--load", type=float, default=0.5,
+    serve.add_argument("--load", type=_positive_float, default=0.5,
                        help="arrival rate as a fraction of sustainable "
                        "(ignored with --qps)")
-    serve.add_argument("--deadline-ms", type=float, default=10_000.0,
+    serve.add_argument("--deadline-ms", type=_positive_float, default=10_000.0,
                        help="per-request TTFT budget")
-    serve.add_argument("--capacity", type=int, default=8,
+    serve.add_argument("--capacity", type=_positive_int, default=8,
                        help="admission queue bound")
     serve.add_argument("--shed", choices=("reject", "degrade", "drop-oldest"),
                        default="reject", help="load-shedding policy")
-    serve.add_argument("--max-retries", type=int, default=3)
+    serve.add_argument("--max-retries", type=_nonneg_int, default=3)
     serve.add_argument("--jitter", type=float, default=0.1,
                        help="backoff jitter amplitude in [0, 1)")
-    serve.add_argument("--pim-fault-rate", type=float, default=0.0,
+    serve.add_argument("--pim-fault-rate", type=_nonneg_float, default=0.0,
                        help="P(transient fault) per PIM phase attempt")
-    serve.add_argument("--mapping-fault-rate", type=float, default=0.0,
+    serve.add_argument("--mapping-fault-rate", type=_nonneg_float, default=0.0,
                        help="P(transient fault) per flexible-mapping prefill")
-    serve.add_argument("--kv-blocks", type=int, default=0,
+    serve.add_argument("--kv-blocks", type=_nonneg_int, default=0,
                        help="KV block pool size; > 0 switches to the paged-KV "
                        "continuous-batching scheduler")
-    serve.add_argument("--block-tokens", type=int, default=16,
+    serve.add_argument("--block-tokens", type=_positive_int, default=16,
                        help="tokens per KV block")
     serve.add_argument("--adaptive", choices=("off", "static", "active"),
                        default="off",
@@ -547,10 +730,10 @@ def build_parser() -> argparse.ArgumentParser:
                        action=argparse.BooleanOptionalAction, default=True,
                        help="share full prefix blocks across turns of a "
                        "conversation (--no-prefix-sharing to disable)")
-    serve.add_argument("--mean-turns", type=float, default=1.0,
+    serve.add_argument("--mean-turns", type=_positive_float, default=1.0,
                        help="mean turns per conversation (> 1 emits "
                        "multi-turn traffic)")
-    serve.add_argument("--think-time-ms", type=float, default=2000.0,
+    serve.add_argument("--think-time-ms", type=_positive_float, default=2000.0,
                        help="mean think time between conversation turns")
     serve.add_argument("--out", default=None, metavar="PATH",
                        help="JSON report path (default: benchmarks/results/)")
@@ -558,13 +741,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write a Chrome-trace JSON of the run's spans")
     serve.add_argument("--metrics-out", default=None, metavar="PATH",
                        help="write a metrics snapshot (JSON) of the run")
-    serve.add_argument("--trace-sample", type=int, default=8,
+    serve.add_argument("--trace-sample", type=_positive_int, default=8,
                        help="head-sampling period: trace every Nth query")
     serve.add_argument("--replay-check", action="store_true",
                        help="replay-diff oracle: run the workload twice at "
                        "the same seed with state-hash barriers and exit "
                        "nonzero on the first diverging barrier")
-    serve.add_argument("--replay-barrier", type=int, default=16,
+    serve.add_argument("--replay-barrier", type=_positive_int, default=16,
                        help="barrier cadence in completed requests "
                        "(with --replay-check)")
 
@@ -576,15 +759,15 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--dataset", default=ALPACA_LIKE.name,
                        help=f"one of {sorted(_DATASETS)}")
     trace.add_argument("--policy", choices=POLICIES, default="facil")
-    trace.add_argument("--duration-ms", type=float, default=10_000.0)
-    trace.add_argument("--load", type=float, default=0.7,
+    trace.add_argument("--duration-ms", type=_positive_float, default=10_000.0)
+    trace.add_argument("--load", type=_positive_float, default=0.7,
                        help="arrival rate as a fraction of sustainable")
-    trace.add_argument("--deadline-ms", type=float, default=10_000.0)
-    trace.add_argument("--capacity", type=int, default=16)
-    trace.add_argument("--kv-blocks", type=int, default=256,
+    trace.add_argument("--deadline-ms", type=_positive_float, default=10_000.0)
+    trace.add_argument("--capacity", type=_positive_int, default=16)
+    trace.add_argument("--kv-blocks", type=_nonneg_int, default=256,
                        help="KV block pool size (0: legacy serving loop)")
-    trace.add_argument("--block-tokens", type=int, default=16)
-    trace.add_argument("--sample-every", type=int, default=1,
+    trace.add_argument("--block-tokens", type=_positive_int, default=16)
+    trace.add_argument("--sample-every", type=_positive_int, default=1,
                        help="head-sampling period: trace every Nth query")
     trace.add_argument("--trace-out", default="trace.json", metavar="PATH")
     trace.add_argument("--metrics-out", default="metrics.json",
@@ -592,6 +775,60 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--advisor-sweep", action="store_true",
                        help="also run the advisor/selector agreement sweep "
                        "over every platform and report disagreements")
+
+    fleet = sub.add_parser(
+        "fleet",
+        help="fleet run over heterogeneous devices, with device losses",
+    )
+    fleet.add_argument("--seed", type=int, default=0)
+    fleet.add_argument("--devices", type=_positive_int, default=4,
+                       help="fleet size (heterogeneous Table II catalog)")
+    fleet.add_argument("--standby", type=_nonneg_int, default=0,
+                       help="tail of the catalog parked for autoscale-up")
+    fleet.add_argument("--campaign", action="store_true",
+                       help="run the kill-K chaos campaign (audit oracles) "
+                       "instead of a workload-shaped fleet run")
+    fleet.add_argument("--kills", type=_nonneg_int, default=0,
+                       help="seeded device losses to schedule "
+                       "(--campaign default: 300)")
+    fleet.add_argument("--kill-gap-ms", type=_positive_float, default=20.0,
+                       help="mean gap between consecutive kills")
+    fleet.add_argument("--recovery-ms", type=_positive_float, default=None,
+                       help="quarantine dwell before the timed revive "
+                       "(default 50; campaign 10)")
+    fleet.add_argument("--dataset", default=ALPACA_LIKE.name,
+                       help=f"one of {sorted(_DATASETS)}")
+    fleet.add_argument("--policy", choices=POLICIES, default="facil")
+    fleet.add_argument("--shape", choices=("steady", "diurnal", "bursty"),
+                       default="diurnal",
+                       help="arrival-rate shape over the horizon")
+    fleet.add_argument("--duration-ms", type=_positive_float, default=5_000.0)
+    fleet.add_argument("--qps", type=_positive_float, default=None,
+                       help="peak arrival rate (default 100; campaign 200)")
+    fleet.add_argument("--deadline-ms", type=_positive_float, default=400.0,
+                       help="per-request TTFT budget")
+    fleet.add_argument("--mean-turns", type=_positive_float, default=3.0,
+                       help="mean turns per conversation")
+    fleet.add_argument("--capacity", type=_positive_int, default=8,
+                       help="per-device admission queue bound")
+    fleet.add_argument("--shed", choices=("reject", "degrade", "drop-oldest"),
+                       default="reject", help="per-device shedding policy")
+    fleet.add_argument("--pim-fault-rate", type=_nonneg_float, default=0.0,
+                       help="P(transient fault) per PIM phase attempt")
+    fleet.add_argument("--mapping-fault-rate", type=_nonneg_float,
+                       default=0.0,
+                       help="P(transient fault) per flexible-mapping prefill")
+    fleet.add_argument("--kv-blocks", type=_positive_int, default=64,
+                       help="per-device KV block pool size")
+    fleet.add_argument("--block-tokens", type=_positive_int, default=16,
+                       help="tokens per KV block")
+    fleet.add_argument("--autoscale", action="store_true",
+                       help="enable the health-gated autoscaler (needs "
+                       "--standby > 0 to have headroom)")
+    fleet.add_argument("--out", default=None, metavar="PATH",
+                       help="JSON report path (default: benchmarks/results/)")
+    fleet.add_argument("--metrics-out", default=None, metavar="PATH",
+                       help="write per-device telemetry lanes (JSON)")
 
     analyze = sub.add_parser(
         "analyze",
@@ -635,6 +872,7 @@ _COMMANDS = {
     "chaos": _cmd_chaos,
     "serve": _cmd_serve,
     "trace": _cmd_trace,
+    "fleet": _cmd_fleet,
     "analyze": _cmd_analyze,
 }
 

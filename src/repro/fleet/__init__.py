@@ -1,0 +1,84 @@
+"""Fleet-scale serving: device failure domains, failover, autoscaling.
+
+One simulated device (``repro.serving``) cannot distinguish a device
+loss from total outage.  This package scales the serving stack to a
+**fleet** of N simulated devices — heterogeneous across the Table II
+platform catalog — each an isolated failure domain wrapping its own
+engine, journaled KV pool, fault injector, health monitor, and circuit
+breakers:
+
+* :mod:`repro.fleet.device` — :class:`FleetDevice`: the per-device
+  serving machinery plus the ACTIVE → DEGRADED → QUARANTINED → DRAINING
+  health state machine fed by the reliability subsystem's fault-rate
+  windows.  Device loss is *crash-equivalent*: a kill arms the device's
+  own :class:`~repro.reliability.faults.FaultInjector` at a KV journal
+  crash site, recovers with :func:`~repro.kvcache.pool.recover_pool`,
+  and audits the recovered pool with the same oracles the chaos
+  campaigns use.
+* :mod:`repro.fleet.router` — :class:`FleetRouter`: prefix-locality-
+  aware placement (conversations ride the device holding their shared-
+  prefix KV blocks) with load-aware spill and failover re-admission.
+* :mod:`repro.fleet.autoscaler` — health-gated scale-up from a standby
+  pool and drain-down under low load, with hysteresis and patience.
+* :mod:`repro.fleet.runtime` — the fleet event loop, timed kill/revive
+  events, preempt-and-recompute failover, and the fleet-wide
+  :class:`FleetReport` (per-device lanes + p99 TTFT / goodput).
+* :mod:`repro.fleet.chaos` — the kill-K-devices campaign: hundreds of
+  seeded device losses/recoveries on an RNG stream separate from the
+  workload's, audited to zero findings with no conversation lost.
+* :mod:`repro.fleet.workloads` — millions-of-users traffic shapes as
+  first-class specs: diurnal Poisson mixtures and bursty overload.
+
+The single-device path is untouched: nothing here is imported by
+``repro.serving``, so existing seeded runs stay byte-identical with the
+fleet code off.  See docs/FLEET.md.
+"""
+
+from repro.fleet.autoscaler import Autoscaler, AutoscaleEvent
+from repro.fleet.chaos import FleetChaosReport, FleetChaosSpec, run_fleet_chaos
+from repro.fleet.device import (
+    DEVICE_STATES,
+    DeviceSpec,
+    DeviceState,
+    FleetDevice,
+)
+from repro.fleet.router import FleetRouter
+from repro.fleet.runtime import (
+    FleetConfig,
+    FleetReport,
+    FleetRuntime,
+    build_fleet,
+)
+from repro.fleet.workloads import (
+    BURSTY_OVERLOAD,
+    DIURNAL,
+    ArrivalShape,
+    BurstyShape,
+    DiurnalShape,
+    SteadyShape,
+    shaped_workload,
+)
+
+__all__ = [
+    "ArrivalShape",
+    "Autoscaler",
+    "AutoscaleEvent",
+    "BURSTY_OVERLOAD",
+    "BurstyShape",
+    "DEVICE_STATES",
+    "DIURNAL",
+    "DeviceSpec",
+    "DeviceState",
+    "DiurnalShape",
+    "FleetChaosReport",
+    "FleetChaosSpec",
+    "FleetConfig",
+    "FleetDevice",
+    "FleetReport",
+    "FleetRouter",
+    "FleetRuntime",
+    "SteadyShape",
+    "build_fleet",
+    "run_fleet_chaos",
+    "shaped_workload",
+]

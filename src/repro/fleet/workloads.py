@@ -1,0 +1,234 @@
+"""Fleet-scale traffic shapes: diurnal Poisson mixtures and bursty overload.
+
+Per-tenant arrivals stay Poisson (:mod:`repro.serving.workload`), but a
+fleet serves *populations*, and population traffic is not stationary: it
+breathes on a daily cycle and it spikes.  This module makes the shape a
+first-class spec — an :class:`ArrivalShape` maps virtual time to a rate
+multiplier, and :func:`shaped_workload` samples the resulting
+**inhomogeneous** Poisson process by thinning [Lewis & Shedler 1979]:
+draw candidate arrivals at the tenant's peak rate, keep each with
+probability ``multiplier(t) / peak``.  Thinning draws exactly one
+uniform per candidate on the same single seeded stream as everything
+else, so one seed still reproduces a whole fleet run byte-for-byte, and
+a ``SteadyShape`` (multiplier 1 everywhere) thins nothing away in
+expectation.
+
+Two canned shapes cover the autoscaler's design load:
+
+* :data:`DIURNAL` — a raised-cosine day: traffic swings between
+  ``floor`` (pre-dawn trough) and 1.0 (evening peak) over ``period_ms``.
+  The autoscaler should track the swell — scale up into the peak, drain
+  down the trough.
+* :data:`BURSTY_OVERLOAD` — quiet baseline traffic with periodic
+  ``burst_multiplier``× windows (a push notification landing on every
+  device at once).  The admission queues shed, the autoscaler recruits
+  standby devices, and goodput must degrade *gracefully*, not cliff.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Protocol, Sequence
+
+from repro.llm.datasets import QueryTrace
+from repro.serving.workload import MAX_TURNS, Request, TenantSpec
+
+__all__ = [
+    "ArrivalShape",
+    "BURSTY_OVERLOAD",
+    "BurstyShape",
+    "DIURNAL",
+    "DiurnalShape",
+    "SteadyShape",
+    "shaped_workload",
+]
+
+
+class ArrivalShape(Protocol):
+    """Time-varying arrival-rate modulation, normalized to peak 1.0."""
+
+    def rate_multiplier(self, t_ns: float) -> float:
+        """Fraction of the tenant's peak rate arriving around *t_ns*
+        (must stay within [0, 1] — the thinning bound)."""
+        ...
+
+
+@dataclass(frozen=True)
+class SteadyShape:
+    """Constant traffic: the homogeneous-Poisson baseline."""
+
+    def rate_multiplier(self, t_ns: float) -> float:
+        return 1.0
+
+
+@dataclass(frozen=True)
+class DiurnalShape:
+    """Raised-cosine daily cycle between ``floor`` and 1.0.
+
+    ``phase`` picks where in the cycle t=0 falls: 0.0 starts at the
+    trough, 0.5 at the peak.
+    """
+
+    period_ms: float = 2_000.0
+    floor: float = 0.2
+    phase: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.period_ms <= 0:
+            raise ValueError("period_ms must be positive")
+        if not 0.0 <= self.floor <= 1.0:
+            raise ValueError("floor must be in [0, 1]")
+        if not 0.0 <= self.phase < 1.0:
+            raise ValueError("phase must be in [0, 1)")
+
+    def rate_multiplier(self, t_ns: float) -> float:
+        cycles = t_ns / (self.period_ms * 1e6) + self.phase
+        # raised cosine: trough at cycle 0, peak at cycle 0.5
+        swing = 0.5 * (1.0 - math.cos(2.0 * math.pi * cycles))
+        return self.floor + (1.0 - self.floor) * swing
+
+
+@dataclass(frozen=True)
+class BurstyShape:
+    """Quiet baseline with periodic overload windows.
+
+    The *peak* (multiplier 1.0) is the burst; baseline traffic runs at
+    ``baseline = 1 / burst_multiplier`` so that tenant ``qps`` prices
+    the burst itself — overload benches declare the worst case up front.
+    """
+
+    period_ms: float = 1_000.0
+    burst_ms: float = 100.0
+    burst_multiplier: float = 8.0
+
+    def __post_init__(self) -> None:
+        if self.period_ms <= 0 or self.burst_ms <= 0:
+            raise ValueError("period_ms and burst_ms must be positive")
+        if self.burst_ms >= self.period_ms:
+            raise ValueError("burst_ms must be shorter than period_ms")
+        if self.burst_multiplier <= 1.0:
+            raise ValueError("burst_multiplier must exceed 1")
+
+    def rate_multiplier(self, t_ns: float) -> float:
+        into_period_ns = math.fmod(t_ns, self.period_ms * 1e6)
+        if into_period_ns < self.burst_ms * 1e6:
+            return 1.0
+        return 1.0 / self.burst_multiplier
+
+
+#: a "day" compressed to 2 virtual seconds: several full swells inside
+#: one bench horizon without inflating runtime
+DIURNAL = DiurnalShape(period_ms=2_000.0, floor=0.2)
+
+#: 8x overload for 100 ms out of every second
+BURSTY_OVERLOAD = BurstyShape(period_ms=1_000.0, burst_ms=100.0, burst_multiplier=8.0)
+
+
+def shaped_workload(
+    tenants: Sequence[TenantSpec],
+    duration_ms: float,
+    shape: Optional[ArrivalShape] = None,
+    seed: int = 0,
+    rng: Optional[random.Random] = None,
+) -> List[Request]:
+    """Sample a merged multi-tenant stream under *shape* by thinning.
+
+    Mirrors :func:`repro.serving.workload.poisson_workload` (same
+    multi-turn conversation semantics, same single-stream determinism
+    discipline, same final merge-sort and dense req_id assignment); a
+    ``None`` or :class:`SteadyShape` shape degenerates to a homogeneous
+    process at the tenant's full ``qps``.  Conversation follow-up turns
+    are *not* thinned — the user already engaged; the shape modulates
+    session openings, which is how real diurnal traffic behaves.
+    """
+    if not tenants:
+        raise ValueError("need at least one tenant")
+    if duration_ms <= 0:
+        raise ValueError("duration_ms must be positive")
+    if shape is None:
+        shape = SteadyShape()
+    stream = rng if rng is not None else random.Random(seed)
+    horizon_ns = duration_ms * 1e6
+    requests: List[Request] = []
+    conversation_id = 0
+    for tenant in tenants:
+        rate_per_ns = tenant.qps / 1e9  # the peak (thinning bound)
+        multi_turn = tenant.mean_turns > 1.0
+        p_more = 1.0 - 1.0 / tenant.mean_turns if multi_turn else 0.0
+        think_rate_per_ns = 1.0 / (tenant.think_time_ms * 1e6)
+        sample_at = getattr(tenant.dataset, "sample_at", None)
+
+        def draw(at_ns: float) -> QueryTrace:
+            if sample_at is not None:
+                return sample_at(stream, at_ns)
+            return tenant.dataset.sample_one(stream)
+
+        t = stream.expovariate(rate_per_ns)
+        while t < horizon_ns:
+            keep = shape.rate_multiplier(t)
+            if not 0.0 <= keep <= 1.0:
+                raise ValueError(
+                    f"shape multiplier {keep} at t={t:.0f} ns outside [0, 1]"
+                )
+            if stream.random() >= keep:  # thinned away
+                t += stream.expovariate(rate_per_ns)
+                continue
+            trace = draw(t)
+            if not multi_turn:
+                requests.append(
+                    Request(
+                        req_id=-1,  # assigned after the merge sort below
+                        tenant=tenant.name,
+                        policy=tenant.policy,
+                        arrival_ns=t,
+                        prefill_tokens=trace.prefill_tokens,
+                        decode_tokens=trace.decode_tokens,
+                        deadline_ns=tenant.deadline_ms * 1e6,
+                    )
+                )
+            else:
+                conv = conversation_id
+                conversation_id += 1
+                turn_t = t
+                context = 0
+                turn = 0
+                while True:
+                    requests.append(
+                        Request(
+                            req_id=-1,
+                            tenant=tenant.name,
+                            policy=tenant.policy,
+                            arrival_ns=turn_t,
+                            prefill_tokens=context + trace.prefill_tokens,
+                            decode_tokens=trace.decode_tokens,
+                            deadline_ns=tenant.deadline_ms * 1e6,
+                            conversation_id=conv,
+                            turn_index=turn,
+                            context_tokens=context,
+                        )
+                    )
+                    context += trace.prefill_tokens + trace.decode_tokens
+                    turn += 1
+                    if turn >= MAX_TURNS or stream.random() >= p_more:
+                        break
+                    turn_t += stream.expovariate(think_rate_per_ns)
+                    trace = draw(turn_t)
+            t += stream.expovariate(rate_per_ns)
+    requests.sort(key=lambda r: (r.arrival_ns, r.tenant))
+    return [
+        Request(
+            req_id=i,
+            tenant=r.tenant,
+            policy=r.policy,
+            arrival_ns=r.arrival_ns,
+            prefill_tokens=r.prefill_tokens,
+            decode_tokens=r.decode_tokens,
+            deadline_ns=r.deadline_ns,
+            conversation_id=r.conversation_id,
+            turn_index=r.turn_index,
+            context_tokens=r.context_tokens,
+        )
+        for i, r in enumerate(requests)
+    ]

@@ -595,6 +595,9 @@ def run_kv_serving(
             name: [(t, a.value, b.value) for t, a, b in brk.transitions]
             for name, brk in runtime._breakers.items()
         },
+        breaker_snapshots={
+            name: brk.snapshot() for name, brk in runtime._breakers.items()
+        },
         brownout_intervals=list(runtime.brownout.intervals),
         health=runtime.monitor.summary(),
         kv=kv_stats,

@@ -115,6 +115,25 @@ class CircuitBreaker:
             self._move(BreakerState.OPEN, now_ns)
             self.opened_at_ns = now_ns
 
+    # -- reporting -------------------------------------------------------------
+
+    @property
+    def trips(self) -> int:
+        """How many times this breaker has moved *to* OPEN."""
+        return sum(1 for _, _, to in self.transitions if to is BreakerState.OPEN)
+
+    def snapshot(self) -> dict:
+        """Auditable point-in-time view for reports and fleet lanes."""
+        return {
+            "component": self.component,
+            "state": self.state.value,
+            "trips": self.trips,
+            "transitions": len(self.transitions),
+            "last_transition_t_ns": (
+                self.transitions[-1][0] if self.transitions else None
+            ),
+        }
+
 
 class BrownoutController:
     """Migrate decode off PIM when its backlog saturates; back on recovery."""

@@ -200,6 +200,9 @@ class ServingReport:
     breaker_transitions: Dict[str, List[Tuple[float, str, str]]] = field(
         default_factory=dict
     )
+    #: per-breaker :meth:`CircuitBreaker.snapshot` at end of run — the
+    #: auditable state/trip-count view fleet routing decisions rest on
+    breaker_snapshots: Dict[str, Dict] = field(default_factory=dict)
     brownout_intervals: List[Tuple[float, float]] = field(default_factory=list)
     health: Dict[str, str] = field(default_factory=dict)
     #: KV-cache counters (block occupancy, evictions, preemptions,
@@ -305,6 +308,9 @@ class ServingReport:
             "breakers": {
                 name: [(t, a, b) for t, a, b in trans]
                 for name, trans in self.breaker_transitions.items()
+            },
+            "breaker_snapshots": {
+                name: dict(snap) for name, snap in self.breaker_snapshots.items()
             },
             "brownout": {
                 "windows": len(self.brownout_intervals),
@@ -960,6 +966,9 @@ class ServingRuntime:
             breaker_transitions={
                 name: [(t, a.value, b.value) for t, a, b in brk.transitions]
                 for name, brk in self._breakers.items()
+            },
+            breaker_snapshots={
+                name: brk.snapshot() for name, brk in self._breakers.items()
             },
             brownout_intervals=list(self.brownout.intervals),
             health=self.monitor.summary(),

@@ -1,0 +1,140 @@
+"""Autoscaler: hysteresis, the standby pool, and the health gate."""
+
+import pytest
+
+from repro.fleet.autoscaler import Autoscaler
+from repro.fleet.device import DeviceState
+
+from tests.fleet.conftest import make_device, make_request
+
+
+def _fleet(engine, n=3, standby=1):
+    devices = [make_device(engine, device_id=i) for i in range(n)]
+    for dev in devices[n - standby:] if standby else []:
+        dev._move(DeviceState.STANDBY, 0.0)
+    return devices
+
+
+def _load(device, backlog_ns):
+    device.free = {k: v + backlog_ns for k, v in device.free.items()}
+
+
+class TestValidation:
+    def test_rejects_bad_watermarks(self, iphone_engine):
+        with pytest.raises(ValueError, match="low_backlog_ns"):
+            Autoscaler(_fleet(iphone_engine), high_backlog_ns=1e6,
+                       low_backlog_ns=1e9)
+
+    def test_rejects_nonpositive_patience(self, iphone_engine):
+        with pytest.raises(ValueError, match="patience"):
+            Autoscaler(_fleet(iphone_engine), patience=0)
+
+
+class TestScaleUp:
+    def test_sustained_high_backlog_recruits_standby(self, iphone_engine):
+        devices = _fleet(iphone_engine, 3, standby=1)
+        scaler = Autoscaler(devices, high_backlog_ns=1e9, patience=2)
+        for dev in devices[:2]:
+            _load(dev, 5e9)
+        assert scaler.evaluate(1.0) == []  # patience not yet met
+        events = scaler.evaluate(2.0)
+        assert [e.action for e in events] == ["scale-up"]
+        assert devices[2].state is DeviceState.ACTIVE
+
+    def test_one_spike_does_not_scale(self, iphone_engine):
+        devices = _fleet(iphone_engine, 3, standby=1)
+        scaler = Autoscaler(devices, high_backlog_ns=1e9, patience=2)
+        _load(devices[0], 10e9)
+        scaler.evaluate(1.0)
+        devices[0].free = {"soc": 0.0, "pim": 0.0}  # spike gone
+        assert scaler.evaluate(2.0) == []
+        assert devices[2].state is DeviceState.STANDBY
+
+    def test_no_standby_means_no_event(self, iphone_engine):
+        devices = _fleet(iphone_engine, 2, standby=0)
+        scaler = Autoscaler(devices, high_backlog_ns=1e9, patience=1)
+        _load(devices[0], 5e9)
+        _load(devices[1], 5e9)
+        assert scaler.evaluate(1.0) == []
+
+
+class TestHealthGate:
+    def test_quarantine_storm_holds_scale_up(self, iphone_engine):
+        devices = _fleet(iphone_engine, 4, standby=1)
+        for dev in devices[:2]:
+            dev.kill(0.5)  # 2 of 4 quarantined = 50%... gate is > 0.4
+        scaler = Autoscaler(
+            devices, high_backlog_ns=1e9, patience=1,
+            max_quarantined_fraction=0.4,
+        )
+        _load(devices[2], 5e9)
+        events = scaler.evaluate(1.0)
+        assert [e.action for e in events] == ["hold-unhealthy"]
+        assert events[0].device_id == -1
+        assert devices[3].state is DeviceState.STANDBY
+
+    def test_healthy_fleet_passes_the_gate(self, iphone_engine):
+        devices = _fleet(iphone_engine, 4, standby=1)
+        scaler = Autoscaler(
+            devices, high_backlog_ns=1e9, patience=1,
+            max_quarantined_fraction=0.4,
+        )
+        for dev in devices[:3]:
+            _load(dev, 5e9)
+        events = scaler.evaluate(1.0)
+        assert [e.action for e in events] == ["scale-up"]
+
+
+class TestDrain:
+    def test_sustained_low_backlog_drains_one(self, iphone_engine):
+        devices = _fleet(iphone_engine, 3, standby=0)
+        scaler = Autoscaler(
+            devices, high_backlog_ns=1e9, low_backlog_ns=1e6, patience=2,
+            min_active=1,
+        )
+        scaler.evaluate(1.0)
+        events = scaler.evaluate(2.0)
+        assert [e.action for e in events] == ["drain"]
+        drained = [d for d in devices if d.state is DeviceState.DRAINING]
+        assert len(drained) == 1
+
+    def test_min_active_floor_holds(self, iphone_engine):
+        devices = _fleet(iphone_engine, 2, standby=0)
+        scaler = Autoscaler(
+            devices, low_backlog_ns=1e6, patience=1, min_active=2,
+        )
+        assert scaler.evaluate(1.0) == []
+        assert all(d.state is DeviceState.ACTIVE for d in devices)
+
+    def test_drained_device_finishes_queue_then_powers_down(
+        self, iphone_engine
+    ):
+        devices = _fleet(iphone_engine, 2, standby=0)
+        victim = devices[1]
+        victim.offer(make_request(req_id=0), 0.0)
+        scaler = Autoscaler(
+            devices, high_backlog_ns=1e13, low_backlog_ns=1e12,
+            patience=1, min_active=1,
+        )
+        scaler.evaluate(1.0)
+        # one of the two drained; the victim still serves its queue
+        draining = [d for d in devices if d.state is DeviceState.DRAINING]
+        assert len(draining) == 1
+        drained = draining[0]
+        while len(drained.queue):
+            drained.serve_next()
+        assert drained.finish_drain_if_idle(drained.clock)
+        assert drained.state is DeviceState.STANDBY
+
+
+class TestSummary:
+    def test_summary_counts_actions(self, iphone_engine):
+        devices = _fleet(iphone_engine, 3, standby=1)
+        scaler = Autoscaler(devices, high_backlog_ns=1e9, patience=1)
+        _load(devices[0], 5e9)
+        _load(devices[1], 5e9)
+        scaler.evaluate(1.0)
+        summary = scaler.summary()
+        assert summary["scale_ups"] == 1
+        assert summary["drains"] == 0
+        assert len(summary["events"]) == 1

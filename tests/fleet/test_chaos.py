@@ -1,0 +1,104 @@
+"""Kill-K chaos campaign: schedule discipline and the oracle battery.
+
+Tier-1 runs a small campaign; the acceptance-scale 300-kill campaign is
+``chaos``-marked (the nightly job runs it, and it also backs
+BENCH_fleet.json).
+"""
+
+import random
+
+import pytest
+
+from repro.fleet.chaos import FleetChaosSpec, _build_schedule, run_fleet_chaos
+from repro.kvcache.pool import KV_CRASH_SITES
+
+
+class TestSpecValidation:
+    def test_rejects_single_device(self):
+        with pytest.raises(ValueError, match="2 devices"):
+            FleetChaosSpec(n_devices=1)
+
+    def test_rejects_cadence_tighter_than_recovery(self):
+        with pytest.raises(ValueError, match="cadence"):
+            FleetChaosSpec(n_devices=2, kill_gap_ms=10.0, recovery_ms=50.0)
+
+    def test_horizon_spans_the_kill_window(self):
+        spec = FleetChaosSpec(kills=50, kill_gap_ms=20.0)
+        assert spec.horizon_ms == pytest.approx(1_000.0)
+
+
+class TestSchedule:
+    def test_schedule_is_sorted_and_complete(self):
+        spec = FleetChaosSpec(kills=40)
+        schedule, _ = _build_schedule(spec, random.Random(1))
+        assert len(schedule) == 40
+        times = [t for t, _ in schedule]
+        assert times == sorted(times)
+        assert all(0 <= d < spec.n_devices for _, d in schedule)
+
+    def test_round_robin_covers_every_device(self):
+        spec = FleetChaosSpec(kills=40)
+        schedule, _ = _build_schedule(spec, random.Random(1))
+        assert {d for _, d in schedule} == set(range(spec.n_devices))
+
+    def test_schedule_never_hits_a_recovering_device(self):
+        spec = FleetChaosSpec(kills=60)
+        schedule, _ = _build_schedule(spec, random.Random(2))
+        down_until = [0.0] * spec.n_devices
+        for t, device in schedule:
+            assert down_until[device] <= t
+            down_until[device] = t + spec.recovery_ms * 1e6
+
+    def test_schedule_rides_its_own_stream(self):
+        spec = FleetChaosSpec(kills=20, seed=5)
+        a, _ = _build_schedule(spec, random.Random(5 * 9973 + 65537))
+        b, _ = _build_schedule(spec, random.Random(5 * 9973 + 65537))
+        assert a == b
+
+
+class TestSmallCampaign:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return run_fleet_chaos(FleetChaosSpec(kills=24, seed=0))
+
+    def test_every_oracle_passes(self, report):
+        assert report.failures == []
+        assert report.ok
+
+    def test_all_kills_applied_and_revived(self, report):
+        assert report.kills_applied == 24
+        assert report.revives_applied == 24
+
+    def test_every_kv_crash_site_fires(self, report):
+        assert set(report.crashes_by_site) == set(KV_CRASH_SITES)
+        assert all(n > 0 for n in report.crashes_by_site.values())
+
+    def test_zero_audit_findings(self, report):
+        assert report.audit_findings == []
+
+    def test_requests_conserved_under_failover(self, report):
+        assert report.fleet.none_lost
+        assert report.offered == (
+            report.served + report.shed + report.unserved
+        )
+        assert report.failover_requests > 0
+
+    def test_to_dict_is_json_ready(self, report):
+        import json
+
+        d = json.loads(json.dumps(report.to_dict()))
+        assert d["ok"] is True and d["kills_applied"] == 24
+
+
+@pytest.mark.chaos
+class TestAcceptanceCampaign:
+    def test_300_kills_zero_findings(self):
+        report = run_fleet_chaos(FleetChaosSpec(kills=300, seed=0))
+        assert report.failures == []
+        assert report.kills_applied == 300
+        assert report.audit_findings == []
+        assert report.fleet.none_lost
+        # round-robin across 4 devices cycling 4 sites: exact quarters
+        assert report.crashes_by_site == {
+            site: 75 for site in KV_CRASH_SITES
+        }

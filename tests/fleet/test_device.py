@@ -1,0 +1,231 @@
+"""FleetDevice: the health state machine, the kill/revive crash cycle,
+and prefix residency — one device as an isolated failure domain."""
+
+import pytest
+
+from repro.fleet.device import (
+    DEVICE_STATES,
+    ROUTABLE_STATES,
+    DeviceSpec,
+    DeviceState,
+    FleetDevice,
+    Preempted,
+    ServedPhases,
+)
+from repro.kvcache.pool import KV_CRASH_SITES
+from repro.platforms.specs import IPHONE_15_PRO
+
+from tests.fleet.conftest import make_device, make_request
+
+
+class TestSpecValidation:
+    def test_rejects_negative_device_id(self):
+        with pytest.raises(ValueError, match="device_id"):
+            DeviceSpec(device_id=-1, platform=IPHONE_15_PRO)
+
+    def test_rejects_inverted_health_watermarks(self):
+        with pytest.raises(ValueError, match="degrade_fault_rate"):
+            DeviceSpec(
+                device_id=0, platform=IPHONE_15_PRO,
+                degrade_fault_rate=0.8, quarantine_fault_rate=0.5,
+            )
+
+    def test_rejects_nonpositive_kv_blocks(self):
+        with pytest.raises(ValueError, match="kv_blocks"):
+            DeviceSpec(device_id=0, platform=IPHONE_15_PRO, kv_blocks=0)
+
+    def test_name_embeds_identity(self):
+        spec = DeviceSpec(device_id=3, platform=IPHONE_15_PRO)
+        assert spec.name == "dev3/iphone-15-pro"
+
+
+class TestHealthMachine:
+    def _observe(self, device, component, faults, total):
+        for i in range(total):
+            if i < faults:
+                device.monitor.record_fault(component)
+            else:
+                device.monitor.record_success(component)
+
+    def test_states_registry_is_frozen(self):
+        assert tuple(s.value for s in DEVICE_STATES) == (
+            "active", "degraded", "quarantined", "draining", "standby"
+        )
+        assert all(s in DEVICE_STATES for s in ROUTABLE_STATES)
+
+    def test_sustained_faults_degrade_then_quarantine(self, iphone_engine):
+        device = make_device(iphone_engine)
+        self._observe(device, "pim", faults=4, total=10)  # 40% >= 25%
+        assert device.update_health(1.0) is DeviceState.DEGRADED
+        self._observe(device, "pim", faults=30, total=30)
+        assert device.update_health(2.0) is DeviceState.QUARANTINED
+        assert not device.routable
+
+    def test_recovery_returns_degraded_to_active(self, iphone_engine):
+        device = make_device(iphone_engine)
+        self._observe(device, "mapping", faults=4, total=10)
+        assert device.update_health(1.0) is DeviceState.DEGRADED
+        # window refills with successes, rate decays under the watermark
+        self._observe(device, "mapping", faults=0, total=40)
+        assert device.update_health(2.0) is DeviceState.ACTIVE
+
+    def test_too_few_observations_never_degrade(self, iphone_engine):
+        device = make_device(iphone_engine, health_min_observations=8)
+        self._observe(device, "pim", faults=3, total=3)  # 100% but n < 8
+        assert device.update_health(1.0) is DeviceState.ACTIVE
+
+    def test_admin_states_not_overridden_by_health(self, iphone_engine):
+        device = make_device(iphone_engine)
+        device.drain(1.0)
+        self._observe(device, "pim", faults=20, total=20)
+        assert device.update_health(2.0) is DeviceState.DRAINING
+
+    def test_transitions_are_ledgered(self, iphone_engine):
+        device = make_device(iphone_engine)
+        self._observe(device, "pim", faults=4, total=10)
+        device.update_health(5.0)
+        assert device.transitions == [(5.0, "active", "degraded")]
+
+
+class TestDrainLifecycle:
+    def test_drain_stops_routing_but_keeps_serving(self, iphone_engine):
+        device = make_device(iphone_engine)
+        device.offer(make_request(req_id=0), 0.0)
+        device.drain(1.0)
+        assert not device.routable and device.serving
+        result = device.serve_next()
+        assert isinstance(result, ServedPhases) and result.status == "served"
+
+    def test_idle_drained_device_powers_down(self, iphone_engine):
+        device = make_device(iphone_engine)
+        device.drain(1.0)
+        assert device.finish_drain_if_idle(2.0)
+        assert device.state is DeviceState.STANDBY
+        assert not device.serving
+
+    def test_standby_drops_residency(self, iphone_engine):
+        device = make_device(iphone_engine)
+        device.offer(make_request(req_id=0, conversation_id=5), 0.0)
+        device.serve_next()
+        assert device.resident_tokens(5) > 0
+        device.drain(1.0)
+        device.finish_drain_if_idle(device.clock)
+        assert device.resident_tokens(5) == 0
+        assert device.pool.used == 0
+
+    def test_activate_reenters_rotation(self, iphone_engine):
+        device = make_device(iphone_engine)
+        device.drain(1.0)
+        device.finish_drain_if_idle(2.0)
+        device.activate(3.0)
+        assert device.state is DeviceState.ACTIVE and device.routable
+
+
+class TestKillRevive:
+    def test_kill_fires_a_kv_crash_site_and_audits_clean(self, iphone_engine):
+        device = make_device(iphone_engine)
+        device.offer(make_request(req_id=0, conversation_id=1), 0.0)
+        device.serve_next()
+        findings = device.kill(device.clock, kill_index=0)
+        assert findings == 0
+        assert device.kill_sites == [KV_CRASH_SITES[0]]
+        assert device.state is DeviceState.QUARANTINED
+        assert device.pool.used == 0
+        assert device.audit_findings == []
+
+    def test_kill_index_cycles_every_site(self, iphone_engine):
+        device = make_device(iphone_engine)
+        for index in range(len(KV_CRASH_SITES)):
+            device.offer(
+                make_request(req_id=index, conversation_id=index), device.clock
+            )
+            device.serve_next()
+            device.kill(device.clock, kill_index=index)
+            assert device.revive(device.clock + 1.0)
+        assert device.kill_sites == list(KV_CRASH_SITES)
+        assert device.audit_findings == []
+
+    def test_revive_requires_quarantine(self, iphone_engine):
+        device = make_device(iphone_engine)
+        assert not device.revive(1.0)
+        device.kill(1.0)
+        assert device.revive(2.0)
+        assert device.state is DeviceState.ACTIVE
+        assert device.kills == 1 and device.revives == 1
+
+    def test_kill_wipes_residency(self, iphone_engine):
+        device = make_device(iphone_engine)
+        device.offer(make_request(req_id=0, conversation_id=9), 0.0)
+        device.serve_next()
+        device.kill(device.clock)
+        assert device.resident_tokens(9) == 0
+
+
+class TestServePath:
+    def test_prefix_residency_prices_followup_turns(self, iphone_engine):
+        device = make_device(iphone_engine)
+        device.offer(make_request(req_id=0, conversation_id=2,
+                                  prefill_tokens=64), 0.0)
+        first = device.serve_next()
+        device.offer(
+            make_request(req_id=1, conversation_id=2, prefill_tokens=96,
+                         turn_index=1, context_tokens=64,
+                         arrival_ns=device.clock),
+            device.clock,
+        )
+        second = device.serve_next()
+        assert first.prefill_tokens_priced == 64 and not first.prefix_hit
+        assert second.prefix_hit
+        assert second.prefill_tokens_priced < 96
+        assert device.prefix_hits == 1
+
+    def test_interrupt_before_start_preempts(self, iphone_engine):
+        device = make_device(iphone_engine)
+        request = make_request(req_id=0, arrival_ns=0.0)
+        device.offer(request, 0.0)
+        result = device.serve_next(interrupt_ns=0.0)
+        assert isinstance(result, Preempted)
+        assert result.request.req_id == 0
+        assert len(device.queue) == 0
+
+    def test_served_outcome_is_conserved(self, iphone_engine):
+        device = make_device(iphone_engine)
+        device.offer(make_request(req_id=0), 0.0)
+        result = device.serve_next()
+        assert isinstance(result, ServedPhases)
+        assert result.status == "served"
+        assert device.served == 1
+
+    def test_summary_includes_breaker_snapshots(self, iphone_engine):
+        device = make_device(iphone_engine)
+        summary = device.summary()
+        assert set(summary["breakers"]) == {"pim", "mapping"}
+        for snap in summary["breakers"].values():
+            assert snap["state"] == "closed" and snap["trips"] == 0
+
+
+class TestDeterminism:
+    def test_device_substreams_are_disjoint(self, iphone_engine):
+        a = FleetDevice(
+            DeviceSpec(device_id=0, platform=IPHONE_15_PRO),
+            seed=7, engine=iphone_engine,
+        )
+        b = FleetDevice(
+            DeviceSpec(device_id=1, platform=IPHONE_15_PRO),
+            seed=7, engine=iphone_engine,
+        )
+        assert a.device_seed != b.device_seed
+        assert a.injector.seed != b.injector.seed
+
+    def test_same_seed_same_service_times(self, iphone_engine):
+        def run():
+            device = make_device(iphone_engine, seed=3,
+                                 pim_fault_rate=0.2)
+            results = []
+            for i in range(6):
+                device.offer(make_request(req_id=i, arrival_ns=device.clock),
+                             device.clock)
+                results.append(device.serve_next())
+            return results
+
+        assert run() == run()

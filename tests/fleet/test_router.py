@@ -1,0 +1,131 @@
+"""FleetRouter: locality, load-aware spill, and failover re-placement."""
+
+import pytest
+
+from repro.fleet.router import FleetRouter
+
+from tests.fleet.conftest import make_device, make_request
+
+
+def _fleet(engine, n=3, **spec_overrides):
+    return [
+        make_device(engine, device_id=i, **spec_overrides) for i in range(n)
+    ]
+
+
+class TestValidation:
+    def test_rejects_empty_fleet(self, iphone_engine):
+        with pytest.raises(ValueError, match="at least one device"):
+            FleetRouter([])
+
+    def test_rejects_nonpositive_spill_threshold(self, iphone_engine):
+        with pytest.raises(ValueError, match="spill_backlog_ns"):
+            FleetRouter(_fleet(iphone_engine, 1), spill_backlog_ns=0.0)
+
+
+class TestPlacement:
+    def test_fresh_placement_prefers_lowest_id_on_ties(self, iphone_engine):
+        router = FleetRouter(_fleet(iphone_engine))
+        chosen = router.route(make_request(req_id=0), 0.0)
+        assert chosen.spec.device_id == 0
+
+    def test_conversation_sticks_to_its_device(self, iphone_engine):
+        router = FleetRouter(_fleet(iphone_engine))
+        first = router.route(make_request(req_id=0, conversation_id=1), 0.0)
+        again = router.route(
+            make_request(req_id=1, conversation_id=1, turn_index=1), 10.0
+        )
+        assert again is first
+        assert router.locality_hits == 1
+        assert router.affinity == {1: first.spec.device_id}
+
+    def test_load_spreads_across_devices(self, iphone_engine):
+        devices = _fleet(iphone_engine)
+        router = FleetRouter(devices)
+        placed = set()
+        for i in range(3):
+            dev = router.route(make_request(req_id=i), 0.0)
+            dev.offer(make_request(req_id=i), 0.0)
+            placed.add(dev.spec.device_id)
+        assert placed == {0, 1, 2}
+
+    def test_degraded_ranks_below_active(self, iphone_engine):
+        devices = _fleet(iphone_engine, 2)
+        from repro.fleet.device import DeviceState
+
+        devices[0]._move(DeviceState.DEGRADED, 0.0)
+        router = FleetRouter(devices)
+        chosen = router.route(make_request(req_id=0), 0.0)
+        assert chosen.spec.device_id == 1
+
+    def test_unroutable_fleet_sheds(self, iphone_engine):
+        devices = _fleet(iphone_engine, 2)
+        for dev in devices:
+            dev.kill(0.0)
+        router = FleetRouter(devices)
+        assert router.route(make_request(req_id=0), 1.0) is None
+        assert router.shed_unroutable == 1
+
+
+class TestSpill:
+    def test_drowning_home_spills_and_moves_affinity(self, iphone_engine):
+        devices = _fleet(iphone_engine, 2)
+        router = FleetRouter(devices, spill_backlog_ns=1e6)
+        home = router.route(make_request(req_id=0, conversation_id=4), 0.0)
+        home.offer(make_request(req_id=0, conversation_id=4), 0.0)
+        home.serve_next()
+        # park an hour of synthetic backlog on the home device
+        home.free = {k: v + 3600e9 for k, v in home.free.items()}
+        spilled = router.route(
+            make_request(req_id=1, conversation_id=4, turn_index=1),
+            home.clock,
+        )
+        assert spilled is not home
+        assert router.spills == 1
+        assert router.affinity[4] == spilled.spec.device_id
+        # the old residency was evicted with the move
+        assert home.resident_tokens(4) == 0
+
+    def test_spill_does_not_fire_under_threshold(self, iphone_engine):
+        devices = _fleet(iphone_engine, 2)
+        router = FleetRouter(devices, spill_backlog_ns=1e12)
+        home = router.route(make_request(req_id=0, conversation_id=4), 0.0)
+        again = router.route(
+            make_request(req_id=1, conversation_id=4, turn_index=1), 1.0
+        )
+        assert again is home and router.spills == 0
+
+
+class TestFailover:
+    def test_device_loss_orphans_its_conversations(self, iphone_engine):
+        devices = _fleet(iphone_engine, 2)
+        router = FleetRouter(devices)
+        router.affinity.update({1: 0, 2: 0, 3: 1})
+        orphans = router.on_device_lost(0, 5.0)
+        assert orphans == [1, 2]
+        assert router.affinity == {3: 1}
+
+    def test_failover_reroutes_to_survivor(self, iphone_engine):
+        devices = _fleet(iphone_engine, 2)
+        router = FleetRouter(devices)
+        home = router.route(make_request(req_id=0, conversation_id=7), 0.0)
+        home.kill(1.0)
+        router.on_device_lost(home.spec.device_id, 1.0)
+        survivor = router.route(
+            make_request(req_id=1, conversation_id=7, turn_index=1),
+            2.0, failover=True,
+        )
+        assert survivor is not None and survivor is not home
+        assert router.failovers == 1
+        assert router.affinity[7] == survivor.spec.device_id
+
+    def test_summary_counts(self, iphone_engine):
+        router = FleetRouter(_fleet(iphone_engine, 2))
+        router.route(make_request(req_id=0, conversation_id=1), 0.0)
+        router.route(
+            make_request(req_id=1, conversation_id=1, turn_index=1), 1.0
+        )
+        summary = router.summary()
+        assert summary["placements"] == 2
+        assert summary["locality_hits"] == 1
+        assert summary["shed_unroutable"] == 0

@@ -1,0 +1,124 @@
+"""Shaped (inhomogeneous-Poisson) workloads: thinning determinism and
+the canned diurnal / bursty shapes."""
+
+import pytest
+
+from repro.fleet.workloads import (
+    BURSTY_OVERLOAD,
+    DIURNAL,
+    BurstyShape,
+    DiurnalShape,
+    SteadyShape,
+    shaped_workload,
+)
+from repro.serving.workload import TenantSpec
+
+
+def _tenant(qps=50.0, mean_turns=1.0):
+    return TenantSpec(
+        name="chat", policy="facil", qps=qps, deadline_ms=1_000.0,
+        mean_turns=mean_turns,
+    )
+
+
+class TestShapes:
+    def test_steady_is_flat_at_peak(self):
+        shape = SteadyShape()
+        assert all(
+            shape.rate_multiplier(t) == 1.0 for t in (0.0, 1e6, 5e9)
+        )
+
+    def test_diurnal_trough_and_peak(self):
+        shape = DiurnalShape(period_ms=2_000.0, floor=0.2)
+        assert shape.rate_multiplier(0.0) == pytest.approx(0.2)
+        assert shape.rate_multiplier(1_000e6) == pytest.approx(1.0)
+        assert shape.rate_multiplier(2_000e6) == pytest.approx(0.2)
+
+    def test_diurnal_phase_shifts_the_cycle(self):
+        peaked = DiurnalShape(period_ms=2_000.0, floor=0.2, phase=0.5)
+        assert peaked.rate_multiplier(0.0) == pytest.approx(1.0)
+
+    def test_bursty_burst_window_and_baseline(self):
+        shape = BurstyShape(
+            period_ms=1_000.0, burst_ms=100.0, burst_multiplier=8.0
+        )
+        assert shape.rate_multiplier(50e6) == 1.0  # inside the burst
+        assert shape.rate_multiplier(500e6) == pytest.approx(1.0 / 8.0)
+        assert shape.rate_multiplier(1_050e6) == 1.0  # next period's burst
+
+    def test_multipliers_stay_in_thinning_bound(self):
+        for shape in (DIURNAL, BURSTY_OVERLOAD, SteadyShape()):
+            for t_ms in range(0, 5_000, 37):
+                assert 0.0 <= shape.rate_multiplier(t_ms * 1e6) <= 1.0
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError, match="floor"):
+            DiurnalShape(floor=1.5)
+        with pytest.raises(ValueError, match="burst_ms"):
+            BurstyShape(period_ms=100.0, burst_ms=100.0)
+        with pytest.raises(ValueError, match="burst_multiplier"):
+            BurstyShape(burst_multiplier=1.0)
+
+
+class TestShapedWorkload:
+    def test_same_seed_same_stream(self):
+        a = shaped_workload([_tenant()], 2_000.0, shape=DIURNAL, seed=3)
+        b = shaped_workload([_tenant()], 2_000.0, shape=DIURNAL, seed=3)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = shaped_workload([_tenant()], 2_000.0, shape=DIURNAL, seed=3)
+        b = shaped_workload([_tenant()], 2_000.0, shape=DIURNAL, seed=4)
+        assert a != b
+
+    def test_req_ids_dense_and_sorted(self):
+        requests = shaped_workload(
+            [_tenant(mean_turns=3.0)], 2_000.0, shape=DIURNAL, seed=0
+        )
+        assert [r.req_id for r in requests] == list(range(len(requests)))
+        arrivals = [r.arrival_ns for r in requests]
+        assert arrivals == sorted(arrivals)
+
+    def test_thinning_removes_traffic(self):
+        steady = shaped_workload([_tenant()], 4_000.0, seed=0)
+        thinned = shaped_workload(
+            [_tenant()], 4_000.0, shape=BURSTY_OVERLOAD, seed=0
+        )
+        # bursty keeps ~1/8 of baseline traffic outside bursts
+        assert 0 < len(thinned) < len(steady)
+
+    def test_none_shape_matches_steady(self):
+        default = shaped_workload([_tenant()], 2_000.0, seed=5)
+        steady = shaped_workload(
+            [_tenant()], 2_000.0, shape=SteadyShape(), seed=5
+        )
+        assert default == steady
+
+    def test_followup_turns_survive_the_trough(self):
+        # phase=0: openings near t=0 are heavily thinned, but admitted
+        # conversations keep every follow-up turn
+        requests = shaped_workload(
+            [_tenant(qps=100.0, mean_turns=4.0)], 3_000.0,
+            shape=DIURNAL, seed=1,
+        )
+        by_conv = {}
+        for r in requests:
+            by_conv.setdefault(r.conversation_id, []).append(r)
+        multi = [turns for turns in by_conv.values() if len(turns) > 1]
+        assert multi
+        for turns in multi:
+            assert [t.turn_index for t in turns] == list(range(len(turns)))
+
+    def test_out_of_bound_multiplier_raises(self):
+        class BadShape:
+            def rate_multiplier(self, t_ns):
+                return 1.5
+
+        with pytest.raises(ValueError, match="outside"):
+            shaped_workload([_tenant()], 2_000.0, shape=BadShape(), seed=0)
+
+    def test_rejects_empty_tenants_and_bad_duration(self):
+        with pytest.raises(ValueError, match="tenant"):
+            shaped_workload([], 1_000.0)
+        with pytest.raises(ValueError, match="duration_ms"):
+            shaped_workload([_tenant()], 0.0)

@@ -36,6 +36,24 @@ def test_every_declared_site_fires_at_least_once(seed):
     assert report.ok
 
 
+@pytest.mark.parametrize("seed", STANDARD_SEEDS)
+def test_fleet_kills_cover_every_kv_site(seed):
+    """The fleet-level extension: a device kill drives the dead device's
+    journal into an armed KV crash site (cycling the registry by kill
+    index), so a campaign of >= ``n_devices * len(KV_CRASH_SITES)``
+    kills must fire every declared site — with zero recovery findings,
+    exactly like the single-device campaign above."""
+    from repro.fleet.chaos import FleetChaosSpec, run_fleet_chaos
+
+    report = run_fleet_chaos(
+        FleetChaosSpec(n_devices=4, kills=4 * len(KV_CRASH_SITES), seed=seed)
+    )
+    assert report.failures == []
+    assert set(report.crashes_by_site) == set(KV_CRASH_SITES)
+    assert all(n > 0 for n in report.crashes_by_site.values())
+    assert report.audit_findings == []
+
+
 def test_registries_are_disjoint():
     """A site string in two registries would double-count coverage and
     make the sanitizer's JD004 bookkeeping ambiguous."""

@@ -80,6 +80,62 @@ class TestDropOldestPolicy:
         assert len(queue) == 2
 
 
+class TestSheddingOrderTies:
+    """Arrivals at the same instant: shedding order must be insertion
+    order (FIFO), never arrival-timestamp comparison — a tie must not
+    make eviction order ambiguous across runs."""
+
+    def test_drop_oldest_ties_evict_in_insertion_order(self):
+        queue = AdmissionQueue(2, "drop-oldest")
+        queue.offer(make_request(req_id=10, arrival_ns=5.0))
+        queue.offer(make_request(req_id=11, arrival_ns=5.0))
+        _, evicted_first = queue.offer(make_request(req_id=12, arrival_ns=5.0))
+        _, evicted_second = queue.offer(make_request(req_id=13, arrival_ns=5.0))
+        assert evicted_first.req_id == 10
+        assert evicted_second.req_id == 11
+        assert [r.req_id for r in queue.drain(5.0)] == [12, 13]
+
+    def test_tied_arrivals_pop_in_insertion_order(self):
+        queue = AdmissionQueue(4)
+        for req_id in (3, 1, 2):  # same instant, ids deliberately unsorted
+            queue.offer(make_request(req_id=req_id, arrival_ns=7.0))
+        assert [queue.pop(8.0).req_id for _ in range(3)] == [3, 1, 2]
+
+    def test_tied_arrivals_shed_deterministically_across_runs(self):
+        def run():
+            queue = AdmissionQueue(2, "drop-oldest")
+            evictions = []
+            for req_id in range(6):
+                _, evicted = queue.offer(
+                    make_request(req_id=req_id, arrival_ns=42.0)
+                )
+                if evicted is not None:
+                    evictions.append(evicted.req_id)
+            return evictions, [r.req_id for r in queue.drain(42.0)]
+
+        assert run() == run() == ([0, 1, 2, 3], [4, 5])
+
+    def test_degrade_tie_at_watermark_boundary(self):
+        # occupancy exactly at the watermark degrades; one below admits
+        # cleanly — same-instant arrivals must not blur the boundary
+        queue = AdmissionQueue(4, "degrade", degrade_watermark=2)
+        verdicts = [
+            queue.offer(make_request(req_id=i, arrival_ns=9.0))[0]
+            for i in range(4)
+        ]
+        assert verdicts == [
+            "admitted", "admitted", "admitted-degraded", "admitted-degraded"
+        ]
+
+    def test_tied_eviction_preserves_occupancy_integral(self):
+        queue = AdmissionQueue(2, "drop-oldest")
+        for req_id in range(4):  # all at t=0: no time passes, no area
+            queue.offer(make_request(req_id=req_id, arrival_ns=0.0))
+        assert queue.stats.occupancy_ns == 0.0
+        queue.pop(100.0)  # [0, 100): 2 waiters
+        assert queue.stats.occupancy_ns == pytest.approx(200.0)
+
+
 class TestAccounting:
     def test_time_weighted_occupancy_integral(self):
         queue = AdmissionQueue(4)

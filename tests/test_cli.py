@@ -347,3 +347,116 @@ class TestTraceCommand:
             "analyze", "--spans", "a.jsonl", "--spans", "b.json",
         ])
         assert args.spans == ["a.jsonl", "b.json"]
+
+
+class TestNumericFlagValidation:
+    """Bad counts and rates die at the parser with a flag-specific
+    argparse error, never deep inside the event loop."""
+
+    @pytest.mark.parametrize("argv", [
+        ["serve", "--trace-sample", "0"],
+        ["serve", "--trace-sample", "-3"],
+        ["serve", "--capacity", "0"],
+        ["serve", "--max-retries", "-1"],
+        ["serve", "--kv-blocks", "-1"],
+        ["serve", "--block-tokens", "0"],
+        ["serve", "--duration-ms", "0"],
+        ["serve", "--qps", "-2"],
+        ["serve", "--deadline-ms", "0"],
+        ["serve", "--pim-fault-rate", "-0.1"],
+        ["serve", "--replay-barrier", "0"],
+        ["trace", "--sample-every", "0"],
+        ["trace", "--kv-blocks", "-5"],
+        ["chaos", "--queries", "0"],
+        ["chaos", "--crash-injections", "-1"],
+        ["chaos", "--kv-crash-injections", "-1"],
+        ["chaos", "--migration-crash-injections", "-2"],
+        ["dataset", "--queries", "-4"],
+        ["mapping", "--rows", "0"],
+        ["mapping", "--dtype-bytes", "-2"],
+        ["fleet", "--devices", "0"],
+        ["fleet", "--kills", "-1"],
+        ["fleet", "--standby", "-1"],
+        ["fleet", "--kv-blocks", "0"],
+        ["fleet", "--recovery-ms", "-5"],
+        ["fleet", "--qps", "0"],
+    ])
+    def test_zero_or_negative_counts_rejected(self, argv, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(argv)
+        assert excinfo.value.code == 2  # argparse usage error
+        err = capsys.readouterr().err
+        assert argv[1] in err  # the offending flag is named
+        assert "must be" in err
+
+    @pytest.mark.parametrize("argv", [
+        ["serve", "--trace-sample", "four"],
+        ["serve", "--qps", "fast"],
+        ["fleet", "--devices", "3.5"],
+    ])
+    def test_non_numeric_text_rejected(self, argv):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(argv)
+        assert excinfo.value.code == 2
+
+    def test_valid_boundaries_still_parse(self):
+        args = build_parser().parse_args([
+            "serve", "--trace-sample", "1", "--max-retries", "0",
+            "--kv-blocks", "0", "--pim-fault-rate", "0.0",
+        ])
+        assert args.trace_sample == 1 and args.max_retries == 0
+        assert args.kv_blocks == 0 and args.pim_fault_rate == 0.0
+
+    def test_fleet_flags_parse(self):
+        args = build_parser().parse_args([
+            "fleet", "--devices", "6", "--standby", "2", "--kills", "40",
+            "--shape", "bursty", "--autoscale", "--shed", "drop-oldest",
+        ])
+        assert args.devices == 6 and args.standby == 2 and args.kills == 40
+        assert args.shape == "bursty" and args.autoscale
+        assert args.shed == "drop-oldest"
+
+
+class TestFleetCommand:
+    def test_fleet_writes_report_and_exits_zero(self, capsys, tmp_path):
+        out = tmp_path / "fleet.json"
+        assert main([
+            "fleet", "--devices", "2", "--duration-ms", "300",
+            "--qps", "10", "--out", str(out),
+        ]) == 0
+        import json
+
+        report = json.loads(out.read_text())
+        assert report["none_lost"] is True
+        assert len(report["devices"]) == 2
+        assert "fleet run" in capsys.readouterr().out
+
+    def test_fleet_campaign_exits_zero_and_reports_sites(
+        self, capsys, tmp_path
+    ):
+        out = tmp_path / "campaign.json"
+        assert main([
+            "fleet", "--campaign", "--kills", "8", "--out", str(out),
+        ]) == 0
+        import json
+
+        report = json.loads(out.read_text())
+        assert report["ok"] is True and report["kills_applied"] == 8
+        assert "crashes by site" in capsys.readouterr().out
+
+    def test_fleet_kills_with_metrics_out(self, capsys, tmp_path):
+        metrics_out = tmp_path / "fleet_metrics.json"
+        assert main([
+            "fleet", "--devices", "2", "--duration-ms", "300",
+            "--qps", "10", "--kills", "2", "--kill-gap-ms", "50",
+            "--out", str(tmp_path / "fleet.json"),
+            "--metrics-out", str(metrics_out),
+        ]) == 0
+        import json
+
+        names = {
+            m["name"]
+            for m in json.loads(metrics_out.read_text())["metrics"]
+        }
+        assert "fleet_device_served_total" in names
+        assert "fleet_device_state" in names
