@@ -553,8 +553,9 @@ def _cmd_fleet(args: argparse.Namespace) -> None:
     if args.kills:
         # Round-robin jittered schedule on the chaos RNG stream.  Unlike
         # the campaign there is no kill-count oracle here, so a kill that
-        # lands on a still-quarantined device is simply skipped by the
-        # runtime instead of retargeted.
+        # lands on a still-quarantined device — or on a STANDBY/DRAINING
+        # member parked out of rotation (--standby/--autoscale) — is
+        # simply skipped by the runtime instead of retargeted.
         kill_rng = _random.Random(args.seed * 9973 + 65537)
         gap_ns = args.kill_gap_ms * 1e6
         t = gap_ns

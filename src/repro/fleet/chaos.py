@@ -140,7 +140,10 @@ def _build_schedule(
                 d for d in range(spec.n_devices) if down_until[d] <= t
             ]
             if not alive:
-                t = min(down_until)  # wait for the first revive
+                # wait for the first revive, landing strictly *after* its
+                # timestamp: a kill scheduled at exactly the revive instant
+                # would depend on the runtime's tie-breaking to apply
+                t = min(down_until) + 1.0
                 alive = [
                     d for d in range(spec.n_devices) if down_until[d] <= t
                 ]

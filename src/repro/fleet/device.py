@@ -229,6 +229,12 @@ class FleetDevice:
         self.prefix_hits = 0
         self.prefill_tokens_saved = 0
         self.kv_evicted_conversations = 0
+        #: EWMA of observed service durations, seeded with a nominal
+        #: SoC-path estimate so queued work on a never-served device is
+        #: already visible to the router and autoscaler (backlog_ns)
+        self._service_est_ns = self.engine.soc_prefill_ns(
+            256
+        ) + self.engine.decode_total_ns(256, 64, False)
 
     # -- state machine ---------------------------------------------------------
 
@@ -464,13 +470,18 @@ class FleetDevice:
 
     # -- load signals ----------------------------------------------------------
 
+    def _observe_service(self, duration_ns: float) -> None:
+        if duration_ns > 0.0:
+            self._service_est_ns += 0.25 * (duration_ns - self._service_est_ns)
+
     def backlog_ns(self, now_ns: float) -> float:
         """Queued-but-unexecuted work: resource-timeline overhang plus
-        the waiting queue scaled by the bottleneck service estimate."""
+        the waiting queue scaled by the bottleneck service estimate (an
+        EWMA of this device's observed service durations)."""
         overhang = max(
             0.0, max(self.free["soc"], self.free["pim"]) - max(now_ns, self.clock)
         )
-        return overhang
+        return overhang + len(self.queue) * self._service_est_ns
 
     def est_start(self) -> float:
         head = self.queue.peek()
@@ -587,6 +598,12 @@ class FleetDevice:
         scheduled loss) lands inside the service window — the caller
         re-admits the request elsewhere via the router.
         """
+        result = self._serve_next(interrupt_ns)
+        if isinstance(result, ServedPhases):
+            self._observe_service(result.end_ns - result.start_ns)
+        return result
+
+    def _serve_next(self, interrupt_ns: Optional[float] = None):
         head = self.queue.peek()
         if head is None:
             raise RuntimeError("serve_next on an empty queue")

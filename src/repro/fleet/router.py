@@ -75,9 +75,11 @@ class FleetRouter:
         best: Optional[FleetDevice] = None
         best_key = None
         for dev in self._candidates():
+            # backlog_ns already weights queued-but-unstarted work by
+            # the device's service estimate (see FleetDevice.backlog_ns)
             key = (
                 _STATE_RANK[dev.state],
-                dev.backlog_ns(now_ns) + len(dev.queue) * 1.0,
+                dev.backlog_ns(now_ns),
                 dev.spec.device_id,
             )
             if best_key is None or key < best_key:

@@ -20,11 +20,19 @@ served-degraded, rejected, dropped, shed-unroutable, timed-out, or
 aborted.  Nothing is silently lost, including mid-flight work on a
 killed device.
 
+A device **quarantined by sustained fault pressure** (``update_health``
+crossing the quarantine watermark mid-run, no kill event involved) takes
+the same failover edge: its admitted queue drains through the router
+onto survivors and a timed revive (``recovery_ms``) returns it to
+rotation — exactly the ``revive`` edge the device docstring draws.
+
 Determinism: arrivals ride the workload stream; each device's phase
 faults ride its own derived substream; kills ride the campaign's
 separate stream (see :mod:`repro.fleet.chaos`).  Ties across devices
 break by device id; ties across event kinds break timed-events-first so
-a kill at *t* always beats a service starting at *t*.
+a kill at *t* always beats a service starting at *t*, and revives
+process before kills at the same instant so a kill scheduled exactly at
+a revive timestamp still applies to the freshly revived device.
 """
 
 from __future__ import annotations
@@ -132,13 +140,20 @@ class FleetReport:
     autoscaler: Optional[Dict] = None
     kills: int = 0
     revives: int = 0
+    #: devices quarantined by sustained fault pressure (not by a kill)
+    health_quarantines: int = 0
     audit_findings: List[str] = field(default_factory=list)
+    #: the ids the workload actually offered, recorded by the runtime so
+    #: ``none_lost`` can detect a request that got *no* outcome at all
+    offered_req_ids: List[int] = field(default_factory=list)
 
     def _count(self, *statuses: str) -> int:
         return sum(1 for o in self.outcomes if o.status in statuses)
 
     @property
     def offered(self) -> int:
+        if self.offered_req_ids:
+            return len(self.offered_req_ids)
         return len(self.outcomes)
 
     @property
@@ -175,11 +190,18 @@ class FleetReport:
     @property
     def none_lost(self) -> bool:
         """The conservation law: every offered request has exactly one
-        terminal outcome and every outcome status is terminal."""
+        terminal outcome, every outcome status is terminal, and — when
+        the runtime recorded the offered ids — the outcome ids match the
+        offered ids exactly, so a stranded request with *no* outcome
+        fails the law rather than slipping past a uniqueness check."""
         ids = [o.req_id for o in self.outcomes]
-        return len(ids) == len(set(ids)) and all(
-            o.status in TERMINAL_STATUSES for o in self.outcomes
-        )
+        if len(ids) != len(set(ids)):
+            return False
+        if any(o.status not in TERMINAL_STATUSES for o in self.outcomes):
+            return False
+        if self.offered_req_ids:
+            return set(ids) == set(self.offered_req_ids)
+        return True
 
     @property
     def ok(self) -> bool:
@@ -203,6 +225,7 @@ class FleetReport:
             "failovers": self.failovers,
             "kills": self.kills,
             "revives": self.revives,
+            "health_quarantines": self.health_quarantines,
             "goodput_qps": self.goodput_qps,
             "slo_attainment": self.slo_attainment,
             "ttft": self.ttft.to_dict(),
@@ -232,6 +255,7 @@ class FleetReport:
             ("unserved", d["unserved"]),
             ("failovers", d["failovers"]),
             ("kills", d["kills"]),
+            ("health quarantines", d["health_quarantines"]),
             ("goodput", f"{d['goodput_qps']:.1f} qps"),
             ("p99 TTFT", f"{d['ttft']['p99_ms']:.2f} ms"),
             ("none lost", d["none_lost"]),
@@ -390,6 +414,7 @@ class FleetRuntime:
         carried: Dict[int, List[Request]] = {}
         kills_applied = 0
         revives_applied = 0
+        health_quarantines = 0
         clock = 0.0
         next_autoscale = (
             self.autoscaler.interval_ns if self.autoscaler is not None else None
@@ -427,13 +452,26 @@ class FleetRuntime:
             t_next = min(t_real, t_scale)
             clock = max(clock, t_next)
 
-            # timed events first: a kill at t beats a service starting at t
+            # timed events first: a kill at t beats a service starting at
+            # t, and a revive at t beats a kill at t (so a kill scheduled
+            # exactly at a revive timestamp hits the revived device
+            # instead of being skipped as already-quarantined)
+            if t_revive <= t_next and t_revive <= t_kill:
+                t, device_id = revives.pop(0)
+                if self.by_id[device_id].revive(t):
+                    revives_applied += 1
+                continue
             if t_kill <= t_next:
                 t, device_id = kill_schedule[kill_idx]
                 kill_idx += 1
                 device = self.by_id[device_id]
                 if device.state is DeviceState.QUARANTINED:
                     continue  # already down; the campaign retargets, not us
+                if device.state in (DeviceState.STANDBY, DeviceState.DRAINING):
+                    # parked out of rotation: killing it would revive it
+                    # into ACTIVE, pulling standby capacity into rotation
+                    # behind the autoscaler's back
+                    continue
                 device.kill(t, kill_index=kills_applied)
                 kills_applied += 1
                 self._fail_over_device(
@@ -441,11 +479,6 @@ class FleetRuntime:
                 )
                 revives.append((t + cfg.recovery_ms * 1e6, device_id))
                 revives.sort()
-                continue
-            if t_revive <= t_next:
-                t, device_id = revives.pop(0)
-                if self.by_id[device_id].revive(t):
-                    revives_applied += 1
                 continue
             if t_scale <= t_next:
                 if self.autoscaler is None or next_autoscale is None:
@@ -469,12 +502,28 @@ class FleetRuntime:
             if head is None:
                 raise RuntimeError("serviceable device reported an empty queue head")
             result = serve_dev.serve_next(interrupt_ns=interrupt)
-            serve_dev.update_health(serve_dev.clock)
             if isinstance(result, Preempted):
                 # park it; the pending kill event fails it over
                 carried.setdefault(serve_dev.spec.device_id, []).append(
                     result.request
                 )
+            if serve_dev.update_health(serve_dev.clock) is DeviceState.QUARANTINED:
+                # sustained fault pressure quarantined the device: drain
+                # its admitted queue (plus any just-parked preemption)
+                # onto survivors now and schedule the timed revive —
+                # the same edge as an injected kill, minus the crash
+                health_quarantines += 1
+                self._fail_over_device(
+                    serve_dev, serve_dev.clock,
+                    carried.pop(serve_dev.spec.device_id, []),
+                    outcomes, failovers,
+                )
+                revives.append(
+                    (serve_dev.clock + cfg.recovery_ms * 1e6,
+                     serve_dev.spec.device_id)
+                )
+                revives.sort()
+            if isinstance(result, Preempted):
                 continue
             outcomes.append(
                 FleetOutcome(
@@ -531,7 +580,9 @@ class FleetRuntime:
             ),
             kills=kills_applied,
             revives=revives_applied,
+            health_quarantines=health_quarantines,
             audit_findings=findings,
+            offered_req_ids=sorted(r.req_id for r in requests),
         )
         self._publish_lanes(report)
         return report

@@ -55,6 +55,34 @@ class TestSchedule:
         b, _ = _build_schedule(spec, random.Random(5 * 9973 + 65537))
         assert a == b
 
+    def test_all_down_retarget_lands_strictly_after_revive(self):
+        """The all-devices-down retarget path must schedule the kill
+        strictly after the earliest revive: a kill at exactly a revive
+        timestamp would depend on the runtime's tie-breaking to apply,
+        and (before the fix) was skipped, breaking the all-kills-applied
+        oracle.  Forge a recovery dwell longer than the validated cadence
+        bound to reach the branch deterministically."""
+        spec = FleetChaosSpec.__new__(FleetChaosSpec)
+        for name, value in dict(
+            n_devices=2, kills=4, seed=0, kill_gap_ms=20.0,
+            recovery_ms=50.0, qps=1.0, deadline_ms=400.0, mean_turns=1.0,
+            queue_capacity=8, shed_policy="reject",
+        ).items():
+            object.__setattr__(spec, name, value)
+
+        class _MinJitter:
+            """Pins every jitter draw to the [-0.5, 0.5) minimum."""
+
+            def random(self):
+                return 0.0
+
+        schedule, retargeted = _build_schedule(spec, _MinJitter())
+        assert retargeted > 0  # the all-down branch actually fired
+        down = [0.0] * spec.n_devices
+        for t, device in schedule:
+            assert down[device] < t  # strictly past any prior revive
+            down[device] = t + spec.recovery_ms * 1e6
+
 
 class TestSmallCampaign:
     @pytest.fixture(scope="class")

@@ -161,6 +161,34 @@ class TestKillRevive:
         assert device.resident_tokens(9) == 0
 
 
+class TestBacklogSignal:
+    def test_backlog_counts_queued_unstarted_work(self, iphone_engine):
+        """An idle timeline with a full queue is real load: backlog must
+        weight queued-but-unstarted requests by the service estimate so
+        the router and autoscaler do not see the device as empty."""
+        device = make_device(iphone_engine)
+        assert device.backlog_ns(0.0) == 0.0
+        device.offer(make_request(req_id=0), 0.0)
+        one = device.backlog_ns(0.0)
+        assert one > 0.0
+        device.offer(make_request(req_id=1), 0.0)
+        assert device.backlog_ns(0.0) > one
+
+    def test_service_estimate_tracks_observations(self, iphone_engine):
+        device = make_device(iphone_engine)
+        seeded = device._service_est_ns
+        device.offer(make_request(req_id=0), 0.0)
+        result = device.serve_next()
+        observed = result.end_ns - result.start_ns
+        # the EWMA moved from the nominal seed toward the observation
+        assert device._service_est_ns != seeded
+        assert (
+            min(seeded, observed)
+            <= device._service_est_ns
+            <= max(seeded, observed)
+        )
+
+
 class TestServePath:
     def test_prefix_residency_prices_followup_turns(self, iphone_engine):
         device = make_device(iphone_engine)

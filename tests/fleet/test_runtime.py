@@ -81,6 +81,67 @@ class TestConservation:
             report.served + report.shed + report.unserved == report.offered
         )
 
+    def test_none_lost_detects_a_missing_outcome(self):
+        """none_lost must compare against the offered ids — dropping an
+        outcome (a stranded request) fails the law even though the
+        remaining outcomes are unique and terminal."""
+        report, requests = _run()
+        assert requests and report.none_lost
+        assert report.offered_req_ids == sorted(r.req_id for r in requests)
+        report.outcomes.pop()
+        assert not report.none_lost
+
+
+class TestHealthQuarantine:
+    def _faulty_fleet(self, n=2, seed=0, pim_fault_rate=0.75):
+        """Devices whose PIM fault pressure crosses the quarantine
+        watermark, with breakers held open-proof (huge min_observations)
+        so the health window keeps filling."""
+        from repro.fleet.device import DeviceSpec, FleetDevice
+        from repro.platforms.specs import ALL_PLATFORMS
+
+        return [
+            FleetDevice(
+                DeviceSpec(
+                    device_id=i,
+                    platform=ALL_PLATFORMS[i % len(ALL_PLATFORMS)],
+                    pim_fault_rate=pim_fault_rate,
+                    breaker_min_observations=10_000,
+                ),
+                seed=seed,
+            )
+            for i in range(n)
+        ]
+
+    def test_health_quarantine_fails_over_queue_and_revives(self):
+        """A device quarantined by sustained fault pressure (no kill
+        event) must not strand its admitted queue: refugees fail over,
+        every offered request still gets a terminal outcome, and the
+        timed revive returns the device to rotation."""
+        config = FleetConfig(n_devices=2, seed=0, recovery_ms=20.0,
+                             pim_fault_rate=0.75)
+        requests = fleet_workload([_tenant(qps=40.0)], 1_000.0,
+                                  shape=DIURNAL, seed=0)
+        runtime = FleetRuntime(config, devices=self._faulty_fleet())
+        report = runtime.run(requests)
+        assert report.health_quarantines > 0
+        assert report.kills == 0
+        assert report.revives > 0  # health quarantines revive on a timer
+        assert report.none_lost
+        assert {o.req_id for o in report.outcomes} == {
+            r.req_id for r in requests
+        }
+        quarantined = [
+            d for d in runtime.devices
+            if any(b == "quarantined" for _, _, b in d.transitions)
+        ]
+        assert quarantined
+        # the revive edge fired: quarantined devices re-entered ACTIVE
+        for device in quarantined:
+            assert ("quarantined", "active") in [
+                (a, b) for _, a, b in device.transitions
+            ]
+
 
 class TestFailover:
     def test_kills_force_failover_placements(self):
@@ -101,6 +162,21 @@ class TestFailover:
                                 duration_ms=500.0)
         assert report.none_lost
         assert report.offered == len(requests)
+
+    def test_kills_skip_standby_spares(self):
+        """A kill landing on a STANDBY spare is skipped — applying it
+        would revive the spare into ACTIVE, recruiting standby capacity
+        behind the autoscaler's back."""
+        config = FleetConfig(n_devices=3, standby_devices=1, seed=0)
+        requests = fleet_workload([_tenant()], 500.0, shape=DIURNAL,
+                                  seed=0)
+        # device 2 is the parked spare; schedule its loss mid-run
+        report = FleetRuntime(config).run(requests, kills=[(5e6, 2)])
+        assert report.kills == 0
+        assert report.revives == 0
+        spare = [d for d in report.devices if d["device_id"] == 2][0]
+        assert spare["state"] == "standby"
+        assert report.none_lost
 
 
 class TestDeterminism:
