@@ -1,0 +1,88 @@
+"""Extension — design-space exploration: the default sweep as a bench.
+
+Runs the stock 128-point grid (4 platforms x 4 mapping families x
+2 shed policies x 2 KV pool sizes x 2 workload shapes) twice — once on
+a single worker, once on four — and holds the DSE subsystem to its two
+contracts:
+
+* **order independence** — the two reports serialize byte-identically:
+  worker count and completion order never leak into the output;
+* **standalone reproducibility** — every frontier point, re-evaluated
+  solo from just its config + derived seed (what the printed
+  ``repro-facil dse --only`` command does), returns the same
+  ``config_hash`` and bit-equal metrics.
+
+``BENCH_dse.json`` summarizes the frontier so the nightly ``dse`` job
+can gate regressions through ``report.py diff`` against the committed
+baseline.
+"""
+
+import json
+import os
+
+from repro.dse import default_sweep, pareto_report, run_sweep
+from repro.dse.evaluate import evaluate_point
+from repro.telemetry.bench import BenchResult, hash_config, write_bench_result
+
+from report import emit
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+SEED = 0
+
+
+def test_dse_default_sweep(benchmark):
+    spec = default_sweep(seed=SEED)
+    assert spec.n_points >= 48
+
+    def run():
+        return run_sweep(spec, workers=1), run_sweep(spec, workers=4)
+
+    serial, parallel = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    report_serial = pareto_report(serial)
+    report_parallel = pareto_report(parallel)
+    workers_identical = report_serial.to_json() == report_parallel.to_json()
+    assert workers_identical, "worker count leaked into the sweep report"
+
+    # every frontier point must reproduce standalone from config + seed
+    repro_identical = True
+    for entry in report_serial.frontier:
+        point = entry.point
+        solo = evaluate_point(point.config, point.seed)
+        if hash_config(point.config) != point.config_hash:
+            repro_identical = False
+        if json.dumps(solo, sort_keys=True) != json.dumps(
+            point.metrics, sort_keys=True
+        ):
+            repro_identical = False
+    assert repro_identical, "a frontier point failed its solo repro"
+
+    frontier = report_serial.frontier
+    assert frontier, "default sweep produced an empty frontier"
+    best_goodput = max(e.point.metrics["goodput_qps"] for e in frontier)
+    min_p99 = min(e.point.metrics["ttft_p99_ms"] for e in frontier)
+
+    emit("dse", report_serial.render())
+
+    config = spec.spec_config()
+    write_bench_result(
+        os.path.join(_REPO_ROOT, "BENCH_dse.json"),
+        BenchResult(
+            name="dse_default_sweep",
+            seed=SEED,
+            config_hash=hash_config(config),
+            metrics={
+                "n_points": float(len(serial.points)),
+                "frontier_size": float(len(frontier)),
+                "frontier_best_goodput_qps": best_goodput,
+                "frontier_min_ttft_p99_ms": min_p99,
+                "workers_identical": 1.0 if workers_identical else 0.0,
+                "repro_identical": 1.0 if repro_identical else 0.0,
+            },
+            notes="default 128-point sweep; workers_identical asserts the "
+                  "workers=1 and workers=4 reports are byte-identical, "
+                  "repro_identical that every frontier point reproduces "
+                  "standalone from config_hash + seed",
+        ),
+    )

@@ -1,20 +1,34 @@
-"""Reporting helper for the benchmark harness.
+"""Reporting helpers for the benchmark harness.
 
 Every bench regenerates one of the paper's tables/figures and emits the
 rows through :func:`emit`: the text is printed (visible with ``pytest -s``
 or in captured output on failure) and written to
 ``benchmarks/results/<name>.txt`` so the regenerated experiment artifacts
 persist across runs.
+
+:func:`diff_bench` is the shared regression gate every nightly job uses:
+it checks a fresh ``BenchResult`` against absolute bounds and (when a
+committed baseline is given) against the baseline's metrics.  A
+``config_hash`` mismatch between fresh and baseline means the workloads
+differ, so baseline-relative rules are skipped as "no comparison" — only
+the absolute bounds still gate.  The module doubles as a CLI::
+
+    python benchmarks/report.py diff BENCH_x.json \
+        [--baseline PATH] [--min M=V] [--max M=V] \
+        [--no-worse M[:TOL]] [--lower-is-better M] [--ratio-min A/B=V]
+
+exiting nonzero on any regression, which is what the workflow steps run.
 """
 
 from __future__ import annotations
 
 import os
-from typing import Iterable, List, Sequence
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 _RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
-__all__ = ["emit", "format_table", "ascii_chart"]
+__all__ = ["emit", "format_table", "ascii_chart", "BenchDiff", "diff_bench"]
 
 
 def emit(name: str, text: str) -> str:
@@ -82,3 +96,222 @@ def ascii_chart(
     if y_label:
         lines.insert(0, f"          [{y_label}]")
     return "\n".join(lines)
+
+
+# -- shared regression gate -------------------------------------------------
+
+
+@dataclass
+class BenchDiff:
+    """Outcome of gating one fresh BenchResult."""
+
+    ok: bool
+    #: True when a baseline was given but its config_hash differed, so
+    #: the baseline-relative rules were skipped entirely
+    no_comparison: bool
+    lines: List[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        return "\n".join(self.lines)
+
+
+def _metric(result, name: str) -> Optional[float]:
+    value = result.metrics.get(name)
+    return None if value is None else float(value)
+
+
+def diff_bench(
+    fresh,
+    baseline=None,
+    *,
+    min_bounds: Optional[Mapping[str, float]] = None,
+    max_bounds: Optional[Mapping[str, float]] = None,
+    no_worse: Optional[Mapping[str, float]] = None,
+    lower_is_better: Sequence[str] = (),
+    ratio_min: Optional[Mapping[Tuple[str, str], float]] = None,
+) -> BenchDiff:
+    """Gate *fresh* (a ``BenchResult``) and return the verdict.
+
+    * ``min_bounds`` / ``max_bounds`` — absolute floors/ceilings on
+      fresh metrics;
+    * ``ratio_min`` — ``(num, den) -> floor`` bounds on the ratio of two
+      fresh metrics;
+    * ``no_worse`` — metric -> relative tolerance checked against
+      *baseline*: fresh must not regress past ``tolerance`` (direction
+      per ``lower_is_better``).  Skipped, with a "no comparison" note,
+      when the baseline is absent or its ``config_hash`` differs.
+
+    A metric a rule names but the fresh result lacks is a failure — a
+    silently vanished metric must not pass the gate it used to feed.
+    """
+    lines: List[str] = []
+    failures = 0
+    lower = set(lower_is_better)
+
+    def check(name: str) -> Optional[float]:
+        value = _metric(fresh, name)
+        if value is None:
+            lines.append(f"FAIL {name}: metric missing from fresh result")
+        return value
+
+    for name in sorted(min_bounds or {}):
+        bound = float((min_bounds or {})[name])
+        value = check(name)
+        if value is None or value < bound:
+            failures += 1
+            if value is not None:
+                lines.append(f"FAIL {name} = {value:g} < floor {bound:g}")
+        else:
+            lines.append(f"ok   {name} = {value:g} >= {bound:g}")
+    for name in sorted(max_bounds or {}):
+        bound = float((max_bounds or {})[name])
+        value = check(name)
+        if value is None or value > bound:
+            failures += 1
+            if value is not None:
+                lines.append(f"FAIL {name} = {value:g} > ceiling {bound:g}")
+        else:
+            lines.append(f"ok   {name} = {value:g} <= {bound:g}")
+    for num, den in sorted(ratio_min or {}):
+        bound = float((ratio_min or {})[(num, den)])
+        v_num, v_den = check(num), check(den)
+        if v_num is None or v_den is None:
+            failures += 1
+            continue
+        if v_den == 0.0:
+            failures += 1
+            lines.append(f"FAIL {num}/{den}: denominator is zero")
+            continue
+        ratio = v_num / v_den
+        if ratio < bound:
+            failures += 1
+            lines.append(
+                f"FAIL {num}/{den} = {ratio:g} < floor {bound:g}"
+            )
+        else:
+            lines.append(f"ok   {num}/{den} = {ratio:g} >= {bound:g}")
+
+    no_comparison = False
+    if no_worse:
+        if baseline is None:
+            no_comparison = True
+            lines.append(
+                "no comparison: no baseline; skipping "
+                + ", ".join(sorted(no_worse))
+            )
+        elif baseline.config_hash != fresh.config_hash:
+            no_comparison = True
+            lines.append(
+                f"no comparison: config_hash changed "
+                f"({baseline.config_hash} -> {fresh.config_hash}); "
+                f"skipping " + ", ".join(sorted(no_worse))
+            )
+        else:
+            for name in sorted(no_worse):
+                tolerance = float(no_worse[name])
+                value = check(name)
+                if value is None:
+                    failures += 1
+                    continue
+                base = _metric(baseline, name)
+                if base is None:
+                    lines.append(
+                        f"no comparison: {name} missing from baseline"
+                    )
+                    continue
+                if name in lower:
+                    limit = base * (1.0 + tolerance)
+                    regressed = value > limit
+                else:
+                    limit = base * (1.0 - tolerance)
+                    regressed = value < limit
+                verdict = "FAIL" if regressed else "ok  "
+                if regressed:
+                    failures += 1
+                lines.append(
+                    f"{verdict} {name} = {value:g} vs baseline {base:g} "
+                    f"(tolerance {tolerance:g}, limit {limit:g})"
+                )
+
+    return BenchDiff(ok=failures == 0, no_comparison=no_comparison, lines=lines)
+
+
+def _parse_bound(text: str, flag: str) -> Tuple[str, float]:
+    name, sep, raw = text.partition("=")
+    if not sep:
+        raise SystemExit(f"{flag} takes METRIC=VALUE (got {text!r})")
+    try:
+        return name.strip(), float(raw)
+    except ValueError:
+        raise SystemExit(f"{flag}: {raw!r} is not a number")
+
+
+def _diff_main(argv: Sequence[str]) -> int:
+    import argparse
+
+    from repro.telemetry.bench import load_bench_result
+
+    parser = argparse.ArgumentParser(
+        prog="report.py diff", description="BenchResult regression gate"
+    )
+    parser.add_argument("fresh", help="fresh BENCH_*.json to gate")
+    parser.add_argument("--baseline", default=None, metavar="PATH",
+                        help="committed baseline BenchResult")
+    parser.add_argument("--min", action="append", default=[],
+                        metavar="METRIC=V", help="absolute floor")
+    parser.add_argument("--max", action="append", default=[],
+                        metavar="METRIC=V", help="absolute ceiling")
+    parser.add_argument("--no-worse", action="append", default=[],
+                        metavar="METRIC[:TOL]",
+                        help="fresh must be within TOL (default 0.05) of "
+                        "the baseline, direction per --lower-is-better")
+    parser.add_argument("--lower-is-better", action="append", default=[],
+                        metavar="METRIC",
+                        help="mark a --no-worse metric as cost-like")
+    parser.add_argument("--ratio-min", action="append", default=[],
+                        metavar="NUM/DEN=V",
+                        help="floor on the ratio of two fresh metrics")
+    args = parser.parse_args(argv)
+
+    fresh = load_bench_result(args.fresh)
+    baseline = None
+    if args.baseline is not None and os.path.exists(args.baseline):
+        baseline = load_bench_result(args.baseline)
+
+    no_worse: Dict[str, float] = {}
+    for item in args.no_worse:
+        name, sep, raw = item.partition(":")
+        try:
+            no_worse[name.strip()] = float(raw) if sep else 0.05
+        except ValueError:
+            raise SystemExit(f"--no-worse: {raw!r} is not a number")
+    ratio_min: Dict[Tuple[str, str], float] = {}
+    for item in args.ratio_min:
+        pair, value = _parse_bound(item, "--ratio-min")
+        num, sep, den = pair.partition("/")
+        if not sep:
+            raise SystemExit(f"--ratio-min takes NUM/DEN=VALUE (got {item!r})")
+        ratio_min[(num.strip(), den.strip())] = value
+
+    diff = diff_bench(
+        fresh,
+        baseline,
+        min_bounds=dict(_parse_bound(b, "--min") for b in args.min),
+        max_bounds=dict(_parse_bound(b, "--max") for b in args.max),
+        no_worse=no_worse,
+        lower_is_better=tuple(args.lower_is_better),
+        ratio_min=ratio_min,
+    )
+    print(f"gate {fresh.name} (seed {fresh.seed}, "
+          f"config {fresh.config_hash}):")
+    print(diff.render())
+    print("gate " + ("PASSED" if diff.ok else "FAILED"))
+    return 0 if diff.ok else 1
+
+
+if __name__ == "__main__":
+    import sys
+
+    if len(sys.argv) >= 2 and sys.argv[1] == "diff":
+        sys.exit(_diff_main(sys.argv[2:]))
+    raise SystemExit(f"usage: {sys.argv[0]} diff FRESH.json [options]")

@@ -11,6 +11,7 @@ Subcommands::
     repro-facil serve    --duration-ms 60000      # serving runtime + SLO report
     repro-facil fleet    --devices 4 --kills 40   # fleet run with device losses
     repro-facil trace    --trace-out trace.json   # traced run + metrics snapshot
+    repro-facil dse      --workers 4              # design-space sweep + Pareto report
     repro-facil analyze  --format json            # static analysis gate
 
 ``chaos``, ``serve``, and ``fleet`` write machine-readable JSON reports
@@ -589,6 +590,98 @@ def _cmd_fleet(args: argparse.Namespace) -> None:
         )
 
 
+def _cmd_dse(args: argparse.Namespace) -> None:
+    # Lazy import: the DSE layer pulls in serving + kvcache.
+    import json
+
+    from repro.dse import (
+        SweepSpec,
+        default_sweep,
+        load_reuse,
+        pareto_report,
+        parse_axis_overrides,
+        run_sweep,
+    )
+    from repro.dse.evaluate import evaluate_point
+
+    knobs = {
+        "duration_ms": args.duration_ms,
+        "qps": args.qps,
+        "deadline_ms": args.deadline_ms,
+        "queue_capacity": args.capacity,
+        "block_tokens": args.block_tokens,
+    }
+    try:
+        if args.axes:
+            spec = SweepSpec(
+                seed=args.seed,
+                axes=tuple(parse_axis_overrides(args.axes)),
+                **knobs,
+            )
+        else:
+            spec = default_sweep(seed=args.seed, **knobs)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+
+    # Self-contained repro prefix: every sweep-level flag spelled out so
+    # the printed per-point command rebuilds the identical spec
+    # regardless of this CLI's defaults changing later.  Worker count,
+    # output paths, and resume mode deliberately excluded — they never
+    # affect results.
+    prefix = [
+        "repro-facil", "dse",
+        "--seed", str(args.seed),
+        "--duration-ms", str(args.duration_ms),
+        "--qps", str(args.qps),
+        "--deadline-ms", str(args.deadline_ms),
+        "--capacity", str(args.capacity),
+        "--block-tokens", str(args.block_tokens),
+    ]
+    for axis in args.axes or []:
+        prefix += ["--axes", axis]
+    prefix_str = " ".join(prefix)
+
+    if args.only:
+        points = spec.points()
+        matches = [p for p in points if p.config_hash == args.only]
+        if not matches:
+            raise SystemExit(
+                f"no point with config_hash {args.only!r} in this sweep "
+                f"({len(points)} points); re-run with the same --axes and "
+                f"sweep knobs as the original sweep"
+            )
+        point = matches[0]
+        seed = args.point_seed if args.point_seed is not None else point.seed
+        metrics = evaluate_point(point.config, seed)
+        print(f"point           : #{point.index} of {len(points)}")
+        print("coords          : "
+              + ", ".join(f"{k}={v}" for k, v in point.coords))
+        print(f"config_hash     : {point.config_hash}")
+        print(f"seed            : {seed}")
+        print("metrics         : " + json.dumps(metrics, sort_keys=True))
+        return
+
+    out = args.out if args.out else _results_path(f"dse_seed{args.seed}.json")
+    reuse = None
+    if args.resume:
+        reuse = load_reuse(str(out))
+    result = run_sweep(spec, workers=args.workers, reuse=reuse)
+    report = pareto_report(result, repro_prefix=prefix_str)
+    print(f"sweep           : {len(result.points)} points over "
+          f"{len(spec.axes)} axes (spec hash {result.spec_hash})")
+    if args.resume:
+        print(f"evaluated       : {result.evaluated} fresh, "
+              f"{result.reused} reused from {out}")
+    else:
+        print(f"evaluated       : {result.evaluated} fresh")
+    print(f"workers         : {args.workers}")
+    print()
+    print(report.render(top=args.top))
+    with open(out, "w") as handle:
+        handle.write(report.to_json() + "\n")
+    print(f"\nreport written to {out}")
+
+
 def _cmd_analyze(args: argparse.Namespace) -> None:
     # Lazy import: the analysis layer is tooling the runtime commands
     # never need.
@@ -831,6 +924,46 @@ def build_parser() -> argparse.ArgumentParser:
     fleet.add_argument("--metrics-out", default=None, metavar="PATH",
                        help="write per-device telemetry lanes (JSON)")
 
+    dse = sub.add_parser(
+        "dse",
+        help="design-space exploration: parallel sweep + Pareto frontier",
+    )
+    dse.add_argument("--seed", type=int, default=0,
+                     help="sweep seed; every point derives its own "
+                     "substream from it")
+    dse.add_argument("--workers", type=_positive_int, default=1,
+                     help="worker processes; the report is byte-identical "
+                     "for any value")
+    dse.add_argument("--axes", action="append", metavar="NAME=V1,V2",
+                     help="override one axis of the default grid, e.g. "
+                     "--axes mapping=facil,soc-only (repeatable; axes: "
+                     "platform, mapping, shed, kv_blocks, workload)")
+    dse.add_argument("--duration-ms", type=_positive_float, default=8000.0,
+                     help="simulated horizon per point")
+    dse.add_argument("--qps", type=_positive_float, default=2.0,
+                     help="offered arrival rate per point")
+    dse.add_argument("--deadline-ms", type=_positive_float, default=10_000.0,
+                     help="per-request TTFT budget")
+    dse.add_argument("--capacity", type=_positive_int, default=8,
+                     help="admission queue bound")
+    dse.add_argument("--block-tokens", type=_positive_int, default=16,
+                     help="tokens per KV block (kv_blocks > 0 points)")
+    dse.add_argument("--top", type=_positive_int, default=None,
+                     help="show only the top-N ranked frontier entries")
+    dse.add_argument("--out", default=None, metavar="PATH",
+                     help="sweep report JSON path "
+                     "(default: benchmarks/results/dse_seed<seed>.json)")
+    dse.add_argument("--resume", action="store_true",
+                     help="reuse completed points (matched by "
+                     "config_hash + seed) from the --out file if present")
+    dse.add_argument("--only", default=None, metavar="CONFIG_HASH",
+                     help="evaluate a single point of the sweep standalone "
+                     "and print its metrics (the repro path)")
+    dse.add_argument("--point-seed", type=int, default=None,
+                     help="with --only: the point's substream seed as "
+                     "printed by the sweep report (default: derived from "
+                     "--seed and the point's index)")
+
     analyze = sub.add_parser(
         "analyze",
         help="static analysis: mapping verifier, trace linter, repo lint",
@@ -874,6 +1007,7 @@ _COMMANDS = {
     "serve": _cmd_serve,
     "trace": _cmd_trace,
     "fleet": _cmd_fleet,
+    "dse": _cmd_dse,
     "analyze": _cmd_analyze,
 }
 

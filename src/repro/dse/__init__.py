@@ -1,0 +1,50 @@
+"""Design-space exploration: declarative sweeps over the simulator.
+
+``repro.dse`` turns the serving/KV/fleet machinery into a decision
+tool: declare a grid (:mod:`repro.dse.spec`), fan it out over worker
+processes with per-point seed substreams (:mod:`repro.dse.driver`),
+evaluate each point through the real serving runtime
+(:mod:`repro.dse.evaluate`), and reduce into Pareto frontiers with a
+ranked, reproducible report (:mod:`repro.dse.pareto`).  The CLI face is
+``repro-facil dse``; the nightly bench pins the whole pipeline
+byte-identical across worker counts.
+"""
+
+from repro.dse.driver import PointOutcome, SweepResult, load_reuse, run_sweep
+from repro.dse.evaluate import evaluate_point
+from repro.dse.pareto import (
+    OBJECTIVES,
+    FrontierEntry,
+    ParetoReport,
+    dominates,
+    pareto_report,
+)
+from repro.dse.spec import (
+    AXIS_ORDER,
+    WORKLOADS,
+    SweepPoint,
+    SweepSpec,
+    default_sweep,
+    derive_point_seed,
+    parse_axis_overrides,
+)
+
+__all__ = [
+    "AXIS_ORDER",
+    "OBJECTIVES",
+    "WORKLOADS",
+    "FrontierEntry",
+    "ParetoReport",
+    "PointOutcome",
+    "SweepPoint",
+    "SweepSpec",
+    "SweepResult",
+    "default_sweep",
+    "derive_point_seed",
+    "dominates",
+    "evaluate_point",
+    "load_reuse",
+    "pareto_report",
+    "parse_axis_overrides",
+    "run_sweep",
+]

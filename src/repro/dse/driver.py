@@ -1,0 +1,176 @@
+"""Parallel sweep driver with order-independent reduction.
+
+The driver fans sweep points out across a ``ProcessPoolExecutor`` and
+reduces results **in point order**: outcomes land in a slot keyed by
+the point index, so worker count, scheduling, and completion order can
+never change the output — ``run_sweep(spec, workers=1)`` and
+``run_sweep(spec, workers=4)`` serialize byte-identically, and the
+nightly bench asserts exactly that.
+
+Resume: :func:`load_reuse` reads a previous sweep report and keys every
+completed point by ``(config_hash, seed)``.  ``run_sweep(...,
+reuse=...)`` skips matching points and re-evaluates only the rest; the
+final report is still byte-identical to a fresh run because a reused
+point's metrics are, by the determinism contract, exactly what a fresh
+evaluation would have produced.
+"""
+
+from __future__ import annotations
+
+import json
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.dse.evaluate import evaluate_payload, evaluate_point
+from repro.dse.spec import SweepPoint, SweepSpec
+from repro.telemetry.bench import hash_config
+
+__all__ = ["PointOutcome", "SweepResult", "load_reuse", "run_sweep"]
+
+#: reuse key: one completed evaluation is identified by its config hash
+#: and substream seed
+ReuseKey = Tuple[str, int]
+
+
+@dataclass(frozen=True)
+class PointOutcome:
+    """One evaluated sweep point (metrics + identity)."""
+
+    index: int
+    coords: Tuple[Tuple[str, object], ...]
+    config: Dict[str, object]
+    config_hash: str
+    seed: int
+    metrics: Dict[str, float]
+    #: True when the metrics came from a resume file, not a fresh run
+    #: (excluded from the serialized report to keep resumed and fresh
+    #: sweeps byte-identical)
+    reused: bool = False
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "index": self.index,
+            "coords": {name: value for name, value in self.coords},
+            "config": dict(self.config),
+            "config_hash": self.config_hash,
+            "seed": self.seed,
+            "metrics": {k: self.metrics[k] for k in sorted(self.metrics)},
+        }
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """All point outcomes of one sweep, in point order."""
+
+    seed: int
+    spec_config: Dict[str, object]
+    spec_hash: str
+    points: Tuple[PointOutcome, ...]
+
+    @property
+    def evaluated(self) -> int:
+        return sum(1 for p in self.points if not p.reused)
+
+    @property
+    def reused(self) -> int:
+        return sum(1 for p in self.points if p.reused)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "seed": self.seed,
+            "spec": dict(self.spec_config),
+            "spec_hash": self.spec_hash,
+            "n_points": len(self.points),
+            "points": [p.to_dict() for p in self.points],
+        }
+
+
+def load_reuse(path: str) -> Dict[ReuseKey, Dict[str, float]]:
+    """Read a previous sweep report and index its completed points.
+
+    Tolerates a missing file (returns an empty mapping) so ``--resume``
+    works on the first run too; a malformed file is an error.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            raw = json.load(fh)
+    except FileNotFoundError:
+        return {}
+    reuse: Dict[ReuseKey, Dict[str, float]] = {}
+    for point in raw.get("points", ()):
+        try:
+            key = (str(point["config_hash"]), int(point["seed"]))
+            metrics = {
+                str(k): float(v) for k, v in point["metrics"].items()
+            }
+        except (KeyError, TypeError, ValueError):
+            raise ValueError(
+                f"malformed sweep report {path!r}: every point needs "
+                f"config_hash, seed, and a numeric metrics mapping"
+            )
+        reuse[key] = metrics
+    return reuse
+
+
+def _outcome(
+    point: SweepPoint, metrics: Dict[str, float], reused: bool
+) -> PointOutcome:
+    return PointOutcome(
+        index=point.index,
+        coords=point.coords,
+        config=point.config,
+        config_hash=point.config_hash,
+        seed=point.seed,
+        metrics=metrics,
+        reused=reused,
+    )
+
+
+def run_sweep(
+    spec: SweepSpec,
+    workers: int = 1,
+    reuse: Optional[Mapping[ReuseKey, Dict[str, float]]] = None,
+) -> SweepResult:
+    """Evaluate every point of *spec*, fanning out over *workers*
+    processes, and reduce in point order."""
+    if workers <= 0:
+        raise ValueError("workers must be positive")
+    points = spec.points()
+    reuse = reuse or {}
+    slots: List[Optional[PointOutcome]] = [None] * len(points)
+    pending: List[SweepPoint] = []
+    for point in points:
+        cached = reuse.get((point.config_hash, point.seed))
+        if cached is not None:
+            slots[point.index] = _outcome(point, dict(cached), reused=True)
+        else:
+            pending.append(point)
+
+    if workers == 1 or len(pending) <= 1:
+        for point in pending:
+            slots[point.index] = _outcome(
+                point, evaluate_point(point.config, point.seed), reused=False
+            )
+    else:
+        payloads = [(p.index, p.config, p.seed) for p in pending]
+        by_index = {p.index: p for p in pending}
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            # Executor.map yields in submission order, but the reduction
+            # below is keyed by point index anyway: completion order is
+            # irrelevant by construction.
+            for index, metrics in pool.map(evaluate_payload, payloads):
+                slots[index] = _outcome(by_index[index], metrics, reused=False)
+
+    outcomes = []
+    for slot in slots:
+        if slot is None:
+            raise RuntimeError("sweep reduction left an unevaluated point")
+        outcomes.append(slot)
+    spec_config = spec.spec_config()
+    return SweepResult(
+        seed=spec.seed,
+        spec_config=spec_config,
+        spec_hash=hash_config(spec_config),
+        points=tuple(outcomes),
+    )

@@ -1,0 +1,261 @@
+"""Multi-objective aggregation: Pareto frontiers and ranked reports.
+
+Dominance is the standard multi-objective relation: point *a*
+dominates *b* when *a* is at least as good on **every** objective and
+strictly better on at least one ("good" respecting each objective's
+direction).  The frontier is the set of non-dominated points; everything
+else is pruned into the dominated list (each dominated point records one
+of its dominators, for the report's "why was this pruned" column).
+
+Ranking within the frontier is a deterministic scalarization for
+*presentation only* — the frontier itself is the answer.  Each
+objective is min-max normalized over the full point set to a utility in
+[0, 1] (1 = best observed), and a point's score is the mean utility
+across objectives; ties break on point index.  A degenerate objective
+(all points equal) contributes nothing to the ordering and is scored
+1.0 for everyone.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.dse.driver import PointOutcome, SweepResult
+
+__all__ = [
+    "OBJECTIVES",
+    "FrontierEntry",
+    "ParetoReport",
+    "dominates",
+    "pareto_report",
+]
+
+#: ``(metric, direction)`` — the default objective set: throughput vs
+#: tail latency vs KV footprint vs the GEMM penalty of PIM residency.
+OBJECTIVES: Tuple[Tuple[str, str], ...] = (
+    ("goodput_qps", "max"),
+    ("ttft_p99_ms", "min"),
+    ("kv_mib", "min"),
+    ("gemm_slowdown_pct", "min"),
+)
+
+
+def _check_objectives(
+    objectives: Sequence[Tuple[str, str]],
+    points: Sequence[PointOutcome],
+) -> None:
+    if not objectives:
+        raise ValueError("need at least one objective")
+    for metric, direction in objectives:
+        if direction not in ("min", "max"):
+            raise ValueError(
+                f"objective {metric!r} direction must be 'min' or 'max' "
+                f"(got {direction!r})"
+            )
+        for point in points:
+            if metric not in point.metrics:
+                raise ValueError(
+                    f"point {point.index} ({point.config_hash}) has no "
+                    f"metric {metric!r}"
+                )
+
+
+def dominates(
+    a: PointOutcome,
+    b: PointOutcome,
+    objectives: Sequence[Tuple[str, str]] = OBJECTIVES,
+) -> bool:
+    """True when *a* Pareto-dominates *b* under *objectives*."""
+    strictly_better = False
+    for metric, direction in objectives:
+        va, vb = a.metrics[metric], b.metrics[metric]
+        if direction == "max":
+            if va < vb:
+                return False
+            if va > vb:
+                strictly_better = True
+        else:
+            if va > vb:
+                return False
+            if va < vb:
+                strictly_better = True
+    return strictly_better
+
+
+@dataclass(frozen=True)
+class FrontierEntry:
+    """One frontier point with its presentation rank and score."""
+
+    rank: int
+    point: PointOutcome
+    score: float
+    repro: str
+
+
+@dataclass(frozen=True)
+class ParetoReport:
+    """Frontier + pruning outcome over one sweep."""
+
+    result: SweepResult
+    objectives: Tuple[Tuple[str, str], ...]
+    frontier: Tuple[FrontierEntry, ...]
+    #: ``(dominated point, index of one dominator)`` pairs, point order
+    dominated: Tuple[Tuple[PointOutcome, int], ...]
+
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "objectives": [list(pair) for pair in self.objectives],
+            "n_points": len(self.result.points),
+            "frontier_size": len(self.frontier),
+            "frontier": [
+                {
+                    "rank": entry.rank,
+                    "index": entry.point.index,
+                    "config_hash": entry.point.config_hash,
+                    "seed": entry.point.seed,
+                    "score": entry.score,
+                    "coords": {k: v for k, v in entry.point.coords},
+                    "metrics": {
+                        k: entry.point.metrics[k]
+                        for k in sorted(entry.point.metrics)
+                    },
+                    "repro": entry.repro,
+                }
+                for entry in self.frontier
+            ],
+            "dominated": [
+                {
+                    "index": point.index,
+                    "config_hash": point.config_hash,
+                    "dominated_by": dominator,
+                }
+                for point, dominator in self.dominated
+            ],
+        }
+
+    def report_dict(self) -> Dict[str, object]:
+        """Full machine-readable report: sweep + frontier."""
+        payload = self.result.to_dict()
+        payload["pareto"] = self.to_dict()
+        return payload
+
+    def to_json(self) -> str:
+        return json.dumps(self.report_dict(), indent=2, sort_keys=True)
+
+    def render(self, top: Optional[int] = None) -> str:
+        """Ranked text report (the CLI's output)."""
+        lines: List[str] = []
+        objectives = ", ".join(
+            f"{metric} ({direction})" for metric, direction in self.objectives
+        )
+        lines.append(
+            f"pareto frontier : {len(self.frontier)} of "
+            f"{len(self.result.points)} points non-dominated"
+        )
+        lines.append(f"objectives      : {objectives}")
+        entries = list(self.frontier)
+        if top is not None:
+            entries = entries[:top]
+        header = (
+            f"{'rank':>4s}  {'hash':12s} {'score':>6s}  "
+            f"{'platform':20s} {'mapping':14s} {'shed':11s} "
+            f"{'kv':>5s} {'workload':14s}  "
+            f"{'goodput':>8s} {'p99 TTFT':>9s} {'KV MiB':>7s} {'GEMM%':>6s}"
+        )
+        lines.append(header)
+        lines.append("-" * len(header))
+        for entry in entries:
+            point = entry.point
+            # config carries every axis (swept or pinned), unlike coords
+            coords = point.config
+            m = point.metrics
+            lines.append(
+                f"{entry.rank:>4d}  {point.config_hash:12s} "
+                f"{entry.score:>6.3f}  "
+                f"{str(coords.get('platform', '-')):20s} "
+                f"{str(coords.get('mapping', '-')):14s} "
+                f"{str(coords.get('shed', '-')):11s} "
+                f"{str(coords.get('kv_blocks', '-')):>5s} "
+                f"{str(coords.get('workload', '-')):14s}  "
+                f"{m['goodput_qps']:>8.3f} {m['ttft_p99_ms']:>9.1f} "
+                f"{m['kv_mib']:>7.1f} {m['gemm_slowdown_pct']:>6.2f}"
+            )
+        lines.append("")
+        lines.append("solo repro (same config_hash + metrics, standalone):")
+        for entry in entries:
+            lines.append(f"  [{entry.rank}] {entry.repro}")
+        return "\n".join(lines)
+
+
+def _utilities(
+    points: Sequence[PointOutcome],
+    objectives: Sequence[Tuple[str, str]],
+) -> List[float]:
+    """Mean min-max utility per point, normalized over *points*."""
+    scores = [0.0] * len(points)
+    for metric, direction in objectives:
+        values = [p.metrics[metric] for p in points]
+        lo, hi = min(values), max(values)
+        span = hi - lo
+        for i, value in enumerate(values):
+            if span == 0.0:
+                utility = 1.0
+            elif direction == "max":
+                utility = (value - lo) / span
+            else:
+                utility = (hi - value) / span
+            scores[i] += utility
+    return [score / len(objectives) for score in scores]
+
+
+def pareto_report(
+    result: SweepResult,
+    objectives: Sequence[Tuple[str, str]] = OBJECTIVES,
+    repro_prefix: str = "repro-facil dse",
+) -> ParetoReport:
+    """Split *result* into frontier and dominated points and rank the
+    frontier.  *repro_prefix* is the CLI invocation (sweep-level flags
+    included) each entry's solo-repro command is built from."""
+    points = result.points
+    _check_objectives(objectives, points)
+    dominated: List[Tuple[PointOutcome, int]] = []
+    frontier_points: List[PointOutcome] = []
+    for point in points:
+        dominator = None
+        for other in points:
+            if other.index != point.index and dominates(other, point, objectives):
+                dominator = other.index
+                break
+        if dominator is None:
+            frontier_points.append(point)
+        else:
+            dominated.append((point, dominator))
+
+    scores = _utilities(list(points), objectives)
+    # key by point index explicitly: indices need not be positions
+    utilities = {p.index: s for p, s in zip(points, scores)}
+    ranked = sorted(
+        frontier_points, key=lambda p: (-utilities[p.index], p.index)
+    )
+    frontier = tuple(
+        FrontierEntry(
+            rank=rank + 1,
+            point=point,
+            score=utilities[point.index],
+            repro=(
+                f"{repro_prefix} --only {point.config_hash} "
+                f"--point-seed {point.seed}"
+            ),
+        )
+        for rank, point in enumerate(ranked)
+    )
+    return ParetoReport(
+        result=result,
+        objectives=tuple(objectives),
+        frontier=frontier,
+        dominated=tuple(dominated),
+    )

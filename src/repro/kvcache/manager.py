@@ -375,6 +375,7 @@ class KvCacheManager:
         return {
             "num_blocks": self.pool.num_blocks,
             "block_tokens": self.block_tokens,
+            "block_bytes": self.pool.block_bytes,
             "prefix_sharing": self.prefix_sharing,
             "used_blocks": self.pool.used,
             "cached_blocks": len(self.tree),

@@ -28,6 +28,7 @@ from typing import Any, Optional
 
 from repro.telemetry.bench import (
     SCHEMA_VERSION,
+    BenchFormatError,
     BenchResult,
     hash_config,
     load_bench_result,
@@ -47,6 +48,7 @@ from repro.telemetry.tracer import LAYERS, Span, SpanHandle, Tracer
 __all__ = [
     "LAYERS",
     "SCHEMA_VERSION",
+    "BenchFormatError",
     "BenchResult",
     "Counter",
     "DEFAULT_NS_BUCKETS",

@@ -5,25 +5,83 @@ Benchmarks write one :class:`BenchResult` per suite to the repo root
 diff simulated-performance numbers against a committed baseline.  The
 config hash pins the workload: a metric delta only means something when
 the hashes match.
+
+:func:`hash_config` is strict by design: it canonicalizes nested
+mappings/sequences and **rejects** anything without a stable JSON form
+(objects, NaN/inf floats, non-string keys) instead of silently
+``str()``-ing them — a config that hashes must be a config that can be
+re-read and re-run.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import math
 from dataclasses import dataclass, field
-from typing import Dict, Mapping
+from typing import Dict, List, Mapping, Union
 
-__all__ = ["SCHEMA_VERSION", "BenchResult", "hash_config",
+__all__ = ["SCHEMA_VERSION", "BenchFormatError", "BenchResult", "hash_config",
            "load_bench_result", "write_bench_result"]
 
 SCHEMA_VERSION = 1
 
+#: keys every serialized BenchResult must carry
+_REQUIRED_KEYS = ("schema_version", "name", "seed", "config_hash", "metrics")
+
+#: JSON-stable value types (bool before int is irrelevant: bool is int)
+_Scalar = Union[str, int, float, bool, None]
+
+
+class BenchFormatError(ValueError):
+    """A ``BENCH_*.json`` payload or config that violates the schema."""
+
+
+def _canonicalize(value: object, path: str) -> object:
+    """Return a JSON-stable copy of *value*, or raise naming the key
+    path of the first unstable value."""
+    if isinstance(value, bool) or value is None or isinstance(value, (str, int)):
+        return value
+    if isinstance(value, float):
+        if math.isnan(value) or math.isinf(value):
+            raise BenchFormatError(
+                f"hash_config: non-finite float {value!r} at {path}; "
+                f"NaN/inf have no stable JSON form"
+            )
+        return value
+    if isinstance(value, Mapping):
+        out: Dict[str, object] = {}
+        for key in value:
+            if not isinstance(key, str):
+                raise BenchFormatError(
+                    f"hash_config: non-string mapping key {key!r} at "
+                    f"{path}; JSON objects key on strings"
+                )
+            out[key] = _canonicalize(value[key], f"{path}.{key}")
+        return out
+    if isinstance(value, (list, tuple)):
+        return [
+            _canonicalize(item, f"{path}[{i}]")
+            for i, item in enumerate(value)
+        ]
+    raise BenchFormatError(
+        f"hash_config: {type(value).__name__} value {value!r} at {path} "
+        f"is not JSON-stable; pass str/int/float/bool/None, mappings, "
+        f"or sequences of those"
+    )
+
 
 def hash_config(config: Mapping) -> str:
-    """Short stable hash of a benchmark's configuration knobs."""
-    canon = json.dumps(dict(config), sort_keys=True, default=str)
-    return hashlib.sha256(canon.encode("utf-8")).hexdigest()[:12]
+    """Short stable hash of a benchmark's configuration knobs.
+
+    Nested mappings are canonicalized (keys sorted at every level,
+    tuples and lists identical) so the hash depends only on content,
+    never on insertion order.  Values without a stable JSON form raise
+    :class:`BenchFormatError` naming the offending key path.
+    """
+    canon = _canonicalize(dict(config), path="config")
+    text = json.dumps(canon, sort_keys=True, allow_nan=False)
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()[:12]
 
 
 @dataclass(frozen=True)
@@ -57,9 +115,20 @@ def write_bench_result(path: str, result: BenchResult) -> None:
 def load_bench_result(path: str) -> BenchResult:
     with open(path, "r", encoding="utf-8") as fh:
         raw = json.load(fh)
-    if raw.get("schema_version") != SCHEMA_VERSION:
-        raise ValueError(
-            f"unsupported BenchResult schema_version {raw.get('schema_version')!r}"
+    if not isinstance(raw, Mapping):
+        raise BenchFormatError(
+            f"{path}: expected a JSON object, got {type(raw).__name__}"
+        )
+    missing: List[str] = [key for key in _REQUIRED_KEYS if key not in raw]
+    if missing:
+        raise BenchFormatError(
+            f"{path}: BenchResult payload is missing required key(s): "
+            f"{', '.join(missing)}"
+        )
+    if raw["schema_version"] != SCHEMA_VERSION:
+        raise BenchFormatError(
+            f"{path}: unsupported BenchResult schema_version "
+            f"{raw['schema_version']!r} (supported: {SCHEMA_VERSION})"
         )
     return BenchResult(
         name=raw["name"],

@@ -1,0 +1,138 @@
+"""Tests for the shared regression gate (benchmarks/report.py diff_bench)."""
+
+import os
+import sys
+
+import pytest
+
+sys.path.insert(
+    0,
+    os.path.join(
+        os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__)))),
+        "benchmarks",
+    ),
+)
+
+from report import diff_bench  # noqa: E402
+
+from repro.telemetry.bench import BenchResult  # noqa: E402
+
+
+def bench(config_hash="aaaabbbbcccc", **metrics):
+    return BenchResult(
+        name="suite", seed=0, config_hash=config_hash,
+        metrics={k: float(v) for k, v in metrics.items()},
+    )
+
+
+class TestAbsoluteBounds:
+    def test_min_bound_passes_and_fails(self):
+        assert diff_bench(bench(x=2.0), min_bounds={"x": 1.0}).ok
+        assert not diff_bench(bench(x=0.5), min_bounds={"x": 1.0}).ok
+
+    def test_max_bound_passes_and_fails(self):
+        assert diff_bench(bench(x=0.0), max_bounds={"x": 0.0}).ok
+        assert not diff_bench(bench(x=1.0), max_bounds={"x": 0.0}).ok
+
+    def test_ratio_min(self):
+        fresh = bench(num=3.0, den=4.0)
+        assert diff_bench(fresh, ratio_min={("num", "den"): 0.5}).ok
+        assert not diff_bench(fresh, ratio_min={("num", "den"): 0.9}).ok
+
+    def test_ratio_with_zero_denominator_fails(self):
+        diff = diff_bench(bench(num=1.0, den=0.0),
+                          ratio_min={("num", "den"): 0.5})
+        assert not diff.ok
+        assert any("denominator is zero" in line for line in diff.lines)
+
+    def test_missing_metric_is_a_failure(self):
+        diff = diff_bench(bench(x=1.0), min_bounds={"y": 0.0})
+        assert not diff.ok
+        assert any("missing from fresh" in line for line in diff.lines)
+
+
+class TestBaselineRelative:
+    def test_no_worse_passes_within_tolerance(self):
+        diff = diff_bench(
+            bench(goodput=0.97), bench(goodput=1.0),
+            no_worse={"goodput": 0.05},
+        )
+        assert diff.ok
+        assert not diff.no_comparison
+
+    def test_no_worse_fails_past_tolerance(self):
+        assert not diff_bench(
+            bench(goodput=0.90), bench(goodput=1.0),
+            no_worse={"goodput": 0.05},
+        ).ok
+
+    def test_lower_is_better_flips_direction(self):
+        fresh, base = bench(p99=110.0), bench(p99=100.0)
+        assert not diff_bench(
+            fresh, base, no_worse={"p99": 0.05}, lower_is_better=("p99",)
+        ).ok
+        assert diff_bench(
+            fresh, base, no_worse={"p99": 0.15}, lower_is_better=("p99",)
+        ).ok
+
+    def test_config_hash_mismatch_is_no_comparison_not_failure(self):
+        diff = diff_bench(
+            bench(goodput=0.5, config_hash="111111111111"),
+            bench(goodput=1.0, config_hash="222222222222"),
+            no_worse={"goodput": 0.05},
+        )
+        assert diff.no_comparison
+        assert diff.ok
+        assert any("no comparison" in line for line in diff.lines)
+
+    def test_mismatch_still_gates_absolute_bounds(self):
+        diff = diff_bench(
+            bench(goodput=0.5, config_hash="111111111111"),
+            bench(goodput=1.0, config_hash="222222222222"),
+            min_bounds={"goodput": 0.8},
+            no_worse={"goodput": 0.05},
+        )
+        assert diff.no_comparison
+        assert not diff.ok
+
+    def test_absent_baseline_is_no_comparison(self):
+        diff = diff_bench(bench(goodput=0.5), None,
+                          no_worse={"goodput": 0.05})
+        assert diff.no_comparison
+        assert diff.ok
+
+
+class TestRender:
+    def test_render_reports_every_rule(self):
+        diff = diff_bench(
+            bench(x=2.0, y=0.0), bench(x=2.0, y=0.0),
+            min_bounds={"x": 1.0}, max_bounds={"y": 0.0},
+            no_worse={"x": 0.05},
+        )
+        text = diff.render()
+        assert "x" in text and "y" in text
+        assert text.count("\n") >= 2
+
+
+class TestCli:
+    def test_diff_main_exit_codes(self, tmp_path):
+        from report import _diff_main
+
+        from repro.telemetry.bench import write_bench_result
+
+        path = str(tmp_path / "BENCH_x.json")
+        write_bench_result(path, bench(x=2.0))
+        assert _diff_main([path, "--min", "x=1"]) == 0
+        assert _diff_main([path, "--min", "x=3"]) == 1
+
+    def test_diff_main_rejects_bad_bounds(self, tmp_path):
+        from report import _diff_main
+
+        from repro.telemetry.bench import write_bench_result
+
+        path = str(tmp_path / "BENCH_x.json")
+        write_bench_result(path, bench(x=2.0))
+        with pytest.raises(SystemExit):
+            _diff_main([path, "--min", "x"])
+        with pytest.raises(SystemExit):
+            _diff_main([path, "--ratio-min", "xy=1"])

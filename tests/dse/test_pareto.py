@@ -1,0 +1,142 @@
+"""Tests for frontier extraction and ranking (repro.dse.pareto)."""
+
+import pytest
+
+from repro.dse.driver import PointOutcome, SweepResult
+from repro.dse.pareto import OBJECTIVES, dominates, pareto_report
+
+TWO_OBJ = (("goodput_qps", "max"), ("ttft_p99_ms", "min"))
+
+
+def outcome(index, **metrics):
+    metrics.setdefault("goodput_qps", 1.0)
+    metrics.setdefault("ttft_p99_ms", 100.0)
+    metrics.setdefault("kv_mib", 0.0)
+    metrics.setdefault("gemm_slowdown_pct", 0.0)
+    return PointOutcome(
+        index=index,
+        coords=(("mapping", "facil"),),
+        config={"mapping": "facil"},
+        config_hash=f"hash{index:08d}",
+        seed=index + 1,
+        metrics={k: float(v) for k, v in metrics.items()},
+    )
+
+
+def result(*points):
+    return SweepResult(
+        seed=0,
+        spec_config={"axes": {"mapping": ["facil"]}},
+        spec_hash="spec00000000",
+        points=tuple(points),
+    )
+
+
+class TestDominates:
+    def test_better_on_all_objectives_dominates(self):
+        a = outcome(0, goodput_qps=2.0, ttft_p99_ms=50.0)
+        b = outcome(1, goodput_qps=1.0, ttft_p99_ms=90.0)
+        assert dominates(a, b, TWO_OBJ)
+        assert not dominates(b, a, TWO_OBJ)
+
+    def test_tradeoff_points_do_not_dominate(self):
+        a = outcome(0, goodput_qps=2.0, ttft_p99_ms=90.0)
+        b = outcome(1, goodput_qps=1.0, ttft_p99_ms=50.0)
+        assert not dominates(a, b, TWO_OBJ)
+        assert not dominates(b, a, TWO_OBJ)
+
+    def test_equal_points_do_not_dominate(self):
+        a = outcome(0)
+        b = outcome(1)
+        assert not dominates(a, b, TWO_OBJ)
+        assert not dominates(b, a, TWO_OBJ)
+
+    def test_equal_but_one_strictly_better_dominates(self):
+        a = outcome(0, goodput_qps=1.0, ttft_p99_ms=50.0)
+        b = outcome(1, goodput_qps=1.0, ttft_p99_ms=90.0)
+        assert dominates(a, b, TWO_OBJ)
+
+    def test_direction_respected(self):
+        a = outcome(0, kv_mib=10.0)
+        b = outcome(1, kv_mib=20.0)
+        assert dominates(a, b, (("kv_mib", "min"),))
+        assert dominates(b, a, (("kv_mib", "max"),))
+
+
+class TestFrontier:
+    def test_dominated_points_pruned_with_dominator_recorded(self):
+        best = outcome(0, goodput_qps=3.0, ttft_p99_ms=40.0)
+        tradeoff = outcome(1, goodput_qps=4.0, ttft_p99_ms=80.0)
+        dominated = outcome(2, goodput_qps=2.0, ttft_p99_ms=60.0)
+        report = pareto_report(result(best, tradeoff, dominated), TWO_OBJ)
+        assert {e.point.index for e in report.frontier} == {0, 1}
+        assert [(p.index, by) for p, by in report.dominated] == [(2, 0)]
+
+    def test_all_points_on_frontier_when_none_dominated(self):
+        # higher goodput costs higher tail latency: a pure tradeoff curve
+        points = [
+            outcome(i, goodput_qps=float(i), ttft_p99_ms=40.0 + 20.0 * i)
+            for i in range(4)
+        ]
+        report = pareto_report(result(*points), TWO_OBJ)
+        assert len(report.frontier) == 4
+        assert report.dominated == ()
+
+    def test_ranking_is_deterministic_and_tie_breaks_on_index(self):
+        a = outcome(0)
+        b = outcome(1)
+        report = pareto_report(result(a, b), TWO_OBJ)
+        assert [e.point.index for e in report.frontier] == [0, 1]
+        assert [e.rank for e in report.frontier] == [1, 2]
+
+    def test_degenerate_objective_scores_one(self):
+        a = outcome(0, goodput_qps=1.0)
+        b = outcome(1, goodput_qps=1.0)
+        report = pareto_report(result(a, b), (("goodput_qps", "max"),))
+        assert all(e.score == 1.0 for e in report.frontier)
+
+    def test_repro_command_embeds_hash_and_seed(self):
+        point = outcome(5)
+        report = pareto_report(
+            result(point), TWO_OBJ, repro_prefix="repro-facil dse --seed 0"
+        )
+        entry = report.frontier[0]
+        assert entry.repro == (
+            "repro-facil dse --seed 0 --only hash00000005 --point-seed 6"
+        )
+
+    def test_missing_metric_rejected(self):
+        bare = PointOutcome(
+            index=0, coords=(), config={}, config_hash="h", seed=1,
+            metrics={"goodput_qps": 1.0},
+        )
+        with pytest.raises(ValueError, match="ttft_p99_ms"):
+            pareto_report(result(bare), TWO_OBJ)
+
+    def test_bad_direction_rejected(self):
+        with pytest.raises(ValueError, match="direction"):
+            pareto_report(result(outcome(0)), (("goodput_qps", "sideways"),))
+
+    def test_empty_objectives_rejected(self):
+        with pytest.raises(ValueError, match="at least one objective"):
+            pareto_report(result(outcome(0)), ())
+
+    def test_render_lists_every_frontier_repro(self):
+        points = [
+            outcome(i, goodput_qps=float(i + 1), ttft_p99_ms=40.0 + 20.0 * i)
+            for i in range(3)
+        ]
+        report = pareto_report(result(*points), OBJECTIVES)
+        text = report.render()
+        for entry in report.frontier:
+            assert entry.repro in text
+
+    def test_render_top_truncates_table(self):
+        points = [
+            outcome(i, goodput_qps=float(i + 1), ttft_p99_ms=40.0 + 20.0 * i)
+            for i in range(3)
+        ]
+        report = pareto_report(result(*points), OBJECTIVES)
+        text = report.render(top=1)
+        assert report.frontier[0].repro in text
+        assert report.frontier[2].repro not in text

@@ -1,0 +1,169 @@
+"""Tests for the declarative sweep spec layer (repro.dse.spec)."""
+
+import pytest
+
+from repro.dse.spec import (
+    AXIS_ORDER,
+    PLATFORM_NAMES,
+    SweepSpec,
+    default_sweep,
+    derive_point_seed,
+    parse_axis_overrides,
+)
+from repro.telemetry.bench import hash_config
+
+
+def tiny_spec(**knobs):
+    knobs.setdefault("duration_ms", 500.0)
+    knobs.setdefault(
+        "axes",
+        (
+            ("mapping", ("soc-only", "facil")),
+            ("kv_blocks", (0, 64)),
+        ),
+    )
+    return SweepSpec(**knobs)
+
+
+class TestExpansion:
+    def test_product_order_follows_axis_declaration(self):
+        points = tiny_spec().points()
+        combos = [(p.coord("mapping"), p.coord("kv_blocks")) for p in points]
+        assert combos == [
+            ("soc-only", 0), ("soc-only", 64),
+            ("facil", 0), ("facil", 64),
+        ]
+        assert [p.index for p in points] == [0, 1, 2, 3]
+
+    def test_expansion_is_deterministic(self):
+        a = tiny_spec().points()
+        b = tiny_spec().points()
+        assert [p.config_hash for p in a] == [p.config_hash for p in b]
+        assert [p.seed for p in a] == [p.seed for p in b]
+
+    def test_non_swept_axes_filled_from_defaults(self):
+        point = tiny_spec().points()[0]
+        for axis in AXIS_ORDER:
+            assert axis in point.config
+        assert point.config["platform"] == "jetson-agx-orin"
+        assert point.config["shed"] == "reject"
+        assert point.config["workload"] == "chat"
+
+    def test_config_hash_matches_hash_config(self):
+        for point in tiny_spec().points():
+            assert point.config_hash == hash_config(point.config)
+
+    def test_default_sweep_has_at_least_48_points_over_3_axes(self):
+        spec = default_sweep(seed=0)
+        assert spec.n_points >= 48
+        assert len(spec.axes) >= 3
+        assert len(spec.points()) == spec.n_points
+
+    def test_coord_raises_on_unswept_axis(self):
+        point = tiny_spec().points()[0]
+        with pytest.raises(KeyError):
+            point.coord("platform")
+
+
+class TestSeeds:
+    def test_point_seeds_distinct_within_a_sweep(self):
+        seeds = [p.seed for p in default_sweep(seed=3).points()]
+        assert len(set(seeds)) == len(seeds)
+
+    def test_derive_point_seed_pure(self):
+        assert derive_point_seed(5, 9) == derive_point_seed(5, 9)
+        assert derive_point_seed(5, 9) != derive_point_seed(5, 10)
+        assert derive_point_seed(5, 9) != derive_point_seed(6, 9)
+
+    def test_derive_point_seed_rejects_negative_index(self):
+        with pytest.raises(ValueError):
+            derive_point_seed(0, -1)
+
+
+class TestOverrides:
+    def test_override_patches_matching_points_only(self):
+        spec = tiny_spec(
+            overrides=(
+                ((("mapping", "soc-only"),), (("qps", 0.5),)),
+            ),
+        )
+        for point in spec.points():
+            expected = 0.5 if point.coord("mapping") == "soc-only" else spec.qps
+            assert point.config["qps"] == expected
+
+    def test_override_on_undeclared_axis_rejected(self):
+        with pytest.raises(ValueError, match="not a .*declared axis"):
+            tiny_spec(
+                overrides=(((("platform", "x"),), (("qps", 0.5),)),),
+            )
+
+    def test_override_on_non_overridable_knob_rejected(self):
+        with pytest.raises(ValueError, match="may be patched"):
+            tiny_spec(
+                overrides=(((("mapping", "facil"),), (("mapping", "x"),)),),
+            )
+
+
+class TestValidation:
+    def test_unknown_axis_rejected(self):
+        with pytest.raises(ValueError, match="unknown axis"):
+            SweepSpec(axes=(("voltage", ("low",)),))
+
+    def test_out_of_domain_value_rejected(self):
+        with pytest.raises(ValueError, match="not in domain"):
+            SweepSpec(axes=(("mapping", ("warp-drive",)),))
+
+    def test_duplicate_axis_rejected(self):
+        with pytest.raises(ValueError, match="declared twice"):
+            SweepSpec(
+                axes=(
+                    ("mapping", ("facil",)),
+                    ("mapping", ("soc-only",)),
+                ),
+            )
+
+    def test_repeated_axis_value_rejected(self):
+        with pytest.raises(ValueError, match="repeats"):
+            SweepSpec(axes=(("mapping", ("facil", "facil")),))
+
+    def test_negative_kv_blocks_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            SweepSpec(axes=(("kv_blocks", (-1,)),))
+
+    def test_empty_axes_rejected(self):
+        with pytest.raises(ValueError, match="at least one axis"):
+            SweepSpec(axes=())
+
+    def test_nonpositive_knobs_rejected(self):
+        for knob in ("duration_ms", "qps", "deadline_ms",
+                     "queue_capacity", "block_tokens"):
+            with pytest.raises(ValueError, match=knob):
+                tiny_spec(**{knob: 0})
+
+
+class TestParseAxisOverrides:
+    def test_parses_named_values(self):
+        axes = parse_axis_overrides(["mapping=facil,soc-only"])
+        assert axes == [("mapping", ("facil", "soc-only"))]
+
+    def test_kv_blocks_converted_to_int(self):
+        axes = parse_axis_overrides(["kv_blocks=0,128"])
+        assert axes == [("kv_blocks", (0, 128))]
+
+    def test_bad_kv_blocks_rejected(self):
+        with pytest.raises(ValueError, match="integers"):
+            parse_axis_overrides(["kv_blocks=many"])
+
+    def test_missing_equals_rejected(self):
+        with pytest.raises(ValueError, match="bad axis spec"):
+            parse_axis_overrides(["mapping"])
+
+    def test_empty_value_list_rejected(self):
+        with pytest.raises(ValueError, match="bad axis spec"):
+            parse_axis_overrides(["mapping="])
+
+    def test_platform_domain_is_validated(self):
+        with pytest.raises(ValueError, match="not in domain"):
+            parse_axis_overrides(["platform=imaginary-soc"])
+        axes = parse_axis_overrides([f"platform={PLATFORM_NAMES[0]}"])
+        assert axes[0][1] == (PLATFORM_NAMES[0],)

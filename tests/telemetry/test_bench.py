@@ -1,0 +1,99 @@
+"""Tests for the BENCH_*.json schema layer (repro.telemetry.bench)."""
+
+import json
+
+import pytest
+
+from repro.telemetry.bench import (
+    SCHEMA_VERSION,
+    BenchFormatError,
+    BenchResult,
+    hash_config,
+    load_bench_result,
+    write_bench_result,
+)
+
+
+class TestRoundTrip:
+    def test_write_then_load_is_identity(self, tmp_path):
+        path = str(tmp_path / "BENCH_x.json")
+        result = BenchResult(
+            name="suite",
+            seed=7,
+            config_hash=hash_config({"a": 1}),
+            metrics={"zeta": 2.0, "alpha": 1.5},
+            notes="n",
+        )
+        write_bench_result(path, result)
+        loaded = load_bench_result(path)
+        assert loaded == result
+
+    def test_metrics_serialize_key_sorted(self, tmp_path):
+        path = str(tmp_path / "BENCH_x.json")
+        write_bench_result(
+            path,
+            BenchResult(
+                name="s", seed=0, config_hash="abc",
+                metrics={"z": 1.0, "a": 2.0},
+            ),
+        )
+        raw = json.loads(open(path).read())
+        assert list(raw["metrics"]) == ["a", "z"]
+
+    def test_unknown_schema_version_rejected(self, tmp_path):
+        path = tmp_path / "BENCH_x.json"
+        path.write_text(json.dumps({
+            "schema_version": SCHEMA_VERSION + 1,
+            "name": "s", "seed": 0, "config_hash": "abc", "metrics": {},
+        }))
+        with pytest.raises(BenchFormatError, match="schema_version"):
+            load_bench_result(str(path))
+
+    def test_missing_keys_named_in_error(self, tmp_path):
+        path = tmp_path / "BENCH_x.json"
+        path.write_text(json.dumps({"schema_version": SCHEMA_VERSION,
+                                    "name": "s"}))
+        with pytest.raises(BenchFormatError) as excinfo:
+            load_bench_result(str(path))
+        message = str(excinfo.value)
+        assert message.endswith("seed, config_hash, metrics")
+
+    def test_non_object_payload_rejected(self, tmp_path):
+        path = tmp_path / "BENCH_x.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(BenchFormatError, match="JSON object"):
+            load_bench_result(str(path))
+
+
+class TestHashConfig:
+    def test_key_order_invariance(self):
+        a = {"x": 1, "nested": {"p": [1, 2], "q": "s"}}
+        b = {"nested": {"q": "s", "p": [1, 2]}, "x": 1}
+        assert hash_config(a) == hash_config(b)
+
+    def test_tuple_and_list_hash_equal(self):
+        assert hash_config({"v": (1, 2, 3)}) == hash_config({"v": [1, 2, 3]})
+
+    def test_value_changes_hash(self):
+        assert hash_config({"x": 1}) != hash_config({"x": 2})
+
+    def test_rejects_object_values_with_key_path(self):
+        class Opaque:
+            pass
+
+        with pytest.raises(BenchFormatError, match=r"config\.deep\.obj"):
+            hash_config({"deep": {"obj": Opaque()}})
+
+    def test_rejects_non_finite_floats(self):
+        with pytest.raises(BenchFormatError, match="non-finite"):
+            hash_config({"x": float("nan")})
+        with pytest.raises(BenchFormatError, match="non-finite"):
+            hash_config({"x": float("inf")})
+
+    def test_rejects_non_string_keys(self):
+        with pytest.raises(BenchFormatError, match="non-string"):
+            hash_config({"outer": {1: "v"}})
+
+    def test_sequence_error_names_position(self):
+        with pytest.raises(BenchFormatError, match=r"config\.items\[1\]"):
+            hash_config({"items": [1, object()]})

@@ -460,3 +460,76 @@ class TestFleetCommand:
         }
         assert "fleet_device_served_total" in names
         assert "fleet_device_state" in names
+
+
+class TestDseCommand:
+    TINY = [
+        "dse", "--seed", "0", "--duration-ms", "500",
+        "--axes", "mapping=soc-only,facil",
+        "--axes", "kv_blocks=0,64",
+    ]
+
+    def test_dse_writes_report_and_prints_frontier(self, capsys, tmp_path):
+        out = tmp_path / "dse.json"
+        assert main(self.TINY + ["--out", str(out)]) == 0
+        text = capsys.readouterr().out
+        assert "sweep           : 4 points over 2 axes" in text
+        assert "pareto frontier" in text
+        assert "solo repro" in text
+        import json
+
+        report = json.loads(out.read_text())
+        assert report["n_points"] == 4
+        assert report["pareto"]["frontier"], "empty frontier"
+        for entry in report["pareto"]["frontier"]:
+            assert "--only" in entry["repro"]
+            assert "--point-seed" in entry["repro"]
+
+    def test_dse_only_reproduces_sweep_metrics(self, capsys, tmp_path):
+        out = tmp_path / "dse.json"
+        main(self.TINY + ["--out", str(out)])
+        capsys.readouterr()
+        import json
+
+        entry = json.loads(out.read_text())["pareto"]["frontier"][0]
+        assert main(self.TINY + [
+            "--only", entry["config_hash"],
+            "--point-seed", str(entry["seed"]),
+        ]) == 0
+        text = capsys.readouterr().out
+        assert f"config_hash     : {entry['config_hash']}" in text
+        metrics_line = next(
+            line for line in text.splitlines()
+            if line.startswith("metrics         : ")
+        )
+        solo = json.loads(metrics_line.split(": ", 1)[1])
+        assert solo == entry["metrics"]
+
+    def test_dse_only_unknown_hash_exits(self, tmp_path):
+        with pytest.raises(SystemExit, match="no point with config_hash"):
+            main(self.TINY + ["--only", "feedfeedfeed"])
+
+    def test_dse_resume_reuses_completed_points(self, capsys, tmp_path):
+        out = tmp_path / "dse.json"
+        main(self.TINY + ["--out", str(out)])
+        first = out.read_text()
+        capsys.readouterr()
+        assert main(self.TINY + ["--out", str(out), "--resume"]) == 0
+        text = capsys.readouterr().out
+        assert "evaluated       : 0 fresh, 4 reused" in text
+        assert out.read_text() == first
+
+    def test_dse_workers_flag_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["dse", "--workers", "0"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["dse", "--duration-ms", "-5"])
+
+    def test_dse_bad_axis_exits(self):
+        with pytest.raises(SystemExit, match="not in domain"):
+            main(["dse", "--axes", "mapping=warp-drive"])
+
+    def test_dse_defaults_parse(self):
+        args = build_parser().parse_args(["dse"])
+        assert args.seed == 0 and args.workers == 1
+        assert args.axes is None and args.resume is False
