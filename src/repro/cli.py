@@ -94,6 +94,26 @@ def _nonneg_float(text: str) -> float:
     return value
 
 
+def _unit_interval(text: str) -> float:
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not a number")
+    if not 0.0 <= value <= 1.0:
+        raise argparse.ArgumentTypeError(f"must be in [0, 1] (got {value})")
+    return value
+
+
+def _open_unit_interval(text: str) -> float:
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not a number")
+    if not 0.0 < value < 1.0:
+        raise argparse.ArgumentTypeError(f"must be in (0, 1) (got {value})")
+    return value
+
+
 def _platform_by_name(name: str) -> PlatformSpec:
     for platform in ALL_PLATFORMS:
         if platform.name == name:
@@ -262,6 +282,44 @@ def _cmd_chaos(args: argparse.Namespace) -> None:
             )
 
 
+def _build_workload_spec(args: argparse.Namespace):
+    """Resolve --workload into a repro.workloads spec (None for chat)."""
+    if args.workload == "chat":
+        return None
+    if args.kv_blocks:
+        raise SystemExit(
+            "--workload loops manage their own placement state; "
+            "drop --kv-blocks"
+        )
+    if args.adaptive != "off":
+        raise SystemExit("--workload requires --adaptive off")
+    from repro.workloads import (
+        CoResidencySpec,
+        ExpertPlacementSpec,
+        SpeculativeSpec,
+    )
+
+    try:
+        if args.workload == "speculative":
+            return SpeculativeSpec(
+                draft_model=args.draft_model,
+                gamma=args.gamma,
+                acceptance_rate=args.acceptance_rate,
+            )
+        if args.workload == "moe":
+            return ExpertPlacementSpec(
+                n_experts=args.experts,
+                experts_per_token=args.experts_per_token,
+                resident_experts=args.resident_experts,
+            )
+        return CoResidencySpec(
+            secondary_model=args.secondary_model,
+            secondary_share=args.secondary_share,
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+
+
 def _cmd_serve(args: argparse.Namespace) -> None:
     # Lazy import: the serving layer pulls in the reliability stack.
     from repro.serving import (
@@ -283,18 +341,35 @@ def _cmd_serve(args: argparse.Namespace) -> None:
         raise SystemExit(
             "--adaptive requires the legacy scheduler (drop --kv-blocks)"
         )
+    workload_spec = _build_workload_spec(args)
     probe = TenantSpec(
         name="probe", dataset=spec, policy=args.policy,
         deadline_ms=args.deadline_ms,
     )
     capacity_qps = sustainable_qps(engine, probe, seed=args.seed)
     qps = args.qps if args.qps is not None else args.load * capacity_qps
-    tenant = TenantSpec(
-        name=spec.name, dataset=spec, policy=args.policy, qps=qps,
-        deadline_ms=args.deadline_ms, mean_turns=args.mean_turns,
-        think_time_ms=args.think_time_ms,
-    )
-    requests = poisson_workload([tenant], duration_ms=args.duration_ms, seed=args.seed)
+    tenants = []
+    if args.workload == "coresident":
+        # split the offered rate between the two co-resident models
+        share = workload_spec.secondary_share
+        tenants.append(TenantSpec(
+            name=spec.name, dataset=spec, policy=args.policy,
+            qps=qps * (1.0 - share), deadline_ms=args.deadline_ms,
+            mean_turns=args.mean_turns, think_time_ms=args.think_time_ms,
+        ))
+        tenants.append(TenantSpec(
+            name=workload_spec.secondary_tenant, dataset=spec,
+            policy=args.policy, qps=qps * share,
+            deadline_ms=args.deadline_ms, mean_turns=args.mean_turns,
+            think_time_ms=args.think_time_ms,
+        ))
+    else:
+        tenants.append(TenantSpec(
+            name=spec.name, dataset=spec, policy=args.policy, qps=qps,
+            deadline_ms=args.deadline_ms, mean_turns=args.mean_turns,
+            think_time_ms=args.think_time_ms,
+        ))
+    requests = poisson_workload(tenants, duration_ms=args.duration_ms, seed=args.seed)
     # Brown-out watermarks scale with the platform: saturation means a
     # few mean decode phases queued, whatever those cost here.
     import random as _random
@@ -340,7 +415,7 @@ def _cmd_serve(args: argparse.Namespace) -> None:
 
         def _run_once(recorder):
             return ServingRuntime(
-                engine, config, barriers=recorder
+                engine, config, barriers=recorder, workload=workload_spec
             ).run(list(requests))
 
         replay = replay_diff(
@@ -350,7 +425,9 @@ def _cmd_serve(args: argparse.Namespace) -> None:
         )
         report = replay.result
     else:
-        report = ServingRuntime(engine, config, telemetry=telemetry).run(requests)
+        report = ServingRuntime(
+            engine, config, telemetry=telemetry, workload=workload_spec
+        ).run(requests)
     print(f"platform        : {platform.name} / {engine.model.name}")
     print(f"sustainable     : {capacity_qps:.2f} qps; offered {qps:.2f} qps "
           f"({qps / capacity_qps:.2f}x)")
@@ -829,6 +906,29 @@ def build_parser() -> argparse.ArgumentParser:
                        "multi-turn traffic)")
     serve.add_argument("--think-time-ms", type=_positive_float, default=2000.0,
                        help="mean think time between conversation turns")
+    serve.add_argument("--workload",
+                       choices=("chat", "speculative", "moe", "coresident"),
+                       default="chat",
+                       help="serving workload shape; non-chat shapes run "
+                       "the repro.workloads loops (legacy scheduler only)")
+    serve.add_argument("--draft-model", default="phi-1.5",
+                       help="speculative: draft model name")
+    serve.add_argument("--gamma", type=_positive_int, default=4,
+                       help="speculative: draft tokens per round")
+    serve.add_argument("--acceptance-rate", type=_unit_interval, default=0.8,
+                       help="speculative: per-token acceptance probability")
+    serve.add_argument("--experts", type=_positive_int, default=8,
+                       help="moe: total expert count")
+    serve.add_argument("--experts-per-token", type=_positive_int, default=2,
+                       help="moe: experts routed per decode token")
+    serve.add_argument("--resident-experts", type=_positive_int, default=4,
+                       help="moe: DRAM-resident expert budget (LRU)")
+    serve.add_argument("--secondary-model", default="phi-1.5",
+                       help="coresident: the second co-resident model")
+    serve.add_argument("--secondary-share", type=_open_unit_interval,
+                       default=0.5,
+                       help="coresident: fraction of traffic to the "
+                       "secondary model")
     serve.add_argument("--out", default=None, metavar="PATH",
                        help="JSON report path (default: benchmarks/results/)")
     serve.add_argument("--trace-out", default=None, metavar="PATH",

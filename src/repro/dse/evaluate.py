@@ -60,6 +60,55 @@ def _engine(platform_name: str) -> InferenceEngine:
     return engine
 
 
+def _workload_spec(kind: str, config: Mapping, workload: Mapping):
+    """Build the repro.workloads spec (or None for chat) plus a callable
+    producing the extra tenants the workload shape needs."""
+    def no_extra(_tenant):
+        return []
+
+    if kind == "chat":
+        return None, no_extra
+    from repro.workloads import (
+        CoResidencySpec,
+        ExpertPlacementSpec,
+        SpeculativeSpec,
+    )
+
+    def knob(name: str) -> object:
+        return config.get(name, workload[name])
+
+    if kind == "speculative":
+        return SpeculativeSpec(
+            gamma=int(knob("gamma")),
+            acceptance_rate=float(knob("acceptance_rate")),
+        ), no_extra
+    if kind == "moe":
+        return ExpertPlacementSpec(
+            n_experts=int(knob("n_experts")),
+            experts_per_token=int(knob("experts_per_token")),
+            resident_experts=int(knob("resident_experts")),
+        ), no_extra
+    if kind == "coresident":
+        spec = CoResidencySpec(
+            secondary_share=float(knob("secondary_share")),
+        )
+
+        def secondary(tenant):
+            # the primary tenant's qps was already scaled down by the
+            # secondary share; the remainder goes to the secondary model
+            primary_share = 1.0 - spec.secondary_share
+            from dataclasses import replace as _replace
+
+            return [_replace(
+                tenant,
+                name=spec.secondary_tenant,
+                qps=tenant.qps * spec.secondary_share / primary_share,
+            )]
+
+        return spec, secondary
+    raise ValueError(f"unknown workload kind {kind!r}")
+
+
 def evaluate_point(config: Mapping, seed: int) -> Dict[str, float]:
     """Run one sweep point and return its metrics.
 
@@ -80,26 +129,36 @@ def evaluate_point(config: Mapping, seed: int) -> Dict[str, float]:
     think_time_ms = float(
         config.get("think_time_ms", workload["think_time_ms"])
     )
+    kind = str(workload.get("kind", "chat"))
+    spec, extra_tenants = _workload_spec(kind, config, workload)
     tenant = TenantSpec(
         name=dataset.name,
         dataset=dataset,
         policy=str(config["mapping"]),
-        qps=float(config["qps"]),
+        qps=float(config["qps"]) * (
+            1.0 - float(config.get(
+                "secondary_share", workload.get("secondary_share", 0.0)
+            ))
+            if kind == "coresident"
+            else 1.0
+        ),
         deadline_ms=float(config["deadline_ms"]),
         mean_turns=mean_turns,
         think_time_ms=think_time_ms,
     )
     requests = poisson_workload(
-        [tenant], duration_ms=float(config["duration_ms"]), seed=seed
+        [tenant] + extra_tenants(tenant),
+        duration_ms=float(config["duration_ms"]),
+        seed=seed,
     )
     serving_config = ServingConfig(
         seed=seed,
         queue_capacity=int(config["queue_capacity"]),
         shed_policy=str(config["shed"]),
-        kv_blocks=int(config["kv_blocks"]),
+        kv_blocks=int(config["kv_blocks"]) if kind == "chat" else 0,
         block_tokens=int(config["block_tokens"]),
     )
-    report = ServingRuntime(engine, serving_config).run(requests)
+    report = ServingRuntime(engine, serving_config, workload=spec).run(requests)
 
     kv_mib = 0.0
     if report.kv is not None:
@@ -111,7 +170,7 @@ def evaluate_point(config: Mapping, seed: int) -> Dict[str, float]:
         if config["mapping"] == "facil"
         else 0.0
     )
-    return {
+    metrics = {
         "goodput_qps": report.goodput_qps,
         "ttft_p50_ms": report.ttft.p50_ns / 1e6,
         "ttft_p99_ms": report.ttft.p99_ns / 1e6,
@@ -124,6 +183,13 @@ def evaluate_point(config: Mapping, seed: int) -> Dict[str, float]:
         "served": float(report.served),
         "unserved": float(report.unserved),
     }
+    if report.workload is not None:
+        # workload loops surface their conservation oracle as a metric
+        # so a sweep can gate on it (chat points keep their exact keys)
+        metrics["workload_conservation_findings"] = float(
+            report.workload.get("conservation_findings", 0)
+        )
+    return metrics
 
 
 def evaluate_payload(

@@ -70,6 +70,33 @@ WORKLOADS: Dict[str, Dict[str, object]] = {
         "mean_turns": 3.0,
         "think_time_ms": 1500.0,
     },
+    # repro.workloads shapes: a "kind" key switches the evaluator onto a
+    # workload loop (absent = legacy chat serving, so the three entries
+    # above keep their exact configs and hashes)
+    "speculative": {
+        "dataset": "alpaca-like",
+        "mean_turns": 1.0,
+        "think_time_ms": 2000.0,
+        "kind": "speculative",
+        "gamma": 4,
+        "acceptance_rate": 0.8,
+    },
+    "moe": {
+        "dataset": "alpaca-like",
+        "mean_turns": 1.0,
+        "think_time_ms": 2000.0,
+        "kind": "moe",
+        "n_experts": 8,
+        "experts_per_token": 2,
+        "resident_experts": 4,
+    },
+    "coresident": {
+        "dataset": "alpaca-like",
+        "mean_turns": 1.0,
+        "think_time_ms": 2000.0,
+        "kind": "coresident",
+        "secondary_share": 0.5,
+    },
 }
 
 #: Canonical axis order; the cartesian product (and therefore every
@@ -99,6 +126,10 @@ _AXIS_DEFAULTS: Dict[str, object] = {
 OVERRIDABLE: Tuple[str, ...] = (
     "duration_ms", "qps", "deadline_ms", "queue_capacity",
     "block_tokens", "mean_turns", "think_time_ms",
+    # repro.workloads knobs (no-ops for plain-chat workload shapes)
+    "gamma", "acceptance_rate",
+    "n_experts", "experts_per_token", "resident_experts",
+    "secondary_share",
 )
 
 #: Seed-substream constants (distinct from the fleet's, so a DSE point

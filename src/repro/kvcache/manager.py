@@ -96,6 +96,10 @@ class KvCacheManager:
     def live_sequences(self) -> int:
         return len(self._seqs)
 
+    def contains(self, seq_id: int) -> bool:
+        """True while *seq_id* is admitted (not yet released/preempted)."""
+        return seq_id in self._seqs
+
     # -- allocation with eviction -----------------------------------------
 
     def _alloc_block(self, now_ns: float) -> KvBlock:

@@ -211,6 +211,11 @@ class ServingReport:
     #: adaptive-remapping controller summary (state, migrations, events,
     #: final arena MapIDs) when the run had adaptive != "off"
     adaptive: Optional[Dict] = None
+    #: per-workload accounting (speculative rounds, expert placement,
+    #: co-residency interference) when the run was dispatched through
+    #: ``repro.workloads``; None — and absent from :meth:`to_dict`, so
+    #: chat reports stay byte-identical — otherwise
+    workload: Optional[Dict] = None
 
     def _count(self, *statuses: str) -> int:
         return sum(1 for o in self.outcomes if o.status in statuses)
@@ -278,7 +283,7 @@ class ServingReport:
         return self.unserved == 0
 
     def to_dict(self) -> Dict:
-        return {
+        out: Dict = {
             "seed": self.config.seed,
             "shed_policy": self.config.shed_policy,
             "queue_capacity": self.config.queue_capacity,
@@ -321,6 +326,11 @@ class ServingReport:
             "adaptive": dict(self.adaptive) if self.adaptive is not None else None,
             "ok": self.ok,
         }
+        if self.workload is not None:
+            # Keyed only when present: a chat run's report must serialize
+            # byte-identically whether or not repro.workloads is loaded.
+            out["workload"] = dict(self.workload)
+        return out
 
     def to_json(self, indent: int = 2) -> str:
         return json.dumps(self.to_dict(), indent=indent)
@@ -406,6 +416,17 @@ class ServingReport:
                     f"{kv['pressure_total_ms']:.1f} ms total",
                 ),
             ]
+        workload = d.get("workload")
+        if workload:
+            shown = [
+                f"{key} {value}"
+                for key, value in workload.items()
+                if key != "name" and isinstance(value, (int, float))
+                and not isinstance(value, bool)
+            ]
+            pairs.append(
+                (f"workload [{workload.get('name', '?')}]", ", ".join(shown))
+            )
         adaptive = d.get("adaptive")
         if adaptive:
             pairs += [
@@ -439,9 +460,14 @@ class ServingRuntime:
         monitor: Optional[HealthMonitor] = None,
         telemetry: Optional["Telemetry"] = None,
         barriers: Optional["BarrierRecorder"] = None,
+        workload: Optional[object] = None,
     ):
         self.engine = engine
         self.config = config if config is not None else ServingConfig()
+        #: optional workload spec (repro.workloads): a SpeculativeSpec /
+        #: ExpertPlacementSpec / CoResidencySpec switches :meth:`run` to
+        #: that workload's loop; None keeps the chat paths untouched
+        self.workload = workload
         #: optional observability bundle; spans ride simulated time and
         #: counters are pure derivations, so results are byte-identical
         #: with telemetry on or off
@@ -490,18 +516,23 @@ class ServingRuntime:
     # -- routing ---------------------------------------------------------------
 
     def _price_prefill(
-        self, policy: str, prefill_len: int, allow_pim: bool
+        self,
+        policy: str,
+        prefill_len: int,
+        allow_pim: bool,
+        engine: Optional[InferenceEngine] = None,
     ) -> Tuple[float, str]:
+        engine = engine if engine is not None else self.engine
         if allow_pim:
-            return self.engine.prefill_ns(policy, prefill_len)
+            return engine.prefill_ns(policy, prefill_len)
         if policy == "facil":
-            return self.engine.prefill_ns(policy, prefill_len, dynamic_offload=False)
+            return engine.prefill_ns(policy, prefill_len, dynamic_offload=False)
         if policy == "hybrid-dynamic":
-            ns = self.engine.relayout_total_ns() + self.engine.soc_prefill_ns(
+            ns = engine.relayout_total_ns() + engine.soc_prefill_ns(
                 prefill_len
             )
             return ns, "soc"
-        return self.engine.prefill_ns(policy, prefill_len)
+        return engine.prefill_ns(policy, prefill_len)
 
     def _route(
         self,
@@ -509,10 +540,13 @@ class ServingRuntime:
         now_ns: float,
         pim_backlog_ns: float,
         prefill_tokens: Optional[int] = None,
+        engine: Optional[InferenceEngine] = None,
     ) -> _Route:
         """Plan one request's resources.  *prefill_tokens* overrides the
         request's own count — the KV scheduler prices only the tokens a
-        prefix-cache hit did not cover."""
+        prefix-cache hit did not cover.  *engine* overrides the pricing
+        engine — the co-residency workload routes each tenant through
+        its own model's engine."""
         policy = request.policy
         priced_tokens = (
             prefill_tokens if prefill_tokens is not None else request.prefill_tokens
@@ -534,7 +568,7 @@ class ServingRuntime:
         # saturated; decode placement is settled at the phase boundary
         prefill_pim_ok = pim_allowed and not brownout_active
         prefill_ns, prefill_resource = self._price_prefill(
-            policy, priced_tokens, allow_pim=prefill_pim_ok
+            policy, priced_tokens, allow_pim=prefill_pim_ok, engine=engine
         )
         if prefill_resource == "pim":
             prefill_component = "pim"
@@ -629,6 +663,10 @@ class ServingRuntime:
     # -- the event loop --------------------------------------------------------
 
     def run(self, requests: Sequence[Request]) -> ServingReport:
+        if self.workload is not None:
+            from repro.workloads import run_workload_serving
+
+            return run_workload_serving(self, list(requests))
         if self.config.kv_blocks > 0:
             from repro.kvcache.scheduler import run_kv_serving
 

@@ -245,3 +245,23 @@ class Telemetry:
                 ):
                     continue
                 kv_gauge.set(float(value), stat=key)
+        workload = getattr(report, "workload", None)
+        if workload:
+            name = str(workload.get("name", "unknown"))
+            wl_gauge = m.gauge(
+                "workload_stat",
+                "numeric stats from the report's workload section",
+                labelnames=("workload", "stat"),
+            )
+            for key, value in workload.items():
+                if key == "name" or isinstance(value, bool):
+                    continue
+                if isinstance(value, (int, float)):
+                    wl_gauge.set(float(value), workload=name, stat=key)
+            wl_requests = m.counter(
+                "workload_requests_total",
+                "terminal outcomes by status under a workload loop",
+                labelnames=("workload", "status"),
+            )
+            for outcome in report.outcomes:
+                wl_requests.inc(workload=name, status=outcome.status)

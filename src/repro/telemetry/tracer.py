@@ -25,9 +25,14 @@ from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 __all__ = ["LAYERS", "Span", "SpanHandle", "Tracer"]
 
-#: The five layers a query crosses, in stack order.  ``layer`` doubles as
-#: the Chrome-trace category and picks the export thread lane.
-LAYERS: Tuple[str, ...] = ("serving", "engine", "kvcache", "controller", "dram")
+#: The layers a query crosses, in stack order.  ``layer`` doubles as
+#: the Chrome-trace category and picks the export thread lane.  The
+#: trailing ``workload`` lane carries per-request spans from the
+#: :mod:`repro.workloads` loops; appending (never reordering) keeps the
+#: legacy lanes' export indices stable.
+LAYERS: Tuple[str, ...] = (
+    "serving", "engine", "kvcache", "controller", "dram", "workload"
+)
 
 
 @dataclass

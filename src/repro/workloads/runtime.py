@@ -1,0 +1,426 @@
+"""The shared workload serving loop and the dispatch entry point.
+
+Each workload in :mod:`repro.workloads` runs the same discrete-event
+skeleton as the legacy serving loop — admission queue, deadline
+boundaries at admission->prefill and prefill->decode, retry-priced
+phases on the two-resource (SoC / PIM) timeline — and differs only in
+how it **prices and executes decode**.  :class:`WorkloadLoop` factors
+the skeleton; each workload subclasses it with hooks:
+
+* :meth:`WorkloadLoop.route` — plan prefill (default: the runtime's
+  breaker/brownout-aware router);
+* :meth:`WorkloadLoop.begin_request` — per-request setup after pop
+  (e.g. KV admission); may shed the request;
+* :meth:`WorkloadLoop.decode` — the workload's decode execution; runs
+  its phases itself and advances the resource timelines;
+* :meth:`WorkloadLoop.abandon` / :meth:`WorkloadLoop.finish` — cleanup
+  on failure / success;
+* :meth:`WorkloadLoop.teardown` + :meth:`WorkloadLoop.section` — end of
+  run: release placed state and summarize into the report's
+  ``workload`` section.
+
+Determinism contract: all randomness flows through the one
+``random.Random(config.seed)`` the loop owns, in request order — same
+seed, same report bytes.  Telemetry is fold-in only (spans on simulated
+time, metrics derived from the finished report), so results are
+byte-identical with telemetry on or off.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, TypeVar
+
+from repro.serving.queue import AdmissionQueue
+from repro.serving.runtime import (
+    ABORTED,
+    DROPPED,
+    REJECTED,
+    SERVED,
+    SERVED_DEGRADED,
+    TIMED_OUT,
+    RequestOutcome,
+    ServingReport,
+    ServingRuntime,
+    _Route,
+)
+from repro.serving.workload import Request
+
+__all__ = [
+    "DecodeResult",
+    "WorkloadLoop",
+    "require_placed",
+    "run_workload_serving",
+]
+
+_T = TypeVar("_T")
+
+
+def require_placed(value: Optional[_T], what: str) -> _T:
+    """Narrow state placed by ``setup()`` — ``run()`` always places it
+    before any hook; a ``None`` here means a hook was called outside
+    the loop's lifecycle."""
+    if value is None:
+        raise RuntimeError(f"{what} is not placed; run() calls setup() first")
+    return value
+
+
+@dataclass(frozen=True)
+class DecodeResult:
+    """Outcome of one request's decode under a workload loop.
+
+    The decode hook runs its own phases and advances ``free`` itself;
+    this carries only what the skeleton needs for the outcome record.
+    """
+
+    end_ns: float
+    ok: bool
+    retries: int = 0
+    backoff_ns: float = 0.0
+    tokens_served: int = 0
+    resource: str = "pim"
+    fallbacks: Tuple[str, ...] = ()
+
+
+class WorkloadLoop:
+    """Template-method serving loop; subclasses implement one workload."""
+
+    #: workload name recorded in the report section and telemetry labels
+    name = "workload"
+
+    def __init__(self, runtime: ServingRuntime, spec: object) -> None:
+        self.runtime = runtime
+        self.spec = spec
+        self.free: Dict[str, float] = {"soc": 0.0, "pim": 0.0}
+
+    # -- hooks ---------------------------------------------------------
+
+    def setup(self) -> None:
+        """Place workload state (expert regions, KV pools, ...)."""
+
+    def route(self, head: Request, now_ns: float, backlog_ns: float) -> _Route:
+        return self.runtime._route(head, now_ns, backlog_ns)
+
+    def begin_request(self, head: Request, start_ns: float) -> Optional[str]:
+        """Per-request setup after pop; a non-None return sheds the
+        request with that reason (recorded as a fallback note)."""
+        return None
+
+    def prefill_overhead(
+        self, head: Request, route: _Route, est_ns: float, start_ns: float
+    ) -> float:
+        """Extra ns charged to the prefill phase (e.g. a cross-model
+        mapping-switch penalty).  Default: none."""
+        return 0.0
+
+    def decode(
+        self,
+        head: Request,
+        route: _Route,
+        prefill_end_ns: float,
+        decode_tokens: int,
+        rng: random.Random,
+    ) -> DecodeResult:
+        raise NotImplementedError
+
+    def abandon(self, head: Request, now_ns: float) -> None:
+        """Cleanup for a request that failed after :meth:`begin_request`."""
+
+    def finish(self, head: Request, now_ns: float) -> None:
+        """Cleanup for a served request."""
+
+    def teardown(self, end_ns: float) -> None:
+        """Release everything placed in :meth:`setup`."""
+
+    def section(self) -> Dict:
+        """The report's ``workload`` section (JSON-stable)."""
+        return {"name": self.name}
+
+    # -- the event loop (legacy-loop skeleton, decode delegated) -------
+
+    def run(self, requests: Sequence[Request]) -> ServingReport:
+        runtime = self.runtime
+        cfg = runtime.config
+        tel = runtime.telemetry
+        if tel is not None:
+            tel.ensure_calibrated(runtime.engine)
+        rng = random.Random(cfg.seed)
+        queue = AdmissionQueue(
+            cfg.queue_capacity, cfg.shed_policy, cfg.degrade_watermark
+        )
+        free = self.free
+        pending = sorted(requests, key=lambda r: (r.arrival_ns, r.req_id))
+        next_arrival = 0
+        degraded: Dict[int, bool] = {}
+        outcomes: List[RequestOutcome] = []
+        clock = 0.0
+        last_event = 0.0
+        self.setup()
+
+        def admit(request: Request) -> None:
+            verdict, evicted = queue.offer(request)
+            if evicted is not None:
+                outcomes.append(
+                    RequestOutcome(
+                        req_id=evicted.req_id,
+                        tenant=evicted.tenant,
+                        status=DROPPED,
+                        policy_requested=evicted.policy,
+                        wait_ns=request.arrival_ns - evicted.arrival_ns,
+                    )
+                )
+                degraded.pop(evicted.req_id, None)
+            if verdict == "rejected":
+                outcomes.append(
+                    RequestOutcome(
+                        req_id=request.req_id,
+                        tenant=request.tenant,
+                        status=REJECTED,
+                        policy_requested=request.policy,
+                    )
+                )
+            else:
+                degraded[request.req_id] = verdict == "admitted-degraded"
+
+        while next_arrival < len(pending) or len(queue):
+            if not len(queue):
+                admit(pending[next_arrival])
+                next_arrival += 1
+                continue
+            head = queue.peek()
+            if head is None:  # unreachable: guarded by len(queue) above
+                raise RuntimeError(
+                    "admission queue reported non-empty but has no head"
+                )
+            est = max(head.arrival_ns, clock)
+            if (
+                next_arrival < len(pending)
+                and pending[next_arrival].arrival_ns <= est
+            ):
+                admit(pending[next_arrival])
+                next_arrival += 1
+                continue
+            route = self.route(head, est, max(0.0, free["pim"] - est))
+            start = max(est, free[route.prefill_resource])
+            if (
+                next_arrival < len(pending)
+                and pending[next_arrival].arrival_ns <= start
+            ):
+                admit(pending[next_arrival])
+                next_arrival += 1
+                continue
+
+            queue.pop(start)
+            clock = start
+            was_degraded = degraded.pop(head.req_id, False)
+            wait_ns = start - head.arrival_ns
+
+            # boundary 1: admission -> prefill
+            if start > head.deadline_abs_ns:
+                outcomes.append(
+                    RequestOutcome(
+                        req_id=head.req_id,
+                        tenant=head.tenant,
+                        status=TIMED_OUT,
+                        policy_requested=head.policy,
+                        policy_served=route.policy,
+                        wait_ns=wait_ns,
+                        fallbacks=route.fallbacks,
+                    )
+                )
+                last_event = max(last_event, start)
+                continue
+
+            shed_reason = self.begin_request(head, start)
+            if shed_reason is not None:
+                outcomes.append(
+                    RequestOutcome(
+                        req_id=head.req_id,
+                        tenant=head.tenant,
+                        status=REJECTED,
+                        policy_requested=head.policy,
+                        policy_served=route.policy,
+                        wait_ns=wait_ns,
+                        fallbacks=route.fallbacks + (shed_reason,),
+                    )
+                )
+                last_event = max(last_event, start)
+                continue
+
+            extra_ns = self.prefill_overhead(head, route, est, start)
+            prefill_end, ok, retries_p, backoff_p = runtime._run_phase(
+                start, route.prefill_ns + extra_ns, route.prefill_component, rng
+            )
+            free[route.prefill_resource] = prefill_end
+            last_event = max(last_event, prefill_end)
+            if not ok:
+                outcomes.append(
+                    RequestOutcome(
+                        req_id=head.req_id,
+                        tenant=head.tenant,
+                        status=ABORTED,
+                        policy_requested=head.policy,
+                        policy_served=route.policy,
+                        wait_ns=wait_ns,
+                        retries=retries_p,
+                        backoff_ns=backoff_p,
+                        fallbacks=route.fallbacks,
+                    )
+                )
+                self.abandon(head, prefill_end)
+                continue
+            ttft_ns = prefill_end - head.arrival_ns
+
+            # boundary 2: prefill -> decode
+            if prefill_end > head.deadline_abs_ns:
+                outcomes.append(
+                    RequestOutcome(
+                        req_id=head.req_id,
+                        tenant=head.tenant,
+                        status=TIMED_OUT,
+                        policy_requested=head.policy,
+                        policy_served=route.policy,
+                        wait_ns=wait_ns,
+                        ttft_ns=ttft_ns,
+                        retries=retries_p,
+                        backoff_ns=backoff_p,
+                        fallbacks=route.fallbacks,
+                    )
+                )
+                self.abandon(head, prefill_end)
+                continue
+
+            decode_tokens = head.decode_tokens
+            if was_degraded:
+                decode_tokens = max(
+                    1, min(decode_tokens, cfg.degraded_decode_tokens)
+                )
+            result = self.decode(head, route, prefill_end, decode_tokens, rng)
+            last_event = max(last_event, result.end_ns)
+            if not result.ok:
+                outcomes.append(
+                    RequestOutcome(
+                        req_id=head.req_id,
+                        tenant=head.tenant,
+                        status=ABORTED,
+                        policy_requested=head.policy,
+                        policy_served=route.policy,
+                        wait_ns=wait_ns,
+                        ttft_ns=ttft_ns,
+                        retries=retries_p + result.retries,
+                        backoff_ns=backoff_p + result.backoff_ns,
+                        fallbacks=route.fallbacks + result.fallbacks,
+                    )
+                )
+                self.abandon(head, result.end_ns)
+                continue
+
+            outcomes.append(
+                RequestOutcome(
+                    req_id=head.req_id,
+                    tenant=head.tenant,
+                    status=SERVED_DEGRADED if was_degraded else SERVED,
+                    policy_requested=head.policy,
+                    policy_served=route.policy,
+                    wait_ns=wait_ns,
+                    ttft_ns=ttft_ns,
+                    ttlt_ns=result.end_ns - head.arrival_ns,
+                    decode_tokens_served=result.tokens_served,
+                    retries=retries_p + result.retries,
+                    backoff_ns=backoff_p + result.backoff_ns,
+                    fallbacks=route.fallbacks + result.fallbacks,
+                )
+            )
+            self.finish(head, result.end_ns)
+            if tel is not None:
+                tel.trace_query(
+                    head.req_id, head.tenant, head.arrival_ns,
+                    SERVED_DEGRADED if was_degraded else SERVED,
+                    route.policy,
+                    start_ns=start, prefill_end_ns=prefill_end,
+                    decode_start_ns=prefill_end, end_ns=result.end_ns,
+                    prefill_resource=route.prefill_resource,
+                    decode_resource=result.resource,
+                    context_tokens=head.prefill_tokens,
+                    workload=self.name,
+                )
+                self.trace_decode(head, prefill_end, result)
+
+        end_ns = max(
+            last_event, pending[-1].arrival_ns if pending else 0.0, clock
+        )
+        runtime.brownout.finish(end_ns)
+        self.teardown(end_ns)
+        outcomes.sort(key=lambda o: o.req_id)
+        report = ServingReport(
+            config=cfg,
+            outcomes=outcomes,
+            queue_stats=queue.stats,
+            duration_ns=end_ns,
+            breaker_transitions={
+                name: [(t, a.value, b.value) for t, a, b in brk.transitions]
+                for name, brk in runtime._breakers.items()
+            },
+            breaker_snapshots={
+                name: brk.snapshot() for name, brk in runtime._breakers.items()
+            },
+            brownout_intervals=list(runtime.brownout.intervals),
+            health=runtime.monitor.summary(),
+            workload=self.section(),
+        )
+        if tel is not None:
+            tel.record_serving_report(report)
+            tel.tracer.close_all(end_ns)
+        return report
+
+    # -- telemetry -----------------------------------------------------
+
+    def trace_decode(
+        self, head: Request, decode_start_ns: float, result: DecodeResult
+    ) -> None:
+        """Emit a workload-lane span for a served request's decode
+        (sampled like every other span; simulated time only)."""
+        tel = self.runtime.telemetry
+        if tel is None or result.end_ns <= decode_start_ns:
+            return
+        handle = tel.tracer.begin(
+            head.req_id,
+            f"{self.name}.decode",
+            "workload",
+            decode_start_ns,
+            tokens=result.tokens_served,
+            **self.decode_span_args(head),
+        )
+        if handle is not None:
+            handle.close(result.end_ns)
+
+    def decode_span_args(self, head: Request) -> Dict:
+        """Extra args for the workload-lane decode span."""
+        return {}
+
+
+def run_workload_serving(
+    runtime: ServingRuntime, requests: List[Request]
+) -> ServingReport:
+    """Dispatch a run to the loop matching ``runtime.workload``."""
+    from repro.workloads.coresident import CoResidencyLoop
+    from repro.workloads.moe import ExpertPlacementLoop
+    from repro.workloads.specs import (
+        CoResidencySpec,
+        ExpertPlacementSpec,
+        SpeculativeSpec,
+    )
+    from repro.workloads.speculative import SpeculativeLoop
+
+    spec = runtime.workload
+    if isinstance(spec, SpeculativeSpec):
+        return SpeculativeLoop(runtime, spec).run(requests)
+    if isinstance(spec, ExpertPlacementSpec):
+        return ExpertPlacementLoop(runtime, spec).run(requests)
+    if isinstance(spec, CoResidencySpec):
+        return CoResidencyLoop(runtime, spec).run(requests)
+    raise TypeError(
+        f"runtime.workload must be a SpeculativeSpec, ExpertPlacementSpec, "
+        f"or CoResidencySpec, got {type(spec).__name__}"
+    )

@@ -1,0 +1,175 @@
+"""Workload specifications beyond single-model chat (extension).
+
+Three serving workloads stress FACIL's flexible-mapping claim harder
+than the chat/long-context traffic in :mod:`repro.llm.datasets`:
+
+* :class:`SpeculativeSpec` — draft+verify speculative decoding: rounds
+  of cheap draft-model GEMVs on PIM punctuated by a verify-phase GEMM
+  batch of the target model, the rapid GEMV/GEMM phase switching the
+  paper calls FACIL's sweet spot.  Rejected draft tokens roll their KV
+  entries back through the paged pool's fork/release paths.
+* :class:`ExpertPlacementSpec` — mixture-of-experts weight placement:
+  every expert is an independently pimalloc'd, journaled weight region
+  with its own ``select_mapping`` decision; a seeded router drives
+  hits/misses against an LRU-bounded resident set.
+* :class:`CoResidencySpec` — two models co-resident in one DRAM under
+  different MapIDs (the UMDAM / PIM-SHERPA unified-layout problem),
+  with per-model conservation and cross-model interference accounting.
+
+Every numeric field is validated **at construction** with an error
+message naming the field, so a bad acceptance rate or expert budget
+fails here — not deep inside a sampling loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.llm.model_config import MODELS
+
+__all__ = [
+    "CoResidencySpec",
+    "ExpertPlacementSpec",
+    "SpeculativeSpec",
+    "WORKLOAD_NAMES",
+]
+
+#: The serving workload shapes ``repro-facil serve --workload`` accepts;
+#: ``chat`` is the existing single-model path (no spec object).
+WORKLOAD_NAMES = ("chat", "speculative", "moe", "coresident")
+
+
+def _require(condition: bool, field: str, message: str, value: object) -> None:
+    if not condition:
+        raise ValueError(f"{field} {message}, got {value!r}")
+
+
+def _require_model(field: str, name: str) -> None:
+    if name not in MODELS:
+        raise ValueError(
+            f"{field} must be one of {sorted(MODELS)}, got {name!r}"
+        )
+
+
+@dataclass(frozen=True)
+class SpeculativeSpec:
+    """Draft+verify speculative decoding parameters.
+
+    Per round the draft model proposes ``gamma`` tokens (GEMV decode
+    steps); the target model verifies the batch in one GEMM pass.  Each
+    drafted token is accepted independently with ``acceptance_rate``
+    until the first rejection truncates the round; the verify pass
+    always contributes one more token (the correction at the rejection
+    position, or the bonus token after a clean round).  Speculated KV
+    entries live on a CoW fork of the sequence and are rolled back —
+    the fork is released — when the round settles.
+    """
+
+    draft_model: str = "phi-1.5"
+    #: draft tokens proposed per round
+    gamma: int = 4
+    #: per-token acceptance probability (iid within a round)
+    acceptance_rate: float = 0.8
+    #: bounded KV pool backing the rollback accounting
+    kv_blocks: int = 256
+    block_tokens: int = 16
+
+    def __post_init__(self) -> None:
+        _require_model("SpeculativeSpec.draft_model", self.draft_model)
+        _require(self.gamma >= 1, "SpeculativeSpec.gamma", "must be >= 1",
+                 self.gamma)
+        _require(
+            0.0 <= self.acceptance_rate <= 1.0,
+            "SpeculativeSpec.acceptance_rate", "must be in [0, 1]",
+            self.acceptance_rate,
+        )
+        _require(self.kv_blocks >= 1, "SpeculativeSpec.kv_blocks",
+                 "must be >= 1", self.kv_blocks)
+        _require(self.block_tokens >= 1, "SpeculativeSpec.block_tokens",
+                 "must be >= 1", self.block_tokens)
+
+
+@dataclass(frozen=True)
+class ExpertPlacementSpec:
+    """MoE expert placement and eviction parameters.
+
+    ``n_experts`` weight regions of ``expert_rows x expert_cols``
+    FP16 elements; at most ``resident_experts`` are DRAM-resident at
+    once (LRU-evicted, journaled free + journaled re-load).  The seeded
+    router draws ``experts_per_token`` distinct experts per decode token
+    from a Zipf-like popularity curve with exponent ``router_skew``.
+    """
+
+    n_experts: int = 8
+    experts_per_token: int = 2
+    resident_experts: int = 4
+    expert_rows: int = 4096
+    expert_cols: int = 4096
+    router_skew: float = 1.1
+
+    def __post_init__(self) -> None:
+        _require(self.n_experts >= 1, "ExpertPlacementSpec.n_experts",
+                 "must be >= 1", self.n_experts)
+        _require(
+            1 <= self.experts_per_token <= self.n_experts,
+            "ExpertPlacementSpec.experts_per_token",
+            f"must be in [1, n_experts={self.n_experts}]",
+            self.experts_per_token,
+        )
+        _require(
+            1 <= self.resident_experts <= self.n_experts,
+            "ExpertPlacementSpec.resident_experts",
+            f"must be in [1, n_experts={self.n_experts}]",
+            self.resident_experts,
+        )
+        _require(
+            self.experts_per_token <= self.resident_experts,
+            "ExpertPlacementSpec.experts_per_token",
+            f"must be <= resident_experts={self.resident_experts} "
+            "(one token's experts must fit the resident budget)",
+            self.experts_per_token,
+        )
+        _require(self.expert_rows >= 1, "ExpertPlacementSpec.expert_rows",
+                 "must be >= 1", self.expert_rows)
+        _require(self.expert_cols >= 1, "ExpertPlacementSpec.expert_cols",
+                 "must be >= 1", self.expert_cols)
+        _require(self.router_skew >= 0.0, "ExpertPlacementSpec.router_skew",
+                 "must be >= 0", self.router_skew)
+
+
+@dataclass(frozen=True)
+class CoResidencySpec:
+    """Two-model co-residency parameters.
+
+    The primary model is the serving engine's own; the secondary model's
+    weight regions are placed in the same :class:`PimSystem` under its
+    own ``select_mapping`` MapIDs.  Requests whose tenant equals
+    ``secondary_tenant`` run on the secondary model's engine.  Each time
+    a resource's occupant switches models the controller re-muxes
+    between MapID working sets; ``switch_penalty_ns`` prices that lost
+    row-buffer locality and is counted as an interference event.
+    """
+
+    secondary_model: str = "phi-1.5"
+    secondary_tenant: str = "secondary"
+    #: fraction of offered traffic addressed to the secondary model
+    #: (used by the tenant-builder helpers, not by the loop itself)
+    secondary_share: float = 0.5
+    switch_penalty_ns: float = 20_000.0
+
+    def __post_init__(self) -> None:
+        _require_model("CoResidencySpec.secondary_model", self.secondary_model)
+        _require(
+            bool(self.secondary_tenant), "CoResidencySpec.secondary_tenant",
+            "must be a non-empty tenant name", self.secondary_tenant,
+        )
+        _require(
+            0.0 < self.secondary_share < 1.0,
+            "CoResidencySpec.secondary_share", "must be in (0, 1)",
+            self.secondary_share,
+        )
+        _require(
+            self.switch_penalty_ns >= 0.0,
+            "CoResidencySpec.switch_penalty_ns", "must be >= 0",
+            self.switch_penalty_ns,
+        )

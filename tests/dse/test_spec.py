@@ -167,3 +167,47 @@ class TestParseAxisOverrides:
             parse_axis_overrides(["platform=imaginary-soc"])
         axes = parse_axis_overrides([f"platform={PLATFORM_NAMES[0]}"])
         assert axes[0][1] == (PLATFORM_NAMES[0],)
+
+
+class TestWorkloadAxis:
+    """The workload axis domain extends with the serving workloads but
+    stays closed: unknown shapes are still rejected by name."""
+
+    def test_new_workload_shapes_in_domain(self):
+        from repro.dse.spec import WORKLOADS
+
+        for name in ("chat", "speculative", "moe", "coresident"):
+            assert name in WORKLOADS
+        spec = SweepSpec(
+            axes=(("workload", ("chat", "speculative", "moe", "coresident")),),
+            duration_ms=500.0,
+        )
+        assert spec.n_points == 4
+
+    def test_unknown_workload_shape_rejected_by_name(self):
+        with pytest.raises(ValueError, match="not in domain"):
+            SweepSpec(axes=(("workload", ("prefetch-oracle",)),))
+        with pytest.raises(ValueError, match="not in domain"):
+            parse_axis_overrides(["workload=prefetch-oracle"])
+
+    def test_workload_knobs_are_overridable(self):
+        from repro.dse.spec import OVERRIDABLE
+
+        for knob in ("gamma", "acceptance_rate", "n_experts",
+                     "experts_per_token", "resident_experts",
+                     "secondary_share"):
+            assert knob in OVERRIDABLE
+
+    def test_override_patches_speculative_knob(self):
+        spec = SweepSpec(
+            axes=(("workload", ("chat", "speculative")),),
+            duration_ms=500.0,
+            overrides=(
+                ((("workload", "speculative"),), (("gamma", 8),)),
+            ),
+        )
+        for point in spec.points():
+            if point.coord("workload") == "speculative":
+                assert point.config["gamma"] == 8
+            else:
+                assert "gamma" not in point.config

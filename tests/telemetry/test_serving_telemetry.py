@@ -64,7 +64,12 @@ class TestSpanCoverage:
         telemetry, report = self._run(engine, requests, kv_blocks)
         counts = telemetry.tracer.spans_by_layer()
         for layer in LAYERS:
+            if layer == "workload":
+                continue
             assert counts[layer] > 0, f"no {layer!r} spans"
+        # the workload lane belongs to repro.workloads loops; a chat run
+        # must leave it empty
+        assert counts["workload"] == 0
         # one root span per offered request plus the probe intervals
         roots = [
             s for s in telemetry.tracer.spans
@@ -121,6 +126,6 @@ class TestWrite:
         telemetry.write(str(trace_path), str(metrics_path))
         trace = json.loads(trace_path.read_text())
         assert {e["cat"] for e in trace["traceEvents"] if e.get("ph") == "X"} \
-            == set(LAYERS)
+            == set(LAYERS) - {"workload"}
         snapshot = json.loads(metrics_path.read_text())
         assert snapshot["schema_version"] == 1

@@ -1,0 +1,30 @@
+import pytest
+
+from repro.engine.policies import InferenceEngine
+from repro.platforms.specs import JETSON_ORIN
+from repro.serving.runtime import ServingConfig
+from repro.serving.workload import TenantSpec, poisson_workload
+
+
+@pytest.fixture(scope="session")
+def engine():
+    return InferenceEngine(JETSON_ORIN)
+
+
+def make_requests(policy="facil", qps=4.0, duration_ms=2_000.0, seed=7,
+                  deadline_ms=120_000.0, secondary_qps=None):
+    tenants = [TenantSpec(
+        name="chat", policy=policy, qps=qps, deadline_ms=deadline_ms,
+    )]
+    if secondary_qps is not None:
+        tenants.append(TenantSpec(
+            name="secondary", policy=policy, qps=secondary_qps,
+            deadline_ms=deadline_ms,
+        ))
+    return poisson_workload(tenants, duration_ms=duration_ms, seed=seed)
+
+
+def make_config(seed=7, **kwargs):
+    kwargs.setdefault("queue_capacity", 64)
+    kwargs.setdefault("shed_policy", "drop-oldest")
+    return ServingConfig(seed=seed, **kwargs)

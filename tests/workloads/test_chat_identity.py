@@ -1,0 +1,46 @@
+"""Acceptance criterion: importing and even running repro.workloads
+leaves the existing chat serving path byte-identical."""
+
+from repro.serving.runtime import ServingRuntime
+
+from tests.workloads.conftest import make_config, make_requests
+
+
+def _chat_json(engine):
+    reqs = make_requests(qps=4.0, duration_ms=2_000.0)
+    return ServingRuntime(engine, make_config()).run(reqs).to_json()
+
+
+class TestChatByteIdentity:
+    def test_chat_identical_around_workload_runs(self, engine):
+        before = _chat_json(engine)
+
+        import repro.workloads  # noqa: F401  (import must be inert)
+        from repro.workloads import (
+            CoResidencySpec,
+            ExpertPlacementSpec,
+            SpeculativeSpec,
+        )
+
+        # exercise all three workload loops between the two chat runs
+        for spec in (
+            SpeculativeSpec(),
+            ExpertPlacementSpec(expert_rows=1024, expert_cols=1024),
+            CoResidencySpec(),
+        ):
+            reqs = make_requests(
+                qps=2.0,
+                duration_ms=1_000.0,
+                secondary_qps=2.0 if isinstance(spec, CoResidencySpec) else None,
+            )
+            ServingRuntime(engine, make_config(), workload=spec).run(reqs)
+
+        after = _chat_json(engine)
+        assert before == after
+
+    def test_chat_report_has_no_workload_section(self, engine):
+        reqs = make_requests(qps=2.0, duration_ms=1_000.0)
+        report = ServingRuntime(engine, make_config()).run(reqs)
+        assert report.workload is None
+        assert "workload" not in report.to_dict()
+        assert '"workload"' not in report.to_json()

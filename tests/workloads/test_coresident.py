@@ -1,0 +1,62 @@
+"""Two-model co-residency: per-model MapID sets in one system,
+interference accounting, and teardown conservation."""
+
+from repro.serving.runtime import ServingRuntime
+
+from tests.workloads.conftest import make_config, make_requests
+from repro.workloads import CoResidencySpec
+
+
+def _run(engine, spec=None, **kwargs):
+    kwargs.setdefault("qps", 3.0)
+    kwargs.setdefault("secondary_qps", 3.0)
+    kwargs.setdefault("duration_ms", 2_000.0)
+    reqs = make_requests(**kwargs)
+    return ServingRuntime(
+        engine, make_config(), workload=spec or CoResidencySpec()
+    ).run(reqs)
+
+
+class TestCoResidency:
+    def test_both_models_placed_and_served(self, engine):
+        report = _run(engine)
+        w = report.workload
+        assert w["primary_model"] == "llama3-8b"
+        assert w["secondary_model"] == "phi-1.5"
+        assert w["primary_map_ids"] and w["secondary_map_ids"]
+        # llama3's gated-FFN shapes are not phi's MLP shapes: the two
+        # models cannot collapse onto one identical MapID set
+        assert set(w["primary_map_ids"]) != set(w["secondary_map_ids"]) or \
+            len(w["primary_map_ids"]) > 1
+        assert w["served_primary"] > 0
+        assert w["served_secondary"] > 0
+
+    def test_interference_counted_and_priced(self, engine):
+        report = _run(engine)
+        w = report.workload
+        assert w["interference_switches"] > 0
+        assert w["interference_ns"] == (
+            w["interference_switches"] * w["switch_penalty_ns"]
+        )
+
+    def test_zero_penalty_means_zero_interference_ns(self, engine):
+        report = _run(engine, CoResidencySpec(switch_penalty_ns=0.0))
+        w = report.workload
+        assert w["interference_ns"] == 0.0
+        assert w["interference_switches"] > 0  # still counted
+
+    def test_conservation_after_teardown(self, engine):
+        report = _run(engine)
+        assert report.workload["conservation_findings"] == 0
+        assert report.workload["findings"] == []
+
+    def test_deterministic(self, engine):
+        a = _run(engine).to_json()
+        b = _run(engine).to_json()
+        assert a == b
+
+    def test_single_tenant_traffic_never_switches(self, engine):
+        report = _run(engine, secondary_qps=None)
+        w = report.workload
+        assert w["served_secondary"] == 0
+        assert w["interference_switches"] == 0

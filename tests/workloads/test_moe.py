@@ -1,0 +1,118 @@
+"""MoE expert placement: LRU budget discipline, journal/mapping-table
+conservation, and the hit-rate vs pool-size relationship."""
+
+import random
+
+import pytest
+
+from repro.serving.runtime import ServingRuntime
+
+from tests.workloads.conftest import make_config, make_requests
+from repro.workloads import ExpertPlacementSpec, route_experts
+from repro.workloads.moe import ExpertPool
+
+
+def _small(**kwargs):
+    kwargs.setdefault("expert_rows", 1024)
+    kwargs.setdefault("expert_cols", 1024)
+    return ExpertPlacementSpec(**kwargs)
+
+
+class TestRouter:
+    def test_distinct_and_fixed_draw_count(self):
+        rng = random.Random(0)
+        for _ in range(100):
+            before = rng.getstate()
+            chosen = route_experts(rng, 8, 3, 1.1)
+            assert len(chosen) == len(set(chosen)) == 3
+            assert all(0 <= e < 8 for e in chosen)
+            replay = random.Random()
+            replay.setstate(before)
+            for _ in range(3):
+                replay.random()
+            assert replay.getstate() == rng.getstate()
+
+    def test_skew_prefers_low_ids(self):
+        rng = random.Random(1)
+        counts = [0] * 8
+        for _ in range(500):
+            for e in route_experts(rng, 8, 2, 2.0):
+                counts[e] += 1
+        assert counts[0] > counts[7]
+
+    def test_bad_k_rejected(self):
+        with pytest.raises(ValueError):
+            route_experts(random.Random(0), 4, 5, 1.0)
+
+
+class TestExpertPool:
+    def _drive(self, pool, n_tokens, spec, seed=0):
+        rng = random.Random(seed)
+        for _ in range(n_tokens):
+            pool.touch(route_experts(
+                rng, spec.n_experts, spec.experts_per_token, spec.router_skew
+            ))
+
+    def test_budget_never_exceeded(self, engine):
+        spec = _small(n_experts=8, resident_experts=3, experts_per_token=2)
+        pool = ExpertPool(spec, engine.platform.dram)
+        self._drive(pool, 200, spec)
+        assert pool.resident_peak <= spec.resident_experts
+        assert pool.budget_violations == 0
+        pool.drain()
+        assert pool.conservation_findings() == []
+
+    def test_all_resident_all_hits_after_warmup(self, engine):
+        spec = _small(n_experts=4, resident_experts=4, experts_per_token=2)
+        pool = ExpertPool(spec, engine.platform.dram)
+        self._drive(pool, 100, spec)
+        # pool covers every expert: only the 4 cold loads miss
+        assert pool.misses == pool.cold_loads <= 4
+        assert pool.evictions == 0
+        pool.drain()
+        assert pool.conservation_findings() == []
+
+    def test_hit_rate_monotone_in_budget(self, engine):
+        rates = []
+        for budget in (2, 4, 8):
+            spec = _small(
+                n_experts=8, resident_experts=budget, experts_per_token=2
+            )
+            pool = ExpertPool(spec, engine.platform.dram)
+            self._drive(pool, 300, spec, seed=3)
+            rates.append(pool.hits / (pool.hits + pool.misses))
+            pool.drain()
+        assert rates[0] < rates[1] < rates[2]
+
+    def test_mapping_table_clean_after_drain(self, engine):
+        spec = _small()
+        pool = ExpertPool(spec, engine.platform.dram)
+        self._drive(pool, 50, spec)
+        assert len(pool.system.controller.table) > 1  # experts registered
+        pool.drain()
+        assert len(pool.system.controller.table) == 1
+        assert pool.system.journal.uncommitted() == []
+
+
+class TestMoeServing:
+    def test_end_to_end_conserves(self, engine):
+        reqs = make_requests(qps=3.0, duration_ms=1_500.0)
+        report = ServingRuntime(
+            engine, make_config(), workload=_small()
+        ).run(reqs)
+        w = report.workload
+        assert w["name"] == "moe"
+        assert w["hits"] + w["misses"] == w["expert_accesses"]
+        assert w["resident_peak"] <= w["resident_experts"]
+        assert w["conservation_findings"] == 0
+        assert w["map_ids"], "experts must register at least one MapID"
+
+    def test_deterministic(self, engine):
+        reqs = make_requests(qps=3.0, duration_ms=1_500.0)
+        runs = [
+            ServingRuntime(
+                engine, make_config(), workload=_small()
+            ).run(reqs).to_json()
+            for _ in range(2)
+        ]
+        assert runs[0] == runs[1]

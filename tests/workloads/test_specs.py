@@ -1,0 +1,79 @@
+"""Construction-time validation of the workload specs: every bad value
+dies with an error naming the offending field."""
+
+import pytest
+
+from repro.workloads import (
+    WORKLOAD_NAMES,
+    CoResidencySpec,
+    ExpertPlacementSpec,
+    SpeculativeSpec,
+)
+
+
+class TestWorkloadNames:
+    def test_chat_is_first_and_default(self):
+        assert WORKLOAD_NAMES[0] == "chat"
+        assert set(WORKLOAD_NAMES) == {
+            "chat", "speculative", "moe", "coresident"
+        }
+
+
+class TestSpeculativeSpec:
+    def test_defaults_valid(self):
+        spec = SpeculativeSpec()
+        assert spec.gamma >= 1
+        assert 0.0 <= spec.acceptance_rate <= 1.0
+
+    @pytest.mark.parametrize("kwargs,field", [
+        ({"gamma": 0}, "SpeculativeSpec.gamma"),
+        ({"acceptance_rate": -0.1}, "SpeculativeSpec.acceptance_rate"),
+        ({"acceptance_rate": 1.5}, "SpeculativeSpec.acceptance_rate"),
+        ({"kv_blocks": 0}, "SpeculativeSpec.kv_blocks"),
+        ({"block_tokens": 0}, "SpeculativeSpec.block_tokens"),
+        ({"draft_model": "gpt-17"}, "SpeculativeSpec.draft_model"),
+    ])
+    def test_bad_value_names_field(self, kwargs, field):
+        with pytest.raises(ValueError, match=field.replace(".", r"\.")):
+            SpeculativeSpec(**kwargs)
+
+
+class TestExpertPlacementSpec:
+    def test_defaults_valid(self):
+        spec = ExpertPlacementSpec()
+        assert spec.experts_per_token <= spec.resident_experts <= spec.n_experts
+
+    @pytest.mark.parametrize("kwargs,field", [
+        ({"n_experts": 0}, "ExpertPlacementSpec.n_experts"),
+        ({"experts_per_token": 0}, "ExpertPlacementSpec.experts_per_token"),
+        ({"experts_per_token": 9}, "ExpertPlacementSpec.experts_per_token"),
+        ({"resident_experts": 0}, "ExpertPlacementSpec.resident_experts"),
+        ({"resident_experts": 99}, "ExpertPlacementSpec.resident_experts"),
+        (
+            {"experts_per_token": 4, "resident_experts": 2},
+            "ExpertPlacementSpec.experts_per_token",
+        ),
+        ({"expert_rows": 0}, "ExpertPlacementSpec.expert_rows"),
+        ({"expert_cols": -1}, "ExpertPlacementSpec.expert_cols"),
+        ({"router_skew": -0.5}, "ExpertPlacementSpec.router_skew"),
+    ])
+    def test_bad_value_names_field(self, kwargs, field):
+        with pytest.raises(ValueError, match=field.replace(".", r"\.")):
+            ExpertPlacementSpec(**kwargs)
+
+
+class TestCoResidencySpec:
+    def test_defaults_valid(self):
+        spec = CoResidencySpec()
+        assert 0.0 < spec.secondary_share < 1.0
+
+    @pytest.mark.parametrize("kwargs,field", [
+        ({"secondary_model": "nope"}, "CoResidencySpec.secondary_model"),
+        ({"secondary_tenant": ""}, "CoResidencySpec.secondary_tenant"),
+        ({"secondary_share": 0.0}, "CoResidencySpec.secondary_share"),
+        ({"secondary_share": 1.0}, "CoResidencySpec.secondary_share"),
+        ({"switch_penalty_ns": -1.0}, "CoResidencySpec.switch_penalty_ns"),
+    ])
+    def test_bad_value_names_field(self, kwargs, field):
+        with pytest.raises(ValueError, match=field.replace(".", r"\.")):
+            CoResidencySpec(**kwargs)
